@@ -1,0 +1,33 @@
+//! Criterion: the stage-graph evaluator, the list scheduler and the
+//! longest-valid-path extraction — the inner loops of HIOS-LP.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use hios_core::lp::{HiosLpConfig, longest_valid_path, schedule_hios_lp};
+use hios_core::{evaluate, list_schedule};
+use hios_cost::{RandomCostConfig, random_cost_table};
+use hios_graph::{LayeredDagConfig, generate_layered_dag};
+use std::hint::black_box;
+
+fn bench_evaluator(c: &mut Criterion) {
+    let g = generate_layered_dag(&LayeredDagConfig::paper_default(3)).unwrap();
+    let cost = random_cost_table(&g, &RandomCostConfig::paper_default(3));
+    let out = schedule_hios_lp(&g, &cost, HiosLpConfig::new(4));
+    let order = hios_core::priority::priority_order(&g, &cost);
+    let gpu_of: Vec<Option<u32>> = out.gpu_of.iter().map(|&x| Some(x)).collect();
+
+    c.bench_function("evaluate/200ops", |b| {
+        b.iter(|| black_box(evaluate(&g, &cost, &out.schedule).unwrap().latency));
+    });
+    c.bench_function("list_schedule/200ops", |b| {
+        b.iter(|| black_box(list_schedule(&g, &cost, &order, &gpu_of, 4).latency));
+    });
+
+    let reverse_topo: Vec<_> = order.iter().rev().copied().collect();
+    let scheduled = vec![false; g.num_ops()];
+    c.bench_function("longest_valid_path/200ops", |b| {
+        b.iter(|| black_box(longest_valid_path(&g, &cost, &reverse_topo, &scheduled).len()));
+    });
+}
+
+criterion_group!(benches, bench_evaluator);
+criterion_main!(benches);

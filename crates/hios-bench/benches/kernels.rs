@@ -1,0 +1,24 @@
+//! Criterion: runtime tensor kernels (rayon-parallel convolution).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use hios_models::toy::fig1_conv;
+use hios_runtime::reference::{execute_reference, random_inputs};
+use hios_runtime::weights::ModelWeights;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for size in [32u32, 64] {
+        let (g, _) = fig1_conv(size);
+        let w = ModelWeights::init(&g, 7);
+        let inputs = random_inputs(&g, 7);
+        group.bench_function(format!("conv5x5_48ch/{size}px"), |b| {
+            b.iter(|| black_box(execute_reference(&g, &w, &inputs).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

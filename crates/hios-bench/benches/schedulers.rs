@@ -1,0 +1,38 @@
+//! Criterion: scheduler wall time per algorithm and graph size
+//! (the algorithmic-cost component of the paper's Fig. 14).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use hios_core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios_cost::{RandomCostConfig, random_cost_table};
+use hios_graph::{LayeredDagConfig, generate_layered_dag};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    group.sample_size(10);
+    for ops in [100usize, 200] {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops,
+            layers: 14,
+            deps: 2 * ops,
+            seed: 1,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(1));
+        let opts = SchedulerOptions::new(4);
+        for algo in [
+            Algorithm::Sequential,
+            Algorithm::Ios,
+            Algorithm::HiosLp,
+            Algorithm::HiosMr,
+        ] {
+            group.bench_function(format!("{}/{ops}ops", algo.name()), |b| {
+                b.iter(|| black_box(run_scheduler(algo, &g, &cost, &opts).latency_ms));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion: discrete-event simulation throughput on the CNN benchmarks.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use hios_core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios_cost::AnalyticCostModel;
+use hios_models::{ModelConfig, inception_v3, nasnet_a};
+use hios_sim::{SimConfig, simulate};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    for (name, g) in [
+        ("inception_v3", inception_v3(&ModelConfig::default())),
+        ("nasnet", nasnet_a(&ModelConfig::with_input(331))),
+    ] {
+        let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let cfg = SimConfig::realistic(&cost);
+        group.bench_function(format!("relaxed/{name}"), |b| {
+            b.iter(|| black_box(simulate(&g, &cost, &out.schedule, &cfg).unwrap().makespan));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

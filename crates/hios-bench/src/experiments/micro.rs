@@ -1,0 +1,122 @@
+//! Figs. 1-2: the motivating micro-benchmarks (§II).
+
+use crate::{RunCfg, Table};
+use crate::table::f3;
+use hios_cost::{AnalyticCostModel, Platform};
+use hios_models::toy::{fig1_conv, fig1_conv_pair};
+
+/// Input extents swept by both figures: 8×8 .. 1024×1024, powers of two.
+pub const SIZES: [u32; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Fig. 1: latency ratio between parallel and sequential execution of two
+/// identical 5×5 convolutions on one A40, over input sizes.
+///
+/// Paper shape: ratio < 1 up to 64×64 (under-utilization pays off),
+/// ratio > 1 from 128×128 on (contention).
+pub fn fig1(_cfg: &RunCfg) -> Table {
+    let model = AnalyticCostModel::a40_nvlink();
+    let mut t = Table::new(
+        "fig01_contention",
+        "Fig. 1: parallel/sequential latency ratio of two identical convs (A40)",
+        &["input_size", "t_exec_ms", "utilization", "ratio_parallel_over_sequential"],
+    );
+    for size in SIZES {
+        let (g, a, b) = fig1_conv_pair(size);
+        let cost = model.build_table(&g);
+        let sequential = cost.exec(a) + cost.exec(b);
+        let parallel = cost.concurrent(&[a, b]);
+        t.push(vec![
+            size.to_string(),
+            f3(cost.exec(a)),
+            f3(cost.util_of(a)),
+            f3(parallel / sequential),
+        ]);
+    }
+    t
+}
+
+/// Fig. 2: ratio of input-tensor transfer time to convolution compute
+/// time on three dual-GPU platforms.
+///
+/// Paper shape: PCIe-attached V100S has by far the highest ratio;
+/// NVLink-bridged A40/A5500 stay low, making them the suitable platforms
+/// for inter-GPU operator parallelism.
+pub fn fig2(_cfg: &RunCfg) -> Table {
+    let platforms = [
+        Platform::dual_a40_nvlink(),
+        Platform::dual_a5500_nvlink(),
+        Platform::dual_v100s_pcie(),
+    ];
+    let mut columns = vec!["input_size".to_string()];
+    for p in &platforms {
+        columns.push(format!("{} + {}", p.gpu.name, p.link.name));
+    }
+    let mut t = Table::new(
+        "fig02_comm_ratio",
+        "Fig. 2: transfer/compute time ratio per platform",
+        &columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for size in SIZES {
+        let mut row = vec![size.to_string()];
+        for p in &platforms {
+            let model = AnalyticCostModel::for_platform(p);
+            let (g, conv) = fig1_conv(size);
+            let compute = model.exec_ms(&g, conv);
+            // Transfer of the conv's input tensor between the two GPUs.
+            let input = g.preds(conv)[0];
+            let transfer = model.link.transfer_ms(g.node(input).output_shape.bytes());
+            row.push(f3(transfer / compute));
+        }
+        t.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_crosses_one_between_64_and_128() {
+        let t = fig1(&RunCfg::default());
+        let ratio = |size: u32| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == size.to_string())
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        assert!(ratio(8) < 1.0, "small inputs parallelize profitably");
+        assert!(ratio(64) < 1.0);
+        assert!(ratio(128) > 1.0, "large inputs contend");
+        assert!(ratio(1024) > 1.0);
+    }
+
+    #[test]
+    fn fig2_pcie_ratio_dominates() {
+        let t = fig2(&RunCfg::default());
+        for row in &t.rows {
+            let a40: f64 = row[1].parse().unwrap();
+            let pcie: f64 = row[3].parse().unwrap();
+            assert!(
+                pcie > 1.5 * a40,
+                "PCIe ratio {pcie} must dwarf NVLink ratio {a40}"
+            );
+        }
+        // Bandwidth-dominated regime (largest input): the gap widens.
+        let last = t.rows.last().unwrap();
+        let a40: f64 = last[1].parse().unwrap();
+        let pcie: f64 = last[3].parse().unwrap();
+        assert!(pcie > 1.9 * a40, "bandwidth regime: {pcie} vs {a40}");
+    }
+
+    #[test]
+    fn fig2_ratio_not_negligible() {
+        // §II-B: "communication overheads are not negligible".
+        let t = fig2(&RunCfg::default());
+        let large = t.rows.last().unwrap();
+        let a40: f64 = large[1].parse().unwrap();
+        assert!(a40 > 0.01);
+    }
+}

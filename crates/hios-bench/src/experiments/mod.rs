@@ -1,0 +1,34 @@
+//! One module per group of paper figures.
+
+pub mod ext;
+pub mod micro;
+pub mod schedcost;
+pub mod sim;
+pub mod testbed;
+pub mod worked;
+
+use crate::{RunCfg, Table};
+
+/// Every experiment, keyed by CLI name.
+pub fn all_experiments() -> Vec<(&'static str, fn(&RunCfg) -> Table)> {
+    vec![
+        ("fig1", micro::fig1 as fn(&RunCfg) -> Table),
+        ("fig2", micro::fig2),
+        ("fig4", worked::fig4),
+        ("fig5", worked::fig5),
+        ("fig6", worked::fig6),
+        ("fig7", sim::fig7),
+        ("fig8", sim::fig8),
+        ("fig9", sim::fig9),
+        ("fig10", sim::fig10),
+        ("fig11", sim::fig11),
+        ("fig12", testbed::fig12),
+        ("fig13", testbed::fig13),
+        ("fig14", schedcost::fig14),
+        ("ext_window", ext::ext_window),
+        ("ext_ios_pruning", ext::ext_ios_pruning),
+        ("ext_semantics", ext::ext_semantics),
+        ("ext_gpus_cnn", ext::ext_gpus_cnn),
+        ("ext_model_zoo", ext::ext_model_zoo),
+    ]
+}

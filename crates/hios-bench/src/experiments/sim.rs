@@ -1,0 +1,156 @@
+//! Figs. 7-11: the simulation study on random layered DAGs (§V).
+//!
+//! Methodology per the paper §V-A: 200 operators, 14 layers, 400
+//! dependencies, 4 GPUs, execution times U(0.1, 4) ms, transfer time
+//! `max(0.1, p·t(u))` with p = 0.8; each data point averages `seeds`
+//! random instances and reports the standard deviation.
+
+use crate::table::pm;
+use crate::{RunCfg, Table, random_sweep_point};
+use hios_core::Algorithm;
+
+fn algo_columns() -> Vec<String> {
+    Algorithm::ALL.iter().map(|a| a.name().to_string()).collect()
+}
+
+fn sweep_table(
+    name: &str,
+    title: &str,
+    x_name: &str,
+    points: impl Iterator<Item = (String, usize, usize, usize, f64, usize)>,
+    seeds: u64,
+) -> Table {
+    let mut columns = vec![x_name.to_string()];
+    columns.extend(algo_columns());
+    let mut t = Table::new(
+        name,
+        title,
+        &columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (x, ops, layers, deps, p, gpus) in points {
+        let stats = random_sweep_point(ops, layers, deps, p, gpus, seeds, &Algorithm::ALL);
+        let mut row = vec![x];
+        for a in Algorithm::ALL {
+            let (m, s) = stats[&a];
+            row.push(pm(m, s));
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// Fig. 7: latency vs number of GPUs (2..12 step 2).
+pub fn fig7(cfg: &RunCfg) -> Table {
+    sweep_table(
+        "fig07_num_gpus",
+        "Fig. 7: inference latency (ms) vs number of GPUs",
+        "gpus",
+        (2..=12)
+            .step_by(2)
+            .map(|m| (m.to_string(), 200, 14, 400, 0.8, m)),
+        cfg.seeds,
+    )
+}
+
+/// Fig. 8: latency vs number of operators (100..400 step 50), deps = 2·ops.
+pub fn fig8(cfg: &RunCfg) -> Table {
+    sweep_table(
+        "fig08_num_operators",
+        "Fig. 8: inference latency (ms) vs number of operators",
+        "operators",
+        (100..=400)
+            .step_by(50)
+            .map(|n| (n.to_string(), n, 14, 2 * n, 0.8, 4)),
+        cfg.seeds,
+    )
+}
+
+/// Fig. 9: latency vs number of dependencies (400..600 step 50).
+pub fn fig9(cfg: &RunCfg) -> Table {
+    sweep_table(
+        "fig09_num_dependencies",
+        "Fig. 9: inference latency (ms) vs number of inter-operator dependencies",
+        "dependencies",
+        (400..=600)
+            .step_by(50)
+            .map(|d| (d.to_string(), 200, 14, d, 0.8, 4)),
+        cfg.seeds,
+    )
+}
+
+/// Fig. 10: latency vs number of layers (6..22 step 4) — the degree of
+/// parallelism in the model.
+pub fn fig10(cfg: &RunCfg) -> Table {
+    sweep_table(
+        "fig10_num_layers",
+        "Fig. 10: inference latency (ms) vs number of operator layers",
+        "layers",
+        (6..=22)
+            .step_by(4)
+            .map(|l| (l.to_string(), 200, l, 400, 0.8, 4)),
+        cfg.seeds,
+    )
+}
+
+/// Fig. 11: latency vs communication/computation ratio p (0.4..1.2).
+pub fn fig11(cfg: &RunCfg) -> Table {
+    sweep_table(
+        "fig11_comm_ratio",
+        "Fig. 11: inference latency (ms) vs transfer/computation time ratio p",
+        "p",
+        [0.4, 0.6, 0.8, 1.0, 1.2]
+            .into_iter()
+            .map(|p| (format!("{p:.1}"), 200, 14, 400, p, 4)),
+        cfg.seeds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunCfg {
+        RunCfg {
+            seeds: 3,
+            ..Default::default()
+        }
+    }
+
+    fn parse_mean(cell: &str) -> f64 {
+        cell.split('±').next().unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn fig7_hios_lp_scales_with_gpus() {
+        let t = fig7(&quick());
+        assert_eq!(t.rows.len(), 6);
+        let col = 1 + Algorithm::ALL
+            .iter()
+            .position(|a| *a == Algorithm::HiosLp)
+            .unwrap();
+        let seq_col = 1 + Algorithm::ALL
+            .iter()
+            .position(|a| *a == Algorithm::Sequential)
+            .unwrap();
+        let lp_2 = parse_mean(&t.rows[0][col]);
+        let lp_12 = parse_mean(&t.rows[5][col]);
+        let seq = parse_mean(&t.rows[0][seq_col]);
+        assert!(lp_12 < lp_2, "more GPUs must help HIOS-LP");
+        assert!(seq / lp_2 > 1.2, "2-GPU speedup over sequential");
+        assert!(seq / lp_12 > 2.0, "12-GPU speedup over sequential");
+    }
+
+    #[test]
+    fn fig10_sequential_is_flat() {
+        let t = fig10(&quick());
+        let seq_col = 1 + Algorithm::ALL
+            .iter()
+            .position(|a| *a == Algorithm::Sequential)
+            .unwrap();
+        let first = parse_mean(&t.rows[0][seq_col]);
+        let last = parse_mean(&t.rows.last().unwrap()[seq_col]);
+        // Sequential = total exec time, independent of layering (only
+        // sampling noise differs).
+        assert!((first - last).abs() / first < 0.2);
+    }
+}

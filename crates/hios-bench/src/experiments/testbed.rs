@@ -1,0 +1,174 @@
+//! Figs. 12-13: experiments on the virtual dual-A40 NVLink testbed (§VI).
+//!
+//! Latency is measured by the discrete-event simulator in *realistic*
+//! mode (relaxed stage semantics, NVLink serialization, kernel-launch and
+//! CUDA-aware-MPI gaps), standing in for the paper's Dell R750XA runs.
+
+use crate::table::{f3, pm};
+use crate::{RunCfg, Table};
+use hios_core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios_cost::AnalyticCostModel;
+use hios_graph::Graph;
+use hios_models::{ModelConfig, inception_v3, nasnet_a};
+use hios_sim::{MeasureConfig, SimConfig, measure, simulate};
+use rayon::prelude::*;
+
+/// Input sizes swept per model: from the default size up to 1024 (the
+/// paper's "largest size of 2^K x 2^K").
+pub fn input_sizes(model: &str) -> Vec<u32> {
+    match model {
+        "inception_v3" => vec![299, 448, 512, 768, 1024],
+        "nasnet" => vec![331, 448, 512, 768, 1024],
+        other => panic!("unknown model {other}"),
+    }
+}
+
+/// Builds a benchmark model by name.
+pub fn build_model(model: &str, size: u32) -> Graph {
+    match model {
+        "inception_v3" => inception_v3(&ModelConfig::with_input(size)),
+        "nasnet" => nasnet_a(&ModelConfig::with_input(size)),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+/// "Real-system" latency of one algorithm on the virtual testbed
+/// (deterministic single run).
+pub fn measured_latency(algo: Algorithm, g: &Graph, gpus: usize) -> f64 {
+    let cost = AnalyticCostModel::a40_nvlink().build_table(g);
+    let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus));
+    simulate(g, &cost, &out.schedule, &SimConfig::realistic(&cost))
+        .expect("scheduler output is feasible")
+        .makespan
+}
+
+/// Paper-methodology measurement: "each data point denotes the average of
+/// measurements on 36 runs" (§VI-A), with per-run execution jitter.
+pub fn measured_stats(algo: Algorithm, g: &Graph, gpus: usize) -> (f64, f64) {
+    let cost = AnalyticCostModel::a40_nvlink().build_table(g);
+    let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus));
+    let m = measure(
+        g,
+        &cost,
+        &out.schedule,
+        &SimConfig::realistic(&cost),
+        &MeasureConfig::default(),
+    )
+    .expect("scheduler output is feasible");
+    (m.mean_ms, m.std_ms)
+}
+
+/// Fig. 12: measured inference latency vs input size for both CNNs and
+/// the four headline algorithms on 2 virtual A40s.
+pub fn fig12(_cfg: &RunCfg) -> Table {
+    let algos = [
+        Algorithm::Sequential,
+        Algorithm::Ios,
+        Algorithm::HiosLp,
+        Algorithm::HiosMr,
+    ];
+    let mut columns = vec!["model".to_string(), "input_size".to_string()];
+    columns.extend(algos.iter().map(|a| a.name().to_string()));
+    let mut t = Table::new(
+        "fig12_real_latency",
+        "Fig. 12: measured latency (ms) vs input size, 2 virtual A40 + NVLink",
+        &columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for model in ["inception_v3", "nasnet"] {
+        let rows: Vec<Vec<String>> = input_sizes(model)
+            .into_par_iter()
+            .map(|size| {
+                let g = build_model(model, size);
+                let mut row = vec![model.to_string(), size.to_string()];
+                for &a in &algos {
+                    let (mean, std) = measured_stats(a, &g, 2);
+                    row.push(pm(mean, std));
+                }
+                row
+            })
+            .collect();
+        for row in rows {
+            t.push(row);
+        }
+    }
+    t
+}
+
+/// Fig. 13: latency breakdown across all six algorithms for the default
+/// (small) and largest input sizes of both CNNs.
+pub fn fig13(_cfg: &RunCfg) -> Table {
+    let mut columns = vec!["model".to_string(), "input_size".to_string()];
+    columns.extend(Algorithm::ALL.iter().map(|a| a.name().to_string()));
+    let mut t = Table::new(
+        "fig13_gain_analysis",
+        "Fig. 13: performance-gain analysis, all six algorithms (ms)",
+        &columns.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let cases = [
+        ("inception_v3", 299u32),
+        ("inception_v3", 1024),
+        ("nasnet", 331),
+        ("nasnet", 1024),
+    ];
+    let rows: Vec<Vec<String>> = cases
+        .into_par_iter()
+        .map(|(model, size)| {
+            let g = build_model(model, size);
+            let mut row = vec![model.to_string(), size.to_string()];
+            for a in Algorithm::ALL {
+                row.push(f3(measured_latency(a, &g, 2)));
+            }
+            row
+        })
+        .collect();
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hios_lp_beats_ios_on_large_inception() {
+        // The headline result: up to ~17% over IOS, widening with size.
+        let g = build_model("inception_v3", 768);
+        let ios = measured_latency(Algorithm::Ios, &g, 2);
+        let lp = measured_latency(Algorithm::HiosLp, &g, 2);
+        assert!(
+            lp < ios,
+            "HIOS-LP ({lp:.2} ms) must beat IOS ({ios:.2} ms) at 768px"
+        );
+    }
+
+    #[test]
+    fn sequential_is_the_upper_bound() {
+        let g = build_model("inception_v3", 299);
+        let seq = measured_latency(Algorithm::Sequential, &g, 2);
+        for a in [Algorithm::Ios, Algorithm::HiosLp, Algorithm::HiosMr] {
+            let l = measured_latency(a, &g, 2);
+            assert!(
+                l <= seq * 1.05,
+                "{:?} ({l:.2}) should not exceed sequential ({seq:.2}) by >5%",
+                a
+            );
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_input_size() {
+        let small = measured_latency(
+            Algorithm::HiosLp,
+            &build_model("inception_v3", 299),
+            2,
+        );
+        let big = measured_latency(
+            Algorithm::HiosLp,
+            &build_model("inception_v3", 1024),
+            2,
+        );
+        assert!(big > 3.0 * small);
+    }
+}

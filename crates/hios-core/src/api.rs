@@ -1,0 +1,239 @@
+//! One entry point for the six scheduling configurations evaluated in the
+//! paper (§V-B): Sequential, IOS, HIOS-LP, HIOS-MR and the two inter-GPU
+//! ablations.
+
+use crate::eval::evaluate;
+use crate::ios::{IosConfig, schedule_ios};
+use crate::lp::{HiosLpConfig, schedule_hios_lp};
+use crate::mr::{HiosMrConfig, schedule_hios_mr};
+use crate::schedule::Schedule;
+use crate::seq::schedule_sequential;
+use hios_cost::CostTable;
+use hios_graph::Graph;
+use std::time::Instant;
+
+/// The scheduling algorithms compared throughout the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// One operator at a time on a single GPU.
+    Sequential,
+    /// IOS (Ding et al.): single-GPU DP with pruning.
+    Ios,
+    /// LP-based inter-GPU scheduling only ("inter-GPU w/ LP").
+    InterGpuLp,
+    /// Full HIOS-LP (Alg. 1 + Alg. 2).
+    HiosLp,
+    /// MR-based inter-GPU scheduling only ("inter-GPU w/ MR").
+    InterGpuMr,
+    /// Full HIOS-MR (Alg. 3 + Alg. 2).
+    HiosMr,
+}
+
+impl Algorithm {
+    /// All six configurations, in the paper's legend order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Sequential,
+        Algorithm::Ios,
+        Algorithm::HiosMr,
+        Algorithm::InterGpuMr,
+        Algorithm::HiosLp,
+        Algorithm::InterGpuLp,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Sequential => "sequential",
+            Algorithm::Ios => "IOS",
+            Algorithm::InterGpuLp => "inter-GPU w/ LP",
+            Algorithm::HiosLp => "HIOS-LP",
+            Algorithm::InterGpuMr => "inter-GPU w/ MR",
+            Algorithm::HiosMr => "HIOS-MR",
+        }
+    }
+
+    /// True for the single-GPU baselines.
+    pub fn is_single_gpu(self) -> bool {
+        matches!(self, Algorithm::Sequential | Algorithm::Ios)
+    }
+}
+
+/// Options shared by all schedulers.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerOptions {
+    /// GPU budget `M` (ignored by the single-GPU baselines).
+    pub num_gpus: usize,
+    /// Maximum sliding-window size `w` for Alg. 2.
+    pub window: usize,
+    /// IOS pruning knobs.
+    pub ios: IosConfig,
+}
+
+impl SchedulerOptions {
+    /// Defaults for an `m`-GPU platform.
+    pub fn new(m: usize) -> Self {
+        SchedulerOptions {
+            num_gpus: m,
+            window: 4,
+            ios: IosConfig::default(),
+        }
+    }
+}
+
+/// What a scheduling run produced.
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Stage-synchronous latency of the schedule, ms.
+    pub latency_ms: f64,
+    /// Wall-clock time the scheduler itself took, seconds.
+    pub scheduling_secs: f64,
+    /// `t(S)` profiling queries the scheduler issued: `(count, total
+    /// duration in ms of one on-device measurement of each)`.
+    pub profiling: (u64, f64),
+}
+
+/// Runs `algo` on `(g, cost)` and returns the schedule, its latency and
+/// the scheduling cost counters used by the Fig. 14 experiment.
+pub fn run_scheduler(
+    algo: Algorithm,
+    g: &Graph,
+    cost: &CostTable,
+    opts: &SchedulerOptions,
+) -> ScheduleOutcome {
+    cost.meter.reset();
+    let started = Instant::now();
+    let schedule = match algo {
+        Algorithm::Sequential => schedule_sequential(g, cost),
+        Algorithm::Ios => schedule_ios(g, cost, opts.ios),
+        Algorithm::InterGpuLp => {
+            schedule_hios_lp(
+                g,
+                cost,
+                HiosLpConfig {
+                    num_gpus: opts.num_gpus,
+                    window: opts.window,
+                    intra: false,
+                },
+            )
+            .schedule
+        }
+        Algorithm::HiosLp => {
+            schedule_hios_lp(
+                g,
+                cost,
+                HiosLpConfig {
+                    num_gpus: opts.num_gpus,
+                    window: opts.window,
+                    intra: true,
+                },
+            )
+            .schedule
+        }
+        Algorithm::InterGpuMr => {
+            schedule_hios_mr(
+                g,
+                cost,
+                HiosMrConfig {
+                    num_gpus: opts.num_gpus,
+                    window: opts.window,
+                    intra: false,
+                },
+            )
+            .schedule
+        }
+        Algorithm::HiosMr => {
+            schedule_hios_mr(
+                g,
+                cost,
+                HiosMrConfig {
+                    num_gpus: opts.num_gpus,
+                    window: opts.window,
+                    intra: true,
+                },
+            )
+            .schedule
+        }
+    };
+    let scheduling_secs = started.elapsed().as_secs_f64();
+    let profiling = cost.meter.snapshot();
+    let latency_ms = evaluate(g, cost, &schedule)
+        .expect("schedulers produce feasible schedules")
+        .latency;
+    ScheduleOutcome {
+        algorithm: algo,
+        schedule,
+        latency_ms,
+        scheduling_secs,
+        profiling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_cost::{RandomCostConfig, random_cost_table};
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+    #[test]
+    fn all_algorithms_produce_valid_schedules() {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 60,
+            layers: 6,
+            deps: 120,
+            seed: 21,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(21));
+        let opts = SchedulerOptions::new(4);
+        for algo in Algorithm::ALL {
+            let out = run_scheduler(algo, &g, &cost, &opts);
+            assert!(out.schedule.validate(&g).is_ok(), "{algo:?}");
+            assert!(out.latency_ms > 0.0);
+            if algo.is_single_gpu() {
+                assert!(out.schedule.num_gpus_used() <= 1, "{algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_ordering_holds_on_random_instances() {
+        // Averaged over seeds, the paper's §V ordering must emerge:
+        // HIOS-LP < HIOS-MR < IOS < sequential, and each full variant at
+        // least as good as its inter-GPU-only ablation.
+        let mut sums = std::collections::HashMap::new();
+        let seeds = 6;
+        for seed in 0..seeds {
+            let g = generate_layered_dag(&LayeredDagConfig {
+                ops: 80,
+                layers: 8,
+                deps: 160,
+                seed,
+            })
+            .unwrap();
+            let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
+            let opts = SchedulerOptions::new(4);
+            for algo in Algorithm::ALL {
+                let out = run_scheduler(algo, &g, &cost, &opts);
+                *sums.entry(algo).or_insert(0.0) += out.latency_ms;
+            }
+        }
+        let avg = |a: Algorithm| sums[&a] / seeds as f64;
+        assert!(avg(Algorithm::HiosLp) < avg(Algorithm::HiosMr));
+        assert!(avg(Algorithm::HiosMr) < avg(Algorithm::Sequential));
+        assert!(avg(Algorithm::Ios) < avg(Algorithm::Sequential));
+        assert!(avg(Algorithm::HiosLp) <= avg(Algorithm::InterGpuLp) + 1e-9);
+        assert!(avg(Algorithm::HiosMr) <= avg(Algorithm::InterGpuMr) + 1e-9);
+        assert!(avg(Algorithm::HiosLp) < avg(Algorithm::Ios));
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Algorithm::HiosLp.name(), "HIOS-LP");
+        assert_eq!(Algorithm::InterGpuMr.name(), "inter-GPU w/ MR");
+        assert_eq!(Algorithm::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,139 @@
+//! A compact dynamic bitset keyed by [`OpId`], the state representation of
+//! the IOS dynamic program (memoizing sets of remaining operators).
+
+use hios_graph::OpId;
+use std::fmt;
+
+/// Fixed-capacity bitset over operator ids `0..n`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct OpSet {
+    words: Box<[u64]>,
+    /// Number of valid bits (operators in the graph).
+    n: usize,
+}
+
+impl OpSet {
+    /// Empty set over `n` operators.
+    pub fn empty(n: usize) -> Self {
+        OpSet {
+            words: vec![0u64; n.div_ceil(64)].into_boxed_slice(),
+            n,
+        }
+    }
+
+    /// Full set `{0, .., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for i in 0..n {
+            s.insert(OpId::from_index(i));
+        }
+        s
+    }
+
+    /// Capacity (graph size), not cardinality.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts `v`; idempotent.
+    #[inline]
+    pub fn insert(&mut self, v: OpId) {
+        debug_assert!(v.index() < self.n);
+        self.words[v.index() / 64] |= 1 << (v.index() % 64);
+    }
+
+    /// Removes `v`; idempotent.
+    #[inline]
+    pub fn remove(&mut self, v: OpId) {
+        debug_assert!(v.index() < self.n);
+        self.words[v.index() / 64] &= !(1 << (v.index() % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: OpId) -> bool {
+        v.index() < self.n && self.words[v.index() / 64] >> (v.index() % 64) & 1 == 1
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(OpId::from_index(wi * 64 + b))
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for OpSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = OpSet::empty(130);
+        assert!(s.is_empty());
+        s.insert(OpId(0));
+        s.insert(OpId(64));
+        s.insert(OpId(129));
+        assert!(s.contains(OpId(64)));
+        assert!(!s.contains(OpId(63)));
+        assert_eq!(s.len(), 3);
+        s.remove(OpId(64));
+        assert!(!s.contains(OpId(64)));
+        assert_eq!(s.len(), 2);
+        s.remove(OpId(64)); // idempotent
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_and_iter() {
+        let s = OpSet::full(70);
+        assert_eq!(s.len(), 70);
+        let ids: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(ids, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equality_and_hash_are_value_based() {
+        use std::collections::HashSet;
+        let mut a = OpSet::empty(100);
+        let mut b = OpSet::empty(100);
+        a.insert(OpId(42));
+        b.insert(OpId(42));
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = OpSet::full(10);
+        assert!(!s.contains(OpId(10)));
+        assert!(!s.contains(OpId(1000)));
+    }
+}

@@ -1,0 +1,415 @@
+//! Latency semantics: the stage-synchronous evaluator (paper §III-A) and
+//! the priority-ordered list scheduler used inside Alg. 1 and Alg. 3.
+
+use crate::schedule::{Schedule, ScheduleError};
+use hios_cost::CostTable;
+use hios_graph::{Graph, OpId};
+
+/// Errors raised while evaluating a schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// The schedule failed structural validation.
+    Structure(ScheduleError),
+    /// The stage graph has a circular wait (an *implicit* cross-GPU
+    /// dependency loop, the condition Alg. 2 line 10 must reject).
+    StageCycle,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Structure(e) => write!(f, "invalid schedule: {e}"),
+            EvalError::StageCycle => write!(f, "circular wait between stages"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ScheduleError> for EvalError {
+    fn from(e: ScheduleError) -> Self {
+        EvalError::Structure(e)
+    }
+}
+
+/// Result of evaluating a schedule under stage-synchronous semantics.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    /// End-to-end inference latency, ms (max stage finish time).
+    pub latency: f64,
+    /// `(start, finish)` of every stage, outer index = GPU, inner = stage.
+    pub stage_times: Vec<Vec<(f64, f64)>>,
+    /// Start time of every operator (= its stage's start), ms.
+    pub op_start: Vec<f64>,
+    /// Finish time of every operator (its stage start plus its solo time,
+    /// capped by the stage finish), ms.
+    pub op_finish: Vec<f64>,
+}
+
+/// Evaluates `sched` under the paper's stage-synchronous semantics:
+///
+/// * stages on one GPU run sequentially in order and take `t(S)`;
+/// * all operators of a stage start at the stage start (the upper-bound
+///   assumption of §III-A);
+/// * a dependency `(u, v)` with `u ∈ S_{i,j}`, `v ∈ S_{i',j'}` on different
+///   GPUs forces `start(S_{i',j'}) ≥ finish(S_{i,j}) + t(u, v)`.
+///
+/// Detects circular waits between stages (returns
+/// [`EvalError::StageCycle`]), which is how Alg. 2 rejects groupings that
+/// create implicit dependency loops.
+pub fn evaluate(g: &Graph, cost: &CostTable, sched: &Schedule) -> Result<EvalResult, EvalError> {
+    sched.validate(g)?;
+    let place = sched.placements(g.num_ops());
+
+    // Global stage ids, per GPU in order.
+    let mut stage_id = Vec::with_capacity(sched.num_gpus());
+    let mut stages: Vec<(usize, usize)> = Vec::new(); // (gpu, stage index)
+    for (gi, gpu) in sched.gpus.iter().enumerate() {
+        let mut ids = Vec::with_capacity(gpu.stages.len());
+        for si in 0..gpu.stages.len() {
+            ids.push(stages.len());
+            stages.push((gi, si));
+        }
+        stage_id.push(ids);
+    }
+    let n_stages = stages.len();
+
+    // Stage-graph edges: same-GPU chains (weight 0) and cross-GPU data
+    // dependencies (weight t(u, v)). Duplicate edges between the same
+    // stage pair are fine -- the relaxation takes the max anyway.
+    let mut succ: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_stages];
+    let mut indeg = vec![0usize; n_stages];
+    for ids in &stage_id {
+        for w in ids.windows(2) {
+            succ[w[0]].push((w[1], 0.0));
+            indeg[w[1]] += 1;
+        }
+    }
+    for (u, v) in g.edges() {
+        let pu = place[u.index()].expect("validated");
+        let pv = place[v.index()].expect("validated");
+        if pu.gpu != pv.gpu {
+            let su = stage_id[pu.gpu][pu.stage];
+            let sv = stage_id[pv.gpu][pv.stage];
+            succ[su].push((sv, cost.transfer(u, v)));
+            indeg[sv] += 1;
+        }
+    }
+
+    // Kahn topological relaxation over the stage graph.
+    let mut start = vec![0.0f64; n_stages];
+    let mut finish = vec![0.0f64; n_stages];
+    let mut ready: Vec<usize> = (0..n_stages).filter(|&s| indeg[s] == 0).collect();
+    let mut done = 0usize;
+    while let Some(s) = ready.pop() {
+        done += 1;
+        let (gi, si) = stages[s];
+        let dur = cost.concurrent(&sched.gpus[gi].stages[si].ops);
+        finish[s] = start[s] + dur;
+        for &(t, w) in &succ[s] {
+            start[t] = start[t].max(finish[s] + w);
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                ready.push(t);
+            }
+        }
+    }
+    if done != n_stages {
+        return Err(EvalError::StageCycle);
+    }
+
+    let latency = finish.iter().copied().fold(0.0f64, f64::max);
+    let mut op_start = vec![0.0f64; g.num_ops()];
+    let mut op_finish = vec![0.0f64; g.num_ops()];
+    for v in g.op_ids() {
+        let p = place[v.index()].expect("validated");
+        let sid = stage_id[p.gpu][p.stage];
+        op_start[v.index()] = start[sid];
+        op_finish[v.index()] = (start[sid] + cost.exec(v)).min(finish[sid]).max(start[sid]);
+    }
+    let mut stage_times = Vec::with_capacity(sched.num_gpus());
+    for ids in &stage_id {
+        stage_times.push(ids.iter().map(|&s| (start[s], finish[s])).collect());
+    }
+    Ok(EvalResult {
+        latency,
+        stage_times,
+        op_start,
+        op_finish,
+    })
+}
+
+/// Result of list-scheduling a (possibly partial) operator placement.
+#[derive(Clone, Debug)]
+pub struct ListScheduleResult {
+    /// Makespan over the scheduled operators, ms.
+    pub latency: f64,
+    /// Start time per operator (`f64::NAN` for unscheduled ones).
+    pub start: Vec<f64>,
+    /// Finish time per operator (`f64::NAN` for unscheduled ones).
+    pub finish: Vec<f64>,
+    /// Execution order realized on each GPU.
+    pub gpu_order: Vec<Vec<OpId>>,
+}
+
+/// Priority-ordered list scheduling with sequential execution per GPU
+/// (Alg. 1 lines 10-13 and the temporal core of Alg. 3).
+///
+/// `order` must be a topological order of the operators to schedule (the
+/// descending-priority order in HIOS); `gpu_of[v]` gives each scheduled
+/// operator's GPU and `None` marks operators still in the unscheduled
+/// subgraph `G'`, which impose no constraints yet.
+///
+/// Each operator starts at the *earliest available* time on its GPU once
+/// all its *scheduled* predecessors have delivered data:
+/// `start(v) = earliest idle interval of g(v) that fits t(v) and starts
+/// no sooner than max_u finish(u) + [g(u) ≠ g(v)]·t(u, v)`.
+///
+/// "Earliest available start time" (Alg. 1 line 12) is insertion-based:
+/// a lower-priority operator may fill a gap left while a higher-priority
+/// operator waits for a cross-GPU transfer.  The realized per-GPU order
+/// (by start time) is still compatible with every same-GPU dependency.
+pub fn list_schedule(
+    g: &Graph,
+    cost: &CostTable,
+    order: &[OpId],
+    gpu_of: &[Option<u32>],
+    num_gpus: usize,
+) -> ListScheduleResult {
+    let mut start = vec![f64::NAN; g.num_ops()];
+    let mut finish = vec![f64::NAN; g.num_ops()];
+    // Sorted busy intervals per GPU: (start, finish, op).
+    let mut busy: Vec<Vec<(f64, f64, OpId)>> = vec![Vec::new(); num_gpus];
+    let mut latency = 0.0f64;
+    for &v in order {
+        let Some(gv) = gpu_of[v.index()] else {
+            continue;
+        };
+        let gv = gv as usize;
+        let mut ready = 0.0f64;
+        for &u in g.preds(v) {
+            let Some(gu) = gpu_of[u.index()] else {
+                continue;
+            };
+            let fu = finish[u.index()];
+            if fu.is_nan() {
+                // Scheduled predecessor not yet placed in `order`: the
+                // caller's order was not topological over scheduled ops.
+                debug_assert!(false, "list_schedule order must be topological");
+                continue;
+            }
+            let arrival = if gu as usize == gv {
+                fu
+            } else {
+                fu + cost.transfer(u, v)
+            };
+            ready = ready.max(arrival);
+        }
+        // Find the earliest gap on gv of length >= t(v) starting >= ready.
+        let dur = cost.exec(v);
+        let intervals = &mut busy[gv];
+        let mut s = ready;
+        let mut pos = intervals.len();
+        for (i, &(bs, bf, _)) in intervals.iter().enumerate() {
+            if s + dur <= bs + 1e-12 {
+                pos = i;
+                break;
+            }
+            s = s.max(bf);
+        }
+        let f = s + dur;
+        intervals.insert(pos, (s, f, v));
+        start[v.index()] = s;
+        finish[v.index()] = f;
+        latency = latency.max(f);
+    }
+    let gpu_order: Vec<Vec<OpId>> = busy
+        .into_iter()
+        .map(|iv| iv.into_iter().map(|(_, _, v)| v).collect())
+        .collect();
+    ListScheduleResult {
+        latency,
+        start,
+        finish,
+        gpu_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig4, fig4_cost};
+    use crate::schedule::{GpuSchedule, Stage};
+    use hios_cost::{ConcurrencyParams, CostTable};
+    use hios_graph::GraphBuilder;
+
+    fn uniform_cost(n: usize, exec: f64, util: f64, transfer: f64) -> CostTable {
+        CostTable {
+            source: "test".into(),
+            exec_ms: vec![exec; n],
+            util: vec![util; n],
+            transfer_out_ms: vec![transfer; n],
+            concurrency: ConcurrencyParams {
+                contention_alpha: 0.15,
+                stream_overhead_ms: 0.0,
+            },
+            launch_overhead_ms: 0.0,
+            meter: Default::default(),
+        }
+    }
+
+    /// Fig. 3's shape: a->d, a->e, b->f, c->f with two GPUs:
+    /// GPU1 = {a},{d,e}; GPU2 = {b,c},{f}.
+    fn fig3() -> (Graph, Schedule) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_synthetic("a", &[]);
+        let bb = b.add_synthetic("b", &[]);
+        let c = b.add_synthetic("c", &[]);
+        let _d = b.add_synthetic("d", &[a]);
+        let _e = b.add_synthetic("e", &[a]);
+        let _f = b.add_synthetic("f", &[bb, c]);
+        let g = b.build();
+        let s = Schedule {
+            gpus: vec![
+                GpuSchedule {
+                    stages: vec![Stage::solo(OpId(0)), Stage::group(vec![OpId(3), OpId(4)])],
+                },
+                GpuSchedule {
+                    stages: vec![Stage::group(vec![OpId(1), OpId(2)]), Stage::solo(OpId(5))],
+                },
+            ],
+        };
+        (g, s)
+    }
+
+    #[test]
+    fn independent_gpus_run_in_parallel() {
+        let (g, s) = fig3();
+        // Small utilization: stages take max member time.
+        let cost = uniform_cost(6, 1.0, 0.3, 0.5);
+        let r = evaluate(&g, &cost, &s).unwrap();
+        // GPU1: a (0-1), {d,e} (1-2). GPU2: {b,c} (0-1), f (1-2).
+        assert!((r.latency - 2.0).abs() < 1e-9);
+        assert_eq!(r.stage_times[0][1], (1.0, 2.0));
+        assert_eq!(r.stage_times[1][1], (1.0, 2.0));
+    }
+
+    #[test]
+    fn cross_gpu_edge_adds_transfer() {
+        // a on GPU0 feeds b on GPU1.
+        let mut builder = GraphBuilder::new();
+        let a = builder.add_synthetic("a", &[]);
+        let _b = builder.add_synthetic("b", &[a]);
+        let g = builder.build();
+        let cost = uniform_cost(2, 1.0, 1.0, 0.7);
+        let s = Schedule {
+            gpus: vec![
+                GpuSchedule {
+                    stages: vec![Stage::solo(OpId(0))],
+                },
+                GpuSchedule {
+                    stages: vec![Stage::solo(OpId(1))],
+                },
+            ],
+        };
+        let r = evaluate(&g, &cost, &s).unwrap();
+        assert!((r.latency - 2.7).abs() < 1e-9, "1 + 0.7 + 1 = {}", r.latency);
+        // Same-GPU placement avoids the transfer.
+        let s2 = Schedule {
+            gpus: vec![GpuSchedule {
+                stages: vec![Stage::solo(OpId(0)), Stage::solo(OpId(1))],
+            }],
+        };
+        let r2 = evaluate(&g, &cost, &s2).unwrap();
+        assert!((r2.latency - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circular_wait_is_detected() {
+        // GPU0: [a][d], GPU1: [c][b] with edges a->b (cross), c->d (cross):
+        // stage(b) after stage(c) on GPU1, needs stage(a); stage(d) after
+        // stage(a) on GPU0, needs stage(c). No cycle -- make one:
+        // GPU0: [a][d], GPU1: [b][c] with b->? ... simplest true cycle:
+        // edges a->b and c->d with GPU0 order [a after d? ] ...
+        // Use: GPU0 stages [d, a], invalid only via data order? d has no
+        // deps on a. GPU0: [d][a], GPU1: [b][c]: a->b means stage(a)=1 ->
+        // stage(b)=0 cross edge; c->d means stage(c)=1 -> stage(d)=0.
+        // Cycle: b waits a, a after d (chain), d waits c, c after b (chain).
+        let mut builder = GraphBuilder::new();
+        let a = builder.add_synthetic("a", &[]);
+        let _b = builder.add_synthetic("b", &[a]);
+        let c = builder.add_synthetic("c", &[]);
+        let _d = builder.add_synthetic("d", &[c]);
+        let g = builder.build();
+        let cost = uniform_cost(4, 1.0, 1.0, 0.1);
+        let s = Schedule {
+            gpus: vec![
+                GpuSchedule {
+                    stages: vec![Stage::solo(OpId(3)), Stage::solo(OpId(0))],
+                },
+                GpuSchedule {
+                    stages: vec![Stage::solo(OpId(1)), Stage::solo(OpId(2))],
+                },
+            ],
+        };
+        assert!(matches!(
+            evaluate(&g, &cost, &s),
+            Err(EvalError::StageCycle)
+        ));
+    }
+
+    #[test]
+    fn sequential_latency_is_sum() {
+        let (g, _) = fig3();
+        let cost = uniform_cost(6, 1.5, 1.0, 0.5);
+        let order: Vec<OpId> = hios_graph::topo::topo_order(&g);
+        let s = Schedule::from_gpu_orders(vec![order]);
+        let r = evaluate(&g, &cost, &s).unwrap();
+        assert!((r.latency - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_times_sit_inside_stage() {
+        let (g, s) = fig3();
+        let cost = uniform_cost(6, 1.0, 0.3, 0.5);
+        let r = evaluate(&g, &cost, &s).unwrap();
+        for v in g.op_ids() {
+            assert!(r.op_start[v.index()] <= r.op_finish[v.index()]);
+            assert!(r.op_finish[v.index()] <= r.latency + 1e-12);
+        }
+    }
+
+    #[test]
+    fn list_schedule_matches_fig4_narrative() {
+        // With P1 = {v1,v2,v4,v6,v8} on GPU 0 and {v3,v5} on GPU 1 the
+        // hand-computed makespan is 13 (see lp.rs); v7 unscheduled.
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let mut gpu_of = vec![None; 8];
+        for i in [0usize, 1, 3, 5, 7] {
+            gpu_of[i] = Some(0);
+        }
+        for i in [2usize, 4] {
+            gpu_of[i] = Some(1);
+        }
+        let p = crate::priority::priorities(&g, &cost);
+        let order = hios_graph::paths::priority_order(&g, &p);
+        let r = list_schedule(&g, &cost, &order, &gpu_of, 2);
+        assert!((r.latency - 13.0).abs() < 1e-9, "got {}", r.latency);
+        assert!(r.start[6].is_nan(), "v7 is unscheduled");
+        assert_eq!(r.gpu_order[1], vec![OpId(2), OpId(4)]);
+    }
+
+    #[test]
+    fn list_schedule_serializes_on_one_gpu() {
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let gpu_of = vec![Some(0u32); 8];
+        let p = crate::priority::priorities(&g, &cost);
+        let order = hios_graph::paths::priority_order(&g, &p);
+        let r = list_schedule(&g, &cost, &order, &gpu_of, 1);
+        let total: f64 = cost.exec_ms.iter().sum();
+        assert!((r.latency - total).abs() < 1e-9);
+        assert_eq!(r.gpu_order[0].len(), 8);
+    }
+}

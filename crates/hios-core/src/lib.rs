@@ -1,0 +1,46 @@
+//! The HIOS hierarchical inter-operator schedulers (paper §IV).
+//!
+//! Given a computation graph (`hios-graph`) and a cost snapshot
+//! (`hios-cost`), the schedulers here produce a [`Schedule`]: for each of
+//! `M` homogeneous GPUs, an ordered list of *stages*, each a set of
+//! independent operators launched concurrently on that GPU (paper §III-A).
+//!
+//! Algorithms:
+//!
+//! * [`seq`] — sequential baseline (one GPU, one operator at a time);
+//! * [`ios`] — the IOS single-GPU dynamic program with pruning
+//!   (Ding et al., MLSys'21), the paper's main baseline;
+//! * [`lp`] — HIOS-LP inter-GPU phase: iterative longest-valid-path
+//!   extraction and greedy GPU mapping (Alg. 1);
+//! * [`window`] — intra-GPU sliding-window parallelization shared by
+//!   HIOS-LP and HIOS-MR (Alg. 2, `parallelize()`);
+//! * [`mr`] — HIOS-MR: mapping-record dynamic program (Alg. 3);
+//! * [`api`] — one enum to run any of the six evaluated configurations.
+//!
+//! The latency semantics live in [`eval`]: the stage-synchronous
+//! upper-bound model of §III-A (operators of a stage start together; a
+//! cross-GPU dependency delays the consumer *stage* by the transfer time)
+//! plus the priority-ordered list scheduler used inside Alg. 1 and Alg. 3.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bitset;
+pub mod bounds;
+pub mod eval;
+pub mod exact;
+pub mod ios;
+pub mod lp;
+pub mod mr;
+pub mod priority;
+pub mod schedule;
+pub mod seq;
+pub mod stats;
+pub mod window;
+
+pub use api::{Algorithm, ScheduleOutcome, SchedulerOptions, run_scheduler};
+pub use eval::{EvalError, EvalResult, evaluate, list_schedule};
+pub use schedule::{GpuSchedule, Schedule, ScheduleError, Stage};
+
+#[cfg(test)]
+pub(crate) mod fixtures;

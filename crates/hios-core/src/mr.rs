@@ -1,0 +1,256 @@
+//! HIOS-MR: mapping-recording-based operator scheduling (paper Alg. 3).
+//!
+//! Operators are mapped one by one in descending-priority order.  An
+//! `n × M` table records, for every operator `v_i` and GPU `j`, the
+//! earliest finish time `t_{i,j}` of `v_i` on GPU `j` together with the
+//! GPU `g_{i,j}` that `v_{i-1}` occupied in the recorded schedule that
+//! achieved it.  Each cell is filled by replaying the recorded schedule of
+//! `v_1..v_{i-1}` for every possible GPU `k` of `v_{i-1}` (Alg. 3 lines
+//! 8-21), so the algorithm is a polynomial-time greedy-DP hybrid — cheap,
+//! but only locally optimal, which is why the paper's HIOS-LP beats it.
+
+use crate::priority::priority_order;
+use crate::schedule::Schedule;
+use crate::window::parallelize;
+use hios_cost::CostTable;
+use hios_graph::{Graph, OpId};
+
+/// Configuration of HIOS-MR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HiosMrConfig {
+    /// GPU budget `M`.
+    pub num_gpus: usize,
+    /// Maximum sliding-window size `w` of the intra-GPU pass (Alg. 2).
+    pub window: usize,
+    /// Run the intra-GPU pass; `false` gives the "inter-GPU w/ MR"
+    /// ablation of §V-B.
+    pub intra: bool,
+}
+
+impl HiosMrConfig {
+    /// Full HIOS-MR on `m` GPUs with the default window of 4.
+    pub fn new(m: usize) -> Self {
+        HiosMrConfig {
+            num_gpus: m,
+            window: 4,
+            intra: true,
+        }
+    }
+
+    /// The inter-GPU-only ablation ("inter-GPU w/ MR").
+    pub fn inter_only(m: usize) -> Self {
+        HiosMrConfig {
+            intra: false,
+            ..Self::new(m)
+        }
+    }
+}
+
+/// Outcome of HIOS-MR.
+#[derive(Clone, Debug)]
+pub struct MrOutcome {
+    /// The resulting schedule.
+    pub schedule: Schedule,
+    /// Stage-synchronous latency, ms.
+    pub latency: f64,
+    /// GPU assignment per operator.
+    pub gpu_of: Vec<u32>,
+}
+
+/// Runs HIOS-MR (Alg. 3, optionally followed by Alg. 2).
+///
+/// # Panics
+/// Panics when `cfg.num_gpus == 0` or the cost table does not match `g`.
+pub fn schedule_hios_mr(g: &Graph, cost: &CostTable, cfg: HiosMrConfig) -> MrOutcome {
+    assert!(cfg.num_gpus >= 1, "need at least one GPU");
+    assert_eq!(cost.num_ops(), g.num_ops(), "cost table mismatch");
+    let n = g.num_ops();
+    let m = cfg.num_gpus;
+    if n == 0 {
+        return MrOutcome {
+            schedule: Schedule::empty(m),
+            latency: 0.0,
+            gpu_of: Vec::new(),
+        };
+    }
+
+    let order = priority_order(g, cost);
+    // Position of each operator in the priority order.
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+
+    // The n × M record table (Alg. 3 lines 2-4).
+    let mut t = vec![vec![f64::INFINITY; m]; n];
+    let mut gprev = vec![vec![0usize; m]; n];
+    t[0][0] = cost.exec(order[0]);
+
+    // Replay buffers reused across cells (hot loop).
+    let mut fin = vec![0.0f64; n];
+    let mut gpu = vec![0usize; n];
+
+    for i in 1..n {
+        let vi = order[i];
+        for j in 0..m.min(i + 1) {
+            for k in 0..m.min(i) {
+                if !t[i - 1][k].is_finite() {
+                    continue;
+                }
+                // Reconstruct the recorded schedule of v_1..v_{i-1} whose
+                // last operator sits on GPU k (lines 10-12).
+                let mut cur = k;
+                for l in (0..i).rev() {
+                    fin[l] = t[l][cur];
+                    gpu[l] = cur;
+                    cur = gprev[l][cur];
+                }
+                // Earliest start of v_i on GPU j under that schedule
+                // (lines 13-19): GPU-j busy time, then data arrivals.
+                let mut ready = 0.0f64;
+                for l in 0..i {
+                    if gpu[l] == j {
+                        ready = ready.max(fin[l]);
+                    }
+                }
+                for &u in g.preds(vi) {
+                    let l = pos[u.index()];
+                    debug_assert!(l < i, "priority order is topological");
+                    let arrival = if gpu[l] == j {
+                        fin[l]
+                    } else {
+                        fin[l] + cost.transfer(u, vi)
+                    };
+                    ready = ready.max(arrival);
+                }
+                let finish = ready + cost.exec(vi);
+                if finish < t[i][j] {
+                    t[i][j] = finish;
+                    gprev[i][j] = k;
+                }
+            }
+        }
+    }
+
+    // Pick the best final cell and walk the records back (lines 22-26).
+    let last = n - 1;
+    let mut best_j = 0usize;
+    for j in 1..m {
+        if t[last][j] < t[last][best_j] {
+            best_j = j;
+        }
+    }
+    let mut gpu_of = vec![0u32; n];
+    let mut cur = best_j;
+    for i in (0..n).rev() {
+        gpu_of[order[i].index()] = cur as u32;
+        cur = gprev[i][cur];
+    }
+
+    // Per-GPU sequences in priority order, singleton stages.
+    let mut gpu_orders: Vec<Vec<OpId>> = vec![Vec::new(); m];
+    for &v in &order {
+        gpu_orders[gpu_of[v.index()] as usize].push(v);
+    }
+    let schedule = Schedule::from_gpu_orders(gpu_orders);
+    let latency = crate::eval::evaluate(g, cost, &schedule)
+        .expect("MR schedule is feasible by construction")
+        .latency;
+
+    if cfg.intra {
+        let (schedule, latency) = parallelize(g, cost, schedule, cfg.window);
+        MrOutcome {
+            schedule,
+            latency,
+            gpu_of,
+        }
+    } else {
+        MrOutcome {
+            schedule,
+            latency,
+            gpu_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::fixtures::{fig4, fig4_cost};
+    use crate::seq::schedule_sequential;
+
+    #[test]
+    fn single_gpu_equals_sequential() {
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let out = schedule_hios_mr(&g, &cost, HiosMrConfig::inter_only(1));
+        let seq = evaluate(&g, &cost, &schedule_sequential(&g, &cost))
+            .unwrap()
+            .latency;
+        assert!((out.latency - seq).abs() < 1e-9);
+        assert!(out.schedule.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn fig6_style_two_gpu_mapping_is_valid_and_helps() {
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let out = schedule_hios_mr(&g, &cost, HiosMrConfig::inter_only(2));
+        assert!(out.schedule.validate(&g).is_ok());
+        let seq = cost.total_exec();
+        assert!(
+            out.latency < seq,
+            "MR on 2 GPUs ({}) must beat sequential ({seq})",
+            out.latency
+        );
+    }
+
+    #[test]
+    fn first_operator_lands_on_gpu_zero() {
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let out = schedule_hios_mr(&g, &cost, HiosMrConfig::inter_only(3));
+        // v1 (highest priority) is pinned to GPU 1 by Alg. 3 line 5.
+        assert_eq!(out.gpu_of[0], 0);
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for seed in 0..4 {
+            let g = hios_graph::generate_layered_dag(&hios_graph::LayeredDagConfig {
+                ops: 70,
+                layers: 7,
+                deps: 140,
+                seed,
+            })
+            .unwrap();
+            let cost = hios_cost::random_cost_table(
+                &g,
+                &hios_cost::RandomCostConfig::paper_default(seed),
+            );
+            for gpus in [1, 2, 4] {
+                let out = schedule_hios_mr(&g, &cost, HiosMrConfig::inter_only(gpus));
+                assert!(out.schedule.validate(&g).is_ok(), "seed {seed} m {gpus}");
+                let r = evaluate(&g, &cost, &out.schedule).unwrap();
+                assert!((r.latency - out.latency).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_pass_never_hurts() {
+        let g = hios_graph::generate_layered_dag(&hios_graph::LayeredDagConfig {
+            ops: 60,
+            layers: 6,
+            deps: 120,
+            seed: 11,
+        })
+        .unwrap();
+        let cost =
+            hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(11));
+        let inter = schedule_hios_mr(&g, &cost, HiosMrConfig::inter_only(4));
+        let full = schedule_hios_mr(&g, &cost, HiosMrConfig::new(4));
+        assert!(full.latency <= inter.latency + 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! Priority indicators (paper §IV-A).
+//!
+//! `p(v)` is the vertex+edge-weighted length of the longest path from `v`
+//! to the last operator of the original graph — equivalently the opposite
+//! of v's latest start time.  Descending `p(v)` is a topological order and
+//! is the processing order of the temporal scheduler (Alg. 1), the window
+//! scheduler (Alg. 2) and HIOS-MR (Alg. 3).
+
+use hios_cost::CostTable;
+use hios_graph::paths::longest_to_sink;
+use hios_graph::{Graph, OpId};
+
+/// Computes `p(v)` for every operator from the cost snapshot, counting
+/// both operator times and (worst-case) inter-GPU transfer times along
+/// paths, as Alg. 1 prescribes for the longest-path search.
+pub fn priorities(g: &Graph, cost: &CostTable) -> Vec<f64> {
+    longest_to_sink(g, |v| cost.exec(v), |u, v| cost.transfer(u, v))
+}
+
+/// Descending-priority operator order (ties by id); a topological order.
+pub fn priority_order(g: &Graph, cost: &CostTable) -> Vec<OpId> {
+    let p = priorities(g, cost);
+    hios_graph::paths::priority_order(g, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig4, fig4_cost};
+    use hios_graph::topo::is_topo_order;
+
+    #[test]
+    fn fig4_priorities() {
+        let (g, _) = fig4();
+        let p = priorities(&g, &fig4_cost());
+        assert_eq!(p, vec![17.0, 14.0, 12.0, 10.0, 9.0, 6.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn order_is_topological_and_descending() {
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let order = priority_order(&g, &cost);
+        assert!(is_topo_order(&g, &order));
+        let p = priorities(&g, &cost);
+        for w in order.windows(2) {
+            assert!(p[w[0].index()] >= p[w[1].index()]);
+        }
+    }
+}

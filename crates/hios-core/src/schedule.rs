@@ -1,0 +1,396 @@
+//! Schedule types: the output of every scheduling algorithm.
+
+use hios_graph::{Graph, OpId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of independent operators executed concurrently on one GPU
+/// (paper §III-A, "Stage").  A stage may hold a single operator — e.g. a
+/// large convolution that saturates the whole GPU.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Operators launched together, each on its own CUDA stream.
+    pub ops: Vec<OpId>,
+}
+
+impl Stage {
+    /// Single-operator stage.
+    pub fn solo(v: OpId) -> Self {
+        Stage { ops: vec![v] }
+    }
+
+    /// Multi-operator stage.
+    pub fn group(ops: Vec<OpId>) -> Self {
+        Stage { ops }
+    }
+}
+
+/// The ordered stages assigned to one GPU; stages execute sequentially
+/// (paper: `Q_i = {S_{i,j}}`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuSchedule {
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+}
+
+impl GpuSchedule {
+    /// Total operators on this GPU.
+    pub fn num_ops(&self) -> usize {
+        self.stages.iter().map(|s| s.ops.len()).sum()
+    }
+}
+
+/// A complete schedule `Q = {Q_i | 1 ≤ i ≤ M}` for a computation graph on
+/// `M` GPUs (paper §III-A).  GPUs with no operators keep an empty stage
+/// list (`K_i = 0`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per-GPU stage sequences; `gpus.len()` is the GPU budget `M`.
+    pub gpus: Vec<GpuSchedule>,
+}
+
+/// Structural errors detected by [`Schedule::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An operator appears in no stage.
+    MissingOp(OpId),
+    /// An operator appears in more than one stage.
+    DuplicateOp(OpId),
+    /// An operator id outside the graph.
+    UnknownOp(OpId),
+    /// Two operators in the same stage have a direct dependency.
+    DependentOpsInStage(OpId, OpId),
+    /// A same-GPU dependency goes to an earlier (or the same) stage.
+    OrderViolation(OpId, OpId),
+    /// A stage with no operators.
+    EmptyStage {
+        /// GPU index of the offending stage.
+        gpu: usize,
+        /// Stage index on that GPU.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MissingOp(v) => write!(f, "operator {v} is not scheduled"),
+            ScheduleError::DuplicateOp(v) => write!(f, "operator {v} scheduled twice"),
+            ScheduleError::UnknownOp(v) => write!(f, "operator {v} is not in the graph"),
+            ScheduleError::DependentOpsInStage(u, v) => {
+                write!(f, "dependent operators {u} -> {v} share a stage")
+            }
+            ScheduleError::OrderViolation(u, v) => {
+                write!(f, "same-GPU dependency {u} -> {v} goes backwards in stage order")
+            }
+            ScheduleError::EmptyStage { gpu, stage } => {
+                write!(f, "empty stage {stage} on GPU {gpu}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Where an operator sits in a schedule: `(gpu, stage, slot)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpPlacement {
+    /// GPU index.
+    pub gpu: usize,
+    /// Stage index on that GPU.
+    pub stage: usize,
+    /// Position within the stage.
+    pub slot: usize,
+}
+
+impl Schedule {
+    /// An empty schedule over `m` GPUs.
+    pub fn empty(m: usize) -> Self {
+        Schedule {
+            gpus: vec![GpuSchedule::default(); m],
+        }
+    }
+
+    /// Builds a schedule of singleton stages from per-GPU operator orders
+    /// (the output shape of Alg. 1 and Alg. 3 before `parallelize()`).
+    pub fn from_gpu_orders(orders: Vec<Vec<OpId>>) -> Self {
+        Schedule {
+            gpus: orders
+                .into_iter()
+                .map(|ops| GpuSchedule {
+                    stages: ops.into_iter().map(Stage::solo).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of GPUs this schedule may use (the budget `M`).
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Number of GPUs that actually received operators (`m ≤ M`).
+    pub fn num_gpus_used(&self) -> usize {
+        self.gpus.iter().filter(|g| !g.stages.is_empty()).count()
+    }
+
+    /// Total operators across all GPUs.
+    pub fn num_ops(&self) -> usize {
+        self.gpus.iter().map(GpuSchedule::num_ops).sum()
+    }
+
+    /// Largest stage cardinality (degree of intra-GPU parallelism used).
+    pub fn max_stage_width(&self) -> usize {
+        self.gpus
+            .iter()
+            .flat_map(|g| g.stages.iter())
+            .map(|s| s.ops.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-operator placement lookup, `None` for unscheduled ids.
+    pub fn placements(&self, num_ops: usize) -> Vec<Option<OpPlacement>> {
+        let mut out = vec![None; num_ops];
+        for (gi, gpu) in self.gpus.iter().enumerate() {
+            for (si, stage) in gpu.stages.iter().enumerate() {
+                for (ki, &v) in stage.ops.iter().enumerate() {
+                    if v.index() < num_ops {
+                        out[v.index()] = Some(OpPlacement {
+                            gpu: gi,
+                            stage: si,
+                            slot: ki,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the structural feasibility of the schedule against `g`:
+    /// complete coverage, no duplicates, no empty stages, stage members
+    /// pairwise non-adjacent, same-GPU dependencies in forward stage order.
+    ///
+    /// Temporal feasibility across GPUs (absence of circular waits) is
+    /// checked by the evaluator's stage-graph topological sort.
+    pub fn validate(&self, g: &Graph) -> Result<(), ScheduleError> {
+        let mut seen = vec![false; g.num_ops()];
+        for (gi, gpu) in self.gpus.iter().enumerate() {
+            for (si, stage) in gpu.stages.iter().enumerate() {
+                if stage.ops.is_empty() {
+                    return Err(ScheduleError::EmptyStage { gpu: gi, stage: si });
+                }
+                for &v in &stage.ops {
+                    if v.index() >= g.num_ops() {
+                        return Err(ScheduleError::UnknownOp(v));
+                    }
+                    if seen[v.index()] {
+                        return Err(ScheduleError::DuplicateOp(v));
+                    }
+                    seen[v.index()] = true;
+                }
+            }
+        }
+        if let Some(idx) = seen.iter().position(|&s| !s) {
+            return Err(ScheduleError::MissingOp(OpId::from_index(idx)));
+        }
+        let place = self.placements(g.num_ops());
+        for (u, v) in g.edges() {
+            let pu = place[u.index()].expect("validated above");
+            let pv = place[v.index()].expect("validated above");
+            if pu.gpu == pv.gpu {
+                if pu.stage == pv.stage {
+                    return Err(ScheduleError::DependentOpsInStage(u, v));
+                }
+                if pu.stage > pv.stage {
+                    return Err(ScheduleError::OrderViolation(u, v));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the JSON interchange format (the paper's scheduler
+    /// "generates schedules in JSON for executing inference on multiple
+    /// GPUs", §VI-A).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schedule serialization is infallible")
+    }
+
+    /// Parses a schedule from [`Schedule::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (gi, gpu) in self.gpus.iter().enumerate() {
+            write!(f, "GPU {gi}:")?;
+            if gpu.stages.is_empty() {
+                writeln!(f, " (idle)")?;
+                continue;
+            }
+            for stage in &gpu.stages {
+                write!(f, " {{")?;
+                for (i, v) in stage.ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::GraphBuilder;
+
+    /// a -> b, a -> c, b -> d, c -> d
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_synthetic("a", &[]);
+        let x = b.add_synthetic("b", &[a]);
+        let y = b.add_synthetic("c", &[a]);
+        b.add_synthetic("d", &[x, y]);
+        b.build()
+    }
+
+    fn ok_schedule() -> Schedule {
+        Schedule {
+            gpus: vec![
+                GpuSchedule {
+                    stages: vec![
+                        Stage::solo(OpId(0)),
+                        Stage::group(vec![OpId(1), OpId(2)]),
+                        Stage::solo(OpId(3)),
+                    ],
+                },
+                GpuSchedule::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let g = diamond();
+        let s = ok_schedule();
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.num_ops(), 4);
+        assert_eq!(s.num_gpus(), 2);
+        assert_eq!(s.num_gpus_used(), 1);
+        assert_eq!(s.max_stage_width(), 2);
+    }
+
+    #[test]
+    fn placements_are_tracked() {
+        let s = ok_schedule();
+        let p = s.placements(4);
+        assert_eq!(
+            p[2],
+            Some(OpPlacement {
+                gpu: 0,
+                stage: 1,
+                slot: 1
+            })
+        );
+    }
+
+    #[test]
+    fn missing_and_duplicate_ops() {
+        let g = diamond();
+        let mut s = ok_schedule();
+        s.gpus[0].stages.pop();
+        assert_eq!(s.validate(&g), Err(ScheduleError::MissingOp(OpId(3))));
+
+        let mut s = ok_schedule();
+        s.gpus[1].stages.push(Stage::solo(OpId(0)));
+        assert_eq!(s.validate(&g), Err(ScheduleError::DuplicateOp(OpId(0))));
+    }
+
+    #[test]
+    fn dependent_ops_in_stage_rejected() {
+        let g = diamond();
+        let s = Schedule {
+            gpus: vec![GpuSchedule {
+                stages: vec![
+                    Stage::group(vec![OpId(0), OpId(1)]),
+                    Stage::solo(OpId(2)),
+                    Stage::solo(OpId(3)),
+                ],
+            }],
+        };
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::DependentOpsInStage(OpId(0), OpId(1)))
+        );
+    }
+
+    #[test]
+    fn backward_same_gpu_dependency_rejected() {
+        let g = diamond();
+        let s = Schedule {
+            gpus: vec![GpuSchedule {
+                stages: vec![
+                    Stage::solo(OpId(1)),
+                    Stage::solo(OpId(0)),
+                    Stage::group(vec![OpId(2)]),
+                    Stage::solo(OpId(3)),
+                ],
+            }],
+        };
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::OrderViolation(OpId(0), OpId(1)))
+        );
+    }
+
+    #[test]
+    fn unknown_and_empty() {
+        let g = diamond();
+        let s = Schedule {
+            gpus: vec![GpuSchedule {
+                stages: vec![Stage::solo(OpId(9))],
+            }],
+        };
+        assert_eq!(s.validate(&g), Err(ScheduleError::UnknownOp(OpId(9))));
+
+        let s = Schedule {
+            gpus: vec![GpuSchedule {
+                stages: vec![Stage { ops: vec![] }],
+            }],
+        };
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::EmptyStage { gpu: 0, stage: 0 })
+        );
+    }
+
+    #[test]
+    fn from_gpu_orders_builds_singletons() {
+        let s = Schedule::from_gpu_orders(vec![vec![OpId(0), OpId(1)], vec![OpId(2)]]);
+        assert_eq!(s.gpus[0].stages.len(), 2);
+        assert_eq!(s.gpus[1].stages[0], Stage::solo(OpId(2)));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = ok_schedule();
+        let back = Schedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let text = ok_schedule().to_string();
+        assert!(text.contains("GPU 0: {v0} {v1,v2} {v3}"));
+        assert!(text.contains("GPU 1: (idle)"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Sequential baseline: one operator at a time on a single GPU, in
+//! topological (descending-priority) order (paper §V-B).
+
+use crate::priority::priority_order;
+use crate::schedule::Schedule;
+use hios_cost::CostTable;
+use hios_graph::Graph;
+
+/// Builds the sequential schedule: every operator in its own stage on
+/// GPU 0, in descending-priority order.  Its latency is exactly
+/// `Σ t(v)` — the baseline all figures normalize against.
+pub fn schedule_sequential(g: &Graph, cost: &CostTable) -> Schedule {
+    Schedule::from_gpu_orders(vec![priority_order(g, cost)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::fixtures::{fig4, fig4_cost};
+
+    #[test]
+    fn latency_is_total_exec_time() {
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let s = schedule_sequential(&g, &cost);
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.num_gpus(), 1);
+        assert_eq!(s.max_stage_width(), 1);
+        let r = evaluate(&g, &cost, &s).unwrap();
+        assert!((r.latency - cost.total_exec()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Descriptive statistics of a schedule: load balance, communication
+//! volume, stage-width histogram — the quantities §VI-E's gain analysis
+//! reasons about.
+
+use crate::schedule::Schedule;
+use hios_cost::CostTable;
+use hios_graph::Graph;
+
+/// Summary statistics of one schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleStats {
+    /// Solo execution time placed on each GPU, ms.
+    pub gpu_work_ms: Vec<f64>,
+    /// Ratio `max(gpu work) / mean(gpu work over used GPUs)`; 1.0 is a
+    /// perfect balance.
+    pub imbalance: f64,
+    /// Number of cross-GPU dependencies.
+    pub cross_edges: usize,
+    /// Total transfer time of all cross-GPU dependencies, ms (serialized
+    /// upper bound; real transfers overlap compute).
+    pub transfer_ms: f64,
+    /// `histogram[w]` = number of stages with exactly `w` operators
+    /// (index 0 unused).
+    pub stage_width_histogram: Vec<usize>,
+    /// Number of stages across all GPUs.
+    pub num_stages: usize,
+}
+
+impl ScheduleStats {
+    /// Largest stage width.
+    pub fn max_width(&self) -> usize {
+        self.stage_width_histogram
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+
+    /// Fraction of operators that run in stages of width ≥ 2 (the share
+    /// that intra-GPU parallelization touched).
+    pub fn grouped_fraction(&self) -> f64 {
+        let mut grouped = 0usize;
+        let mut total = 0usize;
+        for (w, &count) in self.stage_width_histogram.iter().enumerate() {
+            total += w * count;
+            if w >= 2 {
+                grouped += w * count;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            grouped as f64 / total as f64
+        }
+    }
+}
+
+/// Computes [`ScheduleStats`] for a validated schedule.
+///
+/// # Panics
+/// Panics when the schedule does not cover the graph.
+pub fn schedule_stats(g: &Graph, cost: &CostTable, sched: &Schedule) -> ScheduleStats {
+    let place = sched.placements(g.num_ops());
+    let mut gpu_work_ms = vec![0.0f64; sched.num_gpus()];
+    let mut histogram = vec![0usize; 1];
+    let mut num_stages = 0usize;
+    for (gi, gpu) in sched.gpus.iter().enumerate() {
+        for stage in &gpu.stages {
+            num_stages += 1;
+            if histogram.len() <= stage.ops.len() {
+                histogram.resize(stage.ops.len() + 1, 0);
+            }
+            histogram[stage.ops.len()] += 1;
+            for &v in &stage.ops {
+                gpu_work_ms[gi] += cost.exec(v);
+            }
+        }
+    }
+    let mut cross_edges = 0usize;
+    let mut transfer_ms = 0.0f64;
+    for (u, v) in g.edges() {
+        let pu = place[u.index()].expect("schedule covers the graph");
+        let pv = place[v.index()].expect("schedule covers the graph");
+        if pu.gpu != pv.gpu {
+            cross_edges += 1;
+            transfer_ms += cost.transfer(u, v);
+        }
+    }
+    let used: Vec<f64> = gpu_work_ms.iter().copied().filter(|&w| w > 0.0).collect();
+    let imbalance = if used.is_empty() {
+        1.0
+    } else {
+        let mean = used.iter().sum::<f64>() / used.len() as f64;
+        used.iter().fold(0.0f64, |a, &b| a.max(b)) / mean
+    };
+    ScheduleStats {
+        gpu_work_ms,
+        imbalance,
+        cross_edges,
+        transfer_ms,
+        stage_width_histogram: histogram,
+        num_stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Algorithm, SchedulerOptions, run_scheduler};
+    use crate::fixtures::{fig4, fig4_cost};
+    use crate::seq::schedule_sequential;
+
+    #[test]
+    fn sequential_stats() {
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let s = schedule_sequential(&g, &cost);
+        let stats = schedule_stats(&g, &cost, &s);
+        assert_eq!(stats.cross_edges, 0);
+        assert_eq!(stats.transfer_ms, 0.0);
+        assert_eq!(stats.num_stages, 8);
+        assert_eq!(stats.max_width(), 1);
+        assert_eq!(stats.grouped_fraction(), 0.0);
+        assert!((stats.imbalance - 1.0).abs() < 1e-12);
+        assert!((stats.gpu_work_ms[0] - cost.total_exec()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_stats_count_cross_edges() {
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let out = run_scheduler(
+            Algorithm::InterGpuLp,
+            &g,
+            &cost,
+            &SchedulerOptions::new(2),
+        );
+        let stats = schedule_stats(&g, &cost, &out.schedule);
+        // Mapping {v3,v5,v7} to GPU 2 cuts edges e2, e6, e5?... exactly
+        // the edges between the two sets: e2(v1->v3), e6(v5->v6),
+        // e7? v5->v7 is internal; e9(v7->v8) crosses; e4 internal.
+        assert_eq!(stats.cross_edges, 3);
+        assert!((stats.transfer_ms - 3.0).abs() < 1e-12);
+        assert!(stats.imbalance > 1.0, "13 vs 6 ms of work is imbalanced");
+    }
+
+    #[test]
+    fn grouped_fraction_reflects_window_pass() {
+        let (g, _) = fig4();
+        let cost = crate::fixtures::fig4_cost_small_ops();
+        let full = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(1));
+        let stats = schedule_stats(&g, &cost, &full.schedule);
+        assert!(stats.grouped_fraction() > 0.0);
+        assert!(stats.max_width() >= 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Analytic roofline cost model over GPU and interconnect specifications.
+//!
+//! Substitutes for the paper's on-device cuDNN profiling pass (§VI-A): an
+//! operator's solo time is the roofline maximum of its compute time and its
+//! DRAM time plus the kernel-launch overhead; its SM utilization is the
+//! fraction of the GPU's concurrent capacity its output grid occupies.
+
+use crate::gpu::GpuSpec;
+use crate::interconnect::{LinkSpec, Platform};
+use crate::table::{ConcurrencyParams, CostTable};
+use hios_graph::{Graph, OpId};
+
+/// Roofline cost model for a concrete platform.
+#[derive(Clone, Debug)]
+pub struct AnalyticCostModel {
+    /// GPU every operator runs on (homogeneous platform).
+    pub gpu: GpuSpec,
+    /// Link used for every inter-GPU tensor transfer.
+    pub link: LinkSpec,
+    /// Concurrency model for stages.
+    pub concurrency: ConcurrencyParams,
+}
+
+impl AnalyticCostModel {
+    /// Model for one platform preset.
+    pub fn for_platform(p: &Platform) -> Self {
+        AnalyticCostModel {
+            gpu: p.gpu.clone(),
+            link: p.link.clone(),
+            concurrency: ConcurrencyParams::default(),
+        }
+    }
+
+    /// The paper's dual-A40 NVLink testbed.
+    pub fn a40_nvlink() -> Self {
+        Self::for_platform(&Platform::dual_a40_nvlink())
+    }
+
+    /// Solo execution time of operator `v`, ms.
+    ///
+    /// Zero-FLOP operators (inputs, concat, identity) still pay their
+    /// memory traffic and launch overhead — concat on a GPU is a copy
+    /// kernel, not free.
+    pub fn exec_ms(&self, g: &Graph, v: OpId) -> f64 {
+        let flops = g.flops(v) as f64;
+        let bytes = g.dram_bytes(v) as f64;
+        let compute = flops / self.gpu.flops_per_ms();
+        let memory = bytes / self.gpu.bytes_per_ms();
+        self.gpu.launch_overhead_ms + compute.max(memory)
+    }
+
+    /// SM-utilization estimate for `v`: output-grid elements over the
+    /// GPU's concurrent element capacity, clamped to `(floor, 1]`.
+    pub fn util(&self, g: &Graph, v: OpId) -> f64 {
+        let elems = g.node(v).output_shape.elems() as f64;
+        (elems / self.gpu.concurrent_elems).clamp(0.02, 1.0)
+    }
+
+    /// Transfer time of `v`'s output tensor between two GPUs, ms.
+    ///
+    /// Includes one kernel-launch overhead: with CUDA-aware MPI the
+    /// consumer kernel can only be launched after the transfer lands
+    /// (§VI-E), and the paper's profiling of communication time sees that
+    /// launch too.
+    pub fn transfer_out_ms(&self, g: &Graph, v: OpId) -> f64 {
+        self.link.transfer_ms(g.node(v).output_shape.bytes()) + self.gpu.launch_overhead_ms
+    }
+
+    /// Materializes the full cost snapshot for `graph`.
+    pub fn build_table(&self, graph: &Graph) -> CostTable {
+        let ids: Vec<OpId> = graph.op_ids().collect();
+        CostTable {
+            source: format!("analytic({}, {})", self.gpu.name, self.link.name),
+            exec_ms: ids.iter().map(|&v| self.exec_ms(graph, v)).collect(),
+            util: ids.iter().map(|&v| self.util(graph, v)).collect(),
+            transfer_out_ms: ids
+                .iter()
+                .map(|&v| self.transfer_out_ms(graph, v))
+                .collect(),
+            concurrency: self.concurrency,
+            launch_overhead_ms: self.gpu.launch_overhead_ms,
+            meter: Default::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::{Activation, GraphBuilder, OpKind, TensorShape};
+
+    /// The Fig. 1 micro-benchmark operator: 5×5 conv, stride 1, 48 input
+    /// and output channels, square input of the given extent.
+    pub(crate) fn fig1_conv(size: u32) -> (Graph, OpId) {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", TensorShape::new(1, 48, size, size));
+        let c = b
+            .add_op(
+                "conv5x5",
+                OpKind::Conv2d {
+                    out_channels: 48,
+                    kernel: (5, 5),
+                    stride: (1, 1),
+                    padding: (2, 2),
+                    groups: 1,
+                    activation: Activation::None,
+                },
+                &[x],
+            )
+            .unwrap();
+        (b.build(), c)
+    }
+
+    #[test]
+    fn exec_time_grows_with_input_size() {
+        let m = AnalyticCostModel::a40_nvlink();
+        let mut prev = 0.0;
+        for size in [8u32, 32, 128, 512] {
+            let (g, c) = fig1_conv(size);
+            let t = m.exec_ms(&g, c);
+            assert!(t > prev, "t({size}) = {t} must grow");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn tiny_kernels_are_launch_bound() {
+        let m = AnalyticCostModel::a40_nvlink();
+        let (g, c) = fig1_conv(8);
+        let t = m.exec_ms(&g, c);
+        assert!(
+            t < 2.0 * m.gpu.launch_overhead_ms + 0.05,
+            "an 8x8 conv is dominated by launch overhead, got {t} ms"
+        );
+    }
+
+    #[test]
+    fn utilization_crossover_matches_fig1() {
+        // Fig. 1: two such convs parallelize profitably at <= 64x64 and
+        // unprofitably at >= 128x128, i.e. u(64) < 0.5 <= u(128).
+        let m = AnalyticCostModel::a40_nvlink();
+        let (g64, c64) = fig1_conv(64);
+        let (g128, c128) = fig1_conv(128);
+        assert!(m.util(&g64, c64) < 0.5, "u(64) = {}", m.util(&g64, c64));
+        assert!(
+            m.util(&g128, c128) >= 0.5,
+            "u(128) = {}",
+            m.util(&g128, c128)
+        );
+        let (g1024, c1024) = fig1_conv(1024);
+        assert_eq!(m.util(&g1024, c1024), 1.0);
+    }
+
+    #[test]
+    fn table_validates_against_graph() {
+        let (g, _) = fig1_conv(64);
+        let t = AnalyticCostModel::a40_nvlink().build_table(&g);
+        assert!(t.validate(&g).is_ok());
+        assert_eq!(t.num_ops(), 2);
+    }
+
+    #[test]
+    fn transfer_uses_output_bytes_plus_consumer_launch() {
+        let m = AnalyticCostModel::a40_nvlink();
+        let (g, c) = fig1_conv(256);
+        let bytes = g.node(c).output_shape.bytes();
+        let expect = m.link.transfer_ms(bytes) + m.gpu.launch_overhead_ms;
+        assert!((m.transfer_out_ms(&g, c) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v100s_is_slower_for_compute_bound_ops() {
+        let (g, c) = fig1_conv(512);
+        let a40 = AnalyticCostModel::a40_nvlink().exec_ms(&g, c);
+        let v100 = AnalyticCostModel::for_platform(&Platform::dual_v100s_pcie()).exec_ms(&g, c);
+        assert!(v100 > a40);
+    }
+}

@@ -1,0 +1,129 @@
+//! GPU hardware specifications used by the analytic cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Published specification of one GPU model, plus two calibration knobs
+/// (`compute_efficiency`, `concurrent_elems`) that stand in for the paper's
+/// on-device profiling.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name ("Nvidia A40").
+    pub name: String,
+    /// Streaming-multiprocessor count.
+    pub sm_count: u32,
+    /// Peak fp32 throughput in TFLOP/s.
+    pub peak_tflops: f64,
+    /// DRAM bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Per-kernel launch overhead in ms (driver + runtime).
+    pub launch_overhead_ms: f64,
+    /// Fraction of peak FLOP/s a cuDNN kernel sustains at batch size 1
+    /// (latency-mode kernels run far below peak: partial occupancy, tail
+    /// effects, no batching).  Calibrated so Inception-v3 at 299 px lands
+    /// in the 5-6 ms range measured on Ampere-class GPUs.
+    pub compute_efficiency: f64,
+    /// Fraction of peak DRAM bandwidth sustained at batch size 1.
+    pub memory_efficiency: f64,
+    /// Output elements a single kernel can spread over the SMs before the
+    /// GPU saturates; drives the SM-utilization estimate `u(v)` and hence
+    /// the Fig. 1 contention crossover.  Calibrated so that the 5×5/48-ch
+    /// convolution of Fig. 1 crosses between 64×64 and 128×128 inputs.
+    pub concurrent_elems: f64,
+    /// Maximum number of CUDA streams the engine opens per GPU (the
+    /// paper's preset `L`).
+    pub max_streams: usize,
+}
+
+impl GpuSpec {
+    /// Nvidia Ampere A40: 84 SMs (10 752 cores), 37.4 TFLOPS fp32,
+    /// 696 GB/s GDDR6 — the paper's testbed GPU (§VI-A).
+    pub fn a40() -> Self {
+        GpuSpec {
+            name: "Nvidia A40".into(),
+            sm_count: 84,
+            peak_tflops: 37.4,
+            mem_bw_gbps: 696.0,
+            launch_overhead_ms: 0.015,
+            compute_efficiency: 0.18,
+            memory_efficiency: 0.50,
+            concurrent_elems: 400_000.0,
+            max_streams: 8,
+        }
+    }
+
+    /// Nvidia RTX A5500: 80 SMs (10 240 cores), 34.1 TFLOPS, 768 GB/s
+    /// (second platform of Fig. 2).
+    pub fn a5500() -> Self {
+        GpuSpec {
+            name: "Nvidia RTX A5500".into(),
+            sm_count: 80,
+            peak_tflops: 34.1,
+            mem_bw_gbps: 768.0,
+            launch_overhead_ms: 0.015,
+            compute_efficiency: 0.18,
+            memory_efficiency: 0.50,
+            concurrent_elems: 380_000.0,
+            max_streams: 8,
+        }
+    }
+
+    /// Nvidia Tesla V100S: 80 SMs, 16.4 TFLOPS fp32, 1134 GB/s HBM2
+    /// (third platform of Fig. 2, PCIe-attached).
+    pub fn v100s() -> Self {
+        GpuSpec {
+            name: "Nvidia Tesla V100S".into(),
+            sm_count: 80,
+            peak_tflops: 16.4,
+            mem_bw_gbps: 1134.0,
+            launch_overhead_ms: 0.018,
+            compute_efficiency: 0.18,
+            memory_efficiency: 0.50,
+            concurrent_elems: 330_000.0,
+            max_streams: 8,
+        }
+    }
+
+    /// Sustained compute rate in FLOP/ms.
+    pub fn flops_per_ms(&self) -> f64 {
+        self.peak_tflops * self.compute_efficiency * 1e9
+    }
+
+    /// Sustained memory rate in bytes/ms.
+    pub fn bytes_per_ms(&self) -> f64 {
+        self.mem_bw_gbps * self.memory_efficiency * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_sane() {
+        for spec in [GpuSpec::a40(), GpuSpec::a5500(), GpuSpec::v100s()] {
+            assert!(spec.sm_count >= 80);
+            assert!(spec.peak_tflops > 10.0);
+            assert!(spec.flops_per_ms() > 0.0);
+            assert!(spec.bytes_per_ms() > 0.0);
+            assert!(spec.compute_efficiency <= 1.0);
+        }
+        assert!(GpuSpec::a40().peak_tflops > GpuSpec::v100s().peak_tflops);
+        assert!(GpuSpec::v100s().mem_bw_gbps > GpuSpec::a40().mem_bw_gbps);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let a40 = GpuSpec::a40();
+        // 37.4 TFLOP/s * 0.18 = 6.73 TFLOP/s = 6.73e9 FLOP/ms.
+        assert!((a40.flops_per_ms() - 37.4 * 0.18 * 1e9).abs() < 1.0);
+        // 696 GB/s * 0.50 = 348 GB/s = 3.48e8 bytes/ms.
+        assert!((a40.bytes_per_ms() - 696.0 * 0.50 * 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = serde_json::to_string(&GpuSpec::a40()).unwrap();
+        let back: GpuSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, GpuSpec::a40());
+    }
+}

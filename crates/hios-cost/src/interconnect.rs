@@ -1,0 +1,145 @@
+//! Inter-GPU interconnect models (NVLink bridge, NVSwitch, PCIe).
+
+use crate::gpu::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link between two GPUs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Marketing name ("NVLink bridge").
+    pub name: String,
+    /// Sustained bandwidth per direction, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Per-message latency (software + wire), ms.  A CUDA-aware MPI
+    /// message over NVLink costs tens of microseconds end to end; PCIe
+    /// with host staging costs more.
+    pub latency_ms: f64,
+}
+
+impl LinkSpec {
+    /// Nvidia NVLink bridge as on the paper's dual-A40 server: 112.5 GB/s
+    /// bidirectional ⇒ 56.25 GB/s per direction (§VI-A).
+    pub fn nvlink_bridge() -> Self {
+        LinkSpec {
+            name: "NVLink bridge".into(),
+            bandwidth_gbps: 56.25,
+            latency_ms: 0.02,
+        }
+    }
+
+    /// NVSwitch fabric (server-class all-to-all), higher bandwidth.
+    pub fn nvswitch() -> Self {
+        LinkSpec {
+            name: "NVSwitch".into(),
+            bandwidth_gbps: 300.0,
+            latency_ms: 0.015,
+        }
+    }
+
+    /// PCIe Gen3 x16 between peer GPUs: ~12 GB/s effective, higher latency
+    /// (the V100S platform of Fig. 2).
+    pub fn pcie_gen3() -> Self {
+        LinkSpec {
+            name: "PCIe Gen3 x16".into(),
+            bandwidth_gbps: 12.0,
+            latency_ms: 0.05,
+        }
+    }
+
+    /// Time to move `bytes` across the link, ms.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.latency_ms + bytes as f64 / (self.bandwidth_gbps * 1e6)
+    }
+}
+
+/// A multi-GPU platform: M homogeneous GPUs joined by one link type
+/// (paper §III-A assumes an SMP system of homogeneous GPUs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// GPU model replicated `num_gpus` times.
+    pub gpu: GpuSpec,
+    /// Link between each GPU pair.
+    pub link: LinkSpec,
+    /// Number of GPUs `M`.
+    pub num_gpus: usize,
+}
+
+impl Platform {
+    /// The paper's testbed: Dell R750XA with two A40s over an NVLink
+    /// bridge (§VI-A).
+    pub fn dual_a40_nvlink() -> Self {
+        Platform {
+            gpu: GpuSpec::a40(),
+            link: LinkSpec::nvlink_bridge(),
+            num_gpus: 2,
+        }
+    }
+
+    /// Dual RTX A5500 over NVLink (Fig. 2, middle platform).
+    pub fn dual_a5500_nvlink() -> Self {
+        Platform {
+            gpu: GpuSpec::a5500(),
+            link: LinkSpec::nvlink_bridge(),
+            num_gpus: 2,
+        }
+    }
+
+    /// Dual Tesla V100S over PCIe Gen3 (Fig. 2, rightmost platform).
+    pub fn dual_v100s_pcie() -> Self {
+        Platform {
+            gpu: GpuSpec::v100s(),
+            link: LinkSpec::pcie_gen3(),
+            num_gpus: 2,
+        }
+    }
+
+    /// A hypothetical M-GPU NVSwitch server (used for the GPU-count sweep
+    /// of Fig. 7 when mapped onto CNN workloads).
+    pub fn nvswitch_server(num_gpus: usize) -> Self {
+        Platform {
+            gpu: GpuSpec::a40(),
+            link: LinkSpec::nvswitch(),
+            num_gpus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let link = LinkSpec::nvlink_bridge();
+        let small = link.transfer_ms(1_000);
+        let big = link.transfer_ms(100_000_000);
+        assert!(small < big);
+        // 100 MB over 56.25 GB/s ≈ 1.78 ms plus latency.
+        assert!((big - (0.02 + 100_000_000.0 / 56.25e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_messages() {
+        let link = LinkSpec::nvlink_bridge();
+        assert!(link.transfer_ms(64) < 0.021);
+        assert!(link.transfer_ms(0) >= link.latency_ms);
+    }
+
+    #[test]
+    fn pcie_is_much_slower_than_nvlink() {
+        let bytes = 10_000_000;
+        let nv = LinkSpec::nvlink_bridge().transfer_ms(bytes);
+        let pcie = LinkSpec::pcie_gen3().transfer_ms(bytes);
+        assert!(pcie > 4.0 * nv, "PCIe {pcie} vs NVLink {nv}");
+    }
+
+    #[test]
+    fn platform_presets() {
+        assert_eq!(Platform::dual_a40_nvlink().num_gpus, 2);
+        assert_eq!(Platform::nvswitch_server(8).num_gpus, 8);
+        assert_eq!(
+            Platform::dual_v100s_pcie().link.name,
+            LinkSpec::pcie_gen3().name
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Cost substrate for the HIOS scheduler reproduction.
+//!
+//! The scheduling problem (paper §III-B) is *given* three cost functions:
+//! `t(v)` — execution time of an operator alone on one GPU, `t(S)` — total
+//! time of a set of independent operators running concurrently on one GPU,
+//! and `t(u, v)` — data-transfer time between operators on different GPUs.
+//! The paper obtains them by profiling cuDNN kernels on real A40 GPUs; this
+//! crate substitutes three interchangeable sources:
+//!
+//! * [`analytic`] — a roofline + SM-occupancy model over published GPU
+//!   specs ([`gpu`]) and interconnects ([`interconnect`]), used for the
+//!   "real system" experiments (paper §VI) on virtual dual-A40 hardware;
+//! * [`random`] — the randomized costs of the simulation study (§V-A);
+//! * [`table::CostTable`] — the materialized per-graph cost snapshot all
+//!   schedulers consume, also usable as a profiled-table model loaded from
+//!   JSON (mirroring IOS's profile-then-schedule workflow).
+//!
+//! The concurrency model that turns per-operator SM utilizations into
+//! `t(S)` — reproducing the paper's Fig. 1 contention/under-utilization
+//! crossover — lives in [`table::ConcurrencyParams`].
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod gpu;
+pub mod interconnect;
+pub mod random;
+pub mod table;
+
+pub use analytic::AnalyticCostModel;
+pub use gpu::GpuSpec;
+pub use interconnect::{LinkSpec, Platform};
+pub use random::{RandomCostConfig, random_cost_table};
+pub use table::{ConcurrencyParams, CostTable};

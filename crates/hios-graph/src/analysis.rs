@@ -1,0 +1,121 @@
+//! Structural analysis of computation graphs: the quantities that predict
+//! how much inter-operator parallelism a scheduler can extract.
+
+use crate::graph::Graph;
+use crate::topo::layer_assignment;
+
+/// Structural summary of a DAG.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphProfile {
+    /// Operator count `|V|`.
+    pub ops: usize,
+    /// Dependency count `|E|`.
+    pub edges: usize,
+    /// Depth (number of layers).
+    pub depth: usize,
+    /// Operators per layer, source layer first.
+    pub width_profile: Vec<usize>,
+    /// Maximum layer width.
+    pub max_width: usize,
+    /// Mean layer width (`ops / depth`).
+    pub mean_width: f64,
+    /// Maximum fan-out (successor count) over operators.
+    pub max_fanout: usize,
+    /// Maximum fan-in (predecessor count) over operators.
+    pub max_fanin: usize,
+    /// Source count (operators with no predecessors).
+    pub sources: usize,
+    /// Sink count.
+    pub sinks: usize,
+}
+
+impl GraphProfile {
+    /// A crude parallelism indicator: mean width, the average number of
+    /// operators that could run concurrently under perfect scheduling.
+    pub fn parallelism(&self) -> f64 {
+        self.mean_width
+    }
+}
+
+/// Profiles `g` in O(|V| + |E|).
+pub fn profile(g: &Graph) -> GraphProfile {
+    let layers = layer_assignment(g);
+    let depth = layers.iter().copied().max().map_or(0, |m| m + 1);
+    let mut width_profile = vec![0usize; depth];
+    for &l in &layers {
+        width_profile[l] += 1;
+    }
+    let max_width = width_profile.iter().copied().max().unwrap_or(0);
+    let (mut max_fanout, mut max_fanin, mut sources, mut sinks) = (0, 0, 0, 0);
+    for v in g.op_ids() {
+        max_fanout = max_fanout.max(g.succs(v).len());
+        max_fanin = max_fanin.max(g.preds(v).len());
+        if g.preds(v).is_empty() {
+            sources += 1;
+        }
+        if g.succs(v).is_empty() {
+            sinks += 1;
+        }
+    }
+    GraphProfile {
+        ops: g.num_ops(),
+        edges: g.num_edges(),
+        depth,
+        mean_width: if depth == 0 {
+            0.0
+        } else {
+            g.num_ops() as f64 / depth as f64
+        },
+        width_profile,
+        max_width,
+        max_fanout,
+        max_fanin,
+        sources,
+        sinks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{LayeredDagConfig, generate_layered_dag};
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn diamond_profile() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_synthetic("a", &[]);
+        let x = b.add_synthetic("x", &[a]);
+        let y = b.add_synthetic("y", &[a]);
+        b.add_synthetic("d", &[x, y]);
+        let p = profile(&b.build());
+        assert_eq!(p.ops, 4);
+        assert_eq!(p.edges, 4);
+        assert_eq!(p.depth, 3);
+        assert_eq!(p.width_profile, vec![1, 2, 1]);
+        assert_eq!(p.max_width, 2);
+        assert_eq!(p.max_fanout, 2);
+        assert_eq!(p.max_fanin, 2);
+        assert_eq!(p.sources, 1);
+        assert_eq!(p.sinks, 1);
+        assert!((p.parallelism() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_dag_profile_matches_config() {
+        let g = generate_layered_dag(&LayeredDagConfig::paper_default(3)).unwrap();
+        let p = profile(&g);
+        assert_eq!(p.ops, 200);
+        assert_eq!(p.edges, 400);
+        assert_eq!(p.depth, 14);
+        assert_eq!(p.width_profile.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn empty_graph_profile() {
+        let p = profile(&GraphBuilder::new().build());
+        assert_eq!(p.ops, 0);
+        assert_eq!(p.depth, 0);
+        assert_eq!(p.parallelism(), 0.0);
+    }
+}

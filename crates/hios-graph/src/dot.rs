@@ -1,0 +1,57 @@
+//! Graphviz DOT export for inspection and paper-style figures.
+
+use crate::graph::Graph;
+
+/// Renders the graph in Graphviz DOT syntax, one node per operator labeled
+/// `name\nkind shape`.
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::with_capacity(64 * g.num_ops());
+    out.push_str("digraph G {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    for node in g.nodes() {
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{} {}\"];\n",
+            node.id.0,
+            escape(&node.name),
+            node.kind.tag(),
+            node.output_shape,
+        ));
+    }
+    for (u, v) in g.edges() {
+        out.push_str(&format!("  n{} -> n{};\n", u.0, v.0));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_synthetic("alpha", &[]);
+        let c = b.add_synthetic("beta", &[a]);
+        let _d = b.add_synthetic("gamma", &[a, c]);
+        let g = b.build();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("alpha"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert_eq!(dot.matches(" -> ").count(), g.num_edges());
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut b = GraphBuilder::new();
+        b.add_synthetic("we\"ird", &[]);
+        let dot = to_dot(&b.build());
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

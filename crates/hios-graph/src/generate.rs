@@ -1,0 +1,317 @@
+//! Random layered-DAG generation for the simulation study.
+//!
+//! Paper §V-A: "We generate a series of random DL model structures, in each
+//! of which the number of operators and the number of layers are preset to
+//! 200 and 14 ... the number of inter-operator dependencies is preset to 2
+//! times the number of operators."  Operators are spread over layers and
+//! every non-first-layer operator depends on at least one operator of the
+//! previous layer, which fixes the DAG depth; extra forward dependencies
+//! are added uniformly at random until the requested count is reached.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::id::OpId;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random layered-DAG generator (paper §V-A defaults).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayeredDagConfig {
+    /// Total number of operators `|V|` (paper default 200).
+    pub ops: usize,
+    /// Number of layers / DAG depth (paper default 14).
+    pub layers: usize,
+    /// Total number of dependencies `|E|` (paper default `2 * ops`).
+    pub deps: usize,
+    /// RNG seed; each simulation instance uses a distinct seed.
+    pub seed: u64,
+}
+
+impl LayeredDagConfig {
+    /// The paper's default simulation workload: 200 operators, 14 layers,
+    /// 400 dependencies.
+    pub fn paper_default(seed: u64) -> Self {
+        LayeredDagConfig {
+            ops: 200,
+            layers: 14,
+            deps: 400,
+            seed,
+        }
+    }
+}
+
+/// Errors raised for unsatisfiable generator configurations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenerateError {
+    /// Fewer operators than layers (each layer needs at least one).
+    TooFewOps,
+    /// `deps` is below the minimum needed to anchor each non-first-layer
+    /// operator to the previous layer.
+    TooFewDeps {
+        /// Minimum feasible dependency count for this (ops, layers) split.
+        minimum: usize,
+    },
+    /// `deps` exceeds the number of distinct forward pairs available.
+    TooManyDeps {
+        /// Maximum feasible dependency count for this (ops, layers) split.
+        maximum: usize,
+    },
+    /// Zero layers or zero operators requested.
+    Empty,
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerateError::TooFewOps => write!(f, "need at least one operator per layer"),
+            GenerateError::TooFewDeps { minimum } => {
+                write!(f, "dependency count below feasible minimum {minimum}")
+            }
+            GenerateError::TooManyDeps { maximum } => {
+                write!(f, "dependency count above feasible maximum {maximum}")
+            }
+            GenerateError::Empty => write!(f, "ops and layers must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// Generates a random layered DAG per the paper's simulation settings.
+///
+/// Determinism: the same config (including seed) always yields the same
+/// graph, so every figure of the simulation study is reproducible run to
+/// run.
+pub fn generate_layered_dag(cfg: &LayeredDagConfig) -> Result<Graph, GenerateError> {
+    if cfg.ops == 0 || cfg.layers == 0 {
+        return Err(GenerateError::Empty);
+    }
+    if cfg.ops < cfg.layers {
+        return Err(GenerateError::TooFewOps);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Spread operators over layers: every layer gets ops/layers, the
+    // remainder is assigned to random layers so instance shapes vary.
+    let base = cfg.ops / cfg.layers;
+    let mut layer_sizes = vec![base; cfg.layers];
+    for _ in 0..cfg.ops % cfg.layers {
+        let l = rng.random_range(0..cfg.layers);
+        layer_sizes[l] += 1;
+    }
+
+    let min_deps = cfg.ops - layer_sizes[0];
+    if cfg.deps < min_deps {
+        return Err(GenerateError::TooFewDeps { minimum: min_deps });
+    }
+    // Forward pairs: any op may depend on any op of a strictly earlier layer.
+    let mut prefix = 0usize;
+    let mut max_deps = 0usize;
+    for &sz in &layer_sizes {
+        max_deps += prefix * sz;
+        prefix += sz;
+    }
+    if cfg.deps > max_deps {
+        return Err(GenerateError::TooManyDeps { maximum: max_deps });
+    }
+
+    let mut b = GraphBuilder::new();
+    let mut layers: Vec<Vec<OpId>> = Vec::with_capacity(cfg.layers);
+    for (l, &sz) in layer_sizes.iter().enumerate() {
+        let mut ids = Vec::with_capacity(sz);
+        for k in 0..sz {
+            ids.push(b.add_synthetic(format!("L{l}_{k}"), &[]));
+        }
+        layers.push(ids);
+    }
+
+    // Anchor every non-first-layer operator to the previous layer so the
+    // DAG has exactly `cfg.layers` layers.
+    let mut edges = 0usize;
+    for l in 1..cfg.layers {
+        for k in 0..layers[l].len() {
+            let u = *layers[l - 1].choose(&mut rng).expect("non-empty layer");
+            b.add_edge(u, layers[l][k]).expect("anchor edge is fresh");
+            edges += 1;
+        }
+    }
+
+    // Fill up with random forward edges (earlier layer -> later layer).
+    // Rejection sampling terminates quickly because feasibility was checked.
+    let flat: Vec<(usize, OpId)> = layers
+        .iter()
+        .enumerate()
+        .flat_map(|(l, ids)| ids.iter().map(move |&v| (l, v)))
+        .collect();
+    let mut attempts = 0usize;
+    while edges < cfg.deps {
+        let &(lu, u) = flat.choose(&mut rng).expect("non-empty");
+        let &(lv, v) = flat.choose(&mut rng).expect("non-empty");
+        let (u, v) = if lu < lv {
+            (u, v)
+        } else if lv < lu {
+            (v, u)
+        } else {
+            continue;
+        };
+        if b.add_edge(u, v).is_ok() {
+            edges += 1;
+            attempts = 0;
+        } else {
+            attempts += 1;
+            if attempts > 64 * cfg.ops {
+                // Dense corner: fall back to exhaustive scan of free pairs.
+                add_remaining_exhaustively(&mut b, &layers, &mut edges, cfg.deps, &mut rng);
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(edges, cfg.deps);
+    Ok(b.build())
+}
+
+fn add_remaining_exhaustively(
+    b: &mut GraphBuilder,
+    layers: &[Vec<OpId>],
+    edges: &mut usize,
+    target: usize,
+    rng: &mut StdRng,
+) {
+    let mut free: Vec<(OpId, OpId)> = Vec::new();
+    for lu in 0..layers.len() {
+        for lv in lu + 1..layers.len() {
+            for &u in &layers[lu] {
+                for &v in &layers[lv] {
+                    free.push((u, v));
+                }
+            }
+        }
+    }
+    // Shuffle so the fallback stays uniform-ish.
+    use rand::seq::SliceRandom;
+    free.shuffle(rng);
+    for (u, v) in free {
+        if *edges >= target {
+            return;
+        }
+        if b.add_edge(u, v).is_ok() {
+            *edges += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{num_layers, topo_order};
+
+    #[test]
+    fn paper_default_counts() {
+        let g = generate_layered_dag(&LayeredDagConfig::paper_default(42)).unwrap();
+        assert_eq!(g.num_ops(), 200);
+        assert_eq!(g.num_edges(), 400);
+        assert_eq!(num_layers(&g), 14);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate_layered_dag(&LayeredDagConfig::paper_default(7)).unwrap();
+        let b = generate_layered_dag(&LayeredDagConfig::paper_default(7)).unwrap();
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_layered_dag(&LayeredDagConfig::paper_default(1)).unwrap();
+        let b = generate_layered_dag(&LayeredDagConfig::paper_default(2)).unwrap();
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn generated_graph_is_acyclic() {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 60,
+            layers: 6,
+            deps: 140,
+            seed: 3,
+        })
+        .unwrap();
+        assert_eq!(topo_order(&g).len(), 60);
+    }
+
+    #[test]
+    fn rejects_unsatisfiable_configs() {
+        assert_eq!(
+            generate_layered_dag(&LayeredDagConfig {
+                ops: 5,
+                layers: 10,
+                deps: 10,
+                seed: 0
+            })
+            .unwrap_err(),
+            GenerateError::TooFewOps
+        );
+        assert!(matches!(
+            generate_layered_dag(&LayeredDagConfig {
+                ops: 20,
+                layers: 2,
+                deps: 1,
+                seed: 0
+            }),
+            Err(GenerateError::TooFewDeps { .. })
+        ));
+        assert!(matches!(
+            generate_layered_dag(&LayeredDagConfig {
+                ops: 4,
+                layers: 2,
+                deps: 100,
+                seed: 0
+            }),
+            Err(GenerateError::TooManyDeps { .. })
+        ));
+        assert_eq!(
+            generate_layered_dag(&LayeredDagConfig {
+                ops: 0,
+                layers: 0,
+                deps: 0,
+                seed: 0
+            })
+            .unwrap_err(),
+            GenerateError::Empty
+        );
+    }
+
+    #[test]
+    fn dense_configs_fall_back_to_exhaustive_fill() {
+        // Nearly the maximum edge count for 3 layers of 4 forces the
+        // rejection sampler into the exhaustive path.
+        let cfg = LayeredDagConfig {
+            ops: 12,
+            layers: 3,
+            deps: 46, // max = 4*4 + 8*4 = 48
+            seed: 11,
+        };
+        let g = generate_layered_dag(&cfg).unwrap();
+        assert_eq!(g.num_edges(), 46);
+        assert_eq!(num_layers(&g), 3);
+    }
+
+    #[test]
+    fn every_non_source_has_a_predecessor_in_previous_layer() {
+        let g = generate_layered_dag(&LayeredDagConfig::paper_default(9)).unwrap();
+        let layers = crate::topo::layer_assignment(&g);
+        for v in g.op_ids() {
+            if layers[v.index()] > 0 {
+                assert!(
+                    !g.preds(v).is_empty(),
+                    "{v} in layer {} must have a predecessor",
+                    layers[v.index()]
+                );
+            }
+        }
+    }
+}

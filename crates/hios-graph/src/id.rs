@@ -1,0 +1,79 @@
+//! Strongly-typed operator identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an operator (vertex) inside a [`crate::Graph`].
+///
+/// Ids are dense: a graph with `n` operators uses ids `0..n`, which lets the
+/// scheduler keep per-operator state in flat `Vec`s instead of hash maps.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        OpId(u32::try_from(i).expect("operator index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for OpId {
+    fn from(v: u32) -> Self {
+        OpId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(OpId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_uses_vertex_notation() {
+        assert_eq!(OpId(3).to_string(), "v3");
+        assert_eq!(format!("{:?}", OpId(3)), "v3");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(OpId(1) < OpId(2));
+        assert_eq!(OpId(5), OpId::from_index(5));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let s = serde_json::to_string(&OpId(9)).unwrap();
+        assert_eq!(s, "9");
+        let back: OpId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, OpId(9));
+    }
+}

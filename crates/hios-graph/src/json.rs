@@ -1,0 +1,45 @@
+//! JSON (de)serialization helpers.
+//!
+//! The paper's Python scheduler emits schedules as JSON consumed by the
+//! C++ engine; we keep the same interchange discipline for graphs (this
+//! module) and schedules (`hios-core::schedule`).
+
+use crate::graph::Graph;
+
+/// Serializes the graph to a pretty-printed JSON string.
+pub fn to_json(g: &Graph) -> String {
+    serde_json::to_string_pretty(g).expect("graph serialization is infallible")
+}
+
+/// Parses a graph from JSON produced by [`to_json`].
+pub fn from_json(s: &str) -> Result<Graph, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{LayeredDagConfig, generate_layered_dag};
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 30,
+            layers: 5,
+            deps: 60,
+            seed: 5,
+        })
+        .unwrap();
+        let s = to_json(&g);
+        let back = from_json(&s).unwrap();
+        assert_eq!(back.num_ops(), g.num_ops());
+        let ea: Vec<_> = g.edges().collect();
+        let eb: Vec<_> = back.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Typed DNN operators with FLOP and memory-traffic accounting.
+//!
+//! The analytic cost model in `hios-cost` turns these counts into execution
+//! times via a roofline model, substituting for the paper's on-device cuDNN
+//! profiling pass.
+
+use crate::shape::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// Pointwise activation functions, fused into the producing operator the
+/// way cuDNN fuses them into convolution kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// Pooling flavours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// The operator taxonomy needed by the paper's two CNN benchmarks
+/// (Inception-v3 and NASNet) plus a [`OpKind::Synthetic`] kind for the
+/// random-DAG simulation study (§V), whose costs come from the random cost
+/// model rather than from shape arithmetic.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Graph input placeholder; carries no compute.
+    Input,
+    /// 2-D convolution (optionally grouped) with a fused activation.
+    Conv2d {
+        /// Number of output channels.
+        out_channels: u32,
+        /// Kernel extent `(kh, kw)`.
+        kernel: (u32, u32),
+        /// Stride `(sh, sw)`.
+        stride: (u32, u32),
+        /// Zero padding `(ph, pw)`.
+        padding: (u32, u32),
+        /// Channel groups (1 = dense, `in_channels` = depthwise).
+        groups: u32,
+        /// Fused pointwise activation.
+        activation: Activation,
+    },
+    /// Depthwise-separable convolution (depthwise K×K then pointwise 1×1),
+    /// the workhorse of NASNet cells.
+    SepConv2d {
+        /// Number of output channels (of the pointwise stage).
+        out_channels: u32,
+        /// Depthwise kernel extent.
+        kernel: (u32, u32),
+        /// Stride of the depthwise stage.
+        stride: (u32, u32),
+        /// Zero padding of the depthwise stage.
+        padding: (u32, u32),
+        /// Fused pointwise activation.
+        activation: Activation,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window extent.
+        kernel: (u32, u32),
+        /// Stride.
+        stride: (u32, u32),
+        /// Zero padding.
+        padding: (u32, u32),
+    },
+    /// Global average pooling to `(n, c, 1, 1)`.
+    GlobalAvgPool,
+    /// Standalone pointwise activation.
+    Activation(Activation),
+    /// Inference-mode batch normalization (scale + shift).
+    BatchNorm,
+    /// Elementwise addition of all inputs (residual joins).
+    Add,
+    /// Channel-axis concatenation of all inputs (inception joins).
+    Concat,
+    /// Fully connected layer.
+    Linear {
+        /// Number of output features.
+        out_features: u32,
+    },
+    /// Softmax over channels.
+    Softmax,
+    /// Shape-preserving no-op (useful for graph surgery and tests).
+    Identity,
+    /// Abstract operator for randomly generated DAGs; execution cost is
+    /// supplied externally by `hios-cost`'s random model.
+    Synthetic,
+}
+
+impl OpKind {
+    /// Short lowercase tag used in DOT output and logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OpKind::Input => "input",
+            OpKind::Conv2d { .. } => "conv",
+            OpKind::SepConv2d { .. } => "sepconv",
+            OpKind::Pool {
+                kind: PoolKind::Max,
+                ..
+            } => "maxpool",
+            OpKind::Pool {
+                kind: PoolKind::Avg,
+                ..
+            } => "avgpool",
+            OpKind::GlobalAvgPool => "gap",
+            OpKind::Activation(_) => "act",
+            OpKind::BatchNorm => "bn",
+            OpKind::Add => "add",
+            OpKind::Concat => "concat",
+            OpKind::Linear { .. } => "linear",
+            OpKind::Softmax => "softmax",
+            OpKind::Identity => "identity",
+            OpKind::Synthetic => "synthetic",
+        }
+    }
+
+    /// Infers the output shape given the input shapes, or `None` when the
+    /// inputs are incompatible with this operator.
+    pub fn infer_shape(&self, inputs: &[TensorShape]) -> Option<TensorShape> {
+        match self {
+            OpKind::Input => None, // inputs carry their own shape
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                ..
+            } => {
+                let [x] = inputs else { return None };
+                if *groups == 0 || x.c % groups != 0 || out_channels % groups != 0 {
+                    return None;
+                }
+                let out = x.conv_like(*out_channels, *kernel, *stride, *padding);
+                (!out.is_degenerate()).then_some(out)
+            }
+            OpKind::SepConv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let [x] = inputs else { return None };
+                let out = x.conv_like(*out_channels, *kernel, *stride, *padding);
+                (!out.is_degenerate()).then_some(out)
+            }
+            OpKind::Pool {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let [x] = inputs else { return None };
+                let out = x.conv_like(x.c, *kernel, *stride, *padding);
+                (!out.is_degenerate()).then_some(out)
+            }
+            OpKind::GlobalAvgPool => {
+                let [x] = inputs else { return None };
+                Some(TensorShape::new(x.n, x.c, 1, 1))
+            }
+            OpKind::Activation(_) | OpKind::BatchNorm | OpKind::Softmax | OpKind::Identity => {
+                let [x] = inputs else { return None };
+                Some(*x)
+            }
+            OpKind::Add => {
+                let (first, rest) = inputs.split_first()?;
+                if rest.is_empty() || rest.iter().any(|s| s != first) {
+                    return None;
+                }
+                Some(*first)
+            }
+            OpKind::Concat => {
+                let (first, rest) = inputs.split_first()?;
+                let mut c = first.c;
+                for s in rest {
+                    if (s.n, s.h, s.w) != (first.n, first.h, first.w) {
+                        return None;
+                    }
+                    c += s.c;
+                }
+                Some(TensorShape::new(first.n, c, first.h, first.w))
+            }
+            OpKind::Linear { out_features } => {
+                let [x] = inputs else { return None };
+                Some(TensorShape::vector(x.n, *out_features))
+            }
+            OpKind::Synthetic => Some(
+                inputs
+                    .first()
+                    .copied()
+                    .unwrap_or(TensorShape::new(1, 1, 1, 1)),
+            ),
+        }
+    }
+
+    /// Floating-point operations executed by this operator (multiply and
+    /// add counted separately, the usual "2·MACs" convention).
+    pub fn flops(&self, inputs: &[TensorShape], output: &TensorShape) -> u64 {
+        let out_elems = output.elems();
+        match self {
+            OpKind::Input | OpKind::Identity | OpKind::Concat | OpKind::Synthetic => 0,
+            OpKind::Conv2d {
+                kernel, groups, ..
+            } => {
+                let cin = inputs.first().map_or(0, |s| u64::from(s.c));
+                let per_out = 2 * cin / u64::from((*groups).max(1))
+                    * u64::from(kernel.0)
+                    * u64::from(kernel.1);
+                out_elems * per_out
+            }
+            OpKind::SepConv2d { kernel, .. } => {
+                let cin = inputs.first().map_or(0, |s| u64::from(s.c));
+                // Depthwise K*K per output pixel on cin channels, then a
+                // pointwise 1x1 dense projection to out channels.
+                let spatial = u64::from(output.h) * u64::from(output.w) * u64::from(output.n);
+                let depthwise = 2 * cin * u64::from(kernel.0) * u64::from(kernel.1) * spatial;
+                let pointwise = 2 * cin * out_elems;
+                depthwise + pointwise
+            }
+            OpKind::Pool { kernel, .. } => {
+                out_elems * u64::from(kernel.0) * u64::from(kernel.1)
+            }
+            OpKind::GlobalAvgPool => inputs.first().map_or(0, TensorShape::elems),
+            OpKind::Activation(_) | OpKind::BatchNorm => 2 * out_elems,
+            OpKind::Add => {
+                out_elems * inputs.len().saturating_sub(1) as u64
+            }
+            OpKind::Linear { .. } => {
+                let cin = inputs.first().map_or(0, |s| u64::from(s.c));
+                2 * cin * out_elems
+            }
+            OpKind::Softmax => 5 * out_elems,
+        }
+    }
+
+    /// Number of learned parameters (weights + biases), in elements.
+    pub fn param_elems(&self, inputs: &[TensorShape]) -> u64 {
+        let cin = inputs.first().map_or(0, |s| u64::from(s.c));
+        match self {
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                groups,
+                ..
+            } => {
+                cin / u64::from((*groups).max(1))
+                    * u64::from(*out_channels)
+                    * u64::from(kernel.0)
+                    * u64::from(kernel.1)
+                    + u64::from(*out_channels)
+            }
+            OpKind::SepConv2d {
+                out_channels,
+                kernel,
+                ..
+            } => {
+                cin * u64::from(kernel.0) * u64::from(kernel.1)
+                    + cin * u64::from(*out_channels)
+                    + u64::from(*out_channels)
+            }
+            OpKind::BatchNorm => 2 * cin,
+            OpKind::Linear { out_features } => {
+                cin * u64::from(*out_features) + u64::from(*out_features)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Bytes moved through DRAM: inputs read + parameters read + output
+    /// written, assuming f32 and no cache reuse (a deliberately pessimistic
+    /// bound that works well in a roofline model).
+    pub fn dram_bytes(&self, inputs: &[TensorShape], output: &TensorShape) -> u64 {
+        let in_bytes: u64 = inputs.iter().map(TensorShape::bytes).sum();
+        in_bytes + self.param_elems(inputs) * 4 + output.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(out_c: u32, k: u32, s: u32, p: u32) -> OpKind {
+        OpKind::Conv2d {
+            out_channels: out_c,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+            groups: 1,
+            activation: Activation::Relu,
+        }
+    }
+
+    #[test]
+    fn conv_shape_and_flops() {
+        let x = TensorShape::new(1, 48, 64, 64);
+        let op = conv(48, 5, 1, 2);
+        let out = op.infer_shape(&[x]).unwrap();
+        assert_eq!(out, TensorShape::new(1, 48, 64, 64));
+        // 2 * Cin * K*K MAC-halves per output element.
+        assert_eq!(op.flops(&[x], &out), out.elems() * 2 * 48 * 25);
+    }
+
+    #[test]
+    fn grouped_conv_divides_work() {
+        let x = TensorShape::new(1, 32, 16, 16);
+        let dense = conv(32, 3, 1, 1);
+        let grouped = OpKind::Conv2d {
+            out_channels: 32,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            groups: 32,
+            activation: Activation::None,
+        };
+        let out = dense.infer_shape(&[x]).unwrap();
+        assert_eq!(
+            grouped.flops(&[x], &out) * 32,
+            dense.flops(&[x], &out),
+            "depthwise conv does 1/groups of the dense work"
+        );
+    }
+
+    #[test]
+    fn grouped_conv_rejects_indivisible_channels() {
+        let x = TensorShape::new(1, 30, 16, 16);
+        let grouped = OpKind::Conv2d {
+            out_channels: 32,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            groups: 4,
+            activation: Activation::None,
+        };
+        assert!(grouped.infer_shape(&[x]).is_none());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let a = TensorShape::new(1, 64, 35, 35);
+        let b = TensorShape::new(1, 96, 35, 35);
+        let out = OpKind::Concat.infer_shape(&[a, b]).unwrap();
+        assert_eq!(out, TensorShape::new(1, 160, 35, 35));
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch() {
+        let a = TensorShape::new(1, 64, 35, 35);
+        let b = TensorShape::new(1, 96, 17, 17);
+        assert!(OpKind::Concat.infer_shape(&[a, b]).is_none());
+    }
+
+    #[test]
+    fn add_requires_identical_shapes() {
+        let a = TensorShape::new(1, 64, 35, 35);
+        assert_eq!(OpKind::Add.infer_shape(&[a, a]), Some(a));
+        let b = TensorShape::new(1, 65, 35, 35);
+        assert!(OpKind::Add.infer_shape(&[a, b]).is_none());
+        assert!(OpKind::Add.infer_shape(&[a]).is_none());
+    }
+
+    #[test]
+    fn linear_flattens() {
+        let x = TensorShape::vector(1, 2048);
+        let op = OpKind::Linear { out_features: 1000 };
+        let out = op.infer_shape(&[x]).unwrap();
+        assert_eq!(out, TensorShape::vector(1, 1000));
+        assert_eq!(op.flops(&[x], &out), 2 * 2048 * 1000);
+        assert_eq!(op.param_elems(&[x]), 2048 * 1000 + 1000);
+    }
+
+    #[test]
+    fn sepconv_cheaper_than_dense() {
+        let x = TensorShape::new(1, 128, 32, 32);
+        let sep = OpKind::SepConv2d {
+            out_channels: 128,
+            kernel: (5, 5),
+            stride: (1, 1),
+            padding: (2, 2),
+            activation: Activation::Relu,
+        };
+        let dense = conv(128, 5, 1, 2);
+        let out = sep.infer_shape(&[x]).unwrap();
+        assert!(sep.flops(&[x], &out) < dense.flops(&[x], &out) / 4);
+    }
+
+    #[test]
+    fn pool_keeps_channels() {
+        let x = TensorShape::new(1, 192, 71, 71);
+        let op = OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: (0, 0),
+        };
+        let out = op.infer_shape(&[x]).unwrap();
+        assert_eq!(out, TensorShape::new(1, 192, 35, 35));
+    }
+
+    #[test]
+    fn unary_ops_need_exactly_one_input() {
+        let a = TensorShape::new(1, 8, 4, 4);
+        assert!(OpKind::BatchNorm.infer_shape(&[a, a]).is_none());
+        assert_eq!(OpKind::Identity.infer_shape(&[a]), Some(a));
+    }
+
+    #[test]
+    fn dram_bytes_counts_all_traffic() {
+        let x = TensorShape::new(1, 16, 8, 8);
+        let op = OpKind::Identity;
+        let out = op.infer_shape(&[x]).unwrap();
+        assert_eq!(op.dram_bytes(&[x], &out), x.bytes() * 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Tensor shapes in NCHW layout.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a 4-D activation tensor in NCHW layout (batch, channels,
+/// height, width).
+///
+/// The paper fixes batch size to one for latency-oriented inference
+/// (§VI-B), but the shape keeps the batch dimension so throughput
+/// experiments remain possible.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Batch size.
+    pub n: u32,
+    /// Channel count.
+    pub c: u32,
+    /// Spatial height in pixels.
+    pub h: u32,
+    /// Spatial width in pixels.
+    pub w: u32,
+}
+
+impl TensorShape {
+    /// Creates a shape from its four extents.
+    pub const fn new(n: u32, c: u32, h: u32, w: u32) -> Self {
+        TensorShape { n, c, h, w }
+    }
+
+    /// A shape for feature vectors `(n, c)` stored as `(n, c, 1, 1)`.
+    pub const fn vector(n: u32, c: u32) -> Self {
+        TensorShape { n, c, h: 1, w: 1 }
+    }
+
+    /// Total number of scalar elements.
+    pub fn elems(&self) -> u64 {
+        u64::from(self.n) * u64::from(self.c) * u64::from(self.h) * u64::from(self.w)
+    }
+
+    /// Size in bytes assuming `f32` elements, the precision used by the
+    /// paper's cuDNN engine.
+    pub fn bytes(&self) -> u64 {
+        self.elems() * 4
+    }
+
+    /// Spatial output extent of a sliding-window op along one axis.
+    ///
+    /// Follows the standard floor convolution arithmetic
+    /// `(in + 2*pad - kernel) / stride + 1`; returns 0 when the kernel does
+    /// not fit, which the graph builder rejects as a shape error.
+    pub fn conv_out_extent(input: u32, kernel: u32, stride: u32, pad: u32) -> u32 {
+        let padded = input + 2 * pad;
+        if padded < kernel || stride == 0 {
+            return 0;
+        }
+        (padded - kernel) / stride + 1
+    }
+
+    /// Shape produced by a sliding-window op (conv/pool) with the given
+    /// output channel count and window geometry.
+    pub fn conv_like(
+        &self,
+        out_c: u32,
+        kernel: (u32, u32),
+        stride: (u32, u32),
+        pad: (u32, u32),
+    ) -> TensorShape {
+        TensorShape {
+            n: self.n,
+            c: out_c,
+            h: Self::conv_out_extent(self.h, kernel.0, stride.0, pad.0),
+            w: Self::conv_out_extent(self.w, kernel.1, stride.1, pad.1),
+        }
+    }
+
+    /// True when any extent is zero (an invalid activation).
+    pub fn is_degenerate(&self) -> bool {
+        self.n == 0 || self.c == 0 || self.h == 0 || self.w == 0
+    }
+}
+
+impl fmt::Debug for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}x{}x{}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_and_bytes() {
+        let s = TensorShape::new(1, 48, 299, 299);
+        assert_eq!(s.elems(), 48 * 299 * 299);
+        assert_eq!(s.bytes(), 48 * 299 * 299 * 4);
+    }
+
+    #[test]
+    fn conv_arithmetic_same_padding() {
+        // 3x3 stride 1 pad 1 preserves spatial extent.
+        assert_eq!(TensorShape::conv_out_extent(64, 3, 1, 1), 64);
+        // 5x5 stride 1 pad 2 preserves spatial extent (paper's Fig. 1 op).
+        assert_eq!(TensorShape::conv_out_extent(1024, 5, 1, 2), 1024);
+    }
+
+    #[test]
+    fn conv_arithmetic_downsampling() {
+        // Inception-v3 stem: 299 -> 149 with 3x3 stride 2 valid.
+        assert_eq!(TensorShape::conv_out_extent(299, 3, 2, 0), 149);
+        // Pooling 2x2 stride 2.
+        assert_eq!(TensorShape::conv_out_extent(64, 2, 2, 0), 32);
+    }
+
+    #[test]
+    fn degenerate_when_kernel_does_not_fit() {
+        assert_eq!(TensorShape::conv_out_extent(2, 5, 1, 0), 0);
+        let s = TensorShape::new(1, 3, 2, 2).conv_like(8, (5, 5), (1, 1), (0, 0));
+        assert!(s.is_degenerate());
+    }
+
+    #[test]
+    fn conv_like_sets_channels() {
+        let s = TensorShape::new(1, 3, 32, 32).conv_like(16, (3, 3), (1, 1), (1, 1));
+        assert_eq!(s, TensorShape::new(1, 16, 32, 32));
+    }
+
+    #[test]
+    fn vector_shape() {
+        let s = TensorShape::vector(1, 1000);
+        assert_eq!(s.elems(), 1000);
+        assert_eq!(s.h, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Topological orders over the computation DAG.
+
+use crate::graph::Graph;
+use crate::id::OpId;
+use std::collections::VecDeque;
+
+/// Returns a topological order of all operators (Kahn's algorithm, smallest
+/// id first among ready vertices, so the order is deterministic).
+///
+/// Graphs built through [`crate::GraphBuilder`] are acyclic by construction,
+/// so this always succeeds for them.
+pub fn topo_order(g: &Graph) -> Vec<OpId> {
+    let n = g.num_ops();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(OpId::from_index(i)).len()).collect();
+    // A binary heap keyed by id would also work; a sorted scan of the ready
+    // queue keeps this allocation-free in the common narrow-frontier case.
+    let mut ready: VecDeque<OpId> = g
+        .op_ids()
+        .filter(|&v| indeg[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = ready.pop_front() {
+        order.push(v);
+        for &w in g.succs(v) {
+            indeg[w.index()] -= 1;
+            if indeg[w.index()] == 0 {
+                ready.push_back(w);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "graph must be acyclic");
+    order
+}
+
+/// Checks that `order` is a permutation of all operators in which every
+/// edge goes forward.
+pub fn is_topo_order(g: &Graph, order: &[OpId]) -> bool {
+    if order.len() != g.num_ops() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.num_ops()];
+    for (i, &v) in order.iter().enumerate() {
+        if v.index() >= g.num_ops() || pos[v.index()] != usize::MAX {
+            return false;
+        }
+        pos[v.index()] = i;
+    }
+    g.edges().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+/// Layer index of each operator: `layer(v) = 1 + max(layer(pred))`, sources
+/// at layer 0.  Used to characterize the degree of parallelism of a model
+/// (paper §V-F evaluates DAGs by their number of layers).
+pub fn layer_assignment(g: &Graph) -> Vec<usize> {
+    let mut layer = vec![0usize; g.num_ops()];
+    for &v in &topo_order(g) {
+        layer[v.index()] = g
+            .preds(v)
+            .iter()
+            .map(|&u| layer[u.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    layer
+}
+
+/// Number of layers (depth) of the DAG: `1 + max(layer)` or 0 when empty.
+pub fn num_layers(g: &Graph) -> usize {
+    if g.is_empty() {
+        0
+    } else {
+        layer_assignment(g).into_iter().max().unwrap_or(0) + 1
+    }
+}
+
+/// Maximum number of operators that share a layer (the graph's width, an
+/// upper bound on the exploitable degree of inter-operator parallelism).
+pub fn max_width(g: &Graph) -> usize {
+    let layers = layer_assignment(g);
+    let depth = layers.iter().copied().max().map_or(0, |m| m + 1);
+    let mut counts = vec![0usize; depth];
+    for l in layers {
+        counts[l] += 1;
+    }
+    counts.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// a -> b -> d ; a -> c -> d ; c -> e
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_synthetic("a", &[]);
+        let bb = b.add_synthetic("b", &[a]);
+        let c = b.add_synthetic("c", &[a]);
+        let _d = b.add_synthetic("d", &[bb, c]);
+        let _e = b.add_synthetic("e", &[c]);
+        b.build()
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let g = sample();
+        let order = topo_order(&g);
+        assert!(is_topo_order(&g, &order));
+    }
+
+    #[test]
+    fn bad_orders_are_rejected() {
+        let g = sample();
+        let mut order = topo_order(&g);
+        order.swap(0, 1); // puts a child before its parent
+        assert!(!is_topo_order(&g, &order));
+        order = topo_order(&g);
+        order.pop();
+        assert!(!is_topo_order(&g, &order), "missing vertex");
+        let mut dup = topo_order(&g);
+        let n = dup.len();
+        dup[n - 1] = dup[0];
+        assert!(!is_topo_order(&g, &dup), "duplicate vertex");
+    }
+
+    #[test]
+    fn layers_and_width() {
+        let g = sample();
+        let layers = layer_assignment(&g);
+        assert_eq!(layers, vec![0, 1, 1, 2, 2]);
+        assert_eq!(num_layers(&g), 3);
+        assert_eq!(max_width(&g), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert!(topo_order(&g).is_empty());
+        assert_eq!(num_layers(&g), 0);
+        assert_eq!(max_width(&g), 0);
+    }
+
+    #[test]
+    fn chain_has_width_one() {
+        let mut b = GraphBuilder::new();
+        let mut prev = b.add_synthetic("n0", &[]);
+        for i in 1..10 {
+            prev = b.add_synthetic(format!("n{i}"), &[prev]);
+        }
+        let g = b.build();
+        assert_eq!(num_layers(&g), 10);
+        assert_eq!(max_width(&g), 1);
+    }
+}

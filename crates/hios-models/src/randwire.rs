@@ -1,0 +1,243 @@
+//! Randomly wired networks (Xie et al., ICCV'19), the third member of the
+//! IOS benchmark suite: a Watts-Strogatz-style random graph of separable
+//! convolutions gives extremely irregular inter-operator parallelism —
+//! the stress case for DAG schedulers.
+
+use crate::ModelConfig;
+use hios_graph::{Activation, Graph, GraphBuilder, OpId, OpKind, TensorShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structure knobs of the random wiring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandWireConfig {
+    /// Nodes per random stage (Xie et al. use 32; smaller is friendlier
+    /// for tests).
+    pub nodes_per_stage: usize,
+    /// Number of random stages (each halves the resolution).
+    pub stages: usize,
+    /// Ring neighbourhood size of the Watts-Strogatz base graph (even).
+    pub k: usize,
+    /// Rewiring probability.
+    pub p: f64,
+    /// Base channel count, doubled per stage.
+    pub channels: u32,
+    /// Wiring seed.
+    pub seed: u64,
+}
+
+impl Default for RandWireConfig {
+    fn default() -> Self {
+        RandWireConfig {
+            nodes_per_stage: 16,
+            stages: 3,
+            k: 4,
+            p: 0.25,
+            channels: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds a randomly wired network.
+///
+/// Each stage is a Watts-Strogatz small-world graph over
+/// `nodes_per_stage` separable-conv nodes, oriented by node index (so it
+/// is a DAG); stage inputs aggregate all sources, stage outputs all
+/// sinks.  Deterministic in `wire.seed`.
+pub fn randwire(cfg: &ModelConfig, wire: &RandWireConfig) -> Graph {
+    assert!(wire.nodes_per_stage >= 4, "need at least 4 nodes per stage");
+    assert!(wire.k >= 2 && wire.k % 2 == 0, "k must be even and >= 2");
+    let mut rng = StdRng::seed_from_u64(wire.seed);
+    let mut b = GraphBuilder::new();
+    let input = b.input(
+        "input",
+        TensorShape::new(cfg.batch, 3, cfg.input_size, cfg.input_size),
+    );
+    // Stem halves the resolution and lifts to `channels`.
+    let mut x = b
+        .add_op(
+            "stem",
+            OpKind::Conv2d {
+                out_channels: cfg.ch(wire.channels),
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (1, 1),
+                groups: 1,
+                activation: Activation::Relu,
+            },
+            &[input],
+        )
+        .expect("stem");
+
+    let mut channels = wire.channels;
+    for stage in 0..wire.stages {
+        channels *= 2;
+        x = random_stage(
+            &mut b,
+            cfg,
+            &mut rng,
+            &format!("stage{stage}"),
+            x,
+            wire,
+            channels,
+        );
+    }
+    let gap = b.add_op("avgpool", OpKind::GlobalAvgPool, &[x]).expect("gap");
+    b.add_op(
+        "fc",
+        OpKind::Linear {
+            out_features: 1000,
+        },
+        &[gap],
+    )
+    .expect("fc");
+    b.build()
+}
+
+fn random_stage(
+    b: &mut GraphBuilder,
+    cfg: &ModelConfig,
+    rng: &mut StdRng,
+    name: &str,
+    input: OpId,
+    wire: &RandWireConfig,
+    channels: u32,
+) -> OpId {
+    let n = wire.nodes_per_stage;
+    // Watts-Strogatz edges oriented low -> high index.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        for d in 1..=wire.k / 2 {
+            let j = (i + d) % n;
+            let (lo, hi) = (i.min(j), i.max(j));
+            if lo != hi && !edges.contains(&(lo, hi)) {
+                edges.push((lo, hi));
+            }
+        }
+    }
+    for e in 0..edges.len() {
+        if rng.random_range(0.0..1.0) < wire.p {
+            let (lo, _) = edges[e];
+            let new_hi = rng.random_range(0..n);
+            let (a, c) = (lo.min(new_hi), lo.max(new_hi));
+            if a != c && !edges.contains(&(a, c)) {
+                edges[e] = (a, c);
+            }
+        }
+    }
+
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(u, v) in &edges {
+        preds[v].push(u);
+    }
+
+    // Each node: aggregate inputs (add) then a strided-on-entry sepconv.
+    let mut node_out: Vec<Option<OpId>> = vec![None; n];
+    for i in 0..n {
+        let ins: Vec<OpId> = preds[i]
+            .iter()
+            .map(|&u| node_out[u].expect("low -> high order"))
+            .collect();
+        let agg = match ins.len() {
+            0 => input,
+            1 => ins[0],
+            _ => b
+                .add_op(&format!("{name}/n{i}/sum"), OpKind::Add, &ins)
+                .unwrap_or_else(|e| panic!("randwire add `{name}/n{i}`: {e}")),
+        };
+        let stride = if preds[i].is_empty() { 2 } else { 1 };
+        let conv = b
+            .add_op(
+                &format!("{name}/n{i}/sepconv"),
+                OpKind::SepConv2d {
+                    out_channels: cfg.ch(channels),
+                    kernel: (3, 3),
+                    stride: (stride, stride),
+                    padding: (1, 1),
+                    activation: Activation::Relu,
+                },
+                &[agg],
+            )
+            .unwrap_or_else(|e| panic!("randwire conv `{name}/n{i}`: {e}"));
+        node_out[i] = Some(conv);
+    }
+
+    // Stage output: average all sinks (nodes nobody consumes).
+    let consumed: std::collections::HashSet<usize> =
+        edges.iter().map(|&(u, _)| u).collect();
+    let sinks: Vec<OpId> = (0..n)
+        .filter(|i| !consumed.contains(i))
+        .map(|i| node_out[i].expect("built"))
+        .collect();
+    match sinks.len() {
+        1 => sinks[0],
+        _ => b
+            .add_op(&format!("{name}/out"), OpKind::Add, &sinks)
+            .unwrap_or_else(|e| panic!("randwire out `{name}`: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::topo::{max_width, topo_order};
+
+    #[test]
+    fn builds_a_valid_dag() {
+        let g = randwire(&ModelConfig::with_input(128), &RandWireConfig::default());
+        assert_eq!(topo_order(&g).len(), g.num_ops());
+        assert!(g.num_ops() > 60, "3 stages of 16 nodes plus glue");
+        assert!(max_width(&g) >= 2, "random wiring must branch");
+        assert!(g.num_edges() > g.num_ops(), "aggregation nodes fan in");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let cfg = ModelConfig::with_input(128);
+        let a = randwire(&cfg, &RandWireConfig::default());
+        let b = randwire(&cfg, &RandWireConfig::default());
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>()
+        );
+        let c = randwire(
+            &cfg,
+            &RandWireConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stages_shrink_resolution_and_grow_channels() {
+        let g = randwire(&ModelConfig::with_input(128), &RandWireConfig::default());
+        let fc = g.nodes().last().unwrap();
+        assert_eq!(fc.output_shape, TensorShape::vector(1, 1000));
+        let s0 = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "stage0/n0/sepconv")
+            .unwrap()
+            .output_shape;
+        let s2 = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "stage2/n0/sepconv")
+            .unwrap()
+            .output_shape;
+        assert!(s2.h < s0.h);
+        assert!(s2.c > s0.c);
+    }
+
+    #[test]
+    fn carries_real_compute() {
+        let g = randwire(&ModelConfig::with_input(128), &RandWireConfig::default());
+        assert!(g.total_flops() > 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! SqueezeNet 1.1 (Iandola et al.): a compact multi-branch CNN built from
+//! *fire modules* (squeeze 1×1 → parallel expand 1×1 / expand 3×3 →
+//! concat).  Part of the IOS benchmark suite from which the HIOS paper
+//! takes its models; small operators make it the friendliest case for
+//! intra-GPU grouping.
+
+use crate::ModelConfig;
+use hios_graph::{Activation, Graph, GraphBuilder, OpId, OpKind, PoolKind, TensorShape};
+
+fn conv(
+    b: &mut GraphBuilder,
+    cfg: &ModelConfig,
+    name: &str,
+    x: OpId,
+    out_c: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+) -> OpId {
+    b.add_op(
+        name,
+        OpKind::Conv2d {
+            out_channels: cfg.ch(out_c),
+            kernel: (k, k),
+            stride: (stride, stride),
+            padding: (pad, pad),
+            groups: 1,
+            activation: Activation::Relu,
+        },
+        &[x],
+    )
+    .unwrap_or_else(|e| panic!("squeezenet conv `{name}`: {e}"))
+}
+
+/// One fire module: squeeze to `s` channels, expand to `e1x1 + e3x3`.
+fn fire(
+    b: &mut GraphBuilder,
+    cfg: &ModelConfig,
+    name: &str,
+    x: OpId,
+    s: u32,
+    e1: u32,
+    e3: u32,
+) -> OpId {
+    let sq = conv(b, cfg, &format!("{name}/squeeze1x1"), x, s, 1, 1, 0);
+    let x1 = conv(b, cfg, &format!("{name}/expand1x1"), sq, e1, 1, 1, 0);
+    let x3 = conv(b, cfg, &format!("{name}/expand3x3"), sq, e3, 3, 1, 1);
+    b.add_op(&format!("{name}/concat"), OpKind::Concat, &[x1, x3])
+        .unwrap_or_else(|e| panic!("squeezenet concat `{name}`: {e}"))
+}
+
+/// Builds SqueezeNet 1.1 for the given input size (default 224).
+///
+/// # Panics
+/// Panics when `cfg.input_size < 64`.
+pub fn squeezenet(cfg: &ModelConfig) -> Graph {
+    assert!(cfg.input_size >= 64, "SqueezeNet needs at least 64x64 inputs");
+    let mut b = GraphBuilder::new();
+    let x = b.input(
+        "input",
+        TensorShape::new(cfg.batch, 3, cfg.input_size, cfg.input_size),
+    );
+    let x = conv(&mut b, cfg, "conv1", x, 64, 3, 2, 0);
+    let x = b
+        .add_op(
+            "maxpool1",
+            OpKind::Pool {
+                kind: PoolKind::Max,
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (0, 0),
+            },
+            &[x],
+        )
+        .expect("pool1");
+    let x = fire(&mut b, cfg, "fire2", x, 16, 64, 64);
+    let x = fire(&mut b, cfg, "fire3", x, 16, 64, 64);
+    let x = b
+        .add_op(
+            "maxpool3",
+            OpKind::Pool {
+                kind: PoolKind::Max,
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (0, 0),
+            },
+            &[x],
+        )
+        .expect("pool3");
+    let x = fire(&mut b, cfg, "fire4", x, 32, 128, 128);
+    let x = fire(&mut b, cfg, "fire5", x, 32, 128, 128);
+    let x = b
+        .add_op(
+            "maxpool5",
+            OpKind::Pool {
+                kind: PoolKind::Max,
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (0, 0),
+            },
+            &[x],
+        )
+        .expect("pool5");
+    let x = fire(&mut b, cfg, "fire6", x, 48, 192, 192);
+    let x = fire(&mut b, cfg, "fire7", x, 48, 192, 192);
+    let x = fire(&mut b, cfg, "fire8", x, 64, 256, 256);
+    let x = fire(&mut b, cfg, "fire9", x, 64, 256, 256);
+    let x = conv(&mut b, cfg, "conv10", x, 1000, 1, 1, 0);
+    b.add_op("avgpool", OpKind::GlobalAvgPool, &[x])
+        .expect("gap");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::topo::{max_width, topo_order};
+
+    #[test]
+    fn counts_are_pinned() {
+        let g = squeezenet(&ModelConfig::with_input(224));
+        // 1 input + conv1 + 3 pools + 8 fires x 4 + conv10 + gap = 39.
+        assert_eq!(g.num_ops(), 39);
+        assert_eq!(topo_order(&g).len(), 39);
+        assert!(max_width(&g) >= 2, "fire modules branch two ways");
+    }
+
+    #[test]
+    fn fire_module_concat_shapes() {
+        let g = squeezenet(&ModelConfig::with_input(224));
+        let fire9 = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "fire9/concat")
+            .unwrap();
+        assert_eq!(fire9.output_shape.c, 512);
+        let gap = g.nodes().last().unwrap();
+        assert_eq!(gap.output_shape, TensorShape::new(1, 1000, 1, 1));
+    }
+
+    #[test]
+    fn width_multiplier_applies() {
+        let half = squeezenet(&ModelConfig {
+            input_size: 224,
+            width_mult: 0.5,
+            batch: 1,
+        });
+        let full = squeezenet(&ModelConfig::with_input(224));
+        assert_eq!(half.num_ops(), full.num_ops());
+        assert!(half.total_flops() < full.total_flops() / 3);
+    }
+}

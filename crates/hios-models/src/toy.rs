@@ -1,0 +1,165 @@
+//! Small synthetic models for tests, examples and kernel-level
+//! micro-benchmarks (e.g. the Fig. 1 / Fig. 2 convolution).
+
+use crate::ModelConfig;
+use hios_graph::{Activation, Graph, GraphBuilder, OpId, OpKind, PoolKind, TensorShape};
+
+/// The micro-benchmark operator of the paper's Figs. 1-2: a 5×5 / stride-1
+/// convolution over 48 input channels producing 48 channels, on a square
+/// input of `size` pixels.  Returns the graph and the conv's id.
+pub fn fig1_conv(size: u32) -> (Graph, OpId) {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", TensorShape::new(1, 48, size, size));
+    let conv = b
+        .add_op(
+            "conv5x5",
+            OpKind::Conv2d {
+                out_channels: 48,
+                kernel: (5, 5),
+                stride: (1, 1),
+                padding: (2, 2),
+                groups: 1,
+                activation: Activation::None,
+            },
+            &[x],
+        )
+        .expect("fig1 conv");
+    (b.build(), conv)
+}
+
+/// Two independent copies of the Fig. 1 convolution sharing one input —
+/// the contention micro-benchmark pair.
+pub fn fig1_conv_pair(size: u32) -> (Graph, OpId, OpId) {
+    let mut b = GraphBuilder::new();
+    let x = b.input("x", TensorShape::new(1, 48, size, size));
+    let kind = OpKind::Conv2d {
+        out_channels: 48,
+        kernel: (5, 5),
+        stride: (1, 1),
+        padding: (2, 2),
+        groups: 1,
+        activation: Activation::None,
+    };
+    let a = b.add_op("conv_a", kind.clone(), &[x]).expect("conv_a");
+    let c = b.add_op("conv_b", kind, &[x]).expect("conv_b");
+    (b.build(), a, c)
+}
+
+/// A `width`-way multi-branch block repeated `depth` times: every block
+/// fans the running tensor out into `width` parallel 3×3 convolutions and
+/// concatenates them back.  A minimal stand-in for inception-style models
+/// in examples and property tests.
+pub fn multi_branch(cfg: &ModelConfig, width: usize, depth: usize) -> Graph {
+    assert!(width >= 1 && depth >= 1);
+    let mut b = GraphBuilder::new();
+    let mut x = b.input(
+        "input",
+        TensorShape::new(cfg.batch, cfg.ch(32), cfg.input_size, cfg.input_size),
+    );
+    for d in 0..depth {
+        let mut branches = Vec::with_capacity(width);
+        for w in 0..width {
+            let conv = b
+                .add_op(
+                    format!("block{d}/branch{w}"),
+                    OpKind::Conv2d {
+                        out_channels: cfg.ch(32),
+                        kernel: (3, 3),
+                        stride: (1, 1),
+                        padding: (1, 1),
+                        groups: 1,
+                        activation: Activation::Relu,
+                    },
+                    &[x],
+                )
+                .expect("branch conv");
+            branches.push(conv);
+        }
+        x = if width == 1 {
+            branches[0]
+        } else {
+            b.add_op(format!("block{d}/concat"), OpKind::Concat, &branches)
+                .expect("concat")
+        };
+        if width > 1 {
+            // Project back down so depth does not explode the channels.
+            x = b
+                .add_op(
+                    format!("block{d}/project"),
+                    OpKind::Conv2d {
+                        out_channels: cfg.ch(32),
+                        kernel: (1, 1),
+                        stride: (1, 1),
+                        padding: (0, 0),
+                        groups: 1,
+                        activation: Activation::Relu,
+                    },
+                    &[x],
+                )
+                .expect("project");
+        }
+    }
+    b.add_op(
+        "head",
+        OpKind::Pool {
+            kind: PoolKind::Avg,
+            kernel: (2, 2),
+            stride: (2, 2),
+            padding: (0, 0),
+        },
+        &[x],
+    )
+    .expect("head");
+    b.build()
+}
+
+/// A plain convolution chain (no branching) — the degenerate case where
+/// no scheduler can beat sequential execution.
+pub fn chain(cfg: &ModelConfig, depth: usize) -> Graph {
+    multi_branch(cfg, 1, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::topo::max_width;
+
+    #[test]
+    fn fig1_conv_shapes() {
+        let (g, conv) = fig1_conv(64);
+        assert_eq!(g.node(conv).output_shape, TensorShape::new(1, 48, 64, 64));
+        assert_eq!(g.num_ops(), 2);
+    }
+
+    #[test]
+    fn pair_shares_input() {
+        let (g, a, c) = fig1_conv_pair(32);
+        assert_eq!(g.preds(a), g.preds(c));
+        assert!(!g.reaches(a, c) && !g.reaches(c, a));
+    }
+
+    #[test]
+    fn multi_branch_width() {
+        let cfg = ModelConfig {
+            input_size: 16,
+            width_mult: 1.0,
+            batch: 1,
+        };
+        let g = multi_branch(&cfg, 4, 3);
+        assert!(max_width(&g) >= 4);
+        // 1 input + 3 * (4 branches + concat + project) + head.
+        assert_eq!(g.num_ops(), 1 + 3 * 6 + 1);
+    }
+
+    #[test]
+    fn chain_is_narrow() {
+        let cfg = ModelConfig {
+            input_size: 16,
+            width_mult: 1.0,
+            batch: 1,
+        };
+        let g = chain(&cfg, 5);
+        assert_eq!(max_width(&g), 1);
+        assert_eq!(g.num_ops(), 7);
+    }
+}

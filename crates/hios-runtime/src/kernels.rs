@@ -1,0 +1,579 @@
+//! Reference f32 kernels for every operator kind.
+//!
+//! Convolutions parallelize over output channels with rayon; the
+//! per-element accumulation order is identical between the sequential and
+//! parallel paths, so results are bitwise reproducible.
+
+use crate::tensor::Tensor;
+use crate::weights::OpWeights;
+use hios_graph::{Activation, OpKind, PoolKind, TensorShape};
+use rayon::prelude::*;
+
+/// Executes one operator on its input tensors.
+///
+/// # Panics
+/// Panics when the inputs are incompatible with the op (the graph builder
+/// guarantees they never are for graphs built through `hios-graph`).
+pub fn execute_op(kind: &OpKind, inputs: &[&Tensor], weights: &OpWeights) -> Tensor {
+    let shapes: Vec<TensorShape> = inputs.iter().map(|t| t.shape).collect();
+    let out_shape = kind
+        .infer_shape(&shapes)
+        .unwrap_or_else(|| panic!("incompatible inputs for {kind:?}"));
+    match kind {
+        OpKind::Input => panic!("input operators carry data, they are not executed"),
+        OpKind::Identity => inputs[0].clone(),
+        OpKind::Conv2d {
+            kernel,
+            stride,
+            padding,
+            groups,
+            activation,
+            ..
+        } => conv2d(
+            inputs[0], out_shape, *kernel, *stride, *padding, *groups, *activation, weights,
+        ),
+        OpKind::SepConv2d {
+            kernel,
+            stride,
+            padding,
+            activation,
+            ..
+        } => sep_conv2d(
+            inputs[0], out_shape, *kernel, *stride, *padding, *activation, weights,
+        ),
+        OpKind::Pool {
+            kind,
+            kernel,
+            stride,
+            padding,
+        } => pool(inputs[0], out_shape, *kind, *kernel, *stride, *padding),
+        OpKind::GlobalAvgPool => global_avg_pool(inputs[0], out_shape),
+        OpKind::Activation(a) => {
+            let mut out = inputs[0].clone();
+            for x in &mut out.data {
+                *x = activate(*a, *x);
+            }
+            out
+        }
+        OpKind::BatchNorm => batch_norm(inputs[0], weights),
+        OpKind::Add => add(inputs, out_shape),
+        OpKind::Concat => concat(inputs, out_shape),
+        OpKind::Linear { .. } => linear(inputs[0], out_shape, weights),
+        OpKind::Softmax => softmax(inputs[0]),
+        OpKind::Synthetic => inputs
+            .first()
+            .map(|t| (*t).clone())
+            .unwrap_or_else(|| Tensor::zeros(out_shape)),
+    }
+}
+
+#[inline]
+fn activate(a: Activation, x: f32) -> f32 {
+    match a {
+        Activation::None => x,
+        Activation::Relu => x.max(0.0),
+        Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        Activation::Tanh => x.tanh(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d(
+    x: &Tensor,
+    out_shape: TensorShape,
+    kernel: (u32, u32),
+    stride: (u32, u32),
+    padding: (u32, u32),
+    groups: u32,
+    activation: Activation,
+    w: &OpWeights,
+) -> Tensor {
+    let (cin, cout) = (x.shape.c, out_shape.c);
+    let cin_g = cin / groups;
+    let cout_g = cout / groups;
+    let mut out = Tensor::zeros(out_shape);
+    let plane = (out_shape.h * out_shape.w) as usize;
+    // One rayon task per (n, oc) output plane.
+    out.data
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(chunk, plane_data)| {
+            let n = chunk as u32 / cout;
+            let oc = chunk as u32 % cout;
+            let grp = oc / cout_g;
+            for oh in 0..out_shape.h {
+                for ow in 0..out_shape.w {
+                    let mut acc = w.bias[oc as usize];
+                    for icg in 0..cin_g {
+                        let ic = grp * cin_g + icg;
+                        for kh in 0..kernel.0 {
+                            let ih = (oh * stride.0 + kh) as i64 - padding.0 as i64;
+                            if ih < 0 || ih >= x.shape.h as i64 {
+                                continue;
+                            }
+                            for kw in 0..kernel.1 {
+                                let iw = (ow * stride.1 + kw) as i64 - padding.1 as i64;
+                                if iw < 0 || iw >= x.shape.w as i64 {
+                                    continue;
+                                }
+                                let widx = ((oc * cin_g + icg) * kernel.0 + kh) * kernel.1 + kw;
+                                acc += x.at(n, ic, ih as u32, iw as u32)
+                                    * w.weight[widx as usize];
+                            }
+                        }
+                    }
+                    plane_data[(oh * out_shape.w + ow) as usize] = activate(activation, acc);
+                }
+            }
+        });
+    out
+}
+
+fn sep_conv2d(
+    x: &Tensor,
+    out_shape: TensorShape,
+    kernel: (u32, u32),
+    stride: (u32, u32),
+    padding: (u32, u32),
+    activation: Activation,
+    w: &OpWeights,
+) -> Tensor {
+    // Depthwise stage at input channel count, spatially reduced.
+    let dw_shape = TensorShape::new(x.shape.n, x.shape.c, out_shape.h, out_shape.w);
+    let mut dw = Tensor::zeros(dw_shape);
+    let plane = (dw_shape.h * dw_shape.w) as usize;
+    dw.data
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(chunk, plane_data)| {
+            let n = chunk as u32 / dw_shape.c;
+            let c = chunk as u32 % dw_shape.c;
+            for oh in 0..dw_shape.h {
+                for ow in 0..dw_shape.w {
+                    let mut acc = 0.0f32;
+                    for kh in 0..kernel.0 {
+                        let ih = (oh * stride.0 + kh) as i64 - padding.0 as i64;
+                        if ih < 0 || ih >= x.shape.h as i64 {
+                            continue;
+                        }
+                        for kw in 0..kernel.1 {
+                            let iw = (ow * stride.1 + kw) as i64 - padding.1 as i64;
+                            if iw < 0 || iw >= x.shape.w as i64 {
+                                continue;
+                            }
+                            let widx = (c * kernel.0 + kh) * kernel.1 + kw;
+                            acc += x.at(n, c, ih as u32, iw as u32) * w.weight[widx as usize];
+                        }
+                    }
+                    plane_data[(oh * dw_shape.w + ow) as usize] = acc;
+                }
+            }
+        });
+    // Pointwise 1x1 projection.
+    let mut out = Tensor::zeros(out_shape);
+    let oplane = (out_shape.h * out_shape.w) as usize;
+    out.data
+        .par_chunks_mut(oplane)
+        .enumerate()
+        .for_each(|(chunk, plane_data)| {
+            let n = chunk as u32 / out_shape.c;
+            let oc = chunk as u32 % out_shape.c;
+            for oh in 0..out_shape.h {
+                for ow in 0..out_shape.w {
+                    let mut acc = w.bias[oc as usize];
+                    for ic in 0..dw_shape.c {
+                        acc += dw.at(n, ic, oh, ow) * w.weight2[(oc * dw_shape.c + ic) as usize];
+                    }
+                    plane_data[(oh * out_shape.w + ow) as usize] = activate(activation, acc);
+                }
+            }
+        });
+    out
+}
+
+fn pool(
+    x: &Tensor,
+    out_shape: TensorShape,
+    kind: PoolKind,
+    kernel: (u32, u32),
+    stride: (u32, u32),
+    padding: (u32, u32),
+) -> Tensor {
+    let mut out = Tensor::zeros(out_shape);
+    for n in 0..out_shape.n {
+        for c in 0..out_shape.c {
+            for oh in 0..out_shape.h {
+                for ow in 0..out_shape.w {
+                    let mut acc = match kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    for kh in 0..kernel.0 {
+                        let ih = (oh * stride.0 + kh) as i64 - padding.0 as i64;
+                        for kw in 0..kernel.1 {
+                            let iw = (ow * stride.1 + kw) as i64 - padding.1 as i64;
+                            let val = if ih < 0
+                                || ih >= x.shape.h as i64
+                                || iw < 0
+                                || iw >= x.shape.w as i64
+                            {
+                                // Zero padding; max pooling ignores pads.
+                                match kind {
+                                    PoolKind::Max => continue,
+                                    PoolKind::Avg => 0.0,
+                                }
+                            } else {
+                                x.at(n, c, ih as u32, iw as u32)
+                            };
+                            match kind {
+                                PoolKind::Max => acc = acc.max(val),
+                                PoolKind::Avg => acc += val,
+                            }
+                        }
+                    }
+                    if let PoolKind::Avg = kind {
+                        // count_include_pad convention (cuDNN default).
+                        acc /= (kernel.0 * kernel.1) as f32;
+                    }
+                    *out.at_mut(n, c, oh, ow) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn global_avg_pool(x: &Tensor, out_shape: TensorShape) -> Tensor {
+    let mut out = Tensor::zeros(out_shape);
+    let hw = (x.shape.h * x.shape.w) as f32;
+    for n in 0..x.shape.n {
+        for c in 0..x.shape.c {
+            let mut acc = 0.0f32;
+            for h in 0..x.shape.h {
+                for w in 0..x.shape.w {
+                    acc += x.at(n, c, h, w);
+                }
+            }
+            *out.at_mut(n, c, 0, 0) = acc / hw;
+        }
+    }
+    out
+}
+
+fn batch_norm(x: &Tensor, w: &OpWeights) -> Tensor {
+    let mut out = x.clone();
+    let plane = (x.shape.h * x.shape.w) as usize;
+    for n in 0..x.shape.n {
+        for c in 0..x.shape.c {
+            let base = ((n * x.shape.c + c) as usize) * plane;
+            let (s, b) = (w.scale[c as usize], w.bias[c as usize]);
+            for v in &mut out.data[base..base + plane] {
+                *v = *v * s + b;
+            }
+        }
+    }
+    out
+}
+
+fn add(inputs: &[&Tensor], out_shape: TensorShape) -> Tensor {
+    let mut out = inputs[0].clone();
+    debug_assert_eq!(out.shape, out_shape);
+    for t in &inputs[1..] {
+        for (o, &v) in out.data.iter_mut().zip(&t.data) {
+            *o += v;
+        }
+    }
+    out
+}
+
+fn concat(inputs: &[&Tensor], out_shape: TensorShape) -> Tensor {
+    let mut out = Tensor::zeros(out_shape);
+    for n in 0..out_shape.n {
+        let mut c_off = 0u32;
+        for t in inputs {
+            for c in 0..t.shape.c {
+                for h in 0..t.shape.h {
+                    for w in 0..t.shape.w {
+                        *out.at_mut(n, c_off + c, h, w) = t.at(n, c, h, w);
+                    }
+                }
+            }
+            c_off += t.shape.c;
+        }
+    }
+    out
+}
+
+fn linear(x: &Tensor, out_shape: TensorShape, w: &OpWeights) -> Tensor {
+    let cin = x.shape.c;
+    let mut out = Tensor::zeros(out_shape);
+    for n in 0..out_shape.n {
+        for oc in 0..out_shape.c {
+            let mut acc = w.bias[oc as usize];
+            for ic in 0..cin {
+                acc += x.at(n, ic, 0, 0) * w.weight[(oc * cin + ic) as usize];
+            }
+            *out.at_mut(n, oc, 0, 0) = acc;
+        }
+    }
+    out
+}
+
+fn softmax(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    let plane = (x.shape.h * x.shape.w) as usize;
+    for n in 0..x.shape.n {
+        for p in 0..plane {
+            let mut maxv = f32::NEG_INFINITY;
+            for c in 0..x.shape.c {
+                maxv = maxv.max(x.data[((n * x.shape.c + c) as usize) * plane + p]);
+            }
+            let mut sum = 0.0f32;
+            for c in 0..x.shape.c {
+                let i = ((n * x.shape.c + c) as usize) * plane + p;
+                out.data[i] = (x.data[i] - maxv).exp();
+                sum += out.data[i];
+            }
+            for c in 0..x.shape.c {
+                let i = ((n * x.shape.c + c) as usize) * plane + p;
+                out.data[i] /= sum;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ones(shape: TensorShape) -> Tensor {
+        Tensor::from_vec(shape, vec![1.0; shape.elems() as usize])
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 conv with identity weights reproduces the input.
+        let x = Tensor::from_vec(
+            TensorShape::new(1, 2, 2, 2),
+            vec![1., 2., 3., 4., 5., 6., 7., 8.],
+        );
+        let kind = OpKind::Conv2d {
+            out_channels: 2,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            activation: Activation::None,
+        };
+        let w = OpWeights {
+            weight: vec![1.0, 0.0, 0.0, 1.0], // [oc][ic]
+            weight2: vec![],
+            bias: vec![0.0, 0.0],
+            scale: vec![],
+        };
+        let y = execute_op(&kind, &[&x], &w);
+        assert_eq!(y.data, x.data);
+    }
+
+    #[test]
+    fn conv_counts_window_elements() {
+        // All-ones input and weights: each interior output = Cin*K*K.
+        let x = ones(TensorShape::new(1, 3, 5, 5));
+        let kind = OpKind::Conv2d {
+            out_channels: 1,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            activation: Activation::None,
+        };
+        let w = OpWeights {
+            weight: vec![1.0; 27],
+            weight2: vec![],
+            bias: vec![0.0],
+            scale: vec![],
+        };
+        let y = execute_op(&kind, &[&x], &w);
+        assert_eq!(y.shape, TensorShape::new(1, 1, 3, 3));
+        assert!(y.data.iter().all(|&v| v == 27.0));
+    }
+
+    #[test]
+    fn conv_relu_clamps() {
+        let x = ones(TensorShape::new(1, 1, 2, 2));
+        let kind = OpKind::Conv2d {
+            out_channels: 1,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            activation: Activation::Relu,
+        };
+        let w = OpWeights {
+            weight: vec![-1.0],
+            weight2: vec![],
+            bias: vec![0.0],
+            scale: vec![],
+        };
+        let y = execute_op(&kind, &[&x], &w);
+        assert!(y.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn depthwise_grouped_conv() {
+        // groups == channels: each output channel sees only its input.
+        let x = Tensor::from_vec(TensorShape::new(1, 2, 1, 1), vec![3.0, 5.0]);
+        let kind = OpKind::Conv2d {
+            out_channels: 2,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 2,
+            activation: Activation::None,
+        };
+        let w = OpWeights {
+            weight: vec![2.0, 10.0],
+            weight2: vec![],
+            bias: vec![0.0, 0.0],
+            scale: vec![],
+        };
+        let y = execute_op(&kind, &[&x], &w);
+        assert_eq!(y.data, vec![6.0, 50.0]);
+    }
+
+    #[test]
+    fn sepconv_matches_manual_composition() {
+        let x = ones(TensorShape::new(1, 2, 3, 3));
+        let kind = OpKind::SepConv2d {
+            out_channels: 1,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            activation: Activation::None,
+        };
+        let w = OpWeights {
+            weight: vec![1.0; 18],      // depthwise [2][3][3]
+            weight2: vec![1.0, 1.0],    // pointwise [1][2]
+            bias: vec![0.0],
+            scale: vec![],
+        };
+        let y = execute_op(&kind, &[&x], &w);
+        // Center pixel: depthwise window sums 9 per channel, pointwise
+        // sums both channels: 18.
+        assert_eq!(y.at(0, 0, 1, 1), 18.0);
+        // Corner: window has 4 valid elements per channel: 8.
+        assert_eq!(y.at(0, 0, 0, 0), 8.0);
+    }
+
+    #[test]
+    fn max_and_avg_pool() {
+        let x = Tensor::from_vec(
+            TensorShape::new(1, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        let maxp = OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (2, 2),
+            stride: (2, 2),
+            padding: (0, 0),
+        };
+        let avgp = OpKind::Pool {
+            kind: PoolKind::Avg,
+            kernel: (2, 2),
+            stride: (2, 2),
+            padding: (0, 0),
+        };
+        let w = OpWeights::default();
+        assert_eq!(execute_op(&maxp, &[&x], &w).data, vec![4.0]);
+        assert_eq!(execute_op(&avgp, &[&x], &w).data, vec![2.5]);
+    }
+
+    #[test]
+    fn pool_padding_conventions() {
+        // Max pooling ignores padding; avg divides by the full window.
+        let x = ones(TensorShape::new(1, 1, 2, 2));
+        let maxp = OpKind::Pool {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        };
+        let avgp = OpKind::Pool {
+            kind: PoolKind::Avg,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        };
+        let w = OpWeights::default();
+        let ymax = execute_op(&maxp, &[&x], &w);
+        assert!(ymax.data.iter().all(|&v| v == 1.0));
+        let yavg = execute_op(&avgp, &[&x], &w);
+        assert_eq!(yavg.at(0, 0, 0, 0), 4.0 / 9.0);
+    }
+
+    #[test]
+    fn gap_add_concat_linear_softmax() {
+        let w = OpWeights::default();
+        let x = Tensor::from_vec(TensorShape::new(1, 2, 2, 1), vec![1., 3., 10., 30.]);
+        let gap = execute_op(&OpKind::GlobalAvgPool, &[&x], &w);
+        assert_eq!(gap.data, vec![2.0, 20.0]);
+
+        let a = Tensor::from_vec(TensorShape::new(1, 1, 1, 2), vec![1.0, 2.0]);
+        let b = Tensor::from_vec(TensorShape::new(1, 1, 1, 2), vec![10.0, 20.0]);
+        assert_eq!(execute_op(&OpKind::Add, &[&a, &b], &w).data, vec![11.0, 22.0]);
+        let cat = execute_op(&OpKind::Concat, &[&a, &b], &w);
+        assert_eq!(cat.shape.c, 2);
+        assert_eq!(cat.data, vec![1.0, 2.0, 10.0, 20.0]);
+
+        let v = Tensor::from_vec(TensorShape::vector(1, 2), vec![1.0, 2.0]);
+        let lw = OpWeights {
+            weight: vec![1.0, 1.0, 0.0, 1.0],
+            weight2: vec![],
+            bias: vec![0.5, 0.0],
+            scale: vec![],
+        };
+        let y = execute_op(&OpKind::Linear { out_features: 2 }, &[&v], &lw);
+        assert_eq!(y.data, vec![3.5, 2.0]);
+
+        let s = execute_op(&OpKind::Softmax, &[&v], &w);
+        let sum: f32 = s.data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(s.data[1] > s.data[0]);
+    }
+
+    #[test]
+    fn batchnorm_scales_and_shifts() {
+        let x = ones(TensorShape::new(1, 2, 1, 2));
+        let w = OpWeights {
+            weight: vec![],
+            weight2: vec![],
+            bias: vec![1.0, -1.0],
+            scale: vec![2.0, 3.0],
+        };
+        let y = execute_op(&OpKind::BatchNorm, &[&x], &w);
+        assert_eq!(y.data, vec![3.0, 3.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        let x = ones(TensorShape::new(1, 1, 4, 4));
+        let kind = OpKind::Conv2d {
+            out_channels: 1,
+            kernel: (2, 2),
+            stride: (2, 2),
+            padding: (0, 0),
+            groups: 1,
+            activation: Activation::None,
+        };
+        let w = OpWeights {
+            weight: vec![0.25; 4],
+            weight2: vec![],
+            bias: vec![0.0],
+            scale: vec![],
+        };
+        let y = execute_op(&kind, &[&x], &w);
+        assert_eq!(y.shape, TensorShape::new(1, 1, 2, 2));
+        assert!(y.data.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+}

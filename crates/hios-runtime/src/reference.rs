@@ -1,0 +1,118 @@
+//! Ground-truth sequential execution.
+
+use crate::kernels::execute_op;
+use crate::tensor::Tensor;
+use crate::weights::ModelWeights;
+use hios_graph::topo::topo_order;
+use hios_graph::{Graph, OpId, OpKind};
+use std::collections::HashMap;
+
+/// Executes the whole graph single-threaded in topological order.
+///
+/// `inputs` maps every `OpKind::Input` operator to its activation tensor.
+/// Returns the outputs of **all** operators (small models only; the tests
+/// and examples use width-reduced networks).
+///
+/// # Panics
+/// Panics when an input tensor is missing or has the wrong shape.
+pub fn execute_reference(
+    g: &Graph,
+    weights: &ModelWeights,
+    inputs: &HashMap<OpId, Tensor>,
+) -> Vec<Tensor> {
+    let mut outs: Vec<Option<Tensor>> = vec![None; g.num_ops()];
+    for v in topo_order(g) {
+        let node = g.node(v);
+        if matches!(node.kind, OpKind::Input) {
+            let t = inputs
+                .get(&v)
+                .unwrap_or_else(|| panic!("missing input tensor for {v}"));
+            assert_eq!(t.shape, node.output_shape, "input shape mismatch for {v}");
+            outs[v.index()] = Some(t.clone());
+            continue;
+        }
+        let in_tensors: Vec<&Tensor> = g
+            .preds(v)
+            .iter()
+            .map(|&u| outs[u.index()].as_ref().expect("topological order"))
+            .collect();
+        let y = execute_op(&node.kind, &in_tensors, weights.of(v));
+        debug_assert_eq!(y.shape, node.output_shape, "kernel/shape-inference drift at {v}");
+        outs[v.index()] = Some(y);
+    }
+    outs.into_iter().map(|o| o.expect("all executed")).collect()
+}
+
+/// Convenience: builds a deterministic pseudo-random input for every
+/// `Input` operator of the graph.
+pub fn random_inputs(g: &Graph, seed: u64) -> HashMap<OpId, Tensor> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut out = HashMap::new();
+    for v in g.op_ids() {
+        if matches!(g.node(v).kind, OpKind::Input) {
+            let shape = g.node(v).output_shape;
+            let mut rng = StdRng::seed_from_u64(seed ^ v.0 as u64);
+            let data = (0..shape.elems()).map(|_| rng.random_range(-1.0..1.0)).collect();
+            out.insert(v, Tensor::from_vec(shape, data));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::{Activation, GraphBuilder, TensorShape};
+
+    #[test]
+    fn reference_runs_a_small_branchy_net() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", TensorShape::new(1, 2, 6, 6));
+        let conv = |b: &mut GraphBuilder, name: &str, x, c| {
+            b.add_op(
+                name,
+                OpKind::Conv2d {
+                    out_channels: c,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: (1, 1),
+                    groups: 1,
+                    activation: Activation::Relu,
+                },
+                &[x],
+            )
+            .unwrap()
+        };
+        let l = conv(&mut b, "l", x, 4);
+        let r = conv(&mut b, "r", x, 4);
+        let cat = b.add_op("cat", OpKind::Concat, &[l, r]).unwrap();
+        let gap = b.add_op("gap", OpKind::GlobalAvgPool, &[cat]).unwrap();
+        b.add_op("fc", OpKind::Linear { out_features: 3 }, &[gap])
+            .unwrap();
+        let g = b.build();
+
+        let w = ModelWeights::init(&g, 5);
+        let inputs = random_inputs(&g, 5);
+        let outs = execute_reference(&g, &w, &inputs);
+        assert_eq!(outs.len(), g.num_ops());
+        let last = outs.last().unwrap();
+        assert_eq!(last.shape, TensorShape::vector(1, 3));
+        assert!(last.data.iter().all(|v| v.is_finite()));
+        // Deterministic.
+        let outs2 = execute_reference(&g, &w, &inputs);
+        assert_eq!(outs.last(), outs2.last());
+    }
+
+    #[test]
+    fn random_inputs_cover_every_input_op() {
+        let mut b = GraphBuilder::new();
+        let x = b.input("a", TensorShape::new(1, 1, 2, 2));
+        let y = b.input("b", TensorShape::new(1, 1, 2, 2));
+        b.add_op("add", OpKind::Add, &[x, y]).unwrap();
+        let g = b.build();
+        let inputs = random_inputs(&g, 1);
+        assert_eq!(inputs.len(), 2);
+        assert_ne!(inputs[&x].data, inputs[&y].data);
+    }
+}

@@ -1,0 +1,96 @@
+//! Dense f32 tensors in NCHW layout.
+
+use hios_graph::TensorShape;
+
+/// A dense activation tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    /// Logical shape.
+    pub shape: TensorShape,
+    /// Row-major NCHW data, `shape.elems()` long.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(shape: TensorShape) -> Self {
+        Tensor {
+            data: vec![0.0; shape.elems() as usize],
+            shape,
+        }
+    }
+
+    /// Tensor from existing data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != shape.elems()`.
+    pub fn from_vec(shape: TensorShape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.elems() as usize,
+            "data length must match shape"
+        );
+        Tensor { shape, data }
+    }
+
+    /// Flat index of `(n, c, h, w)`.
+    #[inline]
+    pub fn idx(&self, n: u32, c: u32, h: u32, w: u32) -> usize {
+        debug_assert!(n < self.shape.n && c < self.shape.c && h < self.shape.h && w < self.shape.w);
+        (((n * self.shape.c + c) * self.shape.h + h) * self.shape.w + w) as usize
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, n: u32, c: u32, h: u32, w: u32) -> f32 {
+        self.data[self.idx(n, c, h, w)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, n: u32, c: u32, h: u32, w: u32) -> &mut f32 {
+        let i = self.idx(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_nchw_row_major() {
+        let mut t = Tensor::zeros(TensorShape::new(2, 3, 4, 5));
+        *t.at_mut(1, 2, 3, 4) = 7.0;
+        assert_eq!(t.data[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0);
+        assert_eq!(t.at(1, 2, 3, 4), 7.0);
+        assert_eq!(t.at(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_length() {
+        Tensor::from_vec(TensorShape::new(1, 1, 2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tensor::from_vec(TensorShape::new(1, 1, 1, 3), vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(TensorShape::new(1, 1, 1, 3), vec![1.0, 2.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

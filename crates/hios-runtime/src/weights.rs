@@ -1,0 +1,166 @@
+//! Deterministic parameter initialization.
+//!
+//! Each parameterized operator draws its weights from an RNG seeded by
+//! `(model seed, operator id)`, so the reference executor and the parallel
+//! engine — and any two runs — see bitwise-identical parameters.
+
+use hios_graph::{Graph, OpId, OpKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one operator.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OpWeights {
+    /// Main weight tensor, layout depending on the op:
+    /// conv `[out][in/groups][kh][kw]`, sepconv depthwise `[in][kh][kw]`,
+    /// linear `[out][in]`.
+    pub weight: Vec<f32>,
+    /// Secondary weights (sepconv pointwise `[out][in]`).
+    pub weight2: Vec<f32>,
+    /// Bias `[out]`; batchnorm shift.
+    pub bias: Vec<f32>,
+    /// Batchnorm scale `[c]`.
+    pub scale: Vec<f32>,
+}
+
+/// All weights of a model, indexed by operator id.
+#[derive(Clone, Debug)]
+pub struct ModelWeights {
+    per_op: Vec<OpWeights>,
+}
+
+impl ModelWeights {
+    /// Initializes every parameterized operator of `g` deterministically
+    /// from `seed`.
+    pub fn init(g: &Graph, seed: u64) -> Self {
+        let per_op = g
+            .op_ids()
+            .map(|v| init_op(g, v, seed))
+            .collect();
+        ModelWeights { per_op }
+    }
+
+    /// Weights of operator `v`.
+    pub fn of(&self, v: OpId) -> &OpWeights {
+        &self.per_op[v.index()]
+    }
+}
+
+fn init_op(g: &Graph, v: OpId, seed: u64) -> OpWeights {
+    let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(v.0 as u64 + 1)));
+    let cin = g.preds(v).first().map_or(0, |&u| g.node(u).output_shape.c);
+    let mut draw = |n: usize, fan_in: u32| -> Vec<f32> {
+        let bound = 1.0 / (fan_in.max(1) as f32).sqrt();
+        (0..n).map(|_| rng.random_range(-bound..bound)).collect()
+    };
+    match &g.node(v).kind {
+        OpKind::Conv2d {
+            out_channels,
+            kernel,
+            groups,
+            ..
+        } => {
+            let fan_in = cin / groups.max(&1) * kernel.0 * kernel.1;
+            let w = (*out_channels * cin / groups.max(&1) * kernel.0 * kernel.1) as usize;
+            OpWeights {
+                weight: draw(w, fan_in),
+                weight2: Vec::new(),
+                bias: draw(*out_channels as usize, fan_in),
+                scale: Vec::new(),
+            }
+        }
+        OpKind::SepConv2d {
+            out_channels,
+            kernel,
+            ..
+        } => {
+            let dw_fan = kernel.0 * kernel.1;
+            let dw = (cin * kernel.0 * kernel.1) as usize;
+            let pw = (*out_channels * cin) as usize;
+            OpWeights {
+                weight: draw(dw, dw_fan),
+                weight2: draw(pw, cin),
+                bias: draw(*out_channels as usize, cin),
+                scale: Vec::new(),
+            }
+        }
+        OpKind::Linear { out_features } => {
+            let w = (*out_features * cin) as usize;
+            OpWeights {
+                weight: draw(w, cin),
+                weight2: Vec::new(),
+                bias: draw(*out_features as usize, cin),
+                scale: Vec::new(),
+            }
+        }
+        OpKind::BatchNorm => OpWeights {
+            weight: Vec::new(),
+            weight2: Vec::new(),
+            bias: draw(cin as usize, 1),
+            scale: (0..cin).map(|_| rng.random_range(0.5..1.5)).collect(),
+        },
+        _ => OpWeights::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::{Activation, GraphBuilder, TensorShape};
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", TensorShape::new(1, 4, 8, 8));
+        let c = b
+            .add_op(
+                "conv",
+                OpKind::Conv2d {
+                    out_channels: 8,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: (1, 1),
+                    groups: 1,
+                    activation: Activation::Relu,
+                },
+                &[x],
+            )
+            .unwrap();
+        let n = b.add_op("bn", OpKind::BatchNorm, &[c]).unwrap();
+        let p = b.add_op("gap", OpKind::GlobalAvgPool, &[n]).unwrap();
+        b.add_op("fc", OpKind::Linear { out_features: 10 }, &[p])
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn shapes_of_parameter_buffers() {
+        let g = tiny();
+        let w = ModelWeights::init(&g, 1);
+        assert_eq!(w.of(hios_graph::OpId(1)).weight.len(), 8 * 4 * 3 * 3);
+        assert_eq!(w.of(hios_graph::OpId(1)).bias.len(), 8);
+        assert_eq!(w.of(hios_graph::OpId(2)).scale.len(), 8);
+        assert_eq!(w.of(hios_graph::OpId(4)).weight.len(), 10 * 8);
+        assert!(w.of(hios_graph::OpId(0)).weight.is_empty());
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let g = tiny();
+        let a = ModelWeights::init(&g, 7);
+        let b = ModelWeights::init(&g, 7);
+        let c = ModelWeights::init(&g, 8);
+        assert_eq!(a.of(hios_graph::OpId(1)), b.of(hios_graph::OpId(1)));
+        assert_ne!(a.of(hios_graph::OpId(1)), c.of(hios_graph::OpId(1)));
+    }
+
+    #[test]
+    fn weights_are_bounded() {
+        let g = tiny();
+        let w = ModelWeights::init(&g, 3);
+        for v in g.op_ids() {
+            for &x in &w.of(v).weight {
+                assert!(x.abs() <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Timeline rendering: ASCII Gantt charts and CSV export of simulation
+//! results, for eyeballing schedules the way the paper's Fig. 3 does.
+
+use crate::engine::SimResult;
+use hios_core::Schedule;
+use hios_graph::Graph;
+
+/// Renders a fixed-width ASCII Gantt chart: one row per GPU, `#` where at
+/// least one operator is executing, `.` where the GPU idles.
+pub fn ascii_gantt(g: &Graph, sched: &Schedule, sim: &SimResult, columns: usize) -> String {
+    let columns = columns.max(10);
+    let span = sim.makespan.max(1e-9);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "makespan {:.3} ms, {} transfers\n",
+        sim.makespan,
+        sim.transfers.len()
+    ));
+    for (gi, gpu) in sched.gpus.iter().enumerate() {
+        let mut row = vec![b'.'; columns];
+        for stage in &gpu.stages {
+            for &v in &stage.ops {
+                let s = sim.op_start[v.index()] / span * columns as f64;
+                let f = sim.op_finish[v.index()] / span * columns as f64;
+                let s = (s.floor() as usize).min(columns - 1);
+                let f = (f.ceil() as usize).clamp(s + 1, columns);
+                for c in &mut row[s..f] {
+                    *c = b'#';
+                }
+            }
+        }
+        out.push_str(&format!(
+            "GPU{gi} [{}] {} ops\n",
+            String::from_utf8(row).expect("ascii"),
+            gpu.num_ops()
+        ));
+    }
+    let _ = g;
+    out
+}
+
+/// CSV of per-operator timings: `op,name,gpu,stage,start_ms,finish_ms`.
+pub fn timeline_csv(g: &Graph, sched: &Schedule, sim: &SimResult) -> String {
+    let place = sched.placements(g.num_ops());
+    let mut out = String::from("op,name,gpu,stage,start_ms,finish_ms\n");
+    for v in g.op_ids() {
+        let p = place[v.index()].expect("schedule covers all ops");
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{:.6}\n",
+            v.0,
+            g.node(v).name,
+            p.gpu,
+            p.stage,
+            sim.op_start[v.index()],
+            sim.op_finish[v.index()],
+        ));
+    }
+    out
+}
+
+/// CSV of transfers: `from,to,from_gpu,to_gpu,start_ms,finish_ms`.
+pub fn transfers_csv(sim: &SimResult) -> String {
+    let mut out = String::from("from,to,from_gpu,to_gpu,start_ms,finish_ms\n");
+    for t in &sim.transfers {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{:.6}\n",
+            t.from.0, t.to.0, t.from_gpu, t.to_gpu, t.start, t.finish
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, simulate};
+    use hios_core::{Algorithm, SchedulerOptions, run_scheduler};
+    use hios_cost::{RandomCostConfig, random_cost_table};
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+    fn sample() -> (hios_graph::Graph, hios_cost::CostTable, Schedule) {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 30,
+            layers: 5,
+            deps: 60,
+            seed: 2,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(2));
+        let s = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).schedule;
+        (g, cost, s)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_gpu() {
+        let (g, cost, s) = sample();
+        let sim = simulate(&g, &cost, &s, &SimConfig::analytical()).unwrap();
+        let chart = ascii_gantt(&g, &s, &sim, 60);
+        assert_eq!(chart.lines().count(), 1 + s.num_gpus());
+        assert!(chart.contains("GPU0 ["));
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn timeline_csv_covers_every_op() {
+        let (g, cost, s) = sample();
+        let sim = simulate(&g, &cost, &s, &SimConfig::analytical()).unwrap();
+        let csv = timeline_csv(&g, &s, &sim);
+        assert_eq!(csv.lines().count(), 1 + g.num_ops());
+        assert!(csv.starts_with("op,name,gpu,stage"));
+    }
+
+    #[test]
+    fn transfers_csv_matches_records() {
+        let (g, cost, s) = sample();
+        let sim = simulate(&g, &cost, &s, &SimConfig::realistic(&cost)).unwrap();
+        let csv = transfers_csv(&sim);
+        assert_eq!(csv.lines().count(), 1 + sim.transfers.len());
+    }
+}

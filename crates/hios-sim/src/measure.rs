@@ -1,0 +1,165 @@
+//! Repeated-measurement emulation.
+//!
+//! "By default, each data point in experiments denotes the average of
+//! measurements on 36 runs" (paper §VI-A).  Real runs jitter — clock
+//! frequency, driver scheduling, link arbitration — so this module runs
+//! the discrete-event simulation `runs` times with multiplicative noise
+//! on operator and transfer durations and reports mean ± std, giving the
+//! virtual testbed the same statistical texture as the paper's plots.
+
+use crate::engine::{SimConfig, SimError, simulate};
+use hios_core::Schedule;
+use hios_cost::CostTable;
+use hios_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureConfig {
+    /// Number of simulated runs (paper default 36).
+    pub runs: u32,
+    /// Multiplicative jitter amplitude: each duration is scaled by a
+    /// uniform factor in `[1, 1 + jitter]` per run (executions only get
+    /// slower than the profiled best case).
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            runs: 36,
+            jitter: 0.03,
+            seed: 0,
+        }
+    }
+}
+
+/// A repeated-measurement result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measurement {
+    /// Mean makespan, ms.
+    pub mean_ms: f64,
+    /// Sample standard deviation, ms.
+    pub std_ms: f64,
+    /// Fastest observed run, ms.
+    pub min_ms: f64,
+    /// Slowest observed run, ms.
+    pub max_ms: f64,
+}
+
+/// Measures `sched` by `cfg.runs` jittered simulations.
+pub fn measure(
+    g: &Graph,
+    cost: &CostTable,
+    sched: &Schedule,
+    sim_cfg: &SimConfig,
+    cfg: &MeasureConfig,
+) -> Result<Measurement, SimError> {
+    assert!(cfg.runs >= 1, "need at least one run");
+    assert!(cfg.jitter >= 0.0, "jitter must be non-negative");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut samples = Vec::with_capacity(cfg.runs as usize);
+    for _ in 0..cfg.runs {
+        let mut noisy = cost.clone();
+        if cfg.jitter > 0.0 {
+            for t in &mut noisy.exec_ms {
+                *t *= 1.0 + rng.random_range(0.0..cfg.jitter);
+            }
+            for t in &mut noisy.transfer_out_ms {
+                *t *= 1.0 + rng.random_range(0.0..cfg.jitter);
+            }
+        }
+        samples.push(simulate(g, &noisy, sched, sim_cfg)?.makespan);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Ok(Measurement {
+        mean_ms: mean,
+        std_ms: var.sqrt(),
+        min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ms: samples.iter().copied().fold(0.0, f64::max),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_core::{Algorithm, SchedulerOptions, run_scheduler};
+    use hios_cost::{RandomCostConfig, random_cost_table};
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+    fn setup() -> (Graph, CostTable, Schedule) {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 40,
+            layers: 5,
+            deps: 80,
+            seed: 3,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(3));
+        let s = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).schedule;
+        (g, cost, s)
+    }
+
+    #[test]
+    fn jitter_only_slows_things_down() {
+        let (g, cost, s) = setup();
+        let base = simulate(&g, &cost, &s, &SimConfig::analytical())
+            .unwrap()
+            .makespan;
+        let m = measure(
+            &g,
+            &cost,
+            &s,
+            &SimConfig::analytical(),
+            &MeasureConfig::default(),
+        )
+        .unwrap();
+        assert!(m.min_ms >= base - 1e-9, "{} vs base {base}", m.min_ms);
+        assert!(m.mean_ms > base);
+        assert!(m.std_ms > 0.0);
+        assert!(m.max_ms >= m.mean_ms && m.mean_ms >= m.min_ms);
+        // 3% per-op jitter cannot inflate the makespan by more than ~3%
+        // plus scheduling slack.
+        assert!(m.max_ms < base * 1.1);
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let (g, cost, s) = setup();
+        let m = measure(
+            &g,
+            &cost,
+            &s,
+            &SimConfig::analytical(),
+            &MeasureConfig {
+                runs: 5,
+                jitter: 0.0,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.std_ms, 0.0);
+        assert_eq!(m.min_ms, m.max_ms);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, cost, s) = setup();
+        let cfg = MeasureConfig {
+            runs: 10,
+            jitter: 0.05,
+            seed: 42,
+        };
+        let a = measure(&g, &cost, &s, &SimConfig::analytical(), &cfg).unwrap();
+        let b = measure(&g, &cost, &s, &SimConfig::analytical(), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

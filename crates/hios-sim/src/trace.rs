@@ -1,0 +1,74 @@
+//! Chrome trace-event export: open the JSON in `chrome://tracing` or
+//! Perfetto to inspect a simulated schedule interactively (one track per
+//! GPU, one for each directed link).
+
+use crate::engine::SimResult;
+use hios_core::Schedule;
+use hios_graph::Graph;
+
+/// Renders the simulation as a Chrome trace-event JSON array.
+///
+/// Operators become complete events (`ph: "X"`) on `pid 0`, one `tid` per
+/// GPU; transfers land on dedicated link tracks (`pid 1`).  Timestamps
+/// are microseconds as the format requires.
+pub fn chrome_trace(g: &Graph, sched: &Schedule, sim: &SimResult) -> String {
+    let place = sched.placements(g.num_ops());
+    let mut events = Vec::new();
+    for v in g.op_ids() {
+        let p = place[v.index()].expect("schedule covers all ops");
+        let start_us = sim.op_start[v.index()] * 1e3;
+        let dur_us = (sim.op_finish[v.index()] - sim.op_start[v.index()]) * 1e3;
+        events.push(serde_json::json!({
+            "name": g.node(v).name,
+            "cat": g.node(v).kind.tag(),
+            "ph": "X",
+            "pid": 0,
+            "tid": p.gpu,
+            "ts": start_us,
+            "dur": dur_us,
+            "args": {"op": v.0, "stage": p.stage}
+        }));
+    }
+    for t in &sim.transfers {
+        events.push(serde_json::json!({
+            "name": format!("{} -> {}", t.from, t.to),
+            "cat": "transfer",
+            "ph": "X",
+            "pid": 1,
+            "tid": t.from_gpu * sched.num_gpus() + t.to_gpu,
+            "ts": t.start * 1e3,
+            "dur": (t.finish - t.start) * 1e3,
+            "args": {"from_gpu": t.from_gpu, "to_gpu": t.to_gpu}
+        }));
+    }
+    serde_json::to_string_pretty(&events).expect("trace serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, simulate};
+    use hios_core::{Algorithm, SchedulerOptions, run_scheduler};
+    use hios_cost::{RandomCostConfig, random_cost_table};
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+    #[test]
+    fn trace_is_valid_json_with_all_events() {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 20,
+            layers: 4,
+            deps: 40,
+            seed: 1,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(1));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let sim = simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).unwrap();
+        let trace = chrome_trace(&g, &out.schedule, &sim);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), g.num_ops() + sim.transfers.len());
+        assert!(events.iter().all(|e| e["ph"] == "X"));
+        assert!(events.iter().any(|e| e["cat"] == "transfer") == (!sim.transfers.is_empty()));
+    }
+}

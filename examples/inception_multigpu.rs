@@ -1,0 +1,56 @@
+//! The paper's §VI headline scenario: Inception-v3 inference on two
+//! virtual A40 GPUs joined by an NVLink bridge, comparing all six
+//! scheduling algorithms at a chosen input resolution.
+//!
+//! ```text
+//! cargo run --release --example inception_multigpu [input_size]
+//! ```
+
+use hios::core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios::cost::AnalyticCostModel;
+use hios::models::{ModelConfig, inception_v3};
+use hios::sim::{SimConfig, simulate};
+
+fn main() {
+    let size: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let graph = inception_v3(&ModelConfig::with_input(size));
+    let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
+    println!(
+        "Inception-v3 @ {size}x{size}: {} ops, {} deps, {:.1} GFLOP",
+        graph.num_ops(),
+        graph.num_edges(),
+        graph.total_flops() as f64 / 1e9
+    );
+    println!(
+        "{:18} {:>12} {:>12} {:>8} {:>10}",
+        "algorithm", "model ms", "measured ms", "gpus", "transfers"
+    );
+    for algo in Algorithm::ALL {
+        let out = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2));
+        let sim = simulate(&graph, &cost, &out.schedule, &SimConfig::realistic(&cost))
+            .expect("feasible");
+        println!(
+            "{:18} {:>12.3} {:>12.3} {:>8} {:>10}",
+            algo.name(),
+            out.latency_ms,
+            sim.makespan,
+            out.schedule.num_gpus_used(),
+            sim.transfers.len()
+        );
+    }
+
+    let lp = run_scheduler(Algorithm::HiosLp, &graph, &cost, &SchedulerOptions::new(2));
+    let sim = simulate(&graph, &cost, &lp.schedule, &SimConfig::realistic(&cost)).unwrap();
+    println!("\nHIOS-LP execution timeline:");
+    println!("{}", hios::sim::gantt::ascii_gantt(&graph, &lp.schedule, &sim, 76));
+    println!(
+        "per-GPU utilization: {:?}",
+        sim.gpu_utilization()
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,51 @@
+//! Generate and export NASNet schedules the way the paper's toolchain
+//! does: the scheduler emits JSON that the multi-GPU engine consumes
+//! (§VI-A), plus a Graphviz DOT of the model for inspection.
+//!
+//! ```text
+//! cargo run --release --example nasnet_schedules [out_dir]
+//! ```
+
+use hios::core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios::cost::AnalyticCostModel;
+use hios::graph::dot::to_dot;
+use hios::models::{ModelConfig, nasnet_a};
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nasnet_out".into());
+    let out_dir = std::path::Path::new(&out_dir);
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    let graph = nasnet_a(&ModelConfig::with_input(331));
+    println!(
+        "NASNet-A @ 331x331: {} ops, {} deps",
+        graph.num_ops(),
+        graph.num_edges()
+    );
+    let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
+
+    std::fs::write(out_dir.join("nasnet.dot"), to_dot(&graph)).expect("write dot");
+    std::fs::write(out_dir.join("nasnet.json"), hios::graph::json::to_json(&graph))
+        .expect("write graph json");
+    std::fs::write(out_dir.join("profile.json"), cost.to_json()).expect("write profile");
+
+    for algo in [Algorithm::Ios, Algorithm::HiosLp, Algorithm::HiosMr] {
+        let out = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2));
+        let file = out_dir.join(format!(
+            "schedule_{}.json",
+            algo.name().replace([' ', '/'], "_")
+        ));
+        std::fs::write(&file, out.schedule.to_json()).expect("write schedule");
+        println!(
+            "{:10} latency {:8.3} ms, {:3} stages on GPU0, {:3} on GPU1 -> {}",
+            algo.name(),
+            out.latency_ms,
+            out.schedule.gpus[0].stages.len(),
+            out.schedule.gpus.get(1).map_or(0, |g| g.stages.len()),
+            file.display()
+        );
+    }
+    println!("wrote artifacts to {}", out_dir.display());
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a small multi-branch model, cost it for a dual-A40
+//! NVLink box, schedule it with HIOS-LP and inspect the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hios::core::lp::{HiosLpConfig, schedule_hios_lp};
+use hios::core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios::cost::AnalyticCostModel;
+use hios::models::{ModelConfig, toy};
+use hios::sim::{SimConfig, simulate};
+
+fn main() {
+    // 1. A computation graph: 4 parallel convolution branches, 3 blocks
+    //    deep (a miniature inception-style network).
+    let graph = toy::multi_branch(
+        &ModelConfig {
+            input_size: 192,
+            width_mult: 1.0,
+            batch: 1,
+        },
+        4,
+        3,
+    );
+    println!(
+        "model: {} operators, {} dependencies",
+        graph.num_ops(),
+        graph.num_edges()
+    );
+
+    // 2. Costs from the analytic dual-A40 model (stands in for on-device
+    //    profiling).
+    let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
+    println!("sequential latency: {:.3} ms", cost.total_exec());
+
+    // 3. Schedule with HIOS-LP on 2 GPUs.
+    let out = schedule_hios_lp(&graph, &cost, HiosLpConfig::new(2));
+    println!("\nHIOS-LP schedule (stages per GPU):\n{}", out.schedule);
+    println!("modelled latency: {:.3} ms", out.latency);
+
+    // 4. Compare against the baselines.
+    println!("\nalgorithm comparison (stage-synchronous latency):");
+    for algo in Algorithm::ALL {
+        let r = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2));
+        println!("  {:18} {:8.3} ms", algo.name(), r.latency_ms);
+    }
+
+    // 5. Replay the HIOS-LP schedule on the discrete-event simulator with
+    //    realistic hardware effects and draw a Gantt chart.
+    let sim = simulate(&graph, &cost, &out.schedule, &SimConfig::realistic(&cost))
+        .expect("feasible schedule");
+    println!(
+        "\nsimulated latency (relaxed semantics, NVLink serialization): {:.3} ms",
+        sim.makespan
+    );
+    println!("{}", hios::sim::gantt::ascii_gantt(&graph, &out.schedule, &sim, 72));
+}

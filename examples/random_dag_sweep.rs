@@ -1,0 +1,53 @@
+//! A miniature of the paper's simulation study (§V): random layered DAGs
+//! with the paper's workload parameters, swept over GPU counts.
+//!
+//! ```text
+//! cargo run --release --example random_dag_sweep [seeds]
+//! ```
+
+use hios::core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios::cost::{RandomCostConfig, random_cost_table};
+use hios::graph::{LayeredDagConfig, generate_layered_dag};
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    println!(
+        "random DAGs: 200 ops, 14 layers, 400 deps, exec U(0.1,4) ms, p=0.8, {seeds} seeds"
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "gpus", "sequential", "IOS", "HIOS-MR", "HIOS-LP"
+    );
+    for gpus in [2usize, 4, 8, 12] {
+        let mut sums = [0.0f64; 4];
+        for seed in 0..seeds {
+            let g = generate_layered_dag(&LayeredDagConfig::paper_default(seed)).unwrap();
+            let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
+            let opts = SchedulerOptions::new(gpus);
+            for (i, algo) in [
+                Algorithm::Sequential,
+                Algorithm::Ios,
+                Algorithm::HiosMr,
+                Algorithm::HiosLp,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                sums[i] += run_scheduler(algo, &g, &cost, &opts).latency_ms;
+            }
+        }
+        let avg = |i: usize| sums[i] / seeds as f64;
+        println!(
+            "{:>5} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            gpus,
+            avg(0),
+            avg(1),
+            avg(2),
+            avg(3)
+        );
+    }
+    println!("\n(HIOS-LP should scale with GPU count; HIOS-MR plateaus — paper Fig. 7)");
+}

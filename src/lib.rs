@@ -1,0 +1,12 @@
+//! Facade crate: re-exports every HIOS crate under one roof.
+//!
+//! See the individual crates for the real implementation:
+//! [`hios_graph`], [`hios_cost`], [`hios_models`], [`hios_core`],
+//! [`hios_sim`], [`hios_runtime`].
+pub use hios_core as core;
+pub use hios_cost as cost;
+pub use hios_graph as graph;
+pub use hios_models as models;
+pub use hios_runtime as runtime;
+pub use hios_sim as sim;
+

@@ -1,0 +1,120 @@
+//! Cross-crate integration: model builders -> cost models -> schedulers ->
+//! evaluator -> discrete-event simulator, checked against each other.
+
+use hios::core::{Algorithm, SchedulerOptions, evaluate, run_scheduler};
+use hios::cost::{AnalyticCostModel, RandomCostConfig, random_cost_table};
+use hios::graph::{LayeredDagConfig, generate_layered_dag};
+use hios::models::{ModelConfig, inception_v3, nasnet_a};
+use hios::sim::{SimConfig, simulate};
+
+#[test]
+fn inception_pipeline_all_algorithms() {
+    let g = inception_v3(&ModelConfig::default());
+    let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
+    assert!(cost.validate(&g).is_ok());
+    let opts = SchedulerOptions::new(2);
+    let seq = run_scheduler(Algorithm::Sequential, &g, &cost, &opts).latency_ms;
+    for algo in Algorithm::ALL {
+        let out = run_scheduler(algo, &g, &cost, &opts);
+        assert!(out.schedule.validate(&g).is_ok(), "{algo:?}");
+        // Analytical simulation agrees with the evaluator.
+        let sim = simulate(&g, &cost, &out.schedule, &SimConfig::analytical()).unwrap();
+        assert!(
+            (sim.makespan - out.latency_ms).abs() < 1e-6,
+            "{algo:?}: evaluator {} vs simulator {}",
+            out.latency_ms,
+            sim.makespan
+        );
+        // Nothing beats the critical-path lower bound or loses to 2x
+        // sequential.
+        assert!(out.latency_ms <= seq * 1.001, "{algo:?} worse than sequential");
+        // Realistic simulation stays feasible.
+        let real = simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).unwrap();
+        assert!(real.makespan > 0.0);
+    }
+}
+
+#[test]
+fn nasnet_hios_lp_beats_single_gpu_baselines() {
+    // The paper's NASNet headline: HIOS-LP on 2 GPUs beats IOS and
+    // sequential at large inputs (Fig. 12b).
+    let g = nasnet_a(&ModelConfig::with_input(512));
+    let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
+    let opts = SchedulerOptions::new(2);
+    let measure = |a| {
+        let out = run_scheduler(a, &g, &cost, &opts);
+        simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost))
+            .unwrap()
+            .makespan
+    };
+    let seq = measure(Algorithm::Sequential);
+    let ios = measure(Algorithm::Ios);
+    let mr = measure(Algorithm::HiosMr);
+    let lp = measure(Algorithm::HiosLp);
+    assert!(lp < ios, "HIOS-LP {lp:.2} must beat IOS {ios:.2}");
+    assert!(lp < mr, "HIOS-LP {lp:.2} must beat HIOS-MR {mr:.2}");
+    assert!(lp < seq, "HIOS-LP {lp:.2} must beat sequential {seq:.2}");
+}
+
+#[test]
+fn latency_lower_bound_holds_everywhere() {
+    for seed in 0..5 {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 80,
+            layers: 8,
+            deps: 160,
+            seed,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
+        let cp = hios::graph::paths::critical_path(&g, |v| cost.exec(v), |_, _| 0.0).0;
+        for algo in Algorithm::ALL {
+            let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(4));
+            assert!(
+                out.latency_ms >= cp - 1e-9,
+                "{algo:?} reported {} below the critical path {cp}",
+                out.latency_ms
+            );
+        }
+    }
+}
+
+#[test]
+fn evaluator_matches_analytical_simulation_on_random_instances() {
+    for seed in 10..16 {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 70,
+            layers: 7,
+            deps: 150,
+            seed,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
+        let out = run_scheduler(Algorithm::HiosMr, &g, &cost, &SchedulerOptions::new(3));
+        let ev = evaluate(&g, &cost, &out.schedule).unwrap();
+        let sim = simulate(&g, &cost, &out.schedule, &SimConfig::analytical()).unwrap();
+        assert!((ev.latency - sim.makespan).abs() < 1e-6, "seed {seed}");
+        // Per-op times agree too.
+        for v in g.op_ids() {
+            assert!(
+                (ev.op_start[v.index()] - sim.op_start[v.index()]).abs() < 1e-6,
+                "seed {seed} {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn more_gpus_never_hurt_hios_lp_on_average() {
+    let mut totals = [0.0f64; 3];
+    for seed in 0..6 {
+        let g = generate_layered_dag(&LayeredDagConfig::paper_default(seed)).unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
+        for (i, m) in [2usize, 4, 8].into_iter().enumerate() {
+            totals[i] +=
+                run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m)).latency_ms;
+        }
+    }
+    assert!(totals[1] < totals[0], "4 GPUs beat 2 on average");
+    assert!(totals[2] <= totals[1] * 1.02, "8 GPUs are not worse than 4");
+}

@@ -1,0 +1,98 @@
+//! Property-based cross-crate invariants (proptest).
+
+use hios::core::{Algorithm, SchedulerOptions, evaluate, run_scheduler};
+use hios::cost::{RandomCostConfig, random_cost_table};
+use hios::graph::topo::{is_topo_order, topo_order};
+use hios::graph::{LayeredDagConfig, generate_layered_dag};
+use hios::sim::{SimConfig, simulate};
+use proptest::prelude::*;
+
+/// Strategy: a feasible layered-DAG configuration plus cost seed.
+fn workload() -> impl Strategy<Value = (LayeredDagConfig, u64)> {
+    (3usize..8, 0u64..1000, 0u64..1000).prop_flat_map(|(layers, seed, cost_seed)| {
+        (layers * 3..layers * 10).prop_flat_map(move |ops| {
+            let min_deps = ops; // generous lower bound above ops - layer0
+            (min_deps..3 * ops).prop_map(move |deps| {
+                (
+                    LayeredDagConfig {
+                        ops,
+                        layers,
+                        deps,
+                        seed,
+                    },
+                    cost_seed,
+                )
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_dags_are_well_formed((cfg, _) in workload()) {
+        let g = generate_layered_dag(&cfg).unwrap();
+        prop_assert_eq!(g.num_ops(), cfg.ops);
+        prop_assert_eq!(g.num_edges(), cfg.deps);
+        let order = topo_order(&g);
+        prop_assert!(is_topo_order(&g, &order));
+    }
+
+    #[test]
+    fn every_scheduler_yields_valid_evaluable_schedules((cfg, cost_seed) in workload()) {
+        let g = generate_layered_dag(&cfg).unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
+        for algo in Algorithm::ALL {
+            let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(3));
+            prop_assert!(out.schedule.validate(&g).is_ok());
+            let ev = evaluate(&g, &cost, &out.schedule);
+            prop_assert!(ev.is_ok());
+            prop_assert!((ev.unwrap().latency - out.latency_ms).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn analytical_simulation_agrees_with_evaluator((cfg, cost_seed) in workload()) {
+        let g = generate_layered_dag(&cfg).unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(3));
+        let sim = simulate(&g, &cost, &out.schedule, &SimConfig::analytical()).unwrap();
+        prop_assert!((sim.makespan - out.latency_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_gpu_schedulers_never_lose_to_sequential((cfg, cost_seed) in workload()) {
+        let g = generate_layered_dag(&cfg).unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
+        let opts = SchedulerOptions::new(4);
+        let seq = run_scheduler(Algorithm::Sequential, &g, &cost, &opts).latency_ms;
+        for algo in [Algorithm::HiosLp, Algorithm::HiosMr, Algorithm::Ios] {
+            let l = run_scheduler(algo, &g, &cost, &opts).latency_ms;
+            prop_assert!(
+                l <= seq + 1e-9,
+                "{:?} ({}) must not lose to sequential ({})", algo, l, seq
+            );
+        }
+    }
+
+    #[test]
+    fn latency_respects_critical_path((cfg, cost_seed) in workload()) {
+        let g = generate_layered_dag(&cfg).unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
+        // Lower bound ignoring transfers and using the most optimistic
+        // concurrency (work conservation over 4 GPUs).
+        let cp = hios::graph::paths::critical_path(&g, |v| cost.exec(v), |_, _| 0.0).0;
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(4));
+        prop_assert!(out.latency_ms >= cp - 1e-9);
+    }
+
+    #[test]
+    fn schedule_json_round_trips((cfg, cost_seed) in workload()) {
+        let g = generate_layered_dag(&cfg).unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
+        let out = run_scheduler(Algorithm::HiosMr, &g, &cost, &SchedulerOptions::new(2));
+        let back = hios::core::Schedule::from_json(&out.schedule.to_json()).unwrap();
+        prop_assert_eq!(back, out.schedule);
+    }
+}

@@ -1,0 +1,114 @@
+//! Functional correctness of the parallel execution engine across every
+//! scheduler and several model families: the engine must reproduce the
+//! sequential reference output bitwise.
+
+use hios::core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios::cost::AnalyticCostModel;
+use hios::models::nasnet::{NasnetConfig, nasnet_a_with};
+use hios::models::{ModelConfig, inception_v3, toy};
+use hios::runtime::reference::random_inputs;
+use hios::runtime::{ModelWeights, execute_reference, execute_schedule};
+
+fn assert_engine_matches_reference(g: &hios::graph::Graph, gpus: usize) {
+    let cost = AnalyticCostModel::a40_nvlink().build_table(g);
+    let weights = ModelWeights::init(g, 7);
+    let inputs = random_inputs(g, 7);
+    let reference = execute_reference(g, &weights, &inputs);
+    for algo in Algorithm::ALL {
+        let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus));
+        let report = execute_schedule(g, &out.schedule, &weights, &inputs)
+            .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        assert!(!report.sink_outputs.is_empty());
+        for (v, t) in &report.sink_outputs {
+            assert_eq!(
+                t,
+                &reference[v.index()],
+                "{algo:?}: sink {v} diverged from the reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_branch_toy_model() {
+    let g = toy::multi_branch(
+        &ModelConfig {
+            input_size: 10,
+            width_mult: 0.25,
+            batch: 1,
+        },
+        4,
+        2,
+    );
+    assert_engine_matches_reference(&g, 2);
+    assert_engine_matches_reference(&g, 3);
+}
+
+#[test]
+fn width_reduced_inception() {
+    let g = inception_v3(&ModelConfig {
+        input_size: 96,
+        width_mult: 0.0625,
+        batch: 1,
+    });
+    assert_engine_matches_reference(&g, 2);
+}
+
+#[test]
+fn tiny_nasnet() {
+    let g = nasnet_a_with(
+        &ModelConfig {
+            input_size: 48,
+            width_mult: 0.25,
+            batch: 1,
+        },
+        &NasnetConfig {
+            cells_per_stack: 1,
+            base_filters: 16,
+        },
+    );
+    assert_engine_matches_reference(&g, 2);
+}
+
+#[test]
+fn width_reduced_squeezenet() {
+    let g = hios::models::squeezenet(&ModelConfig {
+        input_size: 64,
+        width_mult: 0.125,
+        batch: 1,
+    });
+    assert_engine_matches_reference(&g, 2);
+}
+
+#[test]
+fn small_randwire() {
+    let g = hios::models::randwire(
+        &ModelConfig {
+            input_size: 32,
+            width_mult: 0.25,
+            batch: 1,
+        },
+        &hios::models::RandWireConfig {
+            nodes_per_stage: 6,
+            stages: 2,
+            k: 2,
+            p: 0.3,
+            channels: 8,
+            seed: 4,
+        },
+    );
+    assert_engine_matches_reference(&g, 2);
+}
+
+#[test]
+fn chain_model_on_one_gpu() {
+    let g = toy::chain(
+        &ModelConfig {
+            input_size: 8,
+            width_mult: 0.25,
+            batch: 1,
+        },
+        4,
+    );
+    assert_engine_matches_reference(&g, 1);
+}
