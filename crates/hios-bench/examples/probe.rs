@@ -7,24 +7,40 @@
 //! cargo run -p hios-bench --release --example probe
 //! ```
 
-use hios_core::{Algorithm, SchedulerOptions, run_scheduler, evaluate};
+use hios_core::{Algorithm, SchedulerOptions, evaluate, run_scheduler};
 use hios_cost::AnalyticCostModel;
-use hios_models::{inception_v3, nasnet_a, ModelConfig};
-use hios_sim::{simulate, SimConfig};
+use hios_models::{ModelConfig, inception_v3, nasnet_a};
+use hios_sim::{SimConfig, simulate};
 
 fn main() {
-    for (name, sizes) in [("inception", vec![299u32, 512, 1024]), ("nasnet", vec![331, 512, 1024])] {
+    for (name, sizes) in [
+        ("inception", vec![299u32, 512, 1024]),
+        ("nasnet", vec![331, 512, 1024]),
+    ] {
         for &size in &sizes {
-            let g = if name == "inception" { inception_v3(&ModelConfig::with_input(size)) } else { nasnet_a(&ModelConfig::with_input(size)) };
+            let g = if name == "inception" {
+                inception_v3(&ModelConfig::with_input(size))
+            } else {
+                nasnet_a(&ModelConfig::with_input(size))
+            };
             let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-            println!("== {name} {size}: total={:.2}ms crit={:.2}ms", cost.total_exec(),
-                hios_graph::paths::critical_path(&g, |v| cost.exec(v), |_,_| 0.0).0);
+            println!(
+                "== {name} {size}: total={:.2}ms crit={:.2}ms",
+                cost.total_exec(),
+                hios_graph::paths::critical_path(&g, |v| cost.exec(v), |_, _| 0.0).0
+            );
             for a in Algorithm::ALL {
                 let out = run_scheduler(a, &g, &cost, &SchedulerOptions::new(2));
                 let ev = evaluate(&g, &cost, &out.schedule).unwrap().latency;
                 let sim = simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).unwrap();
-                println!("   {:18} eval {:8.3}  sim {:8.3}  width {}  transfers {}",
-                    a.name(), ev, sim.makespan, out.schedule.max_stage_width(), sim.transfers.len());
+                println!(
+                    "   {:18} eval {:8.3}  sim {:8.3}  width {}  transfers {}",
+                    a.name(),
+                    ev,
+                    sim.makespan,
+                    out.schedule.max_stage_width(),
+                    sim.transfers.len()
+                );
             }
         }
     }

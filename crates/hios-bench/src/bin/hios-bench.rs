@@ -9,8 +9,8 @@
 //! smoke run.  Results land in `<out>/figNN_*.csv` plus a combined
 //! `<out>/summary.md`.
 
-use hios_bench::experiments::all_experiments;
-use hios_bench::{RunCfg, Table};
+use hios_bench::RunCfg;
+use hios_bench::experiments::{Experiment, all_experiments};
 use std::io::Write;
 use std::time::Instant;
 
@@ -51,7 +51,7 @@ fn main() {
     }
 
     let experiments = all_experiments();
-    let to_run: Vec<&(&str, fn(&RunCfg) -> Table)> = if chosen.is_empty() {
+    let to_run: Vec<&Experiment> = if chosen.is_empty() {
         experiments.iter().collect()
     } else {
         chosen
@@ -67,16 +67,17 @@ fn main() {
 
     std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
     let mut summary = String::from("# HIOS reproduction results\n\n");
-    summary.push_str(&format!(
-        "seeds per simulation point: {}\n\n",
-        cfg.seeds
-    ));
+    summary.push_str(&format!("seeds per simulation point: {}\n\n", cfg.seeds));
     for (name, run) in to_run {
         let started = Instant::now();
         eprint!("running {name} ... ");
         let table = run(&cfg);
         table.write_csv(&cfg.out_dir).expect("write csv");
-        eprintln!("done in {:.1}s -> {}.csv", started.elapsed().as_secs_f64(), table.name);
+        eprintln!(
+            "done in {:.1}s -> {}.csv",
+            started.elapsed().as_secs_f64(),
+            table.name
+        );
         summary.push_str(&table.to_markdown());
     }
     let mut f = std::fs::File::create(cfg.out_dir.join("summary.md")).expect("summary.md");

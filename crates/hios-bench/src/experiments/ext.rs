@@ -75,7 +75,12 @@ pub fn ext_ios_pruning(_cfg: &RunCfg) -> Table {
     let mut t = Table::new(
         "ext_ios_pruning",
         "Ablation: IOS latency (ms) and wall time vs pruning strength (Inception-v3 @ 299)",
-        &["max_stage_ops", "max_candidates", "latency_ms", "schedule_secs"],
+        &[
+            "max_stage_ops",
+            "max_candidates",
+            "latency_ms",
+            "schedule_secs",
+        ],
     );
     for (stage_ops, candidates) in [(2usize, 8usize), (4, 16), (4, 64), (8, 64), (8, 256)] {
         let cfgx = IosConfig {
@@ -125,7 +130,9 @@ pub fn ext_semantics(_cfg: &RunCfg) -> Table {
                 launch_overhead_ms: 0.0,
                 cross_gpu_launch_gap_ms: gap,
             };
-            simulate(&g, &cost, &out.schedule, &cfg).expect("feasible").makespan
+            simulate(&g, &cost, &out.schedule, &cfg)
+                .expect("feasible")
+                .makespan
         };
         let gap = cost.launch_overhead_ms;
         t.push(vec![
@@ -169,8 +176,8 @@ pub fn ext_model_zoo(_cfg: &RunCfg) -> Table {
         let mut row = vec![name.to_string(), g.num_ops().to_string()];
         for a in Algorithm::ALL {
             let out = run_scheduler(a, &g, &cost, &SchedulerOptions::new(2));
-            let sim = simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost))
-                .expect("feasible");
+            let sim =
+                simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).expect("feasible");
             row.push(f3(sim.makespan));
         }
         t.push(row);
@@ -193,8 +200,8 @@ pub fn ext_gpus_cnn(_cfg: &RunCfg) -> Table {
             let platform = Platform::nvswitch_server(gpus);
             let cost = AnalyticCostModel::for_platform(&platform).build_table(&g);
             let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(gpus));
-            let sim = simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost))
-                .expect("feasible");
+            let sim =
+                simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).expect("feasible");
             row.push(f3(sim.makespan));
         }
         t.push(row);
@@ -220,7 +227,11 @@ mod tests {
             let w1: f64 = row[1].parse().unwrap();
             let w4: f64 = row[4].parse().unwrap();
             let w8: f64 = row[6].parse().unwrap();
-            assert!(w4 <= w1 + 1e-9, "{}: w=4 ({w4}) worse than w=1 ({w1})", row[0]);
+            assert!(
+                w4 <= w1 + 1e-9,
+                "{}: w=4 ({w4}) worse than w=1 ({w1})",
+                row[0]
+            );
             assert!(w8 <= w1 + 1e-9);
         }
     }
@@ -269,7 +280,11 @@ mod tests {
         for row in &t.rows {
             let one: f64 = row[1].parse().unwrap();
             let four: f64 = row[3].parse().unwrap();
-            assert!(four < one, "{}: 4 GPUs ({four}) must beat 1 ({one})", row[0]);
+            assert!(
+                four < one,
+                "{}: 4 GPUs ({four}) must beat 1 ({one})",
+                row[0]
+            );
         }
     }
 }

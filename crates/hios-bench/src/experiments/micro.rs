@@ -1,7 +1,7 @@
 //! Figs. 1-2: the motivating micro-benchmarks (§II).
 
-use crate::{RunCfg, Table};
 use crate::table::f3;
+use crate::{RunCfg, Table};
 use hios_cost::{AnalyticCostModel, Platform};
 use hios_models::toy::{fig1_conv, fig1_conv_pair};
 
@@ -18,7 +18,12 @@ pub fn fig1(_cfg: &RunCfg) -> Table {
     let mut t = Table::new(
         "fig01_contention",
         "Fig. 1: parallel/sequential latency ratio of two identical convs (A40)",
-        &["input_size", "t_exec_ms", "utilization", "ratio_parallel_over_sequential"],
+        &[
+            "input_size",
+            "t_exec_ms",
+            "utilization",
+            "ratio_parallel_over_sequential",
+        ],
     );
     for size in SIZES {
         let (g, a, b) = fig1_conv_pair(size);
@@ -80,10 +85,7 @@ mod tests {
     fn fig1_crosses_one_between_64_and_128() {
         let t = fig1(&RunCfg::default());
         let ratio = |size: u32| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == size.to_string())
-                .unwrap()[3]
+            t.rows.iter().find(|r| r[0] == size.to_string()).unwrap()[3]
                 .parse()
                 .unwrap()
         };

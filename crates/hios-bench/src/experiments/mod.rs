@@ -2,6 +2,7 @@
 
 pub mod ext;
 pub mod micro;
+pub mod scaling;
 pub mod schedcost;
 pub mod sim;
 pub mod testbed;
@@ -9,8 +10,11 @@ pub mod worked;
 
 use crate::{RunCfg, Table};
 
+/// A named experiment: CLI name + the function producing its table.
+pub type Experiment = (&'static str, fn(&RunCfg) -> Table);
+
 /// Every experiment, keyed by CLI name.
-pub fn all_experiments() -> Vec<(&'static str, fn(&RunCfg) -> Table)> {
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("fig1", micro::fig1 as fn(&RunCfg) -> Table),
         ("fig2", micro::fig2),
@@ -30,5 +34,6 @@ pub fn all_experiments() -> Vec<(&'static str, fn(&RunCfg) -> Table)> {
         ("ext_semantics", ext::ext_semantics),
         ("ext_gpus_cnn", ext::ext_gpus_cnn),
         ("ext_model_zoo", ext::ext_model_zoo),
+        ("sched-scaling", scaling::sched_scaling),
     ]
 }

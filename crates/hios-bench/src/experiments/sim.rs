@@ -10,7 +10,10 @@ use crate::{RunCfg, Table, random_sweep_point};
 use hios_core::Algorithm;
 
 fn algo_columns() -> Vec<String> {
-    Algorithm::ALL.iter().map(|a| a.name().to_string()).collect()
+    Algorithm::ALL
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect()
 }
 
 fn sweep_table(

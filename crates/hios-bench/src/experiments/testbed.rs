@@ -159,16 +159,8 @@ mod tests {
 
     #[test]
     fn latency_grows_with_input_size() {
-        let small = measured_latency(
-            Algorithm::HiosLp,
-            &build_model("inception_v3", 299),
-            2,
-        );
-        let big = measured_latency(
-            Algorithm::HiosLp,
-            &build_model("inception_v3", 1024),
-            2,
-        );
+        let small = measured_latency(Algorithm::HiosLp, &build_model("inception_v3", 299), 2);
+        let big = measured_latency(Algorithm::HiosLp, &build_model("inception_v3", 1024), 2);
         assert!(big > 3.0 * small);
     }
 }

@@ -68,11 +68,7 @@ pub fn fig4(_cfg: &RunCfg) -> Table {
             (out.gpu_of[p[0].index()] + 1).to_string(),
         ]);
     }
-    t.push(vec![
-        "latency".into(),
-        f3(out.latency),
-        String::new(),
-    ]);
+    t.push(vec!["latency".into(), f3(out.latency), String::new()]);
     t
 }
 
@@ -103,10 +99,7 @@ pub fn fig5(_cfg: &RunCfg) -> Table {
         launch_overhead_ms: 0.0,
         meter: Default::default(),
     };
-    let inter = hios_core::Schedule::from_gpu_orders(vec![
-        vec![v1, v2, v3, v4, v7],
-        vec![v5, v6],
-    ]);
+    let inter = hios_core::Schedule::from_gpu_orders(vec![vec![v1, v2, v3, v4, v7], vec![v5, v6]]);
     let before = hios_core::evaluate(&g, &cost, &inter)
         .expect("feasible input")
         .latency;
@@ -166,12 +159,8 @@ mod tests {
     #[test]
     fn fig6_uses_both_gpus() {
         let t = fig6(&RunCfg::default());
-        let gpus: std::collections::HashSet<&str> = t
-            .rows
-            .iter()
-            .take(8)
-            .map(|r| r[1].as_str())
-            .collect();
+        let gpus: std::collections::HashSet<&str> =
+            t.rows.iter().take(8).map(|r| r[1].as_str()).collect();
         assert!(gpus.len() >= 2, "MR must spread across GPUs");
     }
 }

@@ -116,6 +116,9 @@ mod tests {
         let seq = stats[&Algorithm::Sequential].0;
         let lp = stats[&Algorithm::HiosLp].0;
         assert!(lp < seq, "HIOS-LP {lp} must beat sequential {seq}");
-        assert!(stats[&Algorithm::Sequential].1 > 0.0, "variance across seeds");
+        assert!(
+            stats[&Algorithm::Sequential].1 > 0.0,
+            "variance across seeds"
+        );
     }
 }

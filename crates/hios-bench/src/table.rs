@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             name: name.into(),
             title: title.into(),

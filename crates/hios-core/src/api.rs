@@ -106,63 +106,47 @@ pub fn run_scheduler(
 ) -> ScheduleOutcome {
     cost.meter.reset();
     let started = Instant::now();
-    let schedule = match algo {
-        Algorithm::Sequential => schedule_sequential(g, cost),
-        Algorithm::Ios => schedule_ios(g, cost, opts.ios),
-        Algorithm::InterGpuLp => {
-            schedule_hios_lp(
+    // HIOS outcomes already carry the evaluated latency of their final
+    // schedule; reuse it instead of re-evaluating (the baselines return
+    // a bare schedule and are evaluated below).
+    let (schedule, latency) = match algo {
+        Algorithm::Sequential => (schedule_sequential(g, cost), None),
+        Algorithm::Ios => (schedule_ios(g, cost, opts.ios), None),
+        Algorithm::InterGpuLp | Algorithm::HiosLp => {
+            let out = schedule_hios_lp(
                 g,
                 cost,
                 HiosLpConfig {
                     num_gpus: opts.num_gpus,
                     window: opts.window,
-                    intra: false,
+                    intra: algo == Algorithm::HiosLp,
                 },
-            )
-            .schedule
+            );
+            (out.schedule, Some(out.latency))
         }
-        Algorithm::HiosLp => {
-            schedule_hios_lp(
-                g,
-                cost,
-                HiosLpConfig {
-                    num_gpus: opts.num_gpus,
-                    window: opts.window,
-                    intra: true,
-                },
-            )
-            .schedule
-        }
-        Algorithm::InterGpuMr => {
-            schedule_hios_mr(
+        Algorithm::InterGpuMr | Algorithm::HiosMr => {
+            let out = schedule_hios_mr(
                 g,
                 cost,
                 HiosMrConfig {
                     num_gpus: opts.num_gpus,
                     window: opts.window,
-                    intra: false,
+                    intra: algo == Algorithm::HiosMr,
                 },
-            )
-            .schedule
-        }
-        Algorithm::HiosMr => {
-            schedule_hios_mr(
-                g,
-                cost,
-                HiosMrConfig {
-                    num_gpus: opts.num_gpus,
-                    window: opts.window,
-                    intra: true,
-                },
-            )
-            .schedule
+            );
+            (out.schedule, Some(out.latency))
         }
     };
     let scheduling_secs = started.elapsed().as_secs_f64();
     let profiling = cost.meter.snapshot();
-    let latency_ms = evaluate(g, cost, &schedule)
-        .expect("schedulers produce feasible schedules")
-        .latency;
+    let latency_ms = match latency {
+        Some(l) => l,
+        None => {
+            evaluate(g, cost, &schedule)
+                .expect("schedulers produce feasible schedules")
+                .latency
+        }
+    };
     ScheduleOutcome {
         algorithm: algo,
         schedule,

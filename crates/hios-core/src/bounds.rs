@@ -7,8 +7,8 @@
 //! bounds and the test suite uses them as universal invariants.
 
 use hios_cost::CostTable;
-use hios_graph::paths::longest_to_sink;
 use hios_graph::Graph;
+use hios_graph::paths::longest_to_sink;
 
 /// Critical-path bound: the longest vertex-weighted path, with transfers
 /// costed at zero (dependent operators can always share a GPU).
@@ -91,12 +91,7 @@ mod tests {
     fn hios_lp_is_near_optimal_on_fig4() {
         let (g, _) = fig4();
         let cost = fig4_cost();
-        let out = run_scheduler(
-            Algorithm::HiosLp,
-            &g,
-            &cost,
-            &SchedulerOptions::new(2),
-        );
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
         // Fig. 4 fixture: HIOS-LP reaches 13.0, exactly the bound.
         assert!((quality_ratio(out.latency_ms, &g, &cost, 2) - 1.0).abs() < 1e-9);
     }

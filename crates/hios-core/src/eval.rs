@@ -1,5 +1,22 @@
 //! Latency semantics: the stage-synchronous evaluator (paper §III-A) and
 //! the priority-ordered list scheduler used inside Alg. 1 and Alg. 3.
+//!
+//! Both come in two layers:
+//!
+//! * the original entry points [`evaluate`] and [`list_schedule`], whose
+//!   signatures and results are unchanged; and
+//! * the reusable engine underneath — [`EvalWorkspace`] (an arena holding
+//!   the CSR stage graph, cached stage durations and all relaxation
+//!   scratch, reused across evaluations so the inner loops are
+//!   allocation-free) and [`ListState`] (a resettable, clonable
+//!   list-scheduling state with binary-search gap lookup).
+//!
+//! [`EvalWorkspace::merged_latency`] additionally answers the sliding
+//! window pass's question — "what would the latency be if stages
+//! `first..=last` were merged?" — *incrementally*, re-relaxing only the
+//! stages downstream of the merge instead of cloning and re-evaluating
+//! the whole schedule.  All fast paths are differential-tested to be
+//! bit-identical to [`crate::reference`].
 
 use crate::schedule::{Schedule, ScheduleError};
 use hios_cost::CostTable;
@@ -46,6 +63,412 @@ pub struct EvalResult {
     pub op_finish: Vec<f64>,
 }
 
+/// Reusable arena for stage-synchronous evaluation.
+///
+/// [`EvalWorkspace::prepare`] compiles a schedule into a flat stage graph
+/// (stages numbered contiguously per GPU, successor and predecessor
+/// adjacency in CSR form, stage durations queried once and cached);
+/// [`EvalWorkspace::relax`] then runs the Kahn relaxation in those
+/// buffers.  Re-preparing with another schedule reuses every allocation,
+/// so evaluating many schedules of similar size is allocation-free after
+/// the first call.
+///
+/// The arena also keeps the baseline stage times of the last [`relax`],
+/// which is what lets [`merged_latency`] re-relax only the part of the
+/// graph a candidate stage merge can affect.
+///
+/// [`relax`]: EvalWorkspace::relax
+/// [`merged_latency`]: EvalWorkspace::merged_latency
+#[derive(Clone, Debug, Default)]
+pub struct EvalWorkspace {
+    n_stages: usize,
+    /// Flat id of each GPU's stage 0; a GPU's stages are contiguous.
+    gpu_base: Vec<usize>,
+    /// Cached `t(S)` per stage (one `concurrent` query per stage).
+    stage_dur: Vec<f64>,
+    stage_of_op: Vec<usize>,
+    gpu_of_op: Vec<u32>,
+    // CSR stage graph (duplicate edges kept; relaxation takes the max).
+    succ_off: Vec<usize>,
+    succ_adj: Vec<(usize, f64)>,
+    pred_off: Vec<usize>,
+    pred_adj: Vec<(usize, f64)>,
+    indeg: Vec<u32>,
+    // Baseline relaxation results (valid after `relax`).
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    // Scratch: full relaxation.
+    indeg_w: Vec<u32>,
+    worklist: Vec<usize>,
+    cursor: Vec<usize>,
+    // Scratch: incremental merge evaluation.
+    mark: Vec<u32>,
+    mark_gen: u32,
+    affected: Vec<usize>,
+    c_start: Vec<f64>,
+    c_finish: Vec<f64>,
+    merge_ops: Vec<OpId>,
+}
+
+impl EvalWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `sched` into the workspace's stage-graph arena.
+    ///
+    /// With `validate` set the schedule is structurally checked first
+    /// (the only failure mode of this call); callers that construct
+    /// schedules known to be valid — e.g. the window pass committing an
+    /// already-accepted merge — pass `false` and skip the check
+    /// (validate-once-then-trust).
+    pub fn prepare(
+        &mut self,
+        g: &Graph,
+        cost: &CostTable,
+        sched: &Schedule,
+        validate: bool,
+    ) -> Result<(), EvalError> {
+        if validate {
+            sched.validate(g)?;
+        }
+        let n_ops = g.num_ops();
+
+        // Flat stage ids and per-op placement maps.
+        self.gpu_base.clear();
+        let mut n_stages = 0usize;
+        for gpu in &sched.gpus {
+            self.gpu_base.push(n_stages);
+            n_stages += gpu.stages.len();
+        }
+        self.n_stages = n_stages;
+        self.stage_dur.clear();
+        self.stage_dur.reserve(n_stages);
+        self.stage_of_op.clear();
+        self.stage_of_op.resize(n_ops, usize::MAX);
+        self.gpu_of_op.clear();
+        self.gpu_of_op.resize(n_ops, 0);
+        for (gi, gpu) in sched.gpus.iter().enumerate() {
+            for (si, stage) in gpu.stages.iter().enumerate() {
+                let sid = self.gpu_base[gi] + si;
+                self.stage_dur.push(cost.concurrent(&stage.ops));
+                for &v in &stage.ops {
+                    debug_assert_eq!(self.stage_of_op[v.index()], usize::MAX);
+                    self.stage_of_op[v.index()] = sid;
+                    self.gpu_of_op[v.index()] = gi as u32;
+                }
+            }
+        }
+        debug_assert!(
+            self.stage_of_op.iter().all(|&s| s != usize::MAX),
+            "schedule must cover every operator"
+        );
+
+        // Degree counting: same-GPU chain edges + cross-GPU data edges.
+        self.indeg.clear();
+        self.indeg.resize(n_stages, 0);
+        self.cursor.clear();
+        self.cursor.resize(n_stages, 0);
+        let out_deg = &mut self.cursor; // reused as out-degree counter
+        for (gi, gpu) in sched.gpus.iter().enumerate() {
+            let base = self.gpu_base[gi];
+            for si in 1..gpu.stages.len() {
+                out_deg[base + si - 1] += 1;
+                self.indeg[base + si] += 1;
+            }
+        }
+        for (u, v) in g.edges() {
+            if self.gpu_of_op[u.index()] != self.gpu_of_op[v.index()] {
+                out_deg[self.stage_of_op[u.index()]] += 1;
+                self.indeg[self.stage_of_op[v.index()]] += 1;
+            }
+        }
+
+        // CSR offsets from the degree counts.
+        self.succ_off.clear();
+        self.succ_off.reserve(n_stages + 1);
+        self.pred_off.clear();
+        self.pred_off.reserve(n_stages + 1);
+        let (mut sa, mut pa) = (0usize, 0usize);
+        for s in 0..n_stages {
+            self.succ_off.push(sa);
+            self.pred_off.push(pa);
+            sa += self.cursor[s];
+            pa += self.indeg[s] as usize;
+        }
+        self.succ_off.push(sa);
+        self.pred_off.push(pa);
+        self.succ_adj.clear();
+        self.succ_adj.resize(sa, (0, 0.0));
+        self.pred_adj.clear();
+        self.pred_adj.resize(pa, (0, 0.0));
+
+        // Fill successors, then predecessors (cursor reset in between).
+        self.cursor.copy_from_slice(&self.succ_off[..n_stages]);
+        for (gi, gpu) in sched.gpus.iter().enumerate() {
+            let base = self.gpu_base[gi];
+            for si in 1..gpu.stages.len() {
+                let s = base + si - 1;
+                self.succ_adj[self.cursor[s]] = (base + si, 0.0);
+                self.cursor[s] += 1;
+            }
+        }
+        for (u, v) in g.edges() {
+            if self.gpu_of_op[u.index()] != self.gpu_of_op[v.index()] {
+                let su = self.stage_of_op[u.index()];
+                let sv = self.stage_of_op[v.index()];
+                self.succ_adj[self.cursor[su]] = (sv, cost.transfer(u, v));
+                self.cursor[su] += 1;
+            }
+        }
+        self.cursor.copy_from_slice(&self.pred_off[..n_stages]);
+        for s in 0..n_stages {
+            for e in self.succ_off[s]..self.succ_off[s + 1] {
+                let (t, w) = self.succ_adj[e];
+                self.pred_adj[self.cursor[t]] = (s, w);
+                self.cursor[t] += 1;
+            }
+        }
+
+        // Invalidate incremental scratch from any previous schedule.
+        self.mark.clear();
+        self.mark.resize(n_stages, 0);
+        self.mark_gen = 0;
+        self.c_start.clear();
+        self.c_start.resize(n_stages, 0.0);
+        self.c_finish.clear();
+        self.c_finish.resize(n_stages, 0.0);
+        Ok(())
+    }
+
+    /// Runs the full Kahn relaxation over the prepared stage graph and
+    /// returns the latency; the per-stage baseline times stay in the
+    /// workspace for [`EvalWorkspace::merged_latency`] and
+    /// [`EvalWorkspace::stage_start`]/[`EvalWorkspace::stage_finish`].
+    pub fn relax(&mut self) -> Result<f64, EvalError> {
+        let n_stages = self.n_stages;
+        self.start.clear();
+        self.start.resize(n_stages, 0.0);
+        self.finish.clear();
+        self.finish.resize(n_stages, 0.0);
+        self.indeg_w.clear();
+        self.indeg_w.extend_from_slice(&self.indeg);
+        self.worklist.clear();
+        for s in 0..n_stages {
+            if self.indeg_w[s] == 0 {
+                self.worklist.push(s);
+            }
+        }
+        let mut done = 0usize;
+        while let Some(s) = self.worklist.pop() {
+            done += 1;
+            let f = self.start[s] + self.stage_dur[s];
+            self.finish[s] = f;
+            for e in self.succ_off[s]..self.succ_off[s + 1] {
+                let (t, w) = self.succ_adj[e];
+                if self.start[t] < f + w {
+                    self.start[t] = f + w;
+                }
+                self.indeg_w[t] -= 1;
+                if self.indeg_w[t] == 0 {
+                    self.worklist.push(t);
+                }
+            }
+        }
+        if done != n_stages {
+            return Err(EvalError::StageCycle);
+        }
+        Ok(self.finish.iter().copied().fold(0.0f64, f64::max))
+    }
+
+    /// Baseline start time of the stage at `(gpu, stage)`.
+    pub fn stage_start(&self, gpu: usize, stage: usize) -> f64 {
+        self.start[self.gpu_base[gpu] + stage]
+    }
+
+    /// Baseline finish time of the stage at `(gpu, stage)`.
+    pub fn stage_finish(&self, gpu: usize, stage: usize) -> f64 {
+        self.finish[self.gpu_base[gpu] + stage]
+    }
+
+    /// Latency of `sched` with stages `first..=last` on `gpu` merged into
+    /// one concurrent stage — computed incrementally against the baseline
+    /// of the last [`EvalWorkspace::relax`], without materializing the
+    /// merged schedule.
+    ///
+    /// Only the merged stage and its transitive successors are
+    /// re-relaxed; every other stage keeps its baseline times (merging
+    /// can only move *downstream* stages, all edge weights being
+    /// non-negative).  A circular wait introduced by the merge surfaces
+    /// as [`EvalError::StageCycle`], exactly as a full evaluation of the
+    /// merged schedule would report.
+    ///
+    /// The caller is responsible for structural validity of the merge
+    /// (no dependent operators inside `first..=last` — the window pass
+    /// checks this cheaply before calling); `sched` must be the schedule
+    /// last prepared and relaxed in this workspace.
+    pub fn merged_latency(
+        &mut self,
+        cost: &CostTable,
+        sched: &Schedule,
+        gpu: usize,
+        first: usize,
+        last: usize,
+    ) -> Result<f64, EvalError> {
+        debug_assert!(first < last && self.gpu_base[gpu] + last < self.n_stages);
+        let a = self.gpu_base[gpu] + first;
+        let b = self.gpu_base[gpu] + last;
+
+        // New mark generation (reset on the unlikely wrap).
+        if self.mark_gen == u32::MAX {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.mark_gen = 0;
+        }
+        self.mark_gen += 1;
+        let gen = self.mark_gen;
+
+        // Affected set: the absorbed stages and everything reachable from
+        // them.  An edge from outside the absorbed range *back into* it
+        // means the merged stage would transitively wait on itself — the
+        // circular wait Alg. 2 line 10 rejects.
+        self.affected.clear();
+        for s in a..=b {
+            self.mark[s] = gen;
+        }
+        for s in a..=b {
+            for e in self.succ_off[s]..self.succ_off[s + 1] {
+                let t = self.succ_adj[e].0;
+                if t >= a && t <= b {
+                    continue; // internal chain/data edge, absorbed
+                }
+                if self.mark[t] != gen {
+                    self.mark[t] = gen;
+                    self.affected.push(t);
+                }
+            }
+        }
+        let mut i = 0;
+        while i < self.affected.len() {
+            let s = self.affected[i];
+            i += 1;
+            for e in self.succ_off[s]..self.succ_off[s + 1] {
+                let t = self.succ_adj[e].0;
+                if t >= a && t <= b {
+                    return Err(EvalError::StageCycle);
+                }
+                if self.mark[t] != gen {
+                    self.mark[t] = gen;
+                    self.affected.push(t);
+                }
+            }
+        }
+
+        // The merged stage: fresh concurrent query over the union of the
+        // absorbed stages' operators (in drain order, matching what a
+        // materialized merge would ask), started at the max over external
+        // predecessor arrivals.  Every external predecessor is
+        // unaffected — a marked predecessor would have been caught as a
+        // cycle above — so its baseline finish is final.
+        self.merge_ops.clear();
+        for si in first..=last {
+            self.merge_ops
+                .extend_from_slice(&sched.gpus[gpu].stages[si].ops);
+        }
+        let merged_dur = cost.concurrent(&self.merge_ops);
+        let mut merged_start = 0.0f64;
+        for s in a..=b {
+            for e in self.pred_off[s]..self.pred_off[s + 1] {
+                let (p, w) = self.pred_adj[e];
+                if p >= a && p <= b {
+                    continue;
+                }
+                debug_assert_ne!(self.mark[p], gen);
+                let arrival = self.finish[p] + w;
+                if arrival > merged_start {
+                    merged_start = arrival;
+                }
+            }
+        }
+        let merged_finish = merged_start + merged_dur;
+
+        // Restricted Kahn over the affected set: starts seeded from
+        // unaffected predecessors' baseline finishes, in-degrees counted
+        // over marked predecessors only.
+        for idx in 0..self.affected.len() {
+            let t = self.affected[idx];
+            let mut st = 0.0f64;
+            let mut deg = 0u32;
+            for e in self.pred_off[t]..self.pred_off[t + 1] {
+                let (p, w) = self.pred_adj[e];
+                if self.mark[p] == gen {
+                    deg += 1;
+                } else {
+                    let arrival = self.finish[p] + w;
+                    if arrival > st {
+                        st = arrival;
+                    }
+                }
+            }
+            self.c_start[t] = st;
+            self.indeg_w[t] = deg;
+        }
+        // Release the merged stage's outgoing edges first.
+        self.worklist.clear();
+        for s in a..=b {
+            for e in self.succ_off[s]..self.succ_off[s + 1] {
+                let (t, w) = self.succ_adj[e];
+                if t >= a && t <= b {
+                    continue;
+                }
+                let arrival = merged_finish + w;
+                if arrival > self.c_start[t] {
+                    self.c_start[t] = arrival;
+                }
+                self.indeg_w[t] -= 1;
+                if self.indeg_w[t] == 0 {
+                    self.worklist.push(t);
+                }
+            }
+        }
+        let mut done = 0usize;
+        while let Some(s) = self.worklist.pop() {
+            done += 1;
+            let f = self.c_start[s] + self.stage_dur[s];
+            self.c_finish[s] = f;
+            for e in self.succ_off[s]..self.succ_off[s + 1] {
+                let (t, w) = self.succ_adj[e];
+                debug_assert!(!(t >= a && t <= b), "cycle check above rejects these");
+                if self.c_start[t] < f + w {
+                    self.c_start[t] = f + w;
+                }
+                self.indeg_w[t] -= 1;
+                if self.indeg_w[t] == 0 {
+                    self.worklist.push(t);
+                }
+            }
+        }
+        if done != self.affected.len() {
+            return Err(EvalError::StageCycle);
+        }
+
+        // Candidate latency: recomputed finishes over the affected set,
+        // baseline finishes elsewhere.
+        let mut latency = merged_finish.max(0.0);
+        for (s, &f) in self.finish.iter().enumerate() {
+            if self.mark[s] != gen && f > latency {
+                latency = f;
+            }
+        }
+        for &t in &self.affected {
+            if self.c_finish[t] > latency {
+                latency = self.c_finish[t];
+            }
+        }
+        Ok(latency)
+    }
+}
+
 /// Evaluates `sched` under the paper's stage-synchronous semantics:
 ///
 /// * stages on one GPU run sequentially in order and take `t(S)`;
@@ -58,78 +481,37 @@ pub struct EvalResult {
 /// [`EvalError::StageCycle`]), which is how Alg. 2 rejects groupings that
 /// create implicit dependency loops.
 pub fn evaluate(g: &Graph, cost: &CostTable, sched: &Schedule) -> Result<EvalResult, EvalError> {
-    sched.validate(g)?;
-    let place = sched.placements(g.num_ops());
+    evaluate_with(&mut EvalWorkspace::new(), g, cost, sched)
+}
 
-    // Global stage ids, per GPU in order.
-    let mut stage_id = Vec::with_capacity(sched.num_gpus());
-    let mut stages: Vec<(usize, usize)> = Vec::new(); // (gpu, stage index)
-    for (gi, gpu) in sched.gpus.iter().enumerate() {
-        let mut ids = Vec::with_capacity(gpu.stages.len());
-        for si in 0..gpu.stages.len() {
-            ids.push(stages.len());
-            stages.push((gi, si));
-        }
-        stage_id.push(ids);
-    }
-    let n_stages = stages.len();
-
-    // Stage-graph edges: same-GPU chains (weight 0) and cross-GPU data
-    // dependencies (weight t(u, v)). Duplicate edges between the same
-    // stage pair are fine -- the relaxation takes the max anyway.
-    let mut succ: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_stages];
-    let mut indeg = vec![0usize; n_stages];
-    for ids in &stage_id {
-        for w in ids.windows(2) {
-            succ[w[0]].push((w[1], 0.0));
-            indeg[w[1]] += 1;
-        }
-    }
-    for (u, v) in g.edges() {
-        let pu = place[u.index()].expect("validated");
-        let pv = place[v.index()].expect("validated");
-        if pu.gpu != pv.gpu {
-            let su = stage_id[pu.gpu][pu.stage];
-            let sv = stage_id[pv.gpu][pv.stage];
-            succ[su].push((sv, cost.transfer(u, v)));
-            indeg[sv] += 1;
-        }
-    }
-
-    // Kahn topological relaxation over the stage graph.
-    let mut start = vec![0.0f64; n_stages];
-    let mut finish = vec![0.0f64; n_stages];
-    let mut ready: Vec<usize> = (0..n_stages).filter(|&s| indeg[s] == 0).collect();
-    let mut done = 0usize;
-    while let Some(s) = ready.pop() {
-        done += 1;
-        let (gi, si) = stages[s];
-        let dur = cost.concurrent(&sched.gpus[gi].stages[si].ops);
-        finish[s] = start[s] + dur;
-        for &(t, w) in &succ[s] {
-            start[t] = start[t].max(finish[s] + w);
-            indeg[t] -= 1;
-            if indeg[t] == 0 {
-                ready.push(t);
-            }
-        }
-    }
-    if done != n_stages {
-        return Err(EvalError::StageCycle);
-    }
-
-    let latency = finish.iter().copied().fold(0.0f64, f64::max);
+/// [`evaluate`] through a caller-provided [`EvalWorkspace`], reusing its
+/// buffers across calls (the returned [`EvalResult`] still allocates its
+/// own output vectors).
+pub fn evaluate_with(
+    ws: &mut EvalWorkspace,
+    g: &Graph,
+    cost: &CostTable,
+    sched: &Schedule,
+) -> Result<EvalResult, EvalError> {
+    ws.prepare(g, cost, sched, true)?;
+    let latency = ws.relax()?;
     let mut op_start = vec![0.0f64; g.num_ops()];
     let mut op_finish = vec![0.0f64; g.num_ops()];
     for v in g.op_ids() {
-        let p = place[v.index()].expect("validated");
-        let sid = stage_id[p.gpu][p.stage];
-        op_start[v.index()] = start[sid];
-        op_finish[v.index()] = (start[sid] + cost.exec(v)).min(finish[sid]).max(start[sid]);
+        let sid = ws.stage_of_op[v.index()];
+        op_start[v.index()] = ws.start[sid];
+        op_finish[v.index()] = (ws.start[sid] + cost.exec(v))
+            .min(ws.finish[sid])
+            .max(ws.start[sid]);
     }
     let mut stage_times = Vec::with_capacity(sched.num_gpus());
-    for ids in &stage_id {
-        stage_times.push(ids.iter().map(|&s| (start[s], finish[s])).collect());
+    for (gi, gpu) in sched.gpus.iter().enumerate() {
+        let base = ws.gpu_base[gi];
+        stage_times.push(
+            (0..gpu.stages.len())
+                .map(|si| (ws.start[base + si], ws.finish[base + si]))
+                .collect(),
+        );
     }
     Ok(EvalResult {
         latency,
@@ -150,6 +532,155 @@ pub struct ListScheduleResult {
     pub finish: Vec<f64>,
     /// Execution order realized on each GPU.
     pub gpu_order: Vec<Vec<OpId>>,
+}
+
+/// Resettable, clonable state of an insertion-based list schedule.
+///
+/// HIOS-LP's candidate search runs `M` list schedules per path that share
+/// everything up to the first path operator; keeping the state as a value
+/// lets the scheduler build that shared prefix once, `clone_from` it into
+/// per-trial states (reusing their allocations) and extend each trial
+/// independently.  The result is bit-identical to running each trial from
+/// scratch.
+#[derive(Debug, Default)]
+pub struct ListState {
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    /// Sorted busy intervals per GPU: (start, finish, op).
+    busy: Vec<Vec<(f64, f64, OpId)>>,
+    latency: f64,
+}
+
+impl Clone for ListState {
+    fn clone(&self) -> Self {
+        ListState {
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            busy: self.busy.clone(),
+            latency: self.latency,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Vec::clone_from reuses this state's buffers (including the
+        // per-GPU interval vectors), which is the point: trial states are
+        // recycled across candidate searches without reallocating.
+        self.start.clone_from(&source.start);
+        self.finish.clone_from(&source.finish);
+        self.busy.clone_from(&source.busy);
+        self.latency = source.latency;
+    }
+}
+
+impl ListState {
+    /// Creates an empty state for `num_ops` operators on `num_gpus` GPUs.
+    pub fn new(num_ops: usize, num_gpus: usize) -> Self {
+        let mut s = ListState::default();
+        s.reset(num_ops, num_gpus);
+        s
+    }
+
+    /// Clears the state back to "nothing scheduled", keeping buffers.
+    pub fn reset(&mut self, num_ops: usize, num_gpus: usize) {
+        self.start.clear();
+        self.start.resize(num_ops, f64::NAN);
+        self.finish.clear();
+        self.finish.resize(num_ops, f64::NAN);
+        self.busy.truncate(num_gpus);
+        for b in &mut self.busy {
+            b.clear();
+        }
+        self.busy.resize(num_gpus, Vec::new());
+        self.latency = 0.0;
+    }
+
+    /// Makespan over the operators scheduled so far.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// List-schedules `ops` (in order) on top of the current state.
+    ///
+    /// `gpu_of` maps each operator to its GPU, `None` marking operators
+    /// still in the unscheduled subgraph `G'` (they impose no
+    /// constraints).  `ops` must be topological over the scheduled
+    /// operators *given what is already in the state* — the usual call
+    /// sequence is one pass over the full priority order, or a prefix
+    /// followed by the matching suffix.
+    pub fn schedule<F>(&mut self, g: &Graph, cost: &CostTable, ops: &[OpId], gpu_of: F)
+    where
+        F: Fn(OpId) -> Option<u32>,
+    {
+        for &v in ops {
+            let Some(gv) = gpu_of(v) else {
+                continue;
+            };
+            let gv = gv as usize;
+            let mut ready = 0.0f64;
+            for &u in g.preds(v) {
+                let Some(gu) = gpu_of(u) else {
+                    continue;
+                };
+                let fu = self.finish[u.index()];
+                if fu.is_nan() {
+                    // Scheduled predecessor not yet placed in `ops`: the
+                    // caller's order was not topological over scheduled ops.
+                    debug_assert!(false, "list_schedule order must be topological");
+                    continue;
+                }
+                let arrival = if gu as usize == gv {
+                    fu
+                } else {
+                    fu + cost.transfer(u, v)
+                };
+                ready = ready.max(arrival);
+            }
+            // Find the earliest gap on gv of length >= t(v) starting >=
+            // ready.  Intervals with finish <= ready can never host the
+            // operator nor move `s` beyond `ready`, so skip them with a
+            // binary search instead of a linear scan; the backward walk
+            // guards the fuzzy 1e-12 acceptance at the boundary.  A
+            // zero-length operator (dur <= 1e-12) could still slot
+            // *between* such intervals, so it keeps the full scan.
+            let dur = cost.exec(v);
+            let intervals = &mut self.busy[gv];
+            let mut s = ready;
+            let mut from = 0usize;
+            if dur > 1e-12 {
+                from = intervals.partition_point(|&(_, bf, _)| bf <= ready);
+                while from > 0 && intervals[from - 1].1 > ready {
+                    from -= 1;
+                }
+            }
+            let mut pos = intervals.len();
+            for (i, &(bs, bf, _)) in intervals.iter().enumerate().skip(from) {
+                if s + dur <= bs + 1e-12 {
+                    pos = i;
+                    break;
+                }
+                s = s.max(bf);
+            }
+            let f = s + dur;
+            intervals.insert(pos, (s, f, v));
+            self.start[v.index()] = s;
+            self.finish[v.index()] = f;
+            self.latency = self.latency.max(f);
+        }
+    }
+
+    /// Consumes the state into a [`ListScheduleResult`].
+    pub fn into_result(self) -> ListScheduleResult {
+        ListScheduleResult {
+            latency: self.latency,
+            start: self.start,
+            finish: self.finish,
+            gpu_order: self
+                .busy
+                .into_iter()
+                .map(|iv| iv.into_iter().map(|(_, _, v)| v).collect())
+                .collect(),
+        }
+    }
 }
 
 /// Priority-ordered list scheduling with sequential execution per GPU
@@ -176,63 +707,9 @@ pub fn list_schedule(
     gpu_of: &[Option<u32>],
     num_gpus: usize,
 ) -> ListScheduleResult {
-    let mut start = vec![f64::NAN; g.num_ops()];
-    let mut finish = vec![f64::NAN; g.num_ops()];
-    // Sorted busy intervals per GPU: (start, finish, op).
-    let mut busy: Vec<Vec<(f64, f64, OpId)>> = vec![Vec::new(); num_gpus];
-    let mut latency = 0.0f64;
-    for &v in order {
-        let Some(gv) = gpu_of[v.index()] else {
-            continue;
-        };
-        let gv = gv as usize;
-        let mut ready = 0.0f64;
-        for &u in g.preds(v) {
-            let Some(gu) = gpu_of[u.index()] else {
-                continue;
-            };
-            let fu = finish[u.index()];
-            if fu.is_nan() {
-                // Scheduled predecessor not yet placed in `order`: the
-                // caller's order was not topological over scheduled ops.
-                debug_assert!(false, "list_schedule order must be topological");
-                continue;
-            }
-            let arrival = if gu as usize == gv {
-                fu
-            } else {
-                fu + cost.transfer(u, v)
-            };
-            ready = ready.max(arrival);
-        }
-        // Find the earliest gap on gv of length >= t(v) starting >= ready.
-        let dur = cost.exec(v);
-        let intervals = &mut busy[gv];
-        let mut s = ready;
-        let mut pos = intervals.len();
-        for (i, &(bs, bf, _)) in intervals.iter().enumerate() {
-            if s + dur <= bs + 1e-12 {
-                pos = i;
-                break;
-            }
-            s = s.max(bf);
-        }
-        let f = s + dur;
-        intervals.insert(pos, (s, f, v));
-        start[v.index()] = s;
-        finish[v.index()] = f;
-        latency = latency.max(f);
-    }
-    let gpu_order: Vec<Vec<OpId>> = busy
-        .into_iter()
-        .map(|iv| iv.into_iter().map(|(_, _, v)| v).collect())
-        .collect();
-    ListScheduleResult {
-        latency,
-        start,
-        finish,
-        gpu_order,
-    }
+    let mut state = ListState::new(g.num_ops(), num_gpus);
+    state.schedule(g, cost, order, |v| gpu_of[v.index()]);
+    state.into_result()
 }
 
 #[cfg(test)]
@@ -313,7 +790,11 @@ mod tests {
             ],
         };
         let r = evaluate(&g, &cost, &s).unwrap();
-        assert!((r.latency - 2.7).abs() < 1e-9, "1 + 0.7 + 1 = {}", r.latency);
+        assert!(
+            (r.latency - 2.7).abs() < 1e-9,
+            "1 + 0.7 + 1 = {}",
+            r.latency
+        );
         // Same-GPU placement avoids the transfer.
         let s2 = Schedule {
             gpus: vec![GpuSchedule {
@@ -380,6 +861,72 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_fresh_evaluation() {
+        // One workspace across differently-shaped schedules: results must
+        // equal fresh single-shot evaluations bit for bit.
+        let (g, grouped) = fig3();
+        let cost = uniform_cost(6, 1.0, 0.3, 0.5);
+        let order: Vec<OpId> = hios_graph::topo::topo_order(&g);
+        let sequential = Schedule::from_gpu_orders(vec![order]);
+        let mut ws = EvalWorkspace::new();
+        for sched in [&grouped, &sequential, &grouped] {
+            let reused = evaluate_with(&mut ws, &g, &cost, sched).unwrap();
+            let fresh = evaluate(&g, &cost, sched).unwrap();
+            assert_eq!(reused.latency.to_bits(), fresh.latency.to_bits());
+            assert_eq!(reused.stage_times, fresh.stage_times);
+        }
+    }
+
+    #[test]
+    fn merged_latency_matches_materialized_merge() {
+        let (g, _) = fig3();
+        let cost = uniform_cost(6, 1.0, 0.3, 0.5);
+        // GPU0 runs a, d, e as singletons; d and e are independent.
+        let s = Schedule {
+            gpus: vec![
+                GpuSchedule {
+                    stages: vec![
+                        Stage::solo(OpId(0)),
+                        Stage::solo(OpId(3)),
+                        Stage::solo(OpId(4)),
+                    ],
+                },
+                GpuSchedule {
+                    stages: vec![Stage::group(vec![OpId(1), OpId(2)]), Stage::solo(OpId(5))],
+                },
+            ],
+        };
+        let mut ws = EvalWorkspace::new();
+        ws.prepare(&g, &cost, &s, true).unwrap();
+        ws.relax().unwrap();
+        let incremental = ws.merged_latency(&cost, &s, 0, 1, 2).unwrap();
+        let materialized = crate::reference::merge_stages(&s, 0, 1, 2);
+        let full = evaluate(&g, &cost, &materialized).unwrap().latency;
+        assert_eq!(incremental.to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn merged_latency_detects_cycles() {
+        // Same construction as window.rs's grouping_respects_cross_gpu_loops:
+        // merging {a, d} on GPU0 creates a circular wait through GPU1.
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_synthetic("a", &[]);
+        let _b = bld.add_synthetic("b", &[a]);
+        let c = bld.add_synthetic("c", &[]);
+        let _d = bld.add_synthetic("d", &[c]);
+        let g = bld.build();
+        let cost = uniform_cost(4, 1.0, 0.1, 0.1);
+        let s = Schedule::from_gpu_orders(vec![vec![OpId(0), OpId(3)], vec![OpId(1), OpId(2)]]);
+        let mut ws = EvalWorkspace::new();
+        ws.prepare(&g, &cost, &s, true).unwrap();
+        ws.relax().unwrap();
+        assert_eq!(
+            ws.merged_latency(&cost, &s, 0, 0, 1),
+            Err(EvalError::StageCycle)
+        );
+    }
+
+    #[test]
     fn list_schedule_matches_fig4_narrative() {
         // With P1 = {v1,v2,v4,v6,v8} on GPU 0 and {v3,v5} on GPU 1 the
         // hand-computed makespan is 13 (see lp.rs); v7 unscheduled.
@@ -411,5 +958,27 @@ mod tests {
         let total: f64 = cost.exec_ms.iter().sum();
         assert!((r.latency - total).abs() < 1e-9);
         assert_eq!(r.gpu_order[0].len(), 8);
+    }
+
+    #[test]
+    fn prefix_plus_suffix_equals_one_pass() {
+        // The LP candidate search relies on splitting one list schedule
+        // into a shared prefix and per-trial suffixes.
+        let (g, _) = fig4();
+        let cost = fig4_cost();
+        let gpu_of: Vec<Option<u32>> = (0..8).map(|i| Some((i % 3) as u32)).collect();
+        let p = crate::priority::priorities(&g, &cost);
+        let order = hios_graph::paths::priority_order(&g, &p);
+        let whole = list_schedule(&g, &cost, &order, &gpu_of, 3);
+        for cut in 0..=order.len() {
+            let mut st = ListState::new(8, 3);
+            st.schedule(&g, &cost, &order[..cut], |v| gpu_of[v.index()]);
+            let mut trial = ListState::new(8, 3);
+            trial.clone_from(&st);
+            trial.schedule(&g, &cost, &order[cut..], |v| gpu_of[v.index()]);
+            let r = trial.into_result();
+            assert_eq!(r.latency.to_bits(), whole.latency.to_bits());
+            assert_eq!(r.gpu_order, whole.gpu_order);
+        }
     }
 }

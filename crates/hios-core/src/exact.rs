@@ -44,6 +44,7 @@ pub fn exhaustive_spatial(g: &Graph, cost: &CostTable, num_gpus: usize) -> (Sche
 
     // Depth-first over restricted-growth strings: position i may use GPUs
     // 0..=min(max_used_so_far + 1, M-1).
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         i: usize,
         max_used: u32,

@@ -331,7 +331,10 @@ mod tests {
         let seq_lat = evaluate(&g, &cost, &schedule_sequential(&g, &cost))
             .unwrap()
             .latency;
-        assert!(ios_lat < seq_lat, "IOS {ios_lat} must beat sequential {seq_lat}");
+        assert!(
+            ios_lat < seq_lat,
+            "IOS {ios_lat} must beat sequential {seq_lat}"
+        );
     }
 
     #[test]
@@ -398,15 +401,17 @@ mod tests {
             seed: 1,
         })
         .unwrap();
-        let cost =
-            hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(1));
+        let cost = hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(1));
         let cfg = IosConfig {
             max_states: 10,
             ..Default::default()
         };
         assert!(ios_was_capped(&g, &cost, cfg));
         let s = schedule_ios(&g, &cost, cfg);
-        assert!(s.validate(&g).is_ok(), "capped run still yields a valid schedule");
+        assert!(
+            s.validate(&g).is_ok(),
+            "capped run still yields a valid schedule"
+        );
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //! upper-bound model of §III-A (operators of a stage start together; a
 //! cross-GPU dependency delays the consumer *stage* by the transfer time)
 //! plus the priority-ordered list scheduler used inside Alg. 1 and Alg. 3.
+//! Both run on a reusable, allocation-free evaluation engine
+//! ([`eval::EvalWorkspace`], [`eval::ListState`]) whose fast paths are
+//! differential-tested against the pre-optimization implementations kept
+//! in [`reference`].
+//!
+//! With the `rayon` feature (on by default) the candidate trials of
+//! Alg. 1 and Alg. 3 fan out to a thread pool on large instances;
+//! results are bit-identical at any thread count.
 
 #![warn(missing_docs)]
 
@@ -32,14 +40,18 @@ pub mod exact;
 pub mod ios;
 pub mod lp;
 pub mod mr;
+mod par;
 pub mod priority;
+pub mod reference;
 pub mod schedule;
 pub mod seq;
 pub mod stats;
 pub mod window;
 
 pub use api::{Algorithm, ScheduleOutcome, SchedulerOptions, run_scheduler};
-pub use eval::{EvalError, EvalResult, evaluate, list_schedule};
+pub use eval::{
+    EvalError, EvalResult, EvalWorkspace, ListState, evaluate, evaluate_with, list_schedule,
+};
 pub use schedule::{GpuSchedule, Schedule, ScheduleError, Stage};
 
 #[cfg(test)]

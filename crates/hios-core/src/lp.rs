@@ -3,7 +3,8 @@
 //! subgraph `G'` and map it wholesale onto the GPU that minimizes the
 //! latency of everything scheduled so far.
 
-use crate::eval::{evaluate, list_schedule};
+use crate::eval::{ListState, evaluate, list_schedule};
+use crate::par::{LP_PAR_MIN_OPS, map_candidates};
 use crate::priority::priorities;
 use crate::schedule::Schedule;
 use crate::window::parallelize;
@@ -182,39 +183,85 @@ pub fn schedule_hios_lp(g: &Graph, cost: &CostTable, cfg: HiosLpConfig) -> LpOut
     let prio = priorities(g, cost);
     let order = priority_order(g, &prio);
     let reverse_topo: Vec<OpId> = order.iter().rev().copied().collect();
+    // Position of each operator in the priority order.
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
 
     let mut scheduled = vec![false; n];
     let mut gpu_of: Vec<Option<u32>> = vec![None; n];
     let mut remaining = n;
     let mut paths = Vec::new();
 
+    // Candidate-search state: the M trials of one path share the list
+    // schedule of every operator ordered before the path's first member,
+    // so that prefix is built once per path and cloned (buffer-reusing)
+    // into per-trial states.  `on_path` marks the current path's members
+    // by generation so each trial can overlay its GPU without mutating
+    // `gpu_of`, which keeps the trials independent and lets them run in
+    // parallel.
+    let mut prefix = ListState::new(n, cfg.num_gpus);
+    let mut trial_states: Vec<ListState> = (0..cfg.num_gpus)
+        .map(|_| ListState::new(n, cfg.num_gpus))
+        .collect();
+    let mut on_path = vec![u32::MAX; n];
+    let mut path_no = 0u32;
+    let fan_out = cfg.num_gpus >= 2 && n >= LP_PAR_MIN_OPS;
+
     while remaining > 0 {
         let path = longest_valid_path(g, cost, &reverse_topo, &scheduled);
         debug_assert!(!path.is_empty());
+        let mut cut = n;
         for &v in &path {
             scheduled[v.index()] = true;
+            on_path[v.index()] = path_no;
+            cut = cut.min(pos[v.index()]);
         }
         remaining -= path.len();
 
         // Try the whole path on every GPU, keep the best (Alg. 1 lines
         // 8-16); ties go to the lowest GPU index, so the first path lands
-        // on GPU 1 "due to the homogeneity of GPUs".
+        // on GPU 1 "due to the homogeneity of GPUs".  Each trial is the
+        // shared prefix extended with the order suffix under "path ops on
+        // GPU i, everything else as committed" — bit-identical to the
+        // full list schedule it replaces.
+        prefix.reset(n, cfg.num_gpus);
+        prefix.schedule(g, cost, &order[..cut], |u| gpu_of[u.index()]);
+        let tail = &order[cut..];
+        let committed = &gpu_of;
+        let marks = &on_path;
+        let prefix_ref = &prefix;
+        let trials: Vec<(u32, ListState)> = trial_states
+            .drain(..)
+            .enumerate()
+            .map(|(i, st)| (i as u32, st))
+            .collect();
+        let results = map_candidates(trials, fan_out, |(gi, mut st): (u32, ListState)| {
+            st.clone_from(prefix_ref);
+            st.schedule(g, cost, tail, |u| {
+                if marks[u.index()] == path_no {
+                    Some(gi)
+                } else {
+                    committed[u.index()]
+                }
+            });
+            (st.latency(), st)
+        });
         let mut best_latency = f64::INFINITY;
         let mut best_gpu = 0u32;
-        for i in 0..cfg.num_gpus as u32 {
-            for &v in &path {
-                gpu_of[v.index()] = Some(i);
+        for (i, (latency, st)) in results.into_iter().enumerate() {
+            if latency < best_latency {
+                best_latency = latency;
+                best_gpu = i as u32;
             }
-            let r = list_schedule(g, cost, &order, &gpu_of, cfg.num_gpus);
-            if r.latency < best_latency {
-                best_latency = r.latency;
-                best_gpu = i;
-            }
+            trial_states.push(st);
         }
         for &v in &path {
             gpu_of[v.index()] = Some(best_gpu);
         }
         paths.push(path);
+        path_no += 1;
     }
 
     let final_run = list_schedule(g, cost, &order, &gpu_of, cfg.num_gpus);
@@ -310,8 +357,7 @@ mod tests {
             seed: 5,
         })
         .unwrap();
-        let cost =
-            hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(5));
+        let cost = hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(5));
         let out = schedule_hios_lp(&g, &cost, HiosLpConfig::inter_only(4));
         let mut seen = vec![false; g.num_ops()];
         for p in &out.paths {
@@ -333,14 +379,10 @@ mod tests {
             seed: 9,
         })
         .unwrap();
-        let cost =
-            hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(9));
+        let cost = hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(9));
         let out = schedule_hios_lp(&g, &cost, HiosLpConfig::inter_only(2));
-        let (_, cp) = hios_graph::paths::critical_path(
-            &g,
-            |v| cost.exec(v),
-            |u, v| cost.transfer(u, v),
-        );
+        let (_, cp) =
+            hios_graph::paths::critical_path(&g, |v| cost.exec(v), |u, v| cost.transfer(u, v));
         assert_eq!(out.paths[0], cp);
     }
 
@@ -370,11 +412,7 @@ mod brute_force_tests {
     /// Enumerates every valid path in the unscheduled subgraph and
     /// returns the best score (head extension + vertex/edge weights +
     /// tail extension), mirroring the DP's definition.
-    fn brute_force_best(
-        g: &hios_graph::Graph,
-        cost: &CostTable,
-        scheduled: &[bool],
-    ) -> f64 {
+    fn brute_force_best(g: &hios_graph::Graph, cost: &CostTable, scheduled: &[bool]) -> f64 {
         let n = g.num_ops();
         let free = |v: OpId| -> bool {
             !scheduled[v.index()]
@@ -396,6 +434,7 @@ mod brute_force_tests {
                 .fold(0.0, f64::max)
         };
         // DFS over all paths: extend only through free intermediates.
+        #[allow(clippy::too_many_arguments)]
         fn extend(
             g: &hios_graph::Graph,
             cost: &CostTable,
@@ -524,7 +563,10 @@ mod brute_force_tests {
         let path = longest_valid_path(&g, &cost, &reverse_topo, &scheduled);
         assert_eq!(path.len(), 4, "a chain is one long path");
         for w in path.windows(2) {
-            assert!(g.has_edge(w[0], w[1]), "consecutive path ops must be adjacent");
+            assert!(
+                g.has_edge(w[0], w[1]),
+                "consecutive path ops must be adjacent"
+            );
         }
     }
 }

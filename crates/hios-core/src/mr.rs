@@ -9,11 +9,35 @@
 //! 8-21), so the algorithm is a polynomial-time greedy-DP hybrid — cheap,
 //! but only locally optimal, which is why the paper's HIOS-LP beats it.
 
+use crate::par::{map_candidates, mr_par_threshold};
 use crate::priority::priority_order;
 use crate::schedule::Schedule;
 use crate::window::parallelize;
 use hios_cost::CostTable;
 use hios_graph::{Graph, OpId};
+
+/// Per-trial buffers for one `k` candidate of a record-table row: the
+/// replayed schedule (`fin`, `gpu`), the per-GPU busy times derived from
+/// it, and the finish-time row it proposes for `v_i` on every GPU `j`.
+/// Pooled across rows so the table fill stays allocation-free.
+#[derive(Clone, Debug)]
+struct ReplayBuf {
+    fin: Vec<f64>,
+    gpu: Vec<u32>,
+    busy: Vec<f64>,
+    row: Vec<f64>,
+}
+
+impl ReplayBuf {
+    fn new(n: usize, m: usize) -> Self {
+        ReplayBuf {
+            fin: vec![0.0; n],
+            gpu: vec![0; n],
+            busy: vec![0.0; m],
+            row: vec![f64::INFINITY; m],
+        }
+    }
+}
 
 /// Configuration of HIOS-MR.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,49 +110,80 @@ pub fn schedule_hios_mr(g: &Graph, cost: &CostTable, cfg: HiosMrConfig) -> MrOut
     let mut gprev = vec![vec![0usize; m]; n];
     t[0][0] = cost.exec(order[0]);
 
-    // Replay buffers reused across cells (hot loop).
-    let mut fin = vec![0.0f64; n];
-    let mut gpu = vec![0usize; n];
+    // Replay buffers, one per `k` trial, pooled across rows (hot loop).
+    //
+    // The recorded schedule replay (Alg. 3 lines 10-12) depends on
+    // `(i, k)` only, so it is hoisted out of the `j` loop: one replay per
+    // `k` yields the whole `t_{i,·}` row proposal, turning the
+    // O(n·M·M·n) reference fill into O(n·(n + E + M)·M).  The `k` trials
+    // of a row are independent and fan out via `map_candidates` on large
+    // instances; merging their rows back sequentially in ascending `k`
+    // with a strict `<` keeps the recorded `gprev` bit-identical to the
+    // reference's k-inner loop.
+    let mut bufs: Vec<ReplayBuf> = (0..m).map(|_| ReplayBuf::new(n, m)).collect();
 
     for i in 1..n {
         let vi = order[i];
-        for j in 0..m.min(i + 1) {
-            for k in 0..m.min(i) {
-                if !t[i - 1][k].is_finite() {
-                    continue;
+        let jmax = m.min(i + 1);
+        let kmax = m.min(i);
+        let fan_out = kmax >= 2 && i * kmax >= mr_par_threshold();
+        let trials: Vec<(usize, ReplayBuf)> = (0..kmax)
+            .map(|k| (k, bufs.pop().expect("pool holds m >= kmax buffers")))
+            .collect();
+        let t_ref = &t;
+        let gprev_ref = &gprev;
+        let results = map_candidates(trials, fan_out, |(k, mut buf): (usize, ReplayBuf)| {
+            if !t_ref[i - 1][k].is_finite() {
+                return (false, buf);
+            }
+            // Reconstruct the recorded schedule of v_1..v_{i-1} whose
+            // last operator sits on GPU k (lines 10-12).
+            let mut cur = k;
+            for l in (0..i).rev() {
+                buf.fin[l] = t_ref[l][cur];
+                buf.gpu[l] = cur as u32;
+                cur = gprev_ref[l][cur];
+            }
+            // Per-GPU busy times under that schedule, shared by all j.
+            for b in &mut buf.busy[..jmax] {
+                *b = 0.0;
+            }
+            for l in 0..i {
+                let gl = buf.gpu[l] as usize;
+                if buf.fin[l] > buf.busy[gl] {
+                    buf.busy[gl] = buf.fin[l];
                 }
-                // Reconstruct the recorded schedule of v_1..v_{i-1} whose
-                // last operator sits on GPU k (lines 10-12).
-                let mut cur = k;
-                for l in (0..i).rev() {
-                    fin[l] = t[l][cur];
-                    gpu[l] = cur;
-                    cur = gprev[l][cur];
-                }
-                // Earliest start of v_i on GPU j under that schedule
-                // (lines 13-19): GPU-j busy time, then data arrivals.
-                let mut ready = 0.0f64;
-                for l in 0..i {
-                    if gpu[l] == j {
-                        ready = ready.max(fin[l]);
-                    }
-                }
+            }
+            // Earliest start of v_i on every GPU j (lines 13-19): GPU-j
+            // busy time, then data arrivals.
+            for j in 0..jmax {
+                let mut ready = buf.busy[j];
                 for &u in g.preds(vi) {
                     let l = pos[u.index()];
                     debug_assert!(l < i, "priority order is topological");
-                    let arrival = if gpu[l] == j {
-                        fin[l]
+                    let arrival = if buf.gpu[l] as usize == j {
+                        buf.fin[l]
                     } else {
-                        fin[l] + cost.transfer(u, vi)
+                        buf.fin[l] + cost.transfer(u, vi)
                     };
-                    ready = ready.max(arrival);
+                    if arrival > ready {
+                        ready = arrival;
+                    }
                 }
-                let finish = ready + cost.exec(vi);
-                if finish < t[i][j] {
-                    t[i][j] = finish;
-                    gprev[i][j] = k;
+                buf.row[j] = ready + cost.exec(vi);
+            }
+            (true, buf)
+        });
+        for (k, (valid, buf)) in results.into_iter().enumerate() {
+            if valid {
+                for j in 0..jmax {
+                    if buf.row[j] < t[i][j] {
+                        t[i][j] = buf.row[j];
+                        gprev[i][j] = k;
+                    }
                 }
             }
+            bufs.push(buf);
         }
     }
 
@@ -225,10 +280,8 @@ mod tests {
                 seed,
             })
             .unwrap();
-            let cost = hios_cost::random_cost_table(
-                &g,
-                &hios_cost::RandomCostConfig::paper_default(seed),
-            );
+            let cost =
+                hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(seed));
             for gpus in [1, 2, 4] {
                 let out = schedule_hios_mr(&g, &cost, HiosMrConfig::inter_only(gpus));
                 assert!(out.schedule.validate(&g).is_ok(), "seed {seed} m {gpus}");

@@ -81,7 +81,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "dependent operators {u} -> {v} share a stage")
             }
             ScheduleError::OrderViolation(u, v) => {
-                write!(f, "same-GPU dependency {u} -> {v} goes backwards in stage order")
+                write!(
+                    f,
+                    "same-GPU dependency {u} -> {v} goes backwards in stage order"
+                )
             }
             ScheduleError::EmptyStage { gpu, stage } => {
                 write!(f, "empty stage {stage} on GPU {gpu}")

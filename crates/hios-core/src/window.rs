@@ -9,10 +9,20 @@
 //! stages (the evaluator's topological sort doubles as the loop detection
 //! of Alg. 2 line 10, covering the *implicit* cross-GPU loops that merged
 //! stages can create).
+//!
+//! The pass runs on the incremental evaluation engine: candidate windows
+//! are priced with [`EvalWorkspace::merged_latency`] (re-relaxing only the
+//! stages downstream of the merge, no schedule clone), dependent-operator
+//! windows are rejected by a cheap structural pre-check before any
+//! evaluation, and operator placements are maintained incrementally
+//! across accepted merges instead of being recomputed per operator.  The
+//! result is bit-identical to the reference clone-and-reevaluate pass
+//! ([`crate::reference::parallelize`]), which the equivalence property
+//! tests assert.
 
-use crate::eval::evaluate;
+use crate::eval::EvalWorkspace;
 use crate::priority::priority_order;
-use crate::schedule::{Schedule, Stage};
+use crate::schedule::{OpPlacement, Schedule, Stage};
 use hios_cost::CostTable;
 use hios_graph::Graph;
 
@@ -25,24 +35,33 @@ use hios_graph::Graph;
 ///
 /// # Panics
 /// Panics when the input schedule is infeasible for `g`.
-pub fn parallelize(
-    g: &Graph,
-    cost: &CostTable,
-    sched: Schedule,
-    window: usize,
-) -> (Schedule, f64) {
+pub fn parallelize(g: &Graph, cost: &CostTable, sched: Schedule, window: usize) -> (Schedule, f64) {
     let mut current = sched;
-    let mut latency = evaluate(g, cost, &current)
-        .expect("parallelize() requires a feasible input schedule")
-        .latency;
+    let mut ws = EvalWorkspace::new();
+    let mut latency = ws
+        .prepare(g, cost, &current, true)
+        .and_then(|()| ws.relax())
+        .expect("parallelize() requires a feasible input schedule");
     if window < 2 || g.is_empty() {
         return (current, latency);
     }
 
     let order = priority_order(g, cost);
+    let n = g.num_ops();
+    // Placements maintained incrementally across merges (a merge only
+    // renumbers stages at or after the window on one GPU).
+    let mut place: Vec<OpPlacement> = current
+        .placements(n)
+        .into_iter()
+        .map(|p| p.expect("schedule covers every operator"))
+        .collect();
+    // Generation-stamped membership of the current window's operators,
+    // for the dependent-ops pre-check.
+    let mut win_mark = vec![0u32; n];
+    let mut win_gen = 0u32;
+
     for &v in &order {
-        let place = current.placements(g.num_ops());
-        let p = place[v.index()].expect("schedule covers every operator");
+        let p = place[v.index()];
         // Skip operators already grouped (paper's example: "v4 has been
         // grouped with v2 ... so is skipped").
         if current.gpus[p.gpu].stages[p.stage].ops.len() > 1 {
@@ -51,56 +70,94 @@ pub fn parallelize(
 
         // Grow the window over succeeding stages while it covers at most
         // `window` operators; keep the best improving candidate.
-        let mut best: Option<(Schedule, f64)> = None;
+        let mut best: Option<(usize, f64)> = None;
         let num_stages = current.gpus[p.gpu].stages.len();
         let mut covered = 1usize;
         let mut end = p.stage;
-        while end + 1 < num_stages {
+        win_gen += 1;
+        win_mark[v.index()] = win_gen;
+        'grow: while end + 1 < num_stages {
             end += 1;
-            covered += current.gpus[p.gpu].stages[end].ops.len();
+            let stage_ops = &current.gpus[p.gpu].stages[end].ops;
+            covered += stage_ops.len();
             if covered > window {
                 break;
             }
-            let candidate = merge_stages(&current, p.gpu, p.stage, end);
-            // Structural rejection (dependent operators in the window) and
-            // cycle rejection both surface as evaluation errors.
-            if let Ok(r) = evaluate(g, cost, &candidate) {
-                if r.latency < latency
-                    && best.as_ref().is_none_or(|(_, l)| r.latency < *l)
-                {
-                    best = Some((candidate, r.latency));
+            // Structural pre-check: a dependency between window members
+            // makes this window — and every larger one containing it —
+            // invalid (DependentOpsInStage), so stop growing without
+            // evaluating anything.  Implicit cross-GPU loops are NOT
+            // caught here; those can disappear as the window grows
+            // further, so they are left to the evaluator's cycle check.
+            for &w_op in stage_ops {
+                let dependent = g
+                    .preds(w_op)
+                    .iter()
+                    .chain(g.succs(w_op))
+                    .any(|u| win_mark[u.index()] == win_gen);
+                if dependent {
+                    break 'grow;
+                }
+                win_mark[w_op.index()] = win_gen;
+            }
+            // Price the candidate incrementally; a circular wait
+            // surfaces as Err and rejects just this window size.
+            if let Ok(l) = ws.merged_latency(cost, &current, p.gpu, p.stage, end) {
+                if l < latency && best.is_none_or(|(_, bl)| l < bl) {
+                    best = Some((end, l));
                 }
             }
         }
-        if let Some((sched, l)) = best {
-            current = sched;
+        if let Some((last, l)) = best {
+            merge_stages_in_place(&mut current, p.gpu, p.stage, last);
+            for (si, stage) in current.gpus[p.gpu].stages.iter().enumerate().skip(p.stage) {
+                for (slot, &op) in stage.ops.iter().enumerate() {
+                    place[op.index()] = OpPlacement {
+                        gpu: p.gpu,
+                        stage: si,
+                        slot,
+                    };
+                }
+            }
+            // Re-prepare on the merged schedule; the merge was already
+            // vetted, so skip re-validation (validate-once-then-trust).
+            let relaxed = ws
+                .prepare(g, cost, &current, false)
+                .and_then(|()| ws.relax())
+                .expect("accepted grouping stays feasible");
+            debug_assert_eq!(relaxed.to_bits(), l.to_bits());
             latency = l;
         }
     }
     (current, latency)
 }
 
-/// Returns a copy of `sched` with stages `first..=last` on `gpu` merged
-/// into a single concurrent stage.
-fn merge_stages(sched: &Schedule, gpu: usize, first: usize, last: usize) -> Schedule {
-    let mut out = sched.clone();
-    let stages = &mut out.gpus[gpu].stages;
+/// Merges stages `first..=last` on `gpu` into a single concurrent stage,
+/// in place.
+fn merge_stages_in_place(sched: &mut Schedule, gpu: usize, first: usize, last: usize) {
+    let stages = &mut sched.gpus[gpu].stages;
     let mut merged = Vec::new();
     for stage in stages.drain(first..=last) {
         merged.extend(stage.ops);
     }
     stages.insert(first, Stage::group(merged));
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate;
     use crate::fixtures::{fig4, fig4_cost, fig4_cost_small_ops};
     use crate::lp::{HiosLpConfig, schedule_hios_lp};
     use crate::schedule::GpuSchedule;
     use hios_cost::{ConcurrencyParams, CostTable};
     use hios_graph::{GraphBuilder, OpId};
+
+    fn merge_stages(sched: &Schedule, gpu: usize, first: usize, last: usize) -> Schedule {
+        let mut out = sched.clone();
+        merge_stages_in_place(&mut out, gpu, first, last);
+        out
+    }
 
     #[test]
     fn merge_stages_is_local() {
@@ -202,10 +259,7 @@ mod tests {
             meter: Default::default(),
         };
         // GPU0 runs a then d; GPU1 runs b then c.
-        let input = Schedule::from_gpu_orders(vec![
-            vec![OpId(0), OpId(3)],
-            vec![OpId(1), OpId(2)],
-        ]);
+        let input = Schedule::from_gpu_orders(vec![vec![OpId(0), OpId(3)], vec![OpId(1), OpId(2)]]);
         assert!(evaluate(&g, &cost, &input).is_ok(), "input is feasible");
         // Merging {a, d} on GPU0 creates: merged needs c's stage; b's
         // stage needs merged; c is after b on GPU1 => circular wait. The
@@ -230,10 +284,8 @@ mod tests {
                 seed,
             })
             .unwrap();
-            let cost = hios_cost::random_cost_table(
-                &g,
-                &hios_cost::RandomCostConfig::paper_default(seed),
-            );
+            let cost =
+                hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(seed));
             let input = schedule_hios_lp(&g, &cost, HiosLpConfig::inter_only(3)).schedule;
             let before = evaluate(&g, &cost, &input).unwrap().latency;
             let (out, after) = parallelize(&g, &cost, input, 4);

@@ -1,0 +1,49 @@
+//! Thread-count invariance of the parallel candidate search: HIOS-LP and
+//! HIOS-MR must produce bit-identical outputs with the rayon pool at 1
+//! thread and at 4 threads.
+//!
+//! Runs in its own test binary because it configures the pool and the MR
+//! fan-out threshold through environment variables; a single #[test]
+//! keeps the env mutations race-free.
+
+use hios_core::lp::{HiosLpConfig, schedule_hios_lp};
+use hios_core::mr::{HiosMrConfig, schedule_hios_mr};
+use hios_cost::{RandomCostConfig, random_cost_table};
+use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+#[test]
+fn lp_and_mr_outputs_are_thread_count_invariant() {
+    // Force the MR fan-out on this small instance (read once per process,
+    // so it must be set before the first scheduler call) …
+    std::env::set_var("HIOS_MR_PAR_THRESHOLD", "1");
+    // … and size the instance past the LP fan-out floor of 512 operators.
+    let g = generate_layered_dag(&LayeredDagConfig {
+        ops: 600,
+        layers: 60,
+        deps: 1200,
+        seed: 3,
+    })
+    .unwrap();
+    let cost = random_cost_table(&g, &RandomCostConfig::paper_default(3));
+
+    let run = || {
+        (
+            schedule_hios_lp(&g, &cost, HiosLpConfig::new(4)),
+            schedule_hios_mr(&g, &cost, HiosMrConfig::new(4)),
+        )
+    };
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let (lp1, mr1) = run();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let (lp4, mr4) = run();
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(lp1.schedule, lp4.schedule);
+    assert_eq!(lp1.latency.to_bits(), lp4.latency.to_bits());
+    assert_eq!(lp1.gpu_of, lp4.gpu_of);
+    assert_eq!(lp1.paths, lp4.paths);
+
+    assert_eq!(mr1.schedule, mr4.schedule);
+    assert_eq!(mr1.latency.to_bits(), mr4.latency.to_bits());
+    assert_eq!(mr1.gpu_of, mr4.gpu_of);
+}

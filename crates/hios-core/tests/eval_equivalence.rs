@@ -1,0 +1,229 @@
+//! Differential property tests: the optimized evaluation engine must be
+//! *bit-identical* to the pre-optimization reference implementations in
+//! `hios_core::reference` — same latencies (compared via `to_bits`), same
+//! schedules, same errors — on random layered DAGs, random placements,
+//! random stage groupings and random window merges.
+
+use hios_core::eval::{EvalError, EvalWorkspace, evaluate, list_schedule};
+use hios_core::lp::{HiosLpConfig, schedule_hios_lp};
+use hios_core::mr::{HiosMrConfig, schedule_hios_mr};
+use hios_core::reference;
+use hios_core::schedule::{GpuSchedule, Schedule, Stage};
+use hios_core::window::parallelize;
+use hios_cost::{CostTable, RandomCostConfig, random_cost_table};
+use hios_graph::{Graph, LayeredDagConfig, OpId, generate_layered_dag};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random instance: layered DAG + paper-default random cost table.
+fn instance(ops: usize, layers: usize, seed: u64) -> (Graph, CostTable) {
+    let g = generate_layered_dag(&LayeredDagConfig {
+        ops,
+        layers,
+        deps: ops * 2,
+        seed,
+    })
+    .expect("valid layered DAG config");
+    let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
+    (g, cost)
+}
+
+/// A random schedule with grouped stages: operators land on random GPUs
+/// (in priority order per GPU, so the schedule is valid), then random
+/// runs of consecutive stages are merged — which may produce dependent
+/// operators in a stage or cross-GPU circular waits.  Both evaluators
+/// must agree on those errors too.
+fn random_grouped_schedule(g: &Graph, cost: &CostTable, gpus: usize, rng: &mut StdRng) -> Schedule {
+    let order = hios_core::priority::priority_order(g, cost);
+    let mut gpu_orders: Vec<Vec<OpId>> = vec![Vec::new(); gpus];
+    for &v in &order {
+        gpu_orders[rng.random_range(0..gpus)].push(v);
+    }
+    let mut sched = Schedule::from_gpu_orders(gpu_orders);
+    for gpu in &mut sched.gpus {
+        let mut grouped: Vec<Stage> = Vec::new();
+        for stage in gpu.stages.drain(..) {
+            let merge = !grouped.is_empty()
+                && grouped.last().map_or(0, |s: &Stage| s.ops.len()) < 3
+                && rng.random_range(0..3usize) == 0;
+            if merge {
+                grouped
+                    .last_mut()
+                    .expect("non-empty checked")
+                    .ops
+                    .extend(stage.ops);
+            } else {
+                grouped.push(stage);
+            }
+        }
+        *gpu = GpuSchedule { stages: grouped };
+    }
+    sched
+}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// evaluate() through the workspace engine == reference evaluate,
+    /// including Structure/StageCycle errors, on random grouped schedules.
+    #[test]
+    fn evaluate_matches_reference((ops, layers, gpus, seed) in
+        (12usize..48, 2usize..6, 1usize..5, 0u64..1_000_000))
+    {
+        let (g, cost) = instance(ops, layers, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        let sched = random_grouped_schedule(&g, &cost, gpus, &mut rng);
+        let fast = evaluate(&g, &cost, &sched);
+        let slow = reference::evaluate(&g, &cost, &sched);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => {
+                prop_assert_eq!(bits(f.latency), bits(s.latency));
+                prop_assert_eq!(f.stage_times, s.stage_times);
+                let fb: Vec<(u64, u64)> = f.op_start.iter().zip(&f.op_finish)
+                    .map(|(a, b)| (bits(*a), bits(*b))).collect();
+                let sb: Vec<(u64, u64)> = s.op_start.iter().zip(&s.op_finish)
+                    .map(|(a, b)| (bits(*a), bits(*b))).collect();
+                prop_assert_eq!(fb, sb);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "diverged: fast {:?} vs reference {:?}",
+                a.map(|r| r.latency), b.map(|r| r.latency)),
+        }
+    }
+
+    /// Incremental merged_latency == full reference evaluation of the
+    /// materialized merge (modulo Structure errors, which the window pass
+    /// filters out before calling merged_latency).
+    #[test]
+    fn merged_latency_matches_materialized((ops, layers, gpus, seed) in
+        (12usize..48, 2usize..6, 1usize..4, 0u64..1_000_000))
+    {
+        let (g, cost) = instance(ops, layers, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        // Singleton-stage base schedule (always feasible by construction).
+        let order = hios_core::priority::priority_order(&g, &cost);
+        let mut gpu_orders: Vec<Vec<OpId>> = vec![Vec::new(); gpus];
+        for &v in &order {
+            gpu_orders[rng.random_range(0..gpus)].push(v);
+        }
+        let base = Schedule::from_gpu_orders(gpu_orders);
+        let mut ws = EvalWorkspace::new();
+        ws.prepare(&g, &cost, &base, true).expect("base is valid");
+        ws.relax().expect("base singleton schedule has no stage cycle");
+        // Try every merge window of width 2..=4 on every GPU.
+        for gpu in 0..gpus {
+            let n_stages = base.gpus[gpu].stages.len();
+            for first in 0..n_stages {
+                for last in first + 1..n_stages.min(first + 4) {
+                    let incremental = ws.merged_latency(&cost, &base, gpu, first, last);
+                    let materialized = reference::merge_stages(&base, gpu, first, last);
+                    match reference::evaluate(&g, &cost, &materialized) {
+                        Ok(r) => {
+                            let l = incremental.expect("reference says feasible");
+                            prop_assert_eq!(bits(l), bits(r.latency));
+                        }
+                        Err(EvalError::StageCycle) => {
+                            prop_assert_eq!(incremental, Err(EvalError::StageCycle));
+                        }
+                        Err(EvalError::Structure(_)) => {
+                            // Dependent ops in the merged stage: the window
+                            // pass's structural pre-check rejects these
+                            // before pricing; merged_latency's answer is
+                            // unspecified here.
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The incremental window pass == the reference clone-and-reevaluate
+    /// pass: same final schedule, same latency bits.
+    #[test]
+    fn parallelize_matches_reference((ops, layers, gpus, window, seed) in
+        (12usize..40, 2usize..5, 1usize..4, 2usize..6, 0u64..1_000_000))
+    {
+        let (g, cost) = instance(ops, layers, seed);
+        let input = schedule_hios_lp(&g, &cost, HiosLpConfig::inter_only(gpus)).schedule;
+        let (fast_sched, fast_lat) = parallelize(&g, &cost, input.clone(), window);
+        let (ref_sched, ref_lat) = reference::parallelize(&g, &cost, input, window);
+        prop_assert_eq!(fast_sched, ref_sched);
+        prop_assert_eq!(bits(fast_lat), bits(ref_lat));
+    }
+
+    /// Binary-search gap lookup == reference linear scan, with partial
+    /// placements (None marks unscheduled operators).
+    #[test]
+    fn list_schedule_matches_reference((ops, layers, gpus, seed) in
+        (12usize..60, 2usize..6, 1usize..5, 0u64..1_000_000))
+    {
+        let (g, cost) = instance(ops, layers, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11157);
+        let gpu_of: Vec<Option<u32>> = (0..g.num_ops())
+            .map(|_| {
+                if rng.random_range(0..4usize) == 0 {
+                    None
+                } else {
+                    Some(rng.random_range(0..gpus) as u32)
+                }
+            })
+            .collect();
+        let order = hios_core::priority::priority_order(&g, &cost);
+        let fast = list_schedule(&g, &cost, &order, &gpu_of, gpus);
+        let slow = reference::list_schedule(&g, &cost, &order, &gpu_of, gpus);
+        prop_assert_eq!(bits(fast.latency), bits(slow.latency));
+        prop_assert_eq!(fast.gpu_order, slow.gpu_order);
+        let fb: Vec<(u64, u64)> = fast.start.iter().zip(&fast.finish)
+            .map(|(a, b)| (bits(*a), bits(*b))).collect();
+        let sb: Vec<(u64, u64)> = slow.start.iter().zip(&slow.finish)
+            .map(|(a, b)| (bits(*a), bits(*b))).collect();
+        prop_assert_eq!(fb, sb);
+    }
+}
+
+proptest! {
+    // Scheduler-level equivalence runs the full pipelines; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Prefix-cached parallel candidate search == reference HIOS-LP.
+    #[test]
+    fn hios_lp_matches_reference((ops, layers, gpus, intra, seed) in
+        (16usize..64, 3usize..7, 1usize..5, 0u8..2, 0u64..1_000_000))
+    {
+        let (g, cost) = instance(ops, layers, seed);
+        let cfg = HiosLpConfig {
+            num_gpus: gpus,
+            window: 4,
+            intra: intra == 1,
+        };
+        let fast = schedule_hios_lp(&g, &cost, cfg);
+        let slow = reference::schedule_hios_lp(&g, &cost, cfg);
+        prop_assert_eq!(fast.schedule, slow.schedule);
+        prop_assert_eq!(bits(fast.latency), bits(slow.latency));
+        prop_assert_eq!(fast.gpu_of, slow.gpu_of);
+        prop_assert_eq!(fast.paths, slow.paths);
+    }
+
+    /// Hoisted-replay row fill == reference HIOS-MR.
+    #[test]
+    fn hios_mr_matches_reference((ops, layers, gpus, intra, seed) in
+        (16usize..64, 3usize..7, 1usize..5, 0u8..2, 0u64..1_000_000))
+    {
+        let (g, cost) = instance(ops, layers, seed);
+        let cfg = HiosMrConfig {
+            num_gpus: gpus,
+            window: 4,
+            intra: intra == 1,
+        };
+        let fast = schedule_hios_mr(&g, &cost, cfg);
+        let slow = reference::schedule_hios_mr(&g, &cost, cfg);
+        prop_assert_eq!(fast.schedule, slow.schedule);
+        prop_assert_eq!(bits(fast.latency), bits(slow.latency));
+        prop_assert_eq!(fast.gpu_of, slow.gpu_of);
+    }
+}

@@ -140,19 +140,22 @@ impl Graph {
 
     /// Operators with no predecessors.
     pub fn sources(&self) -> Vec<OpId> {
-        self.op_ids().filter(|&v| self.preds(v).is_empty()).collect()
+        self.op_ids()
+            .filter(|&v| self.preds(v).is_empty())
+            .collect()
     }
 
     /// Operators with no successors.
     pub fn sinks(&self) -> Vec<OpId> {
-        self.op_ids().filter(|&v| self.succs(v).is_empty()).collect()
+        self.op_ids()
+            .filter(|&v| self.succs(v).is_empty())
+            .collect()
     }
 
     /// FLOPs of operator `v` (see [`OpKind::flops`]).
     pub fn flops(&self, v: OpId) -> u64 {
         let node = self.node(v);
-        node.kind
-            .flops(&self.input_shapes(v), &node.output_shape)
+        node.kind.flops(&self.input_shapes(v), &node.output_shape)
     }
 
     /// DRAM traffic of operator `v` in bytes (see [`OpKind::dram_bytes`]).
@@ -252,10 +255,11 @@ impl GraphBuilder {
         let out_shape = if matches!(kind, OpKind::Synthetic) && inputs.is_empty() {
             TensorShape::new(1, 1, 1, 1)
         } else {
-            kind.infer_shape(&in_shapes).ok_or(GraphError::ShapeMismatch {
-                op: name.clone(),
-                inputs: in_shapes,
-            })?
+            kind.infer_shape(&in_shapes)
+                .ok_or(GraphError::ShapeMismatch {
+                    op: name.clone(),
+                    inputs: in_shapes,
+                })?
         };
         let v = self.push_node(name, kind, out_shape);
         for &u in inputs {
@@ -270,7 +274,10 @@ impl GraphBuilder {
     pub fn add_synthetic(&mut self, name: impl Into<String>, inputs: &[OpId]) -> OpId {
         let v = self.push_node(name.into(), OpKind::Synthetic, TensorShape::new(1, 1, 1, 1));
         for &u in inputs {
-            assert!(u.index() < v.index(), "synthetic inputs must precede the op");
+            assert!(
+                u.index() < v.index(),
+                "synthetic inputs must precede the op"
+            );
             self.succs[u.index()].push(v);
             self.preds[v.index()].push(u);
         }
@@ -405,7 +412,10 @@ mod tests {
     #[test]
     fn shape_inference_through_graph() {
         let g = diamond();
-        assert_eq!(g.node(OpId(4)).output_shape, TensorShape::new(1, 32, 32, 32));
+        assert_eq!(
+            g.node(OpId(4)).output_shape,
+            TensorShape::new(1, 32, 32, 32)
+        );
     }
 
     #[test]
@@ -472,6 +482,9 @@ mod tests {
         let back: Graph = serde_json::from_str(&s).unwrap();
         assert_eq!(back.num_ops(), g.num_ops());
         assert_eq!(back.num_edges(), g.num_edges());
-        assert_eq!(back.node(OpId(4)).output_shape, g.node(OpId(4)).output_shape);
+        assert_eq!(
+            back.node(OpId(4)).output_shape,
+            g.node(OpId(4)).output_shape
+        );
     }
 }

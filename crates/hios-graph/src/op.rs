@@ -215,9 +215,7 @@ impl OpKind {
         let out_elems = output.elems();
         match self {
             OpKind::Input | OpKind::Identity | OpKind::Concat | OpKind::Synthetic => 0,
-            OpKind::Conv2d {
-                kernel, groups, ..
-            } => {
+            OpKind::Conv2d { kernel, groups, .. } => {
                 let cin = inputs.first().map_or(0, |s| u64::from(s.c));
                 let per_out = 2 * cin / u64::from((*groups).max(1))
                     * u64::from(kernel.0)
@@ -233,14 +231,10 @@ impl OpKind {
                 let pointwise = 2 * cin * out_elems;
                 depthwise + pointwise
             }
-            OpKind::Pool { kernel, .. } => {
-                out_elems * u64::from(kernel.0) * u64::from(kernel.1)
-            }
+            OpKind::Pool { kernel, .. } => out_elems * u64::from(kernel.0) * u64::from(kernel.1),
             OpKind::GlobalAvgPool => inputs.first().map_or(0, TensorShape::elems),
             OpKind::Activation(_) | OpKind::BatchNorm => 2 * out_elems,
-            OpKind::Add => {
-                out_elems * inputs.len().saturating_sub(1) as u64
-            }
+            OpKind::Add => out_elems * inputs.len().saturating_sub(1) as u64,
             OpKind::Linear { .. } => {
                 let cin = inputs.first().map_or(0, |s| u64::from(s.c));
                 2 * cin * out_elems

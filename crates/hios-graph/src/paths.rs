@@ -71,14 +71,10 @@ pub fn critical_path(
     let mut v = start;
     // Greedily follow the successor that realizes the DP value.
     loop {
-        let next = g
-            .succs(v)
-            .iter()
-            .copied()
-            .find(|&w| {
-                let expect = node_w(v) + edge_w(v, w) + dist[w.index()];
-                (expect - dist[v.index()]).abs() <= 1e-9 * expect.abs().max(1.0)
-            });
+        let next = g.succs(v).iter().copied().find(|&w| {
+            let expect = node_w(v) + edge_w(v, w) + dist[w.index()];
+            (expect - dist[v.index()]).abs() <= 1e-9 * expect.abs().max(1.0)
+        });
         match next {
             Some(w) => {
                 path.push(w);
@@ -124,9 +120,13 @@ mod tests {
     /// longest path, P2 = {e2,v3,e4,v5,e6} is the second longest *valid*
     /// path (v3->v5->v7 is excluded because its intermediate v5 feeds the
     /// mapped v6), and P3 = {e7,v7,e9}; both P2 and P3 map best onto GPU 2.
-    pub(crate) fn fig4_graph() -> (Graph, Vec<f64>, Vec<((u32, u32), f64)>) {
+    pub(crate) type WeightedEdge = ((u32, u32), f64);
+
+    pub(crate) fn fig4_graph() -> (Graph, Vec<f64>, Vec<WeightedEdge>) {
         let mut b = GraphBuilder::new();
-        let v: Vec<OpId> = (0..8).map(|i| b.add_synthetic(format!("v{}", i + 1), &[])).collect();
+        let v: Vec<OpId> = (0..8)
+            .map(|i| b.add_synthetic(format!("v{}", i + 1), &[]))
+            .collect();
         let edges = [
             ((0u32, 1u32), 1.0), // e1 v1->v2
             ((0, 2), 1.0),       // e2 v1->v3
@@ -148,10 +148,7 @@ mod tests {
     fn weights<'a>(
         node_w: &'a [f64],
         edges: &'a [((u32, u32), f64)],
-    ) -> (
-        impl Fn(OpId) -> f64 + 'a,
-        impl Fn(OpId, OpId) -> f64 + 'a,
-    ) {
+    ) -> (impl Fn(OpId) -> f64 + 'a, impl Fn(OpId, OpId) -> f64 + 'a) {
         let nw = move |v: OpId| node_w[v.index()];
         let ew = move |u: OpId, v: OpId| {
             edges

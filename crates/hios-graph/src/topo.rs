@@ -14,10 +14,7 @@ pub fn topo_order(g: &Graph) -> Vec<OpId> {
     let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(OpId::from_index(i)).len()).collect();
     // A binary heap keyed by id would also work; a sorted scan of the ready
     // queue keeps this allocation-free in the common narrow-frontier case.
-    let mut ready: VecDeque<OpId> = g
-        .op_ids()
-        .filter(|&v| indeg[v.index()] == 0)
-        .collect();
+    let mut ready: VecDeque<OpId> = g.op_ids().filter(|&v| indeg[v.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = ready.pop_front() {
         order.push(v);

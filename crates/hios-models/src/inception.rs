@@ -109,7 +109,12 @@ pub fn inception_v3(cfg: &ModelConfig) -> Graph {
     x = inception_b(&mut c, "Mixed_6a", x);
     // 4x Inception-C (Mixed_6b..6e).
     for (i, c7) in [(0, 128u32), (1, 160), (2, 160), (3, 192)] {
-        x = inception_c(&mut c, &format!("Mixed_6{}", ["b", "c", "d", "e"][i]), x, c7);
+        x = inception_c(
+            &mut c,
+            &format!("Mixed_6{}", ["b", "c", "d", "e"][i]),
+            x,
+            c7,
+        );
     }
     // Inception-D reduction (Mixed_7a).
     x = inception_d(&mut c, "Mixed_7a", x);
@@ -119,18 +124,11 @@ pub fn inception_v3(cfg: &ModelConfig) -> Graph {
     }
 
     // Classifier.
-    let x = c
-        .b
-        .add_op("avgpool", OpKind::GlobalAvgPool, &[x])
-        .expect("gap");
-    c.b.add_op(
-        "fc",
-        OpKind::Linear {
-            out_features: 1000,
-        },
-        &[x],
-    )
-    .expect("fc");
+    let x =
+        c.b.add_op("avgpool", OpKind::GlobalAvgPool, &[x])
+            .expect("gap");
+    c.b.add_op("fc", OpKind::Linear { out_features: 1000 }, &[x])
+        .expect("fc");
     c.b.build()
 }
 
@@ -138,15 +136,64 @@ pub fn inception_v3(cfg: &ModelConfig) -> Graph {
 fn inception_a(c: &mut Ctx, name: &str, x: OpId, pool_c: u32) -> OpId {
     let b1 = c.conv(&format!("{name}/branch1x1"), x, 64, (1, 1), (1, 1), (0, 0));
 
-    let b5 = c.conv(&format!("{name}/branch5x5_1"), x, 48, (1, 1), (1, 1), (0, 0));
-    let b5 = c.conv(&format!("{name}/branch5x5_2"), b5, 64, (5, 5), (1, 1), (2, 2));
+    let b5 = c.conv(
+        &format!("{name}/branch5x5_1"),
+        x,
+        48,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b5 = c.conv(
+        &format!("{name}/branch5x5_2"),
+        b5,
+        64,
+        (5, 5),
+        (1, 1),
+        (2, 2),
+    );
 
-    let b3 = c.conv(&format!("{name}/branch3x3dbl_1"), x, 64, (1, 1), (1, 1), (0, 0));
-    let b3 = c.conv(&format!("{name}/branch3x3dbl_2"), b3, 96, (3, 3), (1, 1), (1, 1));
-    let b3 = c.conv(&format!("{name}/branch3x3dbl_3"), b3, 96, (3, 3), (1, 1), (1, 1));
+    let b3 = c.conv(
+        &format!("{name}/branch3x3dbl_1"),
+        x,
+        64,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b3 = c.conv(
+        &format!("{name}/branch3x3dbl_2"),
+        b3,
+        96,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
+    let b3 = c.conv(
+        &format!("{name}/branch3x3dbl_3"),
+        b3,
+        96,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
 
-    let bp = c.pool(&format!("{name}/branch_pool_avg"), x, PoolKind::Avg, 3, 1, 1);
-    let bp = c.conv(&format!("{name}/branch_pool"), bp, pool_c, (1, 1), (1, 1), (0, 0));
+    let bp = c.pool(
+        &format!("{name}/branch_pool_avg"),
+        x,
+        PoolKind::Avg,
+        3,
+        1,
+        1,
+    );
+    let bp = c.conv(
+        &format!("{name}/branch_pool"),
+        bp,
+        pool_c,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
 
     c.concat(&format!("{name}/concat"), &[b1, b5, b3, bp])
 }
@@ -155,9 +202,30 @@ fn inception_a(c: &mut Ctx, name: &str, x: OpId, pool_c: u32) -> OpId {
 fn inception_b(c: &mut Ctx, name: &str, x: OpId) -> OpId {
     let b3 = c.conv(&format!("{name}/branch3x3"), x, 384, (3, 3), (2, 2), (0, 0));
 
-    let bd = c.conv(&format!("{name}/branch3x3dbl_1"), x, 64, (1, 1), (1, 1), (0, 0));
-    let bd = c.conv(&format!("{name}/branch3x3dbl_2"), bd, 96, (3, 3), (1, 1), (1, 1));
-    let bd = c.conv(&format!("{name}/branch3x3dbl_3"), bd, 96, (3, 3), (2, 2), (0, 0));
+    let bd = c.conv(
+        &format!("{name}/branch3x3dbl_1"),
+        x,
+        64,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let bd = c.conv(
+        &format!("{name}/branch3x3dbl_2"),
+        bd,
+        96,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
+    let bd = c.conv(
+        &format!("{name}/branch3x3dbl_3"),
+        bd,
+        96,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
 
     let bp = c.pool(&format!("{name}/branch_pool"), x, PoolKind::Max, 3, 2, 0);
 
@@ -168,31 +236,143 @@ fn inception_b(c: &mut Ctx, name: &str, x: OpId) -> OpId {
 fn inception_c(c: &mut Ctx, name: &str, x: OpId, c7: u32) -> OpId {
     let b1 = c.conv(&format!("{name}/branch1x1"), x, 192, (1, 1), (1, 1), (0, 0));
 
-    let b7 = c.conv(&format!("{name}/branch7x7_1"), x, c7, (1, 1), (1, 1), (0, 0));
-    let b7 = c.conv(&format!("{name}/branch7x7_2"), b7, c7, (1, 7), (1, 1), (0, 3));
-    let b7 = c.conv(&format!("{name}/branch7x7_3"), b7, 192, (7, 1), (1, 1), (3, 0));
+    let b7 = c.conv(
+        &format!("{name}/branch7x7_1"),
+        x,
+        c7,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b7 = c.conv(
+        &format!("{name}/branch7x7_2"),
+        b7,
+        c7,
+        (1, 7),
+        (1, 1),
+        (0, 3),
+    );
+    let b7 = c.conv(
+        &format!("{name}/branch7x7_3"),
+        b7,
+        192,
+        (7, 1),
+        (1, 1),
+        (3, 0),
+    );
 
-    let bd = c.conv(&format!("{name}/branch7x7dbl_1"), x, c7, (1, 1), (1, 1), (0, 0));
-    let bd = c.conv(&format!("{name}/branch7x7dbl_2"), bd, c7, (7, 1), (1, 1), (3, 0));
-    let bd = c.conv(&format!("{name}/branch7x7dbl_3"), bd, c7, (1, 7), (1, 1), (0, 3));
-    let bd = c.conv(&format!("{name}/branch7x7dbl_4"), bd, c7, (7, 1), (1, 1), (3, 0));
-    let bd = c.conv(&format!("{name}/branch7x7dbl_5"), bd, 192, (1, 7), (1, 1), (0, 3));
+    let bd = c.conv(
+        &format!("{name}/branch7x7dbl_1"),
+        x,
+        c7,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let bd = c.conv(
+        &format!("{name}/branch7x7dbl_2"),
+        bd,
+        c7,
+        (7, 1),
+        (1, 1),
+        (3, 0),
+    );
+    let bd = c.conv(
+        &format!("{name}/branch7x7dbl_3"),
+        bd,
+        c7,
+        (1, 7),
+        (1, 1),
+        (0, 3),
+    );
+    let bd = c.conv(
+        &format!("{name}/branch7x7dbl_4"),
+        bd,
+        c7,
+        (7, 1),
+        (1, 1),
+        (3, 0),
+    );
+    let bd = c.conv(
+        &format!("{name}/branch7x7dbl_5"),
+        bd,
+        192,
+        (1, 7),
+        (1, 1),
+        (0, 3),
+    );
 
-    let bp = c.pool(&format!("{name}/branch_pool_avg"), x, PoolKind::Avg, 3, 1, 1);
-    let bp = c.conv(&format!("{name}/branch_pool"), bp, 192, (1, 1), (1, 1), (0, 0));
+    let bp = c.pool(
+        &format!("{name}/branch_pool_avg"),
+        x,
+        PoolKind::Avg,
+        3,
+        1,
+        1,
+    );
+    let bp = c.conv(
+        &format!("{name}/branch_pool"),
+        bp,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
 
     c.concat(&format!("{name}/concat"), &[b1, b7, bd, bp])
 }
 
 /// Inception-D: grid reduction 17x17 -> 8x8.
 fn inception_d(c: &mut Ctx, name: &str, x: OpId) -> OpId {
-    let b3 = c.conv(&format!("{name}/branch3x3_1"), x, 192, (1, 1), (1, 1), (0, 0));
-    let b3 = c.conv(&format!("{name}/branch3x3_2"), b3, 320, (3, 3), (2, 2), (0, 0));
+    let b3 = c.conv(
+        &format!("{name}/branch3x3_1"),
+        x,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b3 = c.conv(
+        &format!("{name}/branch3x3_2"),
+        b3,
+        320,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
 
-    let b7 = c.conv(&format!("{name}/branch7x7x3_1"), x, 192, (1, 1), (1, 1), (0, 0));
-    let b7 = c.conv(&format!("{name}/branch7x7x3_2"), b7, 192, (1, 7), (1, 1), (0, 3));
-    let b7 = c.conv(&format!("{name}/branch7x7x3_3"), b7, 192, (7, 1), (1, 1), (3, 0));
-    let b7 = c.conv(&format!("{name}/branch7x7x3_4"), b7, 192, (3, 3), (2, 2), (0, 0));
+    let b7 = c.conv(
+        &format!("{name}/branch7x7x3_1"),
+        x,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b7 = c.conv(
+        &format!("{name}/branch7x7x3_2"),
+        b7,
+        192,
+        (1, 7),
+        (1, 1),
+        (0, 3),
+    );
+    let b7 = c.conv(
+        &format!("{name}/branch7x7x3_3"),
+        b7,
+        192,
+        (7, 1),
+        (1, 1),
+        (3, 0),
+    );
+    let b7 = c.conv(
+        &format!("{name}/branch7x7x3_4"),
+        b7,
+        192,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
 
     let bp = c.pool(&format!("{name}/branch_pool"), x, PoolKind::Max, 3, 2, 0);
 
@@ -203,19 +383,82 @@ fn inception_d(c: &mut Ctx, name: &str, x: OpId) -> OpId {
 fn inception_e(c: &mut Ctx, name: &str, x: OpId) -> OpId {
     let b1 = c.conv(&format!("{name}/branch1x1"), x, 320, (1, 1), (1, 1), (0, 0));
 
-    let b3 = c.conv(&format!("{name}/branch3x3_1"), x, 384, (1, 1), (1, 1), (0, 0));
-    let b3a = c.conv(&format!("{name}/branch3x3_2a"), b3, 384, (1, 3), (1, 1), (0, 1));
-    let b3b = c.conv(&format!("{name}/branch3x3_2b"), b3, 384, (3, 1), (1, 1), (1, 0));
+    let b3 = c.conv(
+        &format!("{name}/branch3x3_1"),
+        x,
+        384,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b3a = c.conv(
+        &format!("{name}/branch3x3_2a"),
+        b3,
+        384,
+        (1, 3),
+        (1, 1),
+        (0, 1),
+    );
+    let b3b = c.conv(
+        &format!("{name}/branch3x3_2b"),
+        b3,
+        384,
+        (3, 1),
+        (1, 1),
+        (1, 0),
+    );
     let b3 = c.concat(&format!("{name}/branch3x3_cat"), &[b3a, b3b]);
 
-    let bd = c.conv(&format!("{name}/branch3x3dbl_1"), x, 448, (1, 1), (1, 1), (0, 0));
-    let bd = c.conv(&format!("{name}/branch3x3dbl_2"), bd, 384, (3, 3), (1, 1), (1, 1));
-    let bda = c.conv(&format!("{name}/branch3x3dbl_3a"), bd, 384, (1, 3), (1, 1), (0, 1));
-    let bdb = c.conv(&format!("{name}/branch3x3dbl_3b"), bd, 384, (3, 1), (1, 1), (1, 0));
+    let bd = c.conv(
+        &format!("{name}/branch3x3dbl_1"),
+        x,
+        448,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let bd = c.conv(
+        &format!("{name}/branch3x3dbl_2"),
+        bd,
+        384,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
+    let bda = c.conv(
+        &format!("{name}/branch3x3dbl_3a"),
+        bd,
+        384,
+        (1, 3),
+        (1, 1),
+        (0, 1),
+    );
+    let bdb = c.conv(
+        &format!("{name}/branch3x3dbl_3b"),
+        bd,
+        384,
+        (3, 1),
+        (1, 1),
+        (1, 0),
+    );
     let bd = c.concat(&format!("{name}/branch3x3dbl_cat"), &[bda, bdb]);
 
-    let bp = c.pool(&format!("{name}/branch_pool_avg"), x, PoolKind::Avg, 3, 1, 1);
-    let bp = c.conv(&format!("{name}/branch_pool"), bp, 192, (1, 1), (1, 1), (0, 0));
+    let bp = c.pool(
+        &format!("{name}/branch_pool_avg"),
+        x,
+        PoolKind::Avg,
+        3,
+        1,
+        1,
+    );
+    let bp = c.conv(
+        &format!("{name}/branch_pool"),
+        bp,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
 
     c.concat(&format!("{name}/concat"), &[b1, b3, bd, bp])
 }

@@ -129,7 +129,7 @@ fn normal_cell(
     let b5 = c.add(&format!("{name}/b5_add"), b5_l, h);
 
     c.b.add_op(
-        &format!("{name}/concat"),
+        format!("{name}/concat"),
         OpKind::Concat,
         &[b1, b2, b3, b4, b5],
     )
@@ -170,12 +170,8 @@ fn reduction_cell(
     let b5_l = c.pool(&format!("{name}/b5_avg"), b1, PoolKind::Avg, 1);
     let b5 = c.add(&format!("{name}/b5_add"), b5_l, b2);
 
-    c.b.add_op(
-        &format!("{name}/concat"),
-        OpKind::Concat,
-        &[b2, b3, b4, b5],
-    )
-    .unwrap_or_else(|e| panic!("nasnet concat `{name}`: {e}"))
+    c.b.add_op(format!("{name}/concat"), OpKind::Concat, &[b2, b3, b4, b5])
+        .unwrap_or_else(|e| panic!("nasnet concat `{name}`: {e}"))
 }
 
 /// Builds the NASNet-A inference graph.
@@ -232,18 +228,11 @@ pub fn nasnet_a_with(cfg: &ModelConfig, nas: &NasnetConfig) -> Graph {
         }
     }
 
-    let gap = c
-        .b
-        .add_op("avgpool", OpKind::GlobalAvgPool, &[p])
-        .expect("gap");
-    c.b.add_op(
-        "fc",
-        OpKind::Linear {
-            out_features: 1000,
-        },
-        &[gap],
-    )
-    .expect("fc");
+    let gap =
+        c.b.add_op("avgpool", OpKind::GlobalAvgPool, &[p])
+            .expect("gap");
+    c.b.add_op("fc", OpKind::Linear { out_features: 1000 }, &[gap])
+        .expect("fc");
     c.b.build()
 }
 

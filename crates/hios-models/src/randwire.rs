@@ -47,7 +47,10 @@ impl Default for RandWireConfig {
 /// sinks.  Deterministic in `wire.seed`.
 pub fn randwire(cfg: &ModelConfig, wire: &RandWireConfig) -> Graph {
     assert!(wire.nodes_per_stage >= 4, "need at least 4 nodes per stage");
-    assert!(wire.k >= 2 && wire.k % 2 == 0, "k must be even and >= 2");
+    assert!(
+        wire.k >= 2 && wire.k.is_multiple_of(2),
+        "k must be even and >= 2"
+    );
     let mut rng = StdRng::seed_from_u64(wire.seed);
     let mut b = GraphBuilder::new();
     let input = b.input(
@@ -83,15 +86,11 @@ pub fn randwire(cfg: &ModelConfig, wire: &RandWireConfig) -> Graph {
             channels,
         );
     }
-    let gap = b.add_op("avgpool", OpKind::GlobalAvgPool, &[x]).expect("gap");
-    b.add_op(
-        "fc",
-        OpKind::Linear {
-            out_features: 1000,
-        },
-        &[gap],
-    )
-    .expect("fc");
+    let gap = b
+        .add_op("avgpool", OpKind::GlobalAvgPool, &[x])
+        .expect("gap");
+    b.add_op("fc", OpKind::Linear { out_features: 1000 }, &[gap])
+        .expect("fc");
     b.build()
 }
 
@@ -143,13 +142,13 @@ fn random_stage(
             0 => input,
             1 => ins[0],
             _ => b
-                .add_op(&format!("{name}/n{i}/sum"), OpKind::Add, &ins)
+                .add_op(format!("{name}/n{i}/sum"), OpKind::Add, &ins)
                 .unwrap_or_else(|e| panic!("randwire add `{name}/n{i}`: {e}")),
         };
         let stride = if preds[i].is_empty() { 2 } else { 1 };
         let conv = b
             .add_op(
-                &format!("{name}/n{i}/sepconv"),
+                format!("{name}/n{i}/sepconv"),
                 OpKind::SepConv2d {
                     out_channels: cfg.ch(channels),
                     kernel: (3, 3),
@@ -164,8 +163,7 @@ fn random_stage(
     }
 
     // Stage output: average all sinks (nodes nobody consumes).
-    let consumed: std::collections::HashSet<usize> =
-        edges.iter().map(|&(u, _)| u).collect();
+    let consumed: std::collections::HashSet<usize> = edges.iter().map(|&(u, _)| u).collect();
     let sinks: Vec<OpId> = (0..n)
         .filter(|i| !consumed.contains(i))
         .map(|i| node_out[i].expect("built"))
@@ -173,7 +171,7 @@ fn random_stage(
     match sinks.len() {
         1 => sinks[0],
         _ => b
-            .add_op(&format!("{name}/out"), OpKind::Add, &sinks)
+            .add_op(format!("{name}/out"), OpKind::Add, &sinks)
             .unwrap_or_else(|e| panic!("randwire out `{name}`: {e}")),
     }
 }
@@ -197,10 +195,7 @@ mod tests {
         let cfg = ModelConfig::with_input(128);
         let a = randwire(&cfg, &RandWireConfig::default());
         let b = randwire(&cfg, &RandWireConfig::default());
-        assert_eq!(
-            a.edges().collect::<Vec<_>>(),
-            b.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
         let c = randwire(
             &cfg,
             &RandWireConfig {
@@ -208,10 +203,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_ne!(
-            a.edges().collect::<Vec<_>>(),
-            c.edges().collect::<Vec<_>>()
-        );
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
     }
 
     #[test]

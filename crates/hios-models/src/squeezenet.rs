@@ -7,6 +7,7 @@
 use crate::ModelConfig;
 use hios_graph::{Activation, Graph, GraphBuilder, OpId, OpKind, PoolKind, TensorShape};
 
+#[allow(clippy::too_many_arguments)]
 fn conv(
     b: &mut GraphBuilder,
     cfg: &ModelConfig,
@@ -45,7 +46,7 @@ fn fire(
     let sq = conv(b, cfg, &format!("{name}/squeeze1x1"), x, s, 1, 1, 0);
     let x1 = conv(b, cfg, &format!("{name}/expand1x1"), sq, e1, 1, 1, 0);
     let x3 = conv(b, cfg, &format!("{name}/expand3x3"), sq, e3, 3, 1, 1);
-    b.add_op(&format!("{name}/concat"), OpKind::Concat, &[x1, x3])
+    b.add_op(format!("{name}/concat"), OpKind::Concat, &[x1, x3])
         .unwrap_or_else(|e| panic!("squeezenet concat `{name}`: {e}"))
 }
 
@@ -54,7 +55,10 @@ fn fire(
 /// # Panics
 /// Panics when `cfg.input_size < 64`.
 pub fn squeezenet(cfg: &ModelConfig) -> Graph {
-    assert!(cfg.input_size >= 64, "SqueezeNet needs at least 64x64 inputs");
+    assert!(
+        cfg.input_size >= 64,
+        "SqueezeNet needs at least 64x64 inputs"
+    );
     let mut b = GraphBuilder::new();
     let x = b.input(
         "input",
@@ -128,11 +132,7 @@ mod tests {
     #[test]
     fn fire_module_concat_shapes() {
         let g = squeezenet(&ModelConfig::with_input(224));
-        let fire9 = g
-            .nodes()
-            .iter()
-            .find(|n| n.name == "fire9/concat")
-            .unwrap();
+        let fire9 = g.nodes().iter().find(|n| n.name == "fire9/concat").unwrap();
         assert_eq!(fire9.output_shape.c, 512);
         let gap = g.nodes().last().unwrap();
         assert_eq!(gap.output_shape, TensorShape::new(1, 1000, 1, 1));

@@ -83,7 +83,9 @@ pub fn execute_schedule(
                 .get(&v)
                 .ok_or_else(|| EngineError::BadInput(format!("missing input tensor for {v}")))?;
             if t.shape != g.node(v).output_shape {
-                return Err(EngineError::BadInput(format!("input shape mismatch for {v}")));
+                return Err(EngineError::BadInput(format!(
+                    "input shape mismatch for {v}"
+                )));
             }
         }
     }
@@ -92,8 +94,9 @@ pub fn execute_schedule(
     let place = sched.placements(g.num_ops());
 
     // Channels: one receive queue per virtual GPU.
-    let mut senders: Vec<Sender<(OpId, Arc<Tensor>)>> = Vec::with_capacity(m);
-    let mut receivers: Vec<Option<Receiver<(OpId, Arc<Tensor>)>>> = Vec::with_capacity(m);
+    type TensorMsg = (OpId, Arc<Tensor>);
+    let mut senders: Vec<Sender<TensorMsg>> = Vec::with_capacity(m);
+    let mut receivers: Vec<Option<Receiver<TensorMsg>>> = Vec::with_capacity(m);
     for _ in 0..m {
         let (tx, rx) = unbounded();
         senders.push(tx);
@@ -116,8 +119,8 @@ pub fn execute_schedule(
 
     let started = Instant::now();
     std::thread::scope(|scope| {
-        for gi in 0..m {
-            let rx = receivers[gi].take().expect("one worker per GPU");
+        for (gi, rx_slot) in receivers.iter_mut().enumerate() {
+            let rx = rx_slot.take().expect("one worker per GPU");
             let senders = &senders;
             let place = &place;
             let remote_consumers = &remote_consumers;
@@ -139,9 +142,9 @@ pub fn execute_schedule(
                             let pu = place[u.index()].expect("validated");
                             if pu.gpu != gi {
                                 while !store.contains_key(&u) {
-                                    let (id, t) = rx.recv().expect(
-                                        "producer side never closes before delivering",
-                                    );
+                                    let (id, t) = rx
+                                        .recv()
+                                        .expect("producer side never closes before delivering");
                                     store.insert(id, t);
                                 }
                             }
@@ -158,11 +161,8 @@ pub fn execute_schedule(
                             if matches!(node.kind, OpKind::Input) {
                                 return (v, store[&v].as_ref().clone());
                             }
-                            let ins: Vec<&Tensor> = g
-                                .preds(v)
-                                .iter()
-                                .map(|u| store[u].as_ref())
-                                .collect();
+                            let ins: Vec<&Tensor> =
+                                g.preds(v).iter().map(|u| store[u].as_ref()).collect();
                             (v, execute_op(&node.kind, &ins, weights.of(v)))
                         })
                         .collect();
@@ -210,7 +210,8 @@ mod tests {
         assert!(!report.sink_outputs.is_empty());
         for (v, t) in &report.sink_outputs {
             assert_eq!(
-                t, &reference[v.index()],
+                t,
+                &reference[v.index()],
                 "sink {v} must match the reference bitwise"
             );
         }
@@ -276,10 +277,7 @@ mod tests {
         let c = b.add_synthetic("c", &[]);
         let _y = b.add_synthetic("y", &[c]);
         let g = b.build();
-        let sched = Schedule::from_gpu_orders(vec![
-            vec![OpId(3), OpId(0)],
-            vec![OpId(1), OpId(2)],
-        ]);
+        let sched = Schedule::from_gpu_orders(vec![vec![OpId(3), OpId(0)], vec![OpId(1), OpId(2)]]);
         let weights = ModelWeights::init(&g, 1);
         let inputs = HashMap::new();
         assert!(matches!(

@@ -32,9 +32,7 @@ pub fn conv2d_im2col(
     padding: (u32, u32),
     w: &OpWeights,
 ) -> Tensor {
-    let out_shape = x
-        .shape
-        .conv_like(out_channels, kernel, stride, padding);
+    let out_shape = x.shape.conv_like(out_channels, kernel, stride, padding);
     assert!(!out_shape.is_degenerate(), "kernel does not fit the input");
     let k_len = (x.shape.c * kernel.0 * kernel.1) as usize;
     assert_eq!(
@@ -120,7 +118,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         Tensor::from_vec(
             shape,
-            (0..shape.elems()).map(|_| rng.random_range(-1.0..1.0)).collect(),
+            (0..shape.elems())
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect(),
         )
     }
 

@@ -30,7 +30,14 @@ pub fn execute_op(kind: &OpKind, inputs: &[&Tensor], weights: &OpWeights) -> Ten
             activation,
             ..
         } => conv2d(
-            inputs[0], out_shape, *kernel, *stride, *padding, *groups, *activation, weights,
+            inputs[0],
+            out_shape,
+            *kernel,
+            *stride,
+            *padding,
+            *groups,
+            *activation,
+            weights,
         ),
         OpKind::SepConv2d {
             kernel,
@@ -39,7 +46,13 @@ pub fn execute_op(kind: &OpKind, inputs: &[&Tensor], weights: &OpWeights) -> Ten
             activation,
             ..
         } => sep_conv2d(
-            inputs[0], out_shape, *kernel, *stride, *padding, *activation, weights,
+            inputs[0],
+            out_shape,
+            *kernel,
+            *stride,
+            *padding,
+            *activation,
+            weights,
         ),
         OpKind::Pool {
             kind,
@@ -117,8 +130,7 @@ fn conv2d(
                                     continue;
                                 }
                                 let widx = ((oc * cin_g + icg) * kernel.0 + kh) * kernel.1 + kw;
-                                acc += x.at(n, ic, ih as u32, iw as u32)
-                                    * w.weight[widx as usize];
+                                acc += x.at(n, ic, ih as u32, iw as u32) * w.weight[widx as usize];
                             }
                         }
                     }
@@ -453,8 +465,8 @@ mod tests {
             activation: Activation::None,
         };
         let w = OpWeights {
-            weight: vec![1.0; 18],      // depthwise [2][3][3]
-            weight2: vec![1.0, 1.0],    // pointwise [1][2]
+            weight: vec![1.0; 18],   // depthwise [2][3][3]
+            weight2: vec![1.0, 1.0], // pointwise [1][2]
             bias: vec![0.0],
             scale: vec![],
         };
@@ -468,10 +480,7 @@ mod tests {
 
     #[test]
     fn max_and_avg_pool() {
-        let x = Tensor::from_vec(
-            TensorShape::new(1, 1, 2, 2),
-            vec![1.0, 2.0, 3.0, 4.0],
-        );
+        let x = Tensor::from_vec(TensorShape::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
         let maxp = OpKind::Pool {
             kind: PoolKind::Max,
             kernel: (2, 2),
@@ -521,7 +530,10 @@ mod tests {
 
         let a = Tensor::from_vec(TensorShape::new(1, 1, 1, 2), vec![1.0, 2.0]);
         let b = Tensor::from_vec(TensorShape::new(1, 1, 1, 2), vec![10.0, 20.0]);
-        assert_eq!(execute_op(&OpKind::Add, &[&a, &b], &w).data, vec![11.0, 22.0]);
+        assert_eq!(
+            execute_op(&OpKind::Add, &[&a, &b], &w).data,
+            vec![11.0, 22.0]
+        );
         let cat = execute_op(&OpKind::Concat, &[&a, &b], &w);
         assert_eq!(cat.shape.c, 2);
         assert_eq!(cat.data, vec![1.0, 2.0, 10.0, 20.0]);

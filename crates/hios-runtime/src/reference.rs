@@ -37,7 +37,10 @@ pub fn execute_reference(
             .map(|&u| outs[u.index()].as_ref().expect("topological order"))
             .collect();
         let y = execute_op(&node.kind, &in_tensors, weights.of(v));
-        debug_assert_eq!(y.shape, node.output_shape, "kernel/shape-inference drift at {v}");
+        debug_assert_eq!(
+            y.shape, node.output_shape,
+            "kernel/shape-inference drift at {v}"
+        );
         outs[v.index()] = Some(y);
     }
     outs.into_iter().map(|o| o.expect("all executed")).collect()
@@ -53,7 +56,9 @@ pub fn random_inputs(g: &Graph, seed: u64) -> HashMap<OpId, Tensor> {
         if matches!(g.node(v).kind, OpKind::Input) {
             let shape = g.node(v).output_shape;
             let mut rng = StdRng::seed_from_u64(seed ^ v.0 as u64);
-            let data = (0..shape.elems()).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let data = (0..shape.elems())
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect();
             out.insert(v, Tensor::from_vec(shape, data));
         }
     }

@@ -72,6 +72,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::identity_op)] // spell out the full NCHW stride formula
     fn indexing_is_nchw_row_major() {
         let mut t = Tensor::zeros(TensorShape::new(2, 3, 4, 5));
         *t.at_mut(1, 2, 3, 4) = 7.0;

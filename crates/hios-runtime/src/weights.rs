@@ -33,10 +33,7 @@ impl ModelWeights {
     /// Initializes every parameterized operator of `g` deterministically
     /// from `seed`.
     pub fn init(g: &Graph, seed: u64) -> Self {
-        let per_op = g
-            .op_ids()
-            .map(|v| init_op(g, v, seed))
-            .collect();
+        let per_op = g.op_ids().map(|v| init_op(g, v, seed)).collect();
         ModelWeights { per_op }
     }
 
@@ -47,7 +44,8 @@ impl ModelWeights {
 }
 
 fn init_op(g: &Graph, v: OpId, seed: u64) -> OpWeights {
-    let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(v.0 as u64 + 1)));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(v.0 as u64 + 1)));
     let cin = g.preds(v).first().map_or(0, |&u| g.node(u).output_shape.c);
     let mut draw = |n: usize, fan_in: u32| -> Vec<f32> {
         let bound = 1.0 / (fan_in.max(1) as f32).sqrt();

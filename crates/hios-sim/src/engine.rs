@@ -204,12 +204,7 @@ pub fn simulate(
         .map(|gpu| {
             gpu.stages
                 .iter()
-                .map(|s| {
-                    s.ops
-                        .iter()
-                        .filter(|&&v| !g.preds(v).is_empty())
-                        .count()
-                })
+                .map(|s| s.ops.iter().filter(|&&v| !g.preds(v).is_empty()).count())
                 .collect()
         })
         .collect();
@@ -228,9 +223,9 @@ pub fn simulate(
     let mut queue: BinaryHeap<Reverse<(OrderedF64, u64, EventKey)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |queue: &mut BinaryHeap<Reverse<(OrderedF64, u64, EventKey)>>,
-                    seq: &mut u64,
-                    time: f64,
-                    ev: Event| {
+                seq: &mut u64,
+                time: f64,
+                ev: Event| {
         *seq += 1;
         queue.push(Reverse((OrderedF64(time), *seq, EventKey(ev))));
     };
@@ -264,13 +259,9 @@ pub fn simulate(
         ($queue:expr, $v:expr, $now:expr) => {{
             let v: OpId = $v;
             let p = place(v);
-            if !started[v.index()]
-                && stage_open[p.gpu][p.stage]
-                && missing_inputs[v.index()] == 0
-            {
+            if !started[v.index()] && stage_open[p.gpu][p.stage] && missing_inputs[v.index()] == 0 {
                 let start = stage_open_time[p.gpu][p.stage].max($now);
-                let dur =
-                    cost.exec(v) * stage_factor[p.gpu][p.stage] + cfg.launch_overhead_ms;
+                let dur = cost.exec(v) * stage_factor[p.gpu][p.stage] + cfg.launch_overhead_ms;
                 started[v.index()] = true;
                 op_start[v.index()] = start;
                 op_finish[v.index()] = start + dur;
@@ -400,7 +391,7 @@ pub fn simulate(
         .fold(0.0f64, f64::max)
         .max(transfers.iter().map(|t| t.finish).fold(0.0f64, f64::max));
     let mut gpu_busy = vec![0.0f64; m];
-    for gi in 0..m {
+    for (gi, slot) in gpu_busy.iter_mut().enumerate() {
         let mut intervals: Vec<(f64, f64)> = sched.gpus[gi]
             .stages
             .iter()
@@ -424,7 +415,7 @@ pub fn simulate(
         if let Some((cs, cf)) = cur {
             busy += cf - cs;
         }
-        gpu_busy[gi] = busy;
+        *slot = busy;
     }
 
     Ok(SimResult {
@@ -480,8 +471,8 @@ struct EventKey(Event);
 impl Eq for EventKey {}
 
 impl PartialOrd for EventKey {
-    fn partial_cmp(&self, _other: &Self) -> Option<std::cmp::Ordering> {
-        Some(std::cmp::Ordering::Equal)
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -591,10 +582,7 @@ mod tests {
                     stages: vec![Stage::group(vec![hios_graph::OpId(0), hios_graph::OpId(1)])],
                 },
                 GpuSchedule {
-                    stages: vec![Stage::group(vec![
-                        hios_graph::OpId(2),
-                        hios_graph::OpId(3),
-                    ])],
+                    stages: vec![Stage::group(vec![hios_graph::OpId(2), hios_graph::OpId(3)])],
                 },
             ],
         };

@@ -12,34 +12,53 @@ use hios_graph::Graph;
 /// GPU; transfers land on dedicated link tracks (`pid 1`).  Timestamps
 /// are microseconds as the format requires.
 pub fn chrome_trace(g: &Graph, sched: &Schedule, sim: &SimResult) -> String {
+    use serde_json::Value;
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
     let place = sched.placements(g.num_ops());
     let mut events = Vec::new();
     for v in g.op_ids() {
         let p = place[v.index()].expect("schedule covers all ops");
         let start_us = sim.op_start[v.index()] * 1e3;
         let dur_us = (sim.op_finish[v.index()] - sim.op_start[v.index()]) * 1e3;
-        events.push(serde_json::json!({
-            "name": g.node(v).name,
-            "cat": g.node(v).kind.tag(),
-            "ph": "X",
-            "pid": 0,
-            "tid": p.gpu,
-            "ts": start_us,
-            "dur": dur_us,
-            "args": {"op": v.0, "stage": p.stage}
-        }));
+        events.push(obj(vec![
+            ("name", Value::Str(g.node(v).name.clone())),
+            ("cat", Value::Str(g.node(v).kind.tag().to_owned())),
+            ("ph", Value::Str("X".to_owned())),
+            ("pid", Value::Num(0.0)),
+            ("tid", Value::Num(p.gpu as f64)),
+            ("ts", Value::Num(start_us)),
+            ("dur", Value::Num(dur_us)),
+            (
+                "args",
+                obj(vec![
+                    ("op", Value::Num(f64::from(v.0))),
+                    ("stage", Value::Num(p.stage as f64)),
+                ]),
+            ),
+        ]));
     }
     for t in &sim.transfers {
-        events.push(serde_json::json!({
-            "name": format!("{} -> {}", t.from, t.to),
-            "cat": "transfer",
-            "ph": "X",
-            "pid": 1,
-            "tid": t.from_gpu * sched.num_gpus() + t.to_gpu,
-            "ts": t.start * 1e3,
-            "dur": (t.finish - t.start) * 1e3,
-            "args": {"from_gpu": t.from_gpu, "to_gpu": t.to_gpu}
-        }));
+        events.push(obj(vec![
+            ("name", Value::Str(format!("{} -> {}", t.from, t.to))),
+            ("cat", Value::Str("transfer".to_owned())),
+            ("ph", Value::Str("X".to_owned())),
+            ("pid", Value::Num(1.0)),
+            (
+                "tid",
+                Value::Num((t.from_gpu * sched.num_gpus() + t.to_gpu) as f64),
+            ),
+            ("ts", Value::Num(t.start * 1e3)),
+            ("dur", Value::Num((t.finish - t.start) * 1e3)),
+            (
+                "args",
+                obj(vec![
+                    ("from_gpu", Value::Num(t.from_gpu as f64)),
+                    ("to_gpu", Value::Num(t.to_gpu as f64)),
+                ]),
+            ),
+        ]));
     }
     serde_json::to_string_pretty(&events).expect("trace serialization is infallible")
 }
@@ -69,6 +88,9 @@ mod tests {
         let events = parsed.as_array().unwrap();
         assert_eq!(events.len(), g.num_ops() + sim.transfers.len());
         assert!(events.iter().all(|e| e["ph"] == "X"));
-        assert!(events.iter().any(|e| e["cat"] == "transfer") == (!sim.transfers.is_empty()));
+        assert_eq!(
+            events.iter().any(|e| e["cat"] == "transfer"),
+            !sim.transfers.is_empty()
+        );
     }
 }

@@ -30,8 +30,8 @@ fn main() {
     );
     for algo in Algorithm::ALL {
         let out = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2));
-        let sim = simulate(&graph, &cost, &out.schedule, &SimConfig::realistic(&cost))
-            .expect("feasible");
+        let sim =
+            simulate(&graph, &cost, &out.schedule, &SimConfig::realistic(&cost)).expect("feasible");
         println!(
             "{:18} {:>12.3} {:>12.3} {:>8} {:>10}",
             algo.name(),
@@ -45,7 +45,10 @@ fn main() {
     let lp = run_scheduler(Algorithm::HiosLp, &graph, &cost, &SchedulerOptions::new(2));
     let sim = simulate(&graph, &cost, &lp.schedule, &SimConfig::realistic(&cost)).unwrap();
     println!("\nHIOS-LP execution timeline:");
-    println!("{}", hios::sim::gantt::ascii_gantt(&graph, &lp.schedule, &sim, 76));
+    println!(
+        "{}",
+        hios::sim::gantt::ascii_gantt(&graph, &lp.schedule, &sim, 76)
+    );
     println!(
         "per-GPU utilization: {:?}",
         sim.gpu_utilization()

@@ -27,8 +27,11 @@ fn main() {
     let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
 
     std::fs::write(out_dir.join("nasnet.dot"), to_dot(&graph)).expect("write dot");
-    std::fs::write(out_dir.join("nasnet.json"), hios::graph::json::to_json(&graph))
-        .expect("write graph json");
+    std::fs::write(
+        out_dir.join("nasnet.json"),
+        hios::graph::json::to_json(&graph),
+    )
+    .expect("write graph json");
     std::fs::write(out_dir.join("profile.json"), cost.to_json()).expect("write profile");
 
     for algo in [Algorithm::Ios, Algorithm::HiosLp, Algorithm::HiosMr] {

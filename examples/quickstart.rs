@@ -54,5 +54,8 @@ fn main() {
         "\nsimulated latency (relaxed semantics, NVLink serialization): {:.3} ms",
         sim.makespan
     );
-    println!("{}", hios::sim::gantt::ascii_gantt(&graph, &out.schedule, &sim, 72));
+    println!(
+        "{}",
+        hios::sim::gantt::ascii_gantt(&graph, &out.schedule, &sim, 72)
+    );
 }

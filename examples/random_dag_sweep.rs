@@ -14,9 +14,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
-    println!(
-        "random DAGs: 200 ops, 14 layers, 400 deps, exec U(0.1,4) ms, p=0.8, {seeds} seeds"
-    );
+    println!("random DAGs: 200 ops, 14 layers, 400 deps, exec U(0.1,4) ms, p=0.8, {seeds} seeds");
     println!(
         "{:>5} {:>12} {:>12} {:>12} {:>12}",
         "gpus", "sequential", "IOS", "HIOS-MR", "HIOS-LP"

@@ -43,8 +43,8 @@ fn main() {
     let reference = execute_reference(&graph, &weights, &inputs);
     let t_ref = t0.elapsed().as_secs_f64();
 
-    let report = execute_schedule(&graph, &out.schedule, &weights, &inputs)
-        .expect("schedule is feasible");
+    let report =
+        execute_schedule(&graph, &out.schedule, &weights, &inputs).expect("schedule is feasible");
     println!(
         "reference: {:.3}s, engine: {:.3}s, {} cross-GPU transfers",
         t_ref, report.wall_secs, report.transfers
@@ -53,7 +53,8 @@ fn main() {
     let mut checked = 0;
     for (v, tensor) in &report.sink_outputs {
         assert_eq!(
-            tensor, &reference[v.index()],
+            tensor,
+            &reference[v.index()],
             "engine output for {v} diverged from reference"
         );
         checked += 1;

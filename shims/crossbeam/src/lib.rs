@@ -1,0 +1,161 @@
+//! Offline stand-in for `crossbeam` — only the `channel` module, and of
+//! that only the unbounded MPMC channel the runtime engine uses as its
+//! virtual interconnect.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; cloneable (messages go to exactly one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The channel is disconnected (all senders dropped, queue drained).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// All receivers are gone; returns the unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message (never blocks).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            // Receiver liveness is not tracked; the engine keeps
+            // receivers alive for the whole scope, so sends cannot
+            // observe a closed channel.
+            let mut q = self.inner.queue.lock().expect("channel poisoned");
+            q.push_back(msg);
+            drop(q);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake all blocked receivers.
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking while the channel is
+        /// empty and at least one sender is alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.inner.ready.wait(q).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive; `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::unbounded;
+
+        #[test]
+        fn fifo_across_threads() {
+            let (tx, rx) = unbounded();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                for i in 0..100 {
+                    assert_eq!(rx.recv().unwrap(), i);
+                }
+            });
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

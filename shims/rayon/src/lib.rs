@@ -1,0 +1,255 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset the HIOS crates use — `par_iter`,
+//! `into_par_iter`, `par_chunks_mut`, `map`, `enumerate`, `for_each`,
+//! `collect`, `sum`, `min_by`/`max_by` — on top of `std::thread::scope`
+//! with a shared atomic work counter instead of a persistent pool.
+//!
+//! Two properties the schedulers rely on:
+//!
+//! * **Order preservation**: `collect` returns results in item order no
+//!   matter which thread ran which item, so parallel candidate search is
+//!   deterministic.
+//! * **`RAYON_NUM_THREADS`** is honored (and `1` short-circuits to a
+//!   plain sequential loop), which the determinism property tests use.
+
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` or available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Order-preserving parallel map over owned items.
+fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let counter = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item taken twice");
+                    let r = f(item);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("missing parallel result")
+        })
+        .collect()
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item (lazily; runs at the consuming call).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &|x| f(x));
+    }
+
+    /// Collects the items (no-op parallelism-wise).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator; consuming adapters run the map in parallel.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Runs the map in parallel and collects in item order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map in parallel, discarding results.
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        let f = &self.f;
+        parallel_map(self.items, &|x| g(f(x)));
+    }
+
+    /// Parallel map + sequential sum (in item order).
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+
+    /// Minimum by comparator; first minimum in item order wins.
+    pub fn min_by<C: Fn(&R, &R) -> std::cmp::Ordering + Sync>(self, cmp: C) -> Option<R> {
+        let mut best: Option<R> = None;
+        for r in parallel_map(self.items, &self.f) {
+            best = match best {
+                None => Some(r),
+                // Strict Greater keeps the earliest minimum, matching
+                // the deterministic lowest-index tie-break.
+                Some(b) => Some(if cmp(&b, &r) == std::cmp::Ordering::Greater {
+                    r
+                } else {
+                    b
+                }),
+            };
+        }
+        best
+    }
+}
+
+/// `into_par_iter()` sources.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Materializes the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u32, u64, usize, i32, i64);
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+
+    /// Materializes a parallel iterator of references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_and_chunks() {
+        let data = vec![1u64, 2, 3, 4, 5];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, [2, 4, 6, 8, 10]);
+
+        let mut buf = [0u64; 16];
+        buf.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u64;
+            }
+        });
+        assert_eq!(buf[0], 0);
+        assert_eq!(buf[5], 1);
+        assert_eq!(buf[15], 3);
+    }
+}

@@ -9,4 +9,3 @@ pub use hios_graph as graph;
 pub use hios_models as models;
 pub use hios_runtime as runtime;
 pub use hios_sim as sim;
-

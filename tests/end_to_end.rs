@@ -27,7 +27,10 @@ fn inception_pipeline_all_algorithms() {
         );
         // Nothing beats the critical-path lower bound or loses to 2x
         // sequential.
-        assert!(out.latency_ms <= seq * 1.001, "{algo:?} worse than sequential");
+        assert!(
+            out.latency_ms <= seq * 1.001,
+            "{algo:?} worse than sequential"
+        );
         // Realistic simulation stays feasible.
         let real = simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).unwrap();
         assert!(real.makespan > 0.0);

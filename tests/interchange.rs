@@ -29,8 +29,7 @@ fn full_artifact_round_trip() {
 
     // Schedule round trip, and the reloaded artifacts evaluate to the
     // same latency as the originals.
-    let sched2 =
-        hios::core::Schedule::from_json(&out.schedule.to_json()).expect("schedule json");
+    let sched2 = hios::core::Schedule::from_json(&out.schedule.to_json()).expect("schedule json");
     let replay = evaluate(&g2, &cost2, &sched2).expect("feasible after reload");
     assert!((replay.latency - out.latency_ms).abs() < 1e-9);
 }
