@@ -1,13 +1,14 @@
 //! CLI driving the figure-regeneration experiments.
 //!
 //! ```text
-//! hios-bench [EXPERIMENT ...] [--seeds N] [--quick] [--out DIR]
+//! hios-bench [EXPERIMENT ...] [--seeds N] [--quick] [--smoke] [--validate] [--out DIR]
 //! ```
 //!
 //! With no experiment names, runs everything (fig1..fig14).  `--quick`
 //! drops the per-point instance count from the paper's 30 to 8 for a fast
-//! smoke run.  Results land in `<out>/figNN_*.csv` plus a combined
-//! `<out>/summary.md`.
+//! smoke run; `--smoke` shrinks grids further for CI.  `--validate`
+//! structurally checks every schedule the experiments produce.  Results
+//! land in `<out>/figNN_*.csv` plus a combined `<out>/summary.md`.
 
 use hios_bench::RunCfg;
 use hios_bench::experiments::{Experiment, all_experiments};
@@ -27,6 +28,11 @@ fn main() {
                     .unwrap_or_else(|| die("--seeds needs a number"));
             }
             "--quick" => cfg.seeds = 8,
+            "--smoke" => {
+                cfg.smoke = true;
+                cfg.seeds = 4;
+            }
+            "--validate" => cfg.validate = true,
             "--out" => {
                 cfg.out_dir = args
                     .next()
@@ -35,7 +41,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: hios-bench [EXPERIMENT ...] [--seeds N] [--quick] [--out DIR]\n\
+                    "usage: hios-bench [EXPERIMENT ...] [--seeds N] [--quick] [--smoke] [--validate] [--out DIR]\n\
                      experiments: {}",
                     all_experiments()
                         .iter()

@@ -1,6 +1,7 @@
 //! One module per group of paper figures.
 
 pub mod ext;
+pub mod faults;
 pub mod micro;
 pub mod scaling;
 pub mod schedcost;
@@ -35,5 +36,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("ext_gpus_cnn", ext::ext_gpus_cnn),
         ("ext_model_zoo", ext::ext_model_zoo),
         ("sched-scaling", scaling::sched_scaling),
+        ("fault-matrix", faults::fault_matrix),
     ]
 }

@@ -25,6 +25,12 @@ pub struct RunCfg {
     pub seeds: u64,
     /// Output directory for CSV/markdown artifacts.
     pub out_dir: std::path::PathBuf,
+    /// CI smoke mode: experiments that honour it shrink their grid and
+    /// repetition counts to seconds of runtime.
+    pub smoke: bool,
+    /// Debug gate: structurally validate every schedule the experiments
+    /// produce (see [`hios_core::Schedule::validate_full`]).
+    pub validate: bool,
 }
 
 impl Default for RunCfg {
@@ -32,6 +38,8 @@ impl Default for RunCfg {
         RunCfg {
             seeds: 30,
             out_dir: "results".into(),
+            smoke: false,
+            validate: false,
         }
     }
 }

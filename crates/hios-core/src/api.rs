@@ -67,6 +67,10 @@ pub struct SchedulerOptions {
     pub window: usize,
     /// IOS pruning knobs.
     pub ios: IosConfig,
+    /// Run [`Schedule::validate_full`] on the produced schedule before
+    /// returning it (debug gate; on by default in debug builds).  A
+    /// failure is a scheduler bug and panics with the structural error.
+    pub validate: bool,
 }
 
 impl SchedulerOptions {
@@ -76,6 +80,7 @@ impl SchedulerOptions {
             num_gpus: m,
             window: 4,
             ios: IosConfig::default(),
+            validate: cfg!(debug_assertions),
         }
     }
 }
@@ -139,6 +144,14 @@ pub fn run_scheduler(
     };
     let scheduling_secs = started.elapsed().as_secs_f64();
     let profiling = cost.meter.snapshot();
+    if opts.validate {
+        if let Err(e) = schedule.validate_full(g, None) {
+            panic!(
+                "{} produced a structurally invalid schedule: {e}",
+                algo.name()
+            );
+        }
+    }
     let latency_ms = match latency {
         Some(l) => l,
         None => {

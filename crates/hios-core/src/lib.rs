@@ -43,6 +43,7 @@ pub mod mr;
 mod par;
 pub mod priority;
 pub mod reference;
+pub mod repair;
 pub mod schedule;
 pub mod seq;
 pub mod stats;
@@ -51,6 +52,10 @@ pub mod window;
 pub use api::{Algorithm, ScheduleOutcome, SchedulerOptions, run_scheduler};
 pub use eval::{
     EvalError, EvalResult, EvalWorkspace, ListState, evaluate, evaluate_with, list_schedule,
+};
+pub use repair::{
+    RepairConfig, RepairError, RepairOutcome, RepairPolicy, SubgraphMap, extract_unfinished,
+    project_cost, repair_schedule,
 };
 pub use schedule::{GpuSchedule, Schedule, ScheduleError, Stage};
 

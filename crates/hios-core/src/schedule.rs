@@ -69,6 +69,16 @@ pub enum ScheduleError {
         /// Stage index on that GPU.
         stage: usize,
     },
+    /// Cross-GPU stage dependencies form a circular wait (the implicit
+    /// loop Alg. 2 line 10 must reject).
+    StageCycle,
+    /// An operator is placed on a GPU marked as failed.
+    DeadGpu {
+        /// An operator on the failed GPU.
+        op: OpId,
+        /// The failed GPU's index.
+        gpu: usize,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -88,6 +98,10 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::EmptyStage { gpu, stage } => {
                 write!(f, "empty stage {stage} on GPU {gpu}")
+            }
+            ScheduleError::StageCycle => write!(f, "circular wait between stages"),
+            ScheduleError::DeadGpu { op, gpu } => {
+                write!(f, "operator {op} is placed on failed GPU {gpu}")
             }
         }
     }
@@ -210,6 +224,69 @@ impl Schedule {
                     return Err(ScheduleError::OrderViolation(u, v));
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// [`Schedule::validate`] plus the two checks it defers: absence of
+    /// circular waits between stages (same-GPU chain edges + cross-GPU
+    /// data edges must form a DAG) and, when `alive` is given, that no
+    /// operator sits on a GPU marked failed.
+    ///
+    /// This is the full structural gate a repaired schedule must pass
+    /// before it is resumed, and what [`crate::api::run_scheduler`] runs
+    /// behind [`crate::api::SchedulerOptions::validate`].
+    pub fn validate_full(&self, g: &Graph, alive: Option<&[bool]>) -> Result<(), ScheduleError> {
+        self.validate(g)?;
+        if let Some(alive) = alive {
+            for (gi, gpu) in self.gpus.iter().enumerate() {
+                let dead = gi >= alive.len() || !alive[gi];
+                if dead && !gpu.stages.is_empty() {
+                    return Err(ScheduleError::DeadGpu {
+                        op: gpu.stages[0].ops[0],
+                        gpu: gi,
+                    });
+                }
+            }
+        }
+
+        // Stage graph: flat ids, chain edges, cross-GPU data edges.
+        let mut base = Vec::with_capacity(self.gpus.len());
+        let mut n_stages = 0usize;
+        for gpu in &self.gpus {
+            base.push(n_stages);
+            n_stages += gpu.stages.len();
+        }
+        let place = self.placements(g.num_ops());
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_stages];
+        let mut indeg = vec![0u32; n_stages];
+        for (gi, gpu) in self.gpus.iter().enumerate() {
+            for si in 1..gpu.stages.len() {
+                succs[base[gi] + si - 1].push(base[gi] + si);
+                indeg[base[gi] + si] += 1;
+            }
+        }
+        for (u, v) in g.edges() {
+            let pu = place[u.index()].expect("coverage checked by validate");
+            let pv = place[v.index()].expect("coverage checked by validate");
+            if pu.gpu != pv.gpu {
+                succs[base[pu.gpu] + pu.stage].push(base[pv.gpu] + pv.stage);
+                indeg[base[pv.gpu] + pv.stage] += 1;
+            }
+        }
+        let mut work: Vec<usize> = (0..n_stages).filter(|&s| indeg[s] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(s) = work.pop() {
+            seen += 1;
+            for &t in &succs[s] {
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    work.push(t);
+                }
+            }
+        }
+        if seen != n_stages {
+            return Err(ScheduleError::StageCycle);
         }
         Ok(())
     }
@@ -374,6 +451,39 @@ mod tests {
             s.validate(&g),
             Err(ScheduleError::EmptyStage { gpu: 0, stage: 0 })
         );
+    }
+
+    #[test]
+    fn validate_full_detects_stage_cycles() {
+        // a -> b (cross), c -> d (cross); GPU0 runs [d, a], GPU1 runs
+        // [b, c]: b waits on a which chains after d which waits on c which
+        // chains after b — a circular wait validate() cannot see.
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_synthetic("a", &[]);
+        let _b = bld.add_synthetic("b", &[a]);
+        let c = bld.add_synthetic("c", &[]);
+        let _d = bld.add_synthetic("d", &[c]);
+        let g = bld.build();
+        let s = Schedule::from_gpu_orders(vec![vec![OpId(3), OpId(0)], vec![OpId(1), OpId(2)]]);
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.validate_full(&g, None), Err(ScheduleError::StageCycle));
+    }
+
+    #[test]
+    fn validate_full_rejects_dead_gpu_placement() {
+        let g = diamond();
+        let s = ok_schedule();
+        assert!(s.validate_full(&g, Some(&[true, true])).is_ok());
+        // All four ops sit on GPU 0; killing it must be flagged …
+        assert_eq!(
+            s.validate_full(&g, Some(&[false, true])),
+            Err(ScheduleError::DeadGpu {
+                op: OpId(0),
+                gpu: 0
+            })
+        );
+        // … while killing the idle GPU 1 is fine.
+        assert!(s.validate_full(&g, Some(&[true, false])).is_ok());
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! fan-out threshold through environment variables; a single #[test]
 //! keeps the env mutations race-free.
 
+use hios_core::eval::EvalWorkspace;
 use hios_core::lp::{HiosLpConfig, schedule_hios_lp};
 use hios_core::mr::{HiosMrConfig, schedule_hios_mr};
+use hios_core::repair::{RepairConfig, RepairPolicy, repair_schedule};
 use hios_cost::{RandomCostConfig, random_cost_table};
 use hios_graph::{LayeredDagConfig, generate_layered_dag};
 
@@ -26,16 +28,36 @@ fn lp_and_mr_outputs_are_thread_count_invariant() {
     .unwrap();
     let cost = random_cost_table(&g, &RandomCostConfig::paper_default(3));
 
+    // Repair input: the first 60 ops complete (predecessor-closed), one
+    // of four GPUs dead; the surviving subgraph of 540 ops is past the LP
+    // fan-out floor, so Reschedule repairs hit the parallel path too.
+    let mut completed = vec![false; g.num_ops()];
+    for &v in hios_graph::topo::topo_order(&g).iter().take(60) {
+        completed[v.index()] = true;
+    }
+    let alive = [true, false, true, true];
+
     let run = || {
+        let mut ws = EvalWorkspace::new();
+        let (rep, _) = repair_schedule(
+            &mut ws,
+            &g,
+            &cost,
+            &completed,
+            &alive,
+            &RepairConfig::new(RepairPolicy::Reschedule),
+        )
+        .unwrap();
         (
             schedule_hios_lp(&g, &cost, HiosLpConfig::new(4)),
             schedule_hios_mr(&g, &cost, HiosMrConfig::new(4)),
+            rep,
         )
     };
     std::env::set_var("RAYON_NUM_THREADS", "1");
-    let (lp1, mr1) = run();
+    let (lp1, mr1, rep1) = run();
     std::env::set_var("RAYON_NUM_THREADS", "4");
-    let (lp4, mr4) = run();
+    let (lp4, mr4, rep4) = run();
     std::env::remove_var("RAYON_NUM_THREADS");
 
     assert_eq!(lp1.schedule, lp4.schedule);
@@ -46,4 +68,8 @@ fn lp_and_mr_outputs_are_thread_count_invariant() {
     assert_eq!(mr1.schedule, mr4.schedule);
     assert_eq!(mr1.latency.to_bits(), mr4.latency.to_bits());
     assert_eq!(mr1.gpu_of, mr4.gpu_of);
+
+    assert_eq!(rep1.schedule, rep4.schedule);
+    assert_eq!(rep1.latency.to_bits(), rep4.latency.to_bits());
+    assert_eq!(rep1.gpu_map, rep4.gpu_map);
 }

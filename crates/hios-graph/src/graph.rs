@@ -39,6 +39,9 @@ pub enum GraphError {
     SelfLoop(OpId),
     /// `Input` nodes carry their own shape and take no predecessors.
     InputHasPredecessors(OpId),
+    /// A deserialized graph violates a structural invariant (dangling
+    /// ids, mismatched adjacency mirrors, cycles, ...).
+    Corrupt(String),
 }
 
 impl fmt::Display for GraphError {
@@ -54,6 +57,7 @@ impl fmt::Display for GraphError {
             GraphError::InputHasPredecessors(v) => {
                 write!(f, "input operator {v} cannot have predecessors")
             }
+            GraphError::Corrupt(why) => write!(f, "corrupt graph: {why}"),
         }
     }
 }
@@ -197,6 +201,79 @@ impl Graph {
             }
         }
         false
+    }
+
+    /// Verifies the structural invariants the builder normally guarantees:
+    /// adjacency vectors sized to the node count, every referenced id in
+    /// range, `preds` an exact mirror of `succs`, node ids matching their
+    /// position, no self-loops or duplicate edges, and acyclicity.
+    ///
+    /// Graphs built through [`GraphBuilder`] always pass; this exists for
+    /// graphs deserialized from external files, whose bytes can encode
+    /// states the builder would have rejected (see [`crate::json`]).
+    pub fn check_consistency(&self) -> Result<(), GraphError> {
+        let n = self.nodes.len();
+        let corrupt = |why: String| Err(GraphError::Corrupt(why));
+        if self.succs.len() != n || self.preds.len() != n {
+            return corrupt(format!(
+                "adjacency sized {}/{} for {n} nodes",
+                self.succs.len(),
+                self.preds.len()
+            ));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.id.index() != i {
+                return corrupt(format!("node at position {i} carries id {}", node.id));
+            }
+        }
+        // Mirror check: count each directed edge from both sides.
+        let mut indeg = vec![0usize; n];
+        for (u, vs) in self.succs.iter().enumerate() {
+            for &v in vs {
+                if v.index() >= n {
+                    return corrupt(format!("edge v{u} -> {v} leaves the graph"));
+                }
+                if v.index() == u {
+                    return corrupt(format!("self loop on v{u}"));
+                }
+                if !self.preds[v.index()].contains(&OpId::from_index(u)) {
+                    return corrupt(format!("edge v{u} -> {v} missing from preds"));
+                }
+                indeg[v.index()] += 1;
+            }
+        }
+        let pred_edges: usize = self.preds.iter().map(Vec::len).sum();
+        if pred_edges != indeg.iter().sum::<usize>() {
+            return corrupt("preds holds edges absent from succs".into());
+        }
+        for (v, us) in self.preds.iter().enumerate() {
+            for &u in us {
+                if u.index() >= n {
+                    return corrupt(format!("pred edge {u} -> v{v} leaves the graph"));
+                }
+            }
+            let mut sorted: Vec<OpId> = us.clone();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                return corrupt(format!("duplicate edge into v{v}"));
+            }
+        }
+        // Kahn's algorithm: every node must be reachable from a source.
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in &self.succs[u] {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v.index());
+                }
+            }
+        }
+        if seen != n {
+            return corrupt(format!("{} nodes sit on a cycle", n - seen));
+        }
+        Ok(())
     }
 }
 

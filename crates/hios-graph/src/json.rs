@@ -3,17 +3,60 @@
 //! The paper's Python scheduler emits schedules as JSON consumed by the
 //! C++ engine; we keep the same interchange discipline for graphs (this
 //! module) and schedules (`hios-core::schedule`).
+//!
+//! Deserialization is defensive: a graph file is untrusted input, so
+//! after parsing, [`Graph::check_consistency`] rejects payloads whose
+//! bytes encode states the builder could never produce (dangling ids,
+//! one-sided adjacency, cycles) instead of letting them surface later as
+//! index panics inside a scheduler.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, GraphError};
+use std::fmt;
+
+/// Why a graph file failed to load.
+#[derive(Debug)]
+pub enum JsonError {
+    /// The bytes are not valid JSON for the graph schema.
+    Parse(serde_json::Error),
+    /// The JSON parsed but describes a structurally invalid graph.
+    Invalid(GraphError),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse(e) => write!(f, "graph JSON does not parse: {e}"),
+            JsonError::Invalid(e) => write!(f, "graph JSON is structurally invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonError::Parse(e) => Some(e),
+            JsonError::Invalid(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for JsonError {
+    fn from(e: GraphError) -> Self {
+        JsonError::Invalid(e)
+    }
+}
 
 /// Serializes the graph to a pretty-printed JSON string.
 pub fn to_json(g: &Graph) -> String {
     serde_json::to_string_pretty(g).expect("graph serialization is infallible")
 }
 
-/// Parses a graph from JSON produced by [`to_json`].
-pub fn from_json(s: &str) -> Result<Graph, serde_json::Error> {
-    serde_json::from_str(s)
+/// Parses a graph from JSON produced by [`to_json`], rejecting both
+/// malformed JSON and well-formed JSON that encodes a corrupt graph.
+pub fn from_json(s: &str) -> Result<Graph, JsonError> {
+    let g: Graph = serde_json::from_str(s).map_err(JsonError::Parse)?;
+    g.check_consistency()?;
+    Ok(g)
 }
 
 #[cfg(test)]
@@ -40,6 +83,61 @@ mod tests {
 
     #[test]
     fn rejects_malformed_json() {
-        assert!(from_json("{not json").is_err());
+        assert!(matches!(from_json("{not json"), Err(JsonError::Parse(_))));
+    }
+
+    /// Re-serializes `g` with one top-level field replaced.
+    fn with_field(g: &Graph, key: &str, replacement: serde_json::Value) -> String {
+        use serde_json::Value;
+        let mut v: Value = serde_json::from_str(&to_json(g)).unwrap();
+        let Value::Object(fields) = &mut v else {
+            panic!("graph serializes as an object")
+        };
+        let slot = fields
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("field {key} present"));
+        slot.1 = replacement;
+        serde_json::to_string(&v).unwrap()
+    }
+
+    #[test]
+    fn rejects_dangling_edge_targets() {
+        use serde_json::Value;
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 6,
+            layers: 2,
+            deps: 8,
+            seed: 1,
+        })
+        .unwrap();
+        // Every node's successor list points far outside the graph.
+        let succs = Value::Array(
+            (0..g.num_ops())
+                .map(|_| Value::Array(vec![Value::Num(999.0)]))
+                .collect(),
+        );
+        match from_json(&with_field(&g, "succs", succs)) {
+            Err(JsonError::Invalid(GraphError::Corrupt(_))) => {}
+            other => panic!("corrupt graph accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_one_sided_adjacency() {
+        use serde_json::Value;
+        // preds emptied while succs keeps the edges: mirrors disagree.
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 6,
+            layers: 2,
+            deps: 8,
+            seed: 1,
+        })
+        .unwrap();
+        let preds = Value::Array((0..g.num_ops()).map(|_| Value::Array(Vec::new())).collect());
+        assert!(matches!(
+            from_json(&with_field(&g, "preds", preds)),
+            Err(JsonError::Invalid(GraphError::Corrupt(_)))
+        ));
     }
 }

@@ -64,6 +64,60 @@ impl SimConfig {
     }
 }
 
+/// Multiplicative duration factors applied on top of the cost table —
+/// the hook through which fault injection expresses persistent GPU
+/// slowdowns and link degradation ([`crate::fault`], DESIGN.md §8).
+///
+/// The cost table cannot carry these: `transfer_out_ms` is a function of
+/// the producer only, so a *per-link* factor has to be applied by the
+/// engine at the moment the directed link is known.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scaling {
+    /// Per-GPU execution factor (`1.0` = nominal, `2.0` = half speed).
+    pub gpu: Vec<f64>,
+    /// Per-directed-link transfer factor, indexed `from * m + to`.
+    /// `f64::INFINITY` models a stalled link.
+    pub link: Vec<f64>,
+}
+
+impl Scaling {
+    /// Nominal speed everywhere on an `m`-GPU platform.
+    pub fn identity(m: usize) -> Self {
+        Scaling {
+            gpu: vec![1.0; m],
+            link: vec![1.0; m * m],
+        }
+    }
+
+    /// Factor of the directed link `from -> to`.
+    pub fn link_factor(&self, from: usize, to: usize) -> f64 {
+        self.link[from * self.gpu.len() + to]
+    }
+
+    fn check(&self, m: usize) -> Result<(), SimError> {
+        if self.gpu.len() != m || self.link.len() != m * m {
+            return Err(SimError::BadScaling {
+                gpus: self.gpu.len(),
+                links: self.link.len(),
+                expected_gpus: m,
+            });
+        }
+        if self
+            .gpu
+            .iter()
+            .any(|&f| f.is_nan() || f <= 0.0 || f.is_infinite())
+            || self.link.iter().any(|&f| f.is_nan() || f <= 0.0)
+        {
+            return Err(SimError::BadScaling {
+                gpus: self.gpu.len(),
+                links: self.link.len(),
+                expected_gpus: m,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// One inter-GPU tensor transfer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TransferRecord {
@@ -116,6 +170,23 @@ pub enum SimError {
         /// Operators that never became ready.
         stuck_ops: usize,
     },
+    /// The cost table covers a different operator count than the graph.
+    CostMismatch {
+        /// Operators in the graph.
+        expected: usize,
+        /// Operators in the cost table.
+        got: usize,
+    },
+    /// The [`Scaling`] arrays do not fit the platform, or hold
+    /// non-positive (or, for GPUs, infinite) factors.
+    BadScaling {
+        /// GPU factors supplied.
+        gpus: usize,
+        /// Link factors supplied.
+        links: usize,
+        /// GPUs the schedule uses.
+        expected_gpus: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -125,6 +196,18 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock { stuck_ops } => {
                 write!(f, "deadlock: {stuck_ops} operators never became ready")
             }
+            SimError::CostMismatch { expected, got } => {
+                write!(f, "cost table covers {got} operators, graph has {expected}")
+            }
+            SimError::BadScaling {
+                gpus,
+                links,
+                expected_gpus,
+            } => write!(
+                f,
+                "scaling has {gpus} GPU / {links} link factors for an \
+                 {expected_gpus}-GPU platform (or a non-positive factor)"
+            ),
         }
     }
 }
@@ -142,27 +225,50 @@ enum Event {
 }
 
 /// Runs the discrete-event simulation of `sched` on `g` with costs from
-/// `cost`.
+/// `cost` at nominal speed everywhere.
 pub fn simulate(
     g: &Graph,
     cost: &CostTable,
     sched: &Schedule,
     cfg: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    sched.validate(g).map_err(SimError::Structure)?;
+    simulate_scaled(g, cost, sched, cfg, &Scaling::identity(sched.num_gpus()))
+}
+
+/// [`simulate`] with per-GPU and per-link duration factors: operator and
+/// stage durations on GPU `i` stretch by `scaling.gpu[i]`, transfers over
+/// the directed link `i -> j` by `scaling.link[i * m + j]` (an infinite
+/// link factor stalls every transfer crossing it).
+pub fn simulate_scaled(
+    g: &Graph,
+    cost: &CostTable,
+    sched: &Schedule,
+    cfg: &SimConfig,
+    scaling: &Scaling,
+) -> Result<SimResult, SimError> {
+    if cost.num_ops() != g.num_ops() {
+        return Err(SimError::CostMismatch {
+            expected: g.num_ops(),
+            got: cost.num_ops(),
+        });
+    }
     let n = g.num_ops();
     let m = sched.num_gpus();
+    scaling.check(m)?;
+    sched.validate(g).map_err(SimError::Structure)?;
     let place = sched.placements(n);
     let place = |v: OpId| place[v.index()].expect("schedule validated");
 
-    // Contention factor per stage: t(S) / max member t(v).
+    // Contention factor per stage: t(S) / max member t(v), with the
+    // GPU's scaling factor folded into t(S) (so Relaxed member durations
+    // stretch by the same factor).
     let mut stage_factor: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut stage_duration: Vec<Vec<f64>> = Vec::with_capacity(m);
-    for gpu in &sched.gpus {
+    for (gi, gpu) in sched.gpus.iter().enumerate() {
         let mut fs = Vec::with_capacity(gpu.stages.len());
         let mut ds = Vec::with_capacity(gpu.stages.len());
         for stage in &gpu.stages {
-            let t_s = cost.concurrent(&stage.ops);
+            let t_s = cost.concurrent(&stage.ops) * scaling.gpu[gi];
             let t_max = stage
                 .ops
                 .iter()
@@ -327,7 +433,10 @@ pub fn simulate(
                         } else {
                             now
                         };
-                        let t_finish = t_start + cost.transfer(v, w);
+                        // A 0 × ∞ product (zero-cost transfer over a
+                        // stalled link) still means "never delivers".
+                        let dt = cost.transfer(v, w) * scaling.link[link];
+                        let t_finish = t_start + if dt.is_nan() { f64::INFINITY } else { dt };
                         link_busy[link] = t_finish;
                         transfers.push(TransferRecord {
                             from: v,
@@ -682,6 +791,96 @@ mod tests {
         for &x in &u {
             assert!(x > 0.0 && x <= 1.0);
         }
+    }
+
+    #[test]
+    fn identity_scaling_is_bit_identical_to_simulate() {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 40,
+            layers: 5,
+            deps: 80,
+            seed: 9,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(9));
+        let out = hios_core::run_scheduler(
+            hios_core::Algorithm::HiosLp,
+            &g,
+            &cost,
+            &hios_core::SchedulerOptions::new(3),
+        );
+        let cfg = SimConfig::realistic(&cost);
+        let plain = simulate(&g, &cost, &out.schedule, &cfg).unwrap();
+        let scaled =
+            simulate_scaled(&g, &cost, &out.schedule, &cfg, &Scaling::identity(3)).unwrap();
+        assert_eq!(plain.makespan.to_bits(), scaled.makespan.to_bits());
+        assert_eq!(plain.op_finish, scaled.op_finish);
+    }
+
+    #[test]
+    fn gpu_slowdown_stretches_only_that_gpu() {
+        let (g, s) = cross_pair();
+        let cost = uniform_cost(2, 1.0, 1.0, 0.5);
+        let mut sc = Scaling::identity(2);
+        sc.gpu[0] = 2.0;
+        let r = simulate_scaled(&g, &cost, &s, &SimConfig::analytical(), &sc).unwrap();
+        // 2.0 (slowed a) + 0.5 transfer + 1.0 (nominal b).
+        assert!((r.makespan - 3.5).abs() < 1e-9, "got {}", r.makespan);
+    }
+
+    #[test]
+    fn link_degradation_stretches_the_transfer() {
+        let (g, s) = cross_pair();
+        let cost = uniform_cost(2, 1.0, 1.0, 0.5);
+        let mut sc = Scaling::identity(2);
+        sc.link[1] = 4.0; // link 0 -> 1
+        let r = simulate_scaled(&g, &cost, &s, &SimConfig::analytical(), &sc).unwrap();
+        assert!((r.makespan - 4.0).abs() < 1e-9, "got {}", r.makespan);
+        assert!((r.transfers[0].finish - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stalled_link_never_delivers() {
+        let (g, s) = cross_pair();
+        let cost = uniform_cost(2, 1.0, 1.0, 0.5);
+        let mut sc = Scaling::identity(2);
+        sc.link[1] = f64::INFINITY;
+        let r = simulate_scaled(&g, &cost, &s, &SimConfig::analytical(), &sc).unwrap();
+        assert!(r.makespan.is_infinite());
+        assert!(r.op_finish[1].is_infinite());
+    }
+
+    #[test]
+    fn mismatched_cost_table_is_a_typed_error() {
+        let (g, s) = cross_pair();
+        let cost = uniform_cost(5, 1.0, 1.0, 0.5); // graph has 2 ops
+        assert_eq!(
+            simulate(&g, &cost, &s, &SimConfig::analytical()).unwrap_err(),
+            SimError::CostMismatch {
+                expected: 2,
+                got: 5
+            }
+        );
+    }
+
+    #[test]
+    fn bad_scaling_is_rejected() {
+        let (g, s) = cross_pair();
+        let cost = uniform_cost(2, 1.0, 1.0, 0.5);
+        let short = Scaling {
+            gpu: vec![1.0],
+            link: vec![1.0; 4],
+        };
+        assert!(matches!(
+            simulate_scaled(&g, &cost, &s, &SimConfig::analytical(), &short),
+            Err(SimError::BadScaling { .. })
+        ));
+        let mut inf_gpu = Scaling::identity(2);
+        inf_gpu.gpu[1] = f64::INFINITY;
+        assert!(matches!(
+            simulate_scaled(&g, &cost, &s, &SimConfig::analytical(), &inf_gpu),
+            Err(SimError::BadScaling { .. })
+        ));
     }
 
     #[test]

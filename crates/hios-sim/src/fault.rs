@@ -1,0 +1,349 @@
+//! Deterministic fault injection (ISSUE 2 tentpole, layer 1).
+//!
+//! A [`FaultPlan`] is an ordered list of timed [`FaultEvent`]s injected
+//! into a simulated run: GPU fail-stop, persistent per-GPU slowdown
+//! (stragglers), NVLink failure or degradation, and per-operator timeout
+//! (hang) events.  Plans are plain data — seeded, serializable, and
+//! replayable bit-for-bit — so every experiment in `hios-bench` and
+//! every proptest case can name the exact fault history it ran under.
+//!
+//! The closed detect → repair → resume loop that consumes a plan lives
+//! in [`crate::recover`].
+
+use hios_graph::{Graph, OpId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The GPU stops executing; every operator in flight on it is lost
+    /// and it takes no further work.
+    GpuFailStop {
+        /// The failing GPU.
+        gpu: usize,
+    },
+    /// The GPU keeps running at `1/factor` of nominal speed from the
+    /// fault instant on (a persistent straggler).
+    GpuSlowdown {
+        /// The slowed GPU.
+        gpu: usize,
+        /// Duration multiplier, `> 1`.
+        factor: f64,
+    },
+    /// The directed link stops moving data; transfers stall until the
+    /// fault is detected, after which traffic reroutes at the recovery
+    /// loop's reroute factor.
+    LinkFail {
+        /// Source GPU of the directed link.
+        from: usize,
+        /// Destination GPU of the directed link.
+        to: usize,
+    },
+    /// The directed link keeps working at `1/factor` of nominal
+    /// bandwidth from the fault instant on.
+    LinkDegrade {
+        /// Source GPU of the directed link.
+        from: usize,
+        /// Destination GPU of the directed link.
+        to: usize,
+        /// Transfer-duration multiplier, `> 1`.
+        factor: f64,
+    },
+    /// The operator's execution in flight at (or started after) the
+    /// fault instant hangs and never finishes; the watchdog reports it
+    /// after the detection latency and it is restarted by repair.
+    OpHang {
+        /// The hanging operator.
+        op: OpId,
+    },
+}
+
+impl FaultKind {
+    /// Short label used in bench tables and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::GpuFailStop { .. } => "gpu-fail-stop",
+            FaultKind::GpuSlowdown { .. } => "gpu-slowdown",
+            FaultKind::LinkFail { .. } => "link-fail",
+            FaultKind::LinkDegrade { .. } => "link-degrade",
+            FaultKind::OpHang { .. } => "op-hang",
+        }
+    }
+}
+
+/// One fault at one instant of simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Injection time, ms from inference start.
+    pub at_ms: f64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// Why a fault plan is unusable against a given platform/graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// A GPU index outside `0..m`.
+    UnknownGpu(usize),
+    /// A link endpoint pair that is out of range or a self-link.
+    BadLink(usize, usize),
+    /// An operator id outside the graph.
+    UnknownOp(OpId),
+    /// A slowdown/degradation factor not `> 1` and finite.
+    BadFactor(f64),
+    /// A negative or non-finite injection time.
+    BadTime(f64),
+    /// Every GPU fail-stops: nothing could ever finish the run.
+    AllGpusFail,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::UnknownGpu(g) => write!(f, "fault targets unknown GPU {g}"),
+            FaultPlanError::BadLink(a, b) => write!(f, "fault targets invalid link {a} -> {b}"),
+            FaultPlanError::UnknownOp(v) => write!(f, "fault targets unknown operator {v}"),
+            FaultPlanError::BadFactor(x) => {
+                write!(f, "fault factor {x} must be finite and > 1")
+            }
+            FaultPlanError::BadTime(t) => write!(f, "fault time {t} must be finite and >= 0"),
+            FaultPlanError::AllGpusFail => write!(f, "plan fail-stops every GPU"),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A deterministic, replayable fault history.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Events sorted by injection time (stable, so same-instant events
+    /// keep their construction order).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan, sorting events by time (stable).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        FaultPlan { events }
+    }
+
+    /// One fault at one instant.
+    pub fn single(at_ms: f64, kind: FaultKind) -> Self {
+        FaultPlan {
+            events: vec![FaultEvent { at_ms, kind }],
+        }
+    }
+
+    /// A seeded random plan of `count` faults over `[0, horizon_ms)` on
+    /// an `m`-GPU platform running `g`.  Deterministic per seed; at most
+    /// `m - 1` distinct GPUs fail-stop so the run can always complete.
+    pub fn random(seed: u64, g: &Graph, m: usize, horizon_ms: f64, count: usize) -> Self {
+        assert!(m >= 1 && horizon_ms > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut failed = vec![false; m];
+        let mut budget = m.saturating_sub(1);
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let at_ms = rng.random_range(0.0..horizon_ms);
+            // 0: fail-stop, 1: slowdown, 2: link fail, 3: link degrade,
+            // 4: op hang.  Link faults need m >= 2; fail-stops need
+            // surviving budget.  Fall back to a slowdown otherwise.
+            let roll: usize = rng.random_range(0..5);
+            let kind = match roll {
+                0 if budget > 0 => {
+                    let gpu: usize = rng.random_range(0..m);
+                    if failed[gpu] {
+                        // Re-failing a dead GPU is a harmless no-op event.
+                        FaultKind::GpuFailStop { gpu }
+                    } else {
+                        failed[gpu] = true;
+                        budget -= 1;
+                        FaultKind::GpuFailStop { gpu }
+                    }
+                }
+                2 | 3 if m >= 2 => {
+                    let from: usize = rng.random_range(0..m);
+                    let mut to: usize = rng.random_range(0..m - 1);
+                    if to >= from {
+                        to += 1;
+                    }
+                    if roll == 2 {
+                        FaultKind::LinkFail { from, to }
+                    } else {
+                        FaultKind::LinkDegrade {
+                            from,
+                            to,
+                            factor: rng.random_range(2.0..8.0),
+                        }
+                    }
+                }
+                4 if g.num_ops() > 0 => {
+                    let idx: usize = rng.random_range(0..g.num_ops());
+                    FaultKind::OpHang {
+                        op: OpId::from_index(idx),
+                    }
+                }
+                _ => FaultKind::GpuSlowdown {
+                    gpu: rng.random_range(0..m),
+                    factor: rng.random_range(1.5..4.0),
+                },
+            };
+            events.push(FaultEvent { at_ms, kind });
+        }
+        FaultPlan::new(events)
+    }
+
+    /// Checks every event against the platform (`m` GPUs) and graph.
+    pub fn validate(&self, g: &Graph, m: usize) -> Result<(), FaultPlanError> {
+        let mut failed = vec![false; m];
+        for e in &self.events {
+            if !e.at_ms.is_finite() || e.at_ms < 0.0 {
+                return Err(FaultPlanError::BadTime(e.at_ms));
+            }
+            match e.kind {
+                FaultKind::GpuFailStop { gpu } => {
+                    if gpu >= m {
+                        return Err(FaultPlanError::UnknownGpu(gpu));
+                    }
+                    failed[gpu] = true;
+                }
+                FaultKind::GpuSlowdown { gpu, factor } => {
+                    if gpu >= m {
+                        return Err(FaultPlanError::UnknownGpu(gpu));
+                    }
+                    if !factor.is_finite() || factor <= 1.0 {
+                        return Err(FaultPlanError::BadFactor(factor));
+                    }
+                }
+                FaultKind::LinkFail { from, to } => {
+                    if from >= m || to >= m || from == to {
+                        return Err(FaultPlanError::BadLink(from, to));
+                    }
+                }
+                FaultKind::LinkDegrade { from, to, factor } => {
+                    if from >= m || to >= m || from == to {
+                        return Err(FaultPlanError::BadLink(from, to));
+                    }
+                    if !factor.is_finite() || factor <= 1.0 {
+                        return Err(FaultPlanError::BadFactor(factor));
+                    }
+                }
+                FaultKind::OpHang { op } => {
+                    if op.index() >= g.num_ops() {
+                        return Err(FaultPlanError::UnknownOp(op));
+                    }
+                }
+            }
+        }
+        if m > 0 && failed.iter().all(|&f| f) {
+            return Err(FaultPlanError::AllGpusFail);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+    fn small_graph() -> Graph {
+        generate_layered_dag(&LayeredDagConfig {
+            ops: 20,
+            layers: 4,
+            deps: 40,
+            seed: 1,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn new_sorts_by_time() {
+        let p = FaultPlan::new(vec![
+            FaultEvent {
+                at_ms: 5.0,
+                kind: FaultKind::GpuFailStop { gpu: 1 },
+            },
+            FaultEvent {
+                at_ms: 2.0,
+                kind: FaultKind::LinkFail { from: 0, to: 1 },
+            },
+        ]);
+        assert!(p.events[0].at_ms < p.events[1].at_ms);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        let g = small_graph();
+        for seed in 0..20 {
+            let a = FaultPlan::random(seed, &g, 4, 100.0, 6);
+            let b = FaultPlan::random(seed, &g, 4, 100.0, 6);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate(&g, 4).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_never_kills_every_gpu() {
+        let g = small_graph();
+        for seed in 0..40 {
+            let p = FaultPlan::random(seed, &g, 2, 50.0, 10);
+            p.validate(&g, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_targets() {
+        let g = small_graph();
+        let bad_gpu = FaultPlan::single(1.0, FaultKind::GpuFailStop { gpu: 9 });
+        assert_eq!(bad_gpu.validate(&g, 2), Err(FaultPlanError::UnknownGpu(9)));
+        let self_link = FaultPlan::single(1.0, FaultKind::LinkFail { from: 1, to: 1 });
+        assert_eq!(
+            self_link.validate(&g, 2),
+            Err(FaultPlanError::BadLink(1, 1))
+        );
+        let bad_factor = FaultPlan::single(
+            1.0,
+            FaultKind::GpuSlowdown {
+                gpu: 0,
+                factor: 0.5,
+            },
+        );
+        assert_eq!(
+            bad_factor.validate(&g, 2),
+            Err(FaultPlanError::BadFactor(0.5))
+        );
+        let bad_time = FaultPlan::single(-1.0, FaultKind::GpuFailStop { gpu: 0 });
+        assert_eq!(bad_time.validate(&g, 2), Err(FaultPlanError::BadTime(-1.0)));
+        let wipeout = FaultPlan::new(vec![
+            FaultEvent {
+                at_ms: 1.0,
+                kind: FaultKind::GpuFailStop { gpu: 0 },
+            },
+            FaultEvent {
+                at_ms: 2.0,
+                kind: FaultKind::GpuFailStop { gpu: 1 },
+            },
+        ]);
+        assert_eq!(wipeout.validate(&g, 2), Err(FaultPlanError::AllGpusFail));
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let g = small_graph();
+        let p = FaultPlan::random(7, &g, 3, 40.0, 5);
+        let s = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -2,6 +2,7 @@
 //! results, for eyeballing schedules the way the paper's Fig. 3 does.
 
 use crate::engine::SimResult;
+use crate::recover::{RecoveryResult, RepairAction};
 use hios_core::Schedule;
 use hios_graph::Graph;
 
@@ -70,6 +71,42 @@ pub fn transfers_csv(sim: &SimResult) -> String {
     out
 }
 
+/// Human-readable summary of a recovery run: outcome line, surviving
+/// GPUs, and one line per fault in processing order.
+pub fn recovery_summary(res: &RecoveryResult) -> String {
+    let mut out = format!(
+        "{} in {:.3} ms after {} repair(s); GPUs alive: {}/{}\n",
+        if res.completed {
+            "completed"
+        } else {
+            "ABANDONED"
+        },
+        res.makespan,
+        res.repairs,
+        res.final_alive.iter().filter(|&&a| a).count(),
+        res.final_alive.len(),
+    );
+    for e in &res.events {
+        let detected = match e.detected_ms {
+            Some(t) => format!("detected @{t:.3} ms"),
+            None => "undetected".to_owned(),
+        };
+        let action = match e.action {
+            RepairAction::Absorbed => "absorbed".to_owned(),
+            RepairAction::Rescheduled { policy, survivors } => {
+                format!("rescheduled ({}) over {survivors} GPU(s)", policy.name())
+            }
+            RepairAction::Abandoned => "abandoned".to_owned(),
+        };
+        out.push_str(&format!(
+            "  @{:.3} ms {:<16} {detected}, {action}\n",
+            e.fault.at_ms,
+            e.fault.kind.label(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +153,22 @@ mod tests {
         let sim = simulate(&g, &cost, &s, &SimConfig::realistic(&cost)).unwrap();
         let csv = transfers_csv(&sim);
         assert_eq!(csv.lines().count(), 1 + sim.transfers.len());
+    }
+
+    #[test]
+    fn recovery_summary_lists_every_fault() {
+        use crate::fault::{FaultKind, FaultPlan};
+        use crate::recover::{RecoveryConfig, run_with_repair};
+        let (g, cost, s) = sample();
+        let base = simulate(&g, &cost, &s, &SimConfig::analytical())
+            .unwrap()
+            .makespan;
+        let plan = FaultPlan::single(base * 0.5, FaultKind::GpuFailStop { gpu: 1 });
+        let res = run_with_repair(&g, &cost, &s, &plan, &RecoveryConfig::analytical()).unwrap();
+        let text = recovery_summary(&res);
+        assert_eq!(text.lines().count(), 1 + res.events.len());
+        assert!(text.starts_with("completed in "));
+        assert!(text.contains("gpu-fail-stop"));
+        assert!(text.contains("rescheduled (reschedule) over 1 GPU(s)"));
     }
 }

@@ -24,9 +24,17 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod gantt;
 pub mod measure;
+pub mod recover;
 pub mod trace;
 
-pub use engine::{Semantics, SimConfig, SimError, SimResult, TransferRecord, simulate};
-pub use measure::{MeasureConfig, Measurement, measure};
+pub use engine::{
+    Scaling, Semantics, SimConfig, SimError, SimResult, TransferRecord, simulate, simulate_scaled,
+};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
+pub use measure::{MeasureConfig, Measurement, RecoveryMeasurement, measure, measure_recovery};
+pub use recover::{
+    RecoverError, RecoveryConfig, RecoveryResult, RepairAction, SimEvent, run_with_repair,
+};

@@ -3,6 +3,7 @@
 //! GPU, one for each directed link).
 
 use crate::engine::SimResult;
+use crate::recover::{RepairAction, SimEvent};
 use hios_core::Schedule;
 use hios_graph::Graph;
 
@@ -63,6 +64,50 @@ pub fn chrome_trace(g: &Graph, sched: &Schedule, sim: &SimResult) -> String {
     serde_json::to_string_pretty(&events).expect("trace serialization is infallible")
 }
 
+/// Renders a recovery run's fault trace as Chrome instant events
+/// (`ph: "i"`, `pid 2`): one marker at each injection and, for detected
+/// faults, one at the detection instant.  Concatenates cleanly with
+/// [`chrome_trace`]'s tracks when both arrays are merged.
+pub fn fault_trace(events: &[SimEvent]) -> String {
+    use serde_json::Value;
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+    fn instant(name: String, ts_ms: f64, action: &'static str) -> Value {
+        obj(vec![
+            ("name", Value::Str(name)),
+            ("cat", Value::Str("fault".to_owned())),
+            ("ph", Value::Str("i".to_owned())),
+            ("s", Value::Str("g".to_owned())),
+            ("pid", Value::Num(2.0)),
+            ("tid", Value::Num(0.0)),
+            ("ts", Value::Num(ts_ms * 1e3)),
+            ("args", obj(vec![("action", Value::Str(action.to_owned()))])),
+        ])
+    }
+    let mut out = Vec::new();
+    for e in events {
+        let action = match e.action {
+            RepairAction::Absorbed => "absorbed",
+            RepairAction::Rescheduled { .. } => "rescheduled",
+            RepairAction::Abandoned => "abandoned",
+        };
+        out.push(instant(
+            format!("inject {}", e.fault.kind.label()),
+            e.fault.at_ms,
+            action,
+        ));
+        if let Some(t) = e.detected_ms {
+            out.push(instant(
+                format!("detect {}", e.fault.kind.label()),
+                t,
+                action,
+            ));
+        }
+    }
+    serde_json::to_string_pretty(&out).expect("trace serialization is infallible")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +137,40 @@ mod tests {
             events.iter().any(|e| e["cat"] == "transfer"),
             !sim.transfers.is_empty()
         );
+    }
+
+    #[test]
+    fn fault_trace_marks_injection_and_detection() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let events = [
+            SimEvent {
+                fault: FaultEvent {
+                    at_ms: 1.0,
+                    kind: FaultKind::GpuFailStop { gpu: 0 },
+                },
+                detected_ms: Some(1.5),
+                action: RepairAction::Rescheduled {
+                    policy: hios_core::RepairPolicy::Reschedule,
+                    survivors: 1,
+                },
+            },
+            SimEvent {
+                fault: FaultEvent {
+                    at_ms: 9.0,
+                    kind: FaultKind::LinkFail { from: 0, to: 1 },
+                },
+                detected_ms: None,
+                action: RepairAction::Absorbed,
+            },
+        ];
+        let trace = fault_trace(&events);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let arr = parsed.as_array().unwrap();
+        // Two markers for the detected fault, one for the absorbed one.
+        assert_eq!(arr.len(), 3);
+        assert!(arr.iter().all(|e| e["cat"] == "fault" && e["ph"] == "i"));
+        assert_eq!(arr[0]["name"], "inject gpu-fail-stop");
+        assert_eq!(arr[1]["name"], "detect gpu-fail-stop");
+        assert_eq!(arr[2]["args"]["action"], "absorbed");
     }
 }

@@ -1,0 +1,63 @@
+//! Thread-count invariance of the full detect → repair → resume loop:
+//! with the rayon pool at 1 thread and at 4 threads, recovery from the
+//! same fault plan must be bit-identical — the Reschedule repairs run
+//! warm-started HIOS-LP through the parallel candidate search, so this
+//! exercises the fan-out path end to end.
+//!
+//! Own test binary: it mutates process-wide environment variables, and a
+//! single #[test] keeps that race-free.
+
+use hios::core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios::cost::{RandomCostConfig, random_cost_table};
+use hios::graph::{LayeredDagConfig, generate_layered_dag};
+use hios::sim::{FaultEvent, SimConfig};
+use hios::sim::{FaultKind, FaultPlan, RecoveryConfig, run_with_repair, simulate};
+
+#[test]
+fn recovery_is_thread_count_invariant() {
+    // Size the instance past the LP fan-out floor of 512 operators so the
+    // repairs actually hit the parallel path.
+    let g = generate_layered_dag(&LayeredDagConfig {
+        ops: 700,
+        layers: 70,
+        deps: 1400,
+        seed: 9,
+    })
+    .unwrap();
+    let cost = random_cost_table(&g, &RandomCostConfig::paper_default(9));
+    let m = 4usize;
+    let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m));
+    let base = simulate(&g, &cost, &out.schedule, &SimConfig::analytical())
+        .unwrap()
+        .makespan;
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at_ms: base * 0.3,
+            kind: FaultKind::GpuFailStop { gpu: 1 },
+        },
+        FaultEvent {
+            at_ms: base * 0.6,
+            kind: FaultKind::LinkDegrade {
+                from: 0,
+                to: 2,
+                factor: 4.0,
+            },
+        },
+    ]);
+    let cfg = RecoveryConfig::analytical();
+
+    let run = || run_with_repair(&g, &cost, &out.schedule, &plan, &cfg).unwrap();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let r1 = run();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let r4 = run();
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert!(r1.completed && r1.repairs >= 2);
+    assert_eq!(r1.makespan.to_bits(), r4.makespan.to_bits());
+    assert_eq!(r1.events, r4.events);
+    assert_eq!(r1.repairs, r4.repairs);
+    assert_eq!(r1.final_alive, r4.final_alive);
+    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&r1.op_finish), bits(&r4.op_finish));
+}
