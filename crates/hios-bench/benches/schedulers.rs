@@ -27,7 +27,7 @@ fn bench_schedulers(c: &mut Criterion) {
             Algorithm::HiosMr,
         ] {
             group.bench_function(format!("{}/{ops}ops", algo.name()), |b| {
-                b.iter(|| black_box(run_scheduler(algo, &g, &cost, &opts).latency_ms));
+                b.iter(|| black_box(run_scheduler(algo, &g, &cost, &opts).unwrap().latency_ms));
             });
         }
     }

@@ -15,7 +15,7 @@ fn bench_simulator(c: &mut Criterion) {
         ("nasnet", nasnet_a(&ModelConfig::with_input(331))),
     ] {
         let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         let cfg = SimConfig::realistic(&cost);
         group.bench_function(format!("relaxed/{name}"), |b| {
             b.iter(|| black_box(simulate(&g, &cost, &out.schedule, &cfg).unwrap().makespan));

@@ -30,7 +30,7 @@ fn main() {
                 hios_graph::paths::critical_path(&g, |v| cost.exec(v), |_, _| 0.0).0
             );
             for a in Algorithm::ALL {
-                let out = run_scheduler(a, &g, &cost, &SchedulerOptions::new(2));
+                let out = run_scheduler(a, &g, &cost, &SchedulerOptions::new(2)).unwrap();
                 let ev = evaluate(&g, &cost, &out.schedule).unwrap().latency;
                 let sim = simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).unwrap();
                 println!(

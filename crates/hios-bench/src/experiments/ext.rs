@@ -122,7 +122,7 @@ pub fn ext_semantics(_cfg: &RunCfg) -> Table {
     for model in ["inception_v3", "nasnet"] {
         let g = build_model(model, 512);
         let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         let run = |semantics, serialization, gap: f64| {
             let cfg = SimConfig {
                 semantics,
@@ -175,7 +175,7 @@ pub fn ext_model_zoo(_cfg: &RunCfg) -> Table {
         let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
         let mut row = vec![name.to_string(), g.num_ops().to_string()];
         for a in Algorithm::ALL {
-            let out = run_scheduler(a, &g, &cost, &SchedulerOptions::new(2));
+            let out = run_scheduler(a, &g, &cost, &SchedulerOptions::new(2)).unwrap();
             let sim =
                 simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).expect("feasible");
             row.push(f3(sim.makespan));
@@ -199,7 +199,8 @@ pub fn ext_gpus_cnn(_cfg: &RunCfg) -> Table {
         for gpus in [1usize, 2, 4, 8] {
             let platform = Platform::nvswitch_server(gpus);
             let cost = AnalyticCostModel::for_platform(&platform).build_table(&g);
-            let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(gpus));
+            let out =
+                run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(gpus)).unwrap();
             let sim =
                 simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).expect("feasible");
             row.push(f3(sim.makespan));

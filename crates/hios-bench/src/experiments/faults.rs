@@ -104,7 +104,7 @@ fn plan_for(
 fn run_cell(c: CellCfg, runs: u32, validate: bool) -> CellOut {
     let g = super::testbed::build_model(c.model, c.size);
     let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-    let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(c.gpus));
+    let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(c.gpus)).unwrap();
     if validate {
         out.schedule
             .validate_full(&g, None)
@@ -261,7 +261,7 @@ mod tests {
     fn every_fault_kind_builds_a_valid_plan() {
         let g = super::super::testbed::build_model("inception_v3", 299);
         let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         let sim = simulate(&g, &cost, &out.schedule, &SimConfig::analytical()).unwrap();
         for fault in FAULTS {
             let plan = plan_for(fault, sim.makespan * 0.5, &g, &sim, 2);

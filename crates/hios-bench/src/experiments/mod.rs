@@ -5,6 +5,7 @@ pub mod faults;
 pub mod micro;
 pub mod scaling;
 pub mod schedcost;
+pub mod serving;
 pub mod sim;
 pub mod testbed;
 pub mod worked;
@@ -37,5 +38,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("ext_model_zoo", ext::ext_model_zoo),
         ("sched-scaling", scaling::sched_scaling),
         ("fault-matrix", faults::fault_matrix),
+        ("serving", serving::serving),
     ]
 }

@@ -28,7 +28,7 @@ pub const PROFILE_REPS: f64 = 36.0;
 pub fn scheduling_cost_minutes(algo: Algorithm, model: &str, size: u32) -> f64 {
     let g = build_model(model, size);
     let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-    let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(2));
+    let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(2)).unwrap();
     // Base profiling: each operator alone + each edge transfer.
     let base_ms: f64 =
         cost.exec_ms.iter().sum::<f64>() + g.edges().map(|(u, v)| cost.transfer(u, v)).sum::<f64>();

@@ -36,7 +36,7 @@ pub fn build_model(model: &str, size: u32) -> Graph {
 /// (deterministic single run).
 pub fn measured_latency(algo: Algorithm, g: &Graph, gpus: usize) -> f64 {
     let cost = AnalyticCostModel::a40_nvlink().build_table(g);
-    let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus));
+    let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus)).unwrap();
     simulate(g, &cost, &out.schedule, &SimConfig::realistic(&cost))
         .expect("scheduler output is feasible")
         .makespan
@@ -46,7 +46,7 @@ pub fn measured_latency(algo: Algorithm, g: &Graph, gpus: usize) -> f64 {
 /// measurements on 36 runs" (§VI-A), with per-run execution jitter.
 pub fn measured_stats(algo: Algorithm, g: &Graph, gpus: usize) -> (f64, f64) {
     let cost = AnalyticCostModel::a40_nvlink().build_table(g);
-    let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus));
+    let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus)).unwrap();
     let m = measure(
         g,
         &cost,

@@ -84,7 +84,7 @@ pub fn random_sweep_point(
             let opts = SchedulerOptions::new(gpus);
             algorithms
                 .iter()
-                .map(|&a| (a, run_scheduler(a, &g, &cost, &opts).latency_ms))
+                .map(|&a| (a, run_scheduler(a, &g, &cost, &opts).unwrap().latency_ms))
                 .collect()
         })
         .collect();

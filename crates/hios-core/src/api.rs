@@ -2,14 +2,15 @@
 //! paper (§V-B): Sequential, IOS, HIOS-LP, HIOS-MR and the two inter-GPU
 //! ablations.
 
-use crate::eval::evaluate;
+use crate::eval::{EvalError, evaluate};
 use crate::ios::{IosConfig, schedule_ios};
 use crate::lp::{HiosLpConfig, schedule_hios_lp};
 use crate::mr::{HiosMrConfig, schedule_hios_mr};
-use crate::schedule::Schedule;
+use crate::schedule::{Schedule, ScheduleError};
 use crate::seq::schedule_sequential;
 use hios_cost::CostTable;
 use hios_graph::Graph;
+use std::fmt;
 use std::time::Instant;
 
 /// The scheduling algorithms compared throughout the paper.
@@ -58,6 +59,67 @@ impl Algorithm {
     }
 }
 
+/// Deterministic *modeled* scheduling-time estimate for running `algo`
+/// on an `n_ops`-operator graph over `m` GPUs with sliding window `w`,
+/// in milliseconds.
+///
+/// Wall-clock time cannot feed a deterministic serving loop (it varies
+/// with the machine and thread count), so the budget hooks and the
+/// `hios-serve` anytime ladder charge this analytic model instead.  The
+/// constants are calibrated against the `sched-scaling` experiment's
+/// shape: candidate-trial counts grow with `n·m` for the inter-GPU
+/// phases, the Alg. 2 window phase adds `n·w`, and the IOS DP dominates
+/// everything (paper Fig. 14).
+pub fn modeled_sched_cost_ms(algo: Algorithm, n_ops: usize, m: usize, w: usize) -> f64 {
+    let n = n_ops as f64;
+    let m = m.max(1) as f64;
+    let w = w.max(1) as f64;
+    let lnn = n.max(2.0).ln();
+    let intra = 0.01 * n * w * lnn;
+    match algo {
+        Algorithm::Sequential => 0.0005 * n,
+        Algorithm::Ios => 0.2 * n * lnn,
+        Algorithm::InterGpuLp => 0.02 * n * m * lnn,
+        Algorithm::HiosLp => 0.02 * n * m * lnn + intra,
+        Algorithm::InterGpuMr => 0.03 * n * m * lnn,
+        Algorithm::HiosMr => 0.03 * n * m * lnn + intra,
+    }
+}
+
+/// Scheduling-time budget (modeled, deterministic — see
+/// [`modeled_sched_cost_ms`]).
+///
+/// `None` means unbounded: the scheduler runs at its configured window.
+/// With a limit, [`SchedulerOptions::effective_window`] shrinks the
+/// Alg. 2 window until the modeled cost fits; rung-level degradation
+/// (dropping from full HIOS-LP to inter-GPU-only to greedy) is the
+/// serving ladder's job, not this hook's.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SchedBudget {
+    /// Modeled scheduling-time budget, ms.
+    pub limit_ms: Option<f64>,
+}
+
+impl SchedBudget {
+    /// Unbounded.
+    pub fn unlimited() -> Self {
+        SchedBudget::default()
+    }
+
+    /// Bounded at `ms` modeled milliseconds.
+    pub fn limited(ms: f64) -> Self {
+        SchedBudget { limit_ms: Some(ms) }
+    }
+
+    /// Whether `cost_ms` fits the budget.
+    pub fn admits(&self, cost_ms: f64) -> bool {
+        match self.limit_ms {
+            Some(limit) => cost_ms <= limit,
+            None => true,
+        }
+    }
+}
+
 /// Options shared by all schedulers.
 #[derive(Clone, Copy, Debug)]
 pub struct SchedulerOptions {
@@ -69,8 +131,12 @@ pub struct SchedulerOptions {
     pub ios: IosConfig,
     /// Run [`Schedule::validate_full`] on the produced schedule before
     /// returning it (debug gate; on by default in debug builds).  A
-    /// failure is a scheduler bug and panics with the structural error.
+    /// failure is a scheduler bug, surfaced as
+    /// [`SchedulerError::Invalid`].
     pub validate: bool,
+    /// Modeled scheduling-time budget; shrinks the effective window when
+    /// tight (see [`SchedBudget`]).
+    pub budget: SchedBudget,
 }
 
 impl SchedulerOptions {
@@ -81,9 +147,92 @@ impl SchedulerOptions {
             window: 4,
             ios: IosConfig::default(),
             validate: cfg!(debug_assertions),
+            budget: SchedBudget::unlimited(),
+        }
+    }
+
+    /// Same options with a modeled scheduling budget of `ms`.
+    pub fn with_budget(mut self, ms: f64) -> Self {
+        self.budget = SchedBudget::limited(ms);
+        self
+    }
+
+    /// The Alg. 2 window the budget allows for `algo` on an
+    /// `n_ops`-operator graph: the largest `w ≤ self.window` whose
+    /// modeled cost fits, floored at 1 (the budget degrades quality, it
+    /// never refuses to schedule).
+    pub fn effective_window(&self, algo: Algorithm, n_ops: usize) -> usize {
+        let mut w = self.window.max(1);
+        while w > 1
+            && !self
+                .budget
+                .admits(modeled_sched_cost_ms(algo, n_ops, self.num_gpus, w))
+        {
+            w -= 1;
+        }
+        w
+    }
+}
+
+/// Why a scheduling run could not produce a usable outcome.
+///
+/// The serving layer consumes these as values; nothing in
+/// [`run_scheduler`] panics on infeasible input any more.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedulerError {
+    /// Options that cannot produce a schedule (zero GPUs, zero window).
+    BadOptions(String),
+    /// The cost table does not cover the graph.
+    CostMismatch {
+        /// Entries in the table.
+        table_ops: usize,
+        /// Operators in the graph.
+        graph_ops: usize,
+    },
+    /// The scheduler produced a structurally invalid schedule (a
+    /// scheduler bug, caught by [`Schedule::validate_full`] when
+    /// [`SchedulerOptions::validate`] is set).
+    Invalid {
+        /// Which algorithm produced it.
+        algorithm: Algorithm,
+        /// The structural violation.
+        error: ScheduleError,
+    },
+    /// The produced schedule failed latency evaluation.
+    Infeasible {
+        /// Which algorithm produced it.
+        algorithm: Algorithm,
+        /// The evaluation failure.
+        error: EvalError,
+    },
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::BadOptions(why) => write!(f, "bad scheduler options: {why}"),
+            SchedulerError::CostMismatch {
+                table_ops,
+                graph_ops,
+            } => write!(
+                f,
+                "cost table covers {table_ops} ops, graph has {graph_ops}"
+            ),
+            SchedulerError::Invalid { algorithm, error } => write!(
+                f,
+                "{} produced a structurally invalid schedule: {error}",
+                algorithm.name()
+            ),
+            SchedulerError::Infeasible { algorithm, error } => write!(
+                f,
+                "{} produced an unevaluable schedule: {error}",
+                algorithm.name()
+            ),
         }
     }
 }
+
+impl std::error::Error for SchedulerError {}
 
 /// What a scheduling run produced.
 #[derive(Clone, Debug)]
@@ -103,12 +252,29 @@ pub struct ScheduleOutcome {
 
 /// Runs `algo` on `(g, cost)` and returns the schedule, its latency and
 /// the scheduling cost counters used by the Fig. 14 experiment.
+///
+/// Infeasible inputs and scheduler bugs surface as typed
+/// [`SchedulerError`]s instead of aborting the process, so long-running
+/// callers (the `hios-serve` request loop) can degrade or shed.
 pub fn run_scheduler(
     algo: Algorithm,
     g: &Graph,
     cost: &CostTable,
     opts: &SchedulerOptions,
-) -> ScheduleOutcome {
+) -> Result<ScheduleOutcome, SchedulerError> {
+    if opts.num_gpus == 0 {
+        return Err(SchedulerError::BadOptions("num_gpus must be >= 1".into()));
+    }
+    if opts.window == 0 {
+        return Err(SchedulerError::BadOptions("window must be >= 1".into()));
+    }
+    if cost.num_ops() != g.num_ops() {
+        return Err(SchedulerError::CostMismatch {
+            table_ops: cost.num_ops(),
+            graph_ops: g.num_ops(),
+        });
+    }
+    let window = opts.effective_window(algo, g.num_ops());
     cost.meter.reset();
     let started = Instant::now();
     // HIOS outcomes already carry the evaluated latency of their final
@@ -123,7 +289,7 @@ pub fn run_scheduler(
                 cost,
                 HiosLpConfig {
                     num_gpus: opts.num_gpus,
-                    window: opts.window,
+                    window,
                     intra: algo == Algorithm::HiosLp,
                 },
             );
@@ -135,7 +301,7 @@ pub fn run_scheduler(
                 cost,
                 HiosMrConfig {
                     num_gpus: opts.num_gpus,
-                    window: opts.window,
+                    window,
                     intra: algo == Algorithm::HiosMr,
                 },
             );
@@ -145,28 +311,31 @@ pub fn run_scheduler(
     let scheduling_secs = started.elapsed().as_secs_f64();
     let profiling = cost.meter.snapshot();
     if opts.validate {
-        if let Err(e) = schedule.validate_full(g, None) {
-            panic!(
-                "{} produced a structurally invalid schedule: {e}",
-                algo.name()
-            );
+        if let Err(error) = schedule.validate_full(g, None) {
+            return Err(SchedulerError::Invalid {
+                algorithm: algo,
+                error,
+            });
         }
     }
     let latency_ms = match latency {
         Some(l) => l,
         None => {
             evaluate(g, cost, &schedule)
-                .expect("schedulers produce feasible schedules")
+                .map_err(|error| SchedulerError::Infeasible {
+                    algorithm: algo,
+                    error,
+                })?
                 .latency
         }
     };
-    ScheduleOutcome {
+    Ok(ScheduleOutcome {
         algorithm: algo,
         schedule,
         latency_ms,
         scheduling_secs,
         profiling,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -187,13 +356,102 @@ mod tests {
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(21));
         let opts = SchedulerOptions::new(4);
         for algo in Algorithm::ALL {
-            let out = run_scheduler(algo, &g, &cost, &opts);
+            let out = run_scheduler(algo, &g, &cost, &opts).unwrap();
             assert!(out.schedule.validate(&g).is_ok(), "{algo:?}");
             assert!(out.latency_ms > 0.0);
             if algo.is_single_gpu() {
                 assert!(out.schedule.num_gpus_used() <= 1, "{algo:?}");
             }
         }
+    }
+
+    #[test]
+    fn bad_inputs_surface_as_typed_errors() {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 20,
+            layers: 4,
+            deps: 40,
+            seed: 5,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(5));
+
+        let zero_gpus = SchedulerOptions::new(0);
+        assert!(matches!(
+            run_scheduler(Algorithm::HiosLp, &g, &cost, &zero_gpus),
+            Err(SchedulerError::BadOptions(_))
+        ));
+
+        let mut zero_window = SchedulerOptions::new(2);
+        zero_window.window = 0;
+        assert!(matches!(
+            run_scheduler(Algorithm::HiosLp, &g, &cost, &zero_window),
+            Err(SchedulerError::BadOptions(_))
+        ));
+
+        let mut short = cost.clone();
+        short.exec_ms.pop();
+        short.util.pop();
+        short.transfer_out_ms.pop();
+        assert!(matches!(
+            run_scheduler(Algorithm::HiosLp, &g, &short, &SchedulerOptions::new(2)),
+            Err(SchedulerError::CostMismatch {
+                table_ops: 19,
+                graph_ops: 20
+            })
+        ));
+    }
+
+    #[test]
+    fn budget_shrinks_window_but_never_refuses() {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 60,
+            layers: 6,
+            deps: 120,
+            seed: 9,
+        })
+        .unwrap();
+        let cost = random_cost_table(&g, &RandomCostConfig::paper_default(9));
+        let n = g.num_ops();
+        let roomy = SchedulerOptions::new(4);
+        assert_eq!(roomy.effective_window(Algorithm::HiosLp, n), 4);
+
+        // A budget between the w=1 and w=4 modeled costs degrades the
+        // window; an impossible budget floors at w=1.
+        let w1 = modeled_sched_cost_ms(Algorithm::HiosLp, n, 4, 1);
+        let w4 = modeled_sched_cost_ms(Algorithm::HiosLp, n, 4, 4);
+        assert!(w1 < w4);
+        let mid = SchedulerOptions::new(4).with_budget((w1 + w4) / 2.0);
+        let w_mid = mid.effective_window(Algorithm::HiosLp, n);
+        assert!((1..4).contains(&w_mid), "window {w_mid}");
+        let tiny = SchedulerOptions::new(4).with_budget(1e-6);
+        assert_eq!(tiny.effective_window(Algorithm::HiosLp, n), 1);
+
+        // The degraded run still succeeds and stays valid.
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &tiny).unwrap();
+        assert!(out.schedule.validate_full(&g, None).is_ok());
+        // A budgeted window can only cost latency, never correctness:
+        // the full-window schedule is at least as good.
+        let full = run_scheduler(Algorithm::HiosLp, &g, &cost, &roomy).unwrap();
+        assert!(full.latency_ms <= out.latency_ms + 1e-9);
+    }
+
+    #[test]
+    fn modeled_cost_is_monotone() {
+        for algo in Algorithm::ALL {
+            assert!(
+                modeled_sched_cost_ms(algo, 100, 2, 4) <= modeled_sched_cost_ms(algo, 200, 2, 4)
+            );
+            assert!(
+                modeled_sched_cost_ms(algo, 100, 2, 4) <= modeled_sched_cost_ms(algo, 100, 4, 4)
+                    || algo.is_single_gpu()
+            );
+        }
+        // The ladder's ordering: full LP above inter-only above nothing.
+        assert!(
+            modeled_sched_cost_ms(Algorithm::HiosLp, 100, 4, 4)
+                > modeled_sched_cost_ms(Algorithm::InterGpuLp, 100, 4, 4)
+        );
     }
 
     #[test]
@@ -214,7 +472,7 @@ mod tests {
             let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
             let opts = SchedulerOptions::new(4);
             for algo in Algorithm::ALL {
-                let out = run_scheduler(algo, &g, &cost, &opts);
+                let out = run_scheduler(algo, &g, &cost, &opts).unwrap();
                 *sums.entry(algo).or_insert(0.0) += out.latency_ms;
             }
         }

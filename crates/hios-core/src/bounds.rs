@@ -75,7 +75,7 @@ mod tests {
             for m in [1usize, 2, 4] {
                 let bound = critical_path_bound(&g, &cost);
                 for algo in Algorithm::ALL {
-                    let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(m));
+                    let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(m)).unwrap();
                     assert!(
                         out.latency_ms >= bound - 1e-9,
                         "{algo:?} on {m} GPUs: {} < bound {bound}",
@@ -91,7 +91,7 @@ mod tests {
     fn hios_lp_is_near_optimal_on_fig4() {
         let (g, _) = fig4();
         let cost = fig4_cost();
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         // Fig. 4 fixture: HIOS-LP reaches 13.0, exactly the bound.
         assert!((quality_ratio(out.latency_ms, &g, &cost, 2) - 1.0).abs() < 1e-9);
     }

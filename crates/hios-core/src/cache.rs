@@ -1,0 +1,221 @@
+//! Per-model schedule caching (ISSUE 3 tentpole, core layer).
+//!
+//! A serving loop schedules the *same* model graphs over and over; only
+//! the platform (which GPUs the circuit breakers currently admit)
+//! changes.  [`ScheduleCacheKey`] names one such scheduling problem —
+//! a structural graph fingerprint plus the alive-GPU mask — and
+//! [`ScheduleCache`] is the deterministic map the `hios-serve` anytime
+//! ladder keeps its best-known schedules in.
+//!
+//! The cache is value-generic: the core crate defines *identity* (what
+//! makes two scheduling problems the same), callers define what they
+//! store under it (the ladder stores schedule + makespan + the rung that
+//! produced it).
+
+use hios_graph::Graph;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Structural fingerprint of a computation graph: FNV-1a over the
+/// operator count, every operator's name and output shape, and the edge
+/// list.  Two graphs with the same fingerprint are (with overwhelming
+/// probability) the same scheduling problem; the id-ordered sweep makes
+/// the fingerprint deterministic across runs and platforms.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(g.num_ops() as u64).to_le_bytes());
+    for v in g.op_ids() {
+        let node = g.node(v);
+        eat(node.name.as_bytes());
+        eat(&[0]);
+        let s = &node.output_shape;
+        for d in [s.n, s.c, s.h, s.w] {
+            eat(&d.to_le_bytes());
+        }
+    }
+    for (u, v) in g.edges() {
+        eat(&(u.index() as u32).to_le_bytes());
+        eat(&(v.index() as u32).to_le_bytes());
+    }
+    h
+}
+
+/// Identity of one scheduling problem in a serving loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScheduleCacheKey {
+    /// [`graph_fingerprint`] of the model.
+    pub graph_fp: u64,
+    /// Bit `i` set ⇔ physical GPU `i` is available (breaker closed or
+    /// half-open).  Platforms beyond 64 GPUs need a wider key; the cache
+    /// asserts the bound rather than silently aliasing.
+    pub alive_mask: u64,
+    /// Number of physical GPUs the mask ranges over.
+    pub num_gpus: usize,
+}
+
+impl ScheduleCacheKey {
+    /// Key for `g` on the subset of an `alive.len()`-GPU platform whose
+    /// breakers currently admit traffic.
+    pub fn for_platform(g: &Graph, alive: &[bool]) -> Self {
+        assert!(
+            alive.len() <= 64,
+            "alive mask of {} GPUs exceeds the 64-bit cache key",
+            alive.len()
+        );
+        let mut mask = 0u64;
+        for (i, &a) in alive.iter().enumerate() {
+            if a {
+                mask |= 1 << i;
+            }
+        }
+        ScheduleCacheKey {
+            graph_fp: graph_fingerprint(g),
+            alive_mask: mask,
+            num_gpus: alive.len(),
+        }
+    }
+
+    /// Number of GPUs the key admits.
+    pub fn num_alive(&self) -> usize {
+        self.alive_mask.count_ones() as usize
+    }
+}
+
+/// A keyed store of best-known schedules with hit/miss accounting.
+///
+/// Lookups never iterate the map, so the default hasher's nondeterminism
+/// cannot leak into results; the serving loop stays bit-identical at any
+/// thread count.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleCache<V> {
+    entries: HashMap<ScheduleCacheKey, V>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> ScheduleCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScheduleCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    pub fn get(&mut self, key: &ScheduleCacheKey) -> Option<&V> {
+        match self.entries.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Uncounted lookup (for peeking without skewing stats).
+    pub fn peek(&self, key: &ScheduleCacheKey) -> Option<&V> {
+        self.entries.get(key)
+    }
+
+    /// Inserts `value` under `key` only if `better` says it improves on
+    /// the incumbent (ties keep the incumbent, so re-running a rung can
+    /// never churn the cache).  Returns whether the entry changed.
+    pub fn insert_if_better<F>(&mut self, key: ScheduleCacheKey, value: V, better: F) -> bool
+    where
+        F: FnOnce(&V, &V) -> bool,
+    {
+        match self.entries.get(&key) {
+            Some(old) if !better(&value, old) => false,
+            _ => {
+                self.entries.insert(key, value);
+                true
+            }
+        }
+    }
+
+    /// Drops the entry under `key` (e.g. when a breaker transition
+    /// changes the platform out from under it).  Returns the evicted
+    /// value, if any.
+    pub fn invalidate(&mut self, key: &ScheduleCacheKey) -> Option<V> {
+        self.entries.remove(key)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+    fn dag(seed: u64) -> Graph {
+        generate_layered_dag(&LayeredDagConfig {
+            ops: 30,
+            layers: 4,
+            deps: 60,
+            seed,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_separates_graphs_and_is_stable() {
+        let a = dag(1);
+        let b = dag(2);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&a));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+    }
+
+    #[test]
+    fn keys_encode_the_alive_set() {
+        let g = dag(3);
+        let all = ScheduleCacheKey::for_platform(&g, &[true, true, true]);
+        let partial = ScheduleCacheKey::for_platform(&g, &[true, false, true]);
+        assert_ne!(all, partial);
+        assert_eq!(all.num_alive(), 3);
+        assert_eq!(partial.num_alive(), 2);
+        assert_eq!(partial.alive_mask, 0b101);
+        assert_eq!(all.num_gpus, 3);
+    }
+
+    #[test]
+    fn insert_if_better_keeps_the_best_and_counts() {
+        let g = dag(4);
+        let key = ScheduleCacheKey::for_platform(&g, &[true, true]);
+        let mut cache: ScheduleCache<f64> = ScheduleCache::new();
+        assert!(cache.get(&key).is_none());
+        assert!(cache.insert_if_better(key, 10.0, |new, old| new < old));
+        assert!(!cache.insert_if_better(key, 12.0, |new, old| new < old));
+        assert!(cache.insert_if_better(key, 8.0, |new, old| new < old));
+        assert_eq!(cache.get(&key), Some(&8.0));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.invalidate(&key), Some(8.0));
+        assert!(cache.is_empty());
+    }
+}

@@ -35,6 +35,7 @@
 pub mod api;
 pub mod bitset;
 pub mod bounds;
+pub mod cache;
 pub mod eval;
 pub mod exact;
 pub mod ios;
@@ -49,13 +50,17 @@ pub mod seq;
 pub mod stats;
 pub mod window;
 
-pub use api::{Algorithm, ScheduleOutcome, SchedulerOptions, run_scheduler};
+pub use api::{
+    Algorithm, SchedBudget, ScheduleOutcome, SchedulerError, SchedulerOptions,
+    modeled_sched_cost_ms, run_scheduler,
+};
+pub use cache::{ScheduleCache, ScheduleCacheKey, graph_fingerprint};
 pub use eval::{
     EvalError, EvalResult, EvalWorkspace, ListState, evaluate, evaluate_with, list_schedule,
 };
 pub use repair::{
     RepairConfig, RepairError, RepairOutcome, RepairPolicy, SubgraphMap, extract_unfinished,
-    project_cost, repair_schedule,
+    greedy_schedule, project_cost, repair_schedule,
 };
 pub use schedule::{GpuSchedule, Schedule, ScheduleError, Stage};
 

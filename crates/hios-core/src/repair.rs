@@ -180,6 +180,18 @@ pub struct RepairOutcome {
     pub policy: RepairPolicy,
 }
 
+/// Deterministic multi-GPU earliest-finish list schedule over `m` GPUs:
+/// one pass in topological order, each operator placed where it finishes
+/// soonest (lowest-GPU tie-break), every operator its own stage.
+///
+/// This is [`RepairPolicy::Greedy`]'s scheduler, exposed on its own
+/// because it is also the cheapest rung of the `hios-serve` anytime
+/// ladder — the thing a loaded server falls back to when even the
+/// inter-GPU-only LP blows the scheduling budget.
+pub fn greedy_schedule(g: &Graph, cost: &CostTable, m: usize) -> Schedule {
+    Schedule::from_gpu_orders(greedy_orders(g, cost, m))
+}
+
 /// Deterministic earliest-finish assignment over `m` slots, topological
 /// order, lowest-slot tie-break.  No randomness, no thread pool: output
 /// is identical at any thread count by construction.

@@ -128,7 +128,8 @@ mod tests {
     fn lp_stats_count_cross_edges() {
         let (g, _) = fig4();
         let cost = fig4_cost();
-        let out = run_scheduler(Algorithm::InterGpuLp, &g, &cost, &SchedulerOptions::new(2));
+        let out =
+            run_scheduler(Algorithm::InterGpuLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         let stats = schedule_stats(&g, &cost, &out.schedule);
         // Mapping {v3,v5,v7} to GPU 2 cuts edges e2, e6, e5?... exactly
         // the edges between the two sets: e2(v1->v3), e6(v5->v6),
@@ -142,7 +143,7 @@ mod tests {
     fn grouped_fraction_reflects_window_pass() {
         let (g, _) = fig4();
         let cost = crate::fixtures::fig4_cost_small_ops();
-        let full = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(1));
+        let full = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(1)).unwrap();
         let stats = schedule_stats(&g, &cost, &full.schedule);
         assert!(stats.grouped_fraction() > 0.0);
         assert!(stats.max_width() >= 2);

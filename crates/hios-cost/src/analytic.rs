@@ -7,7 +7,7 @@
 
 use crate::gpu::GpuSpec;
 use crate::interconnect::{LinkSpec, Platform};
-use crate::table::{ConcurrencyParams, CostTable};
+use crate::table::{ConcurrencyParams, CostError, CostTable};
 use hios_graph::{Graph, OpId};
 
 /// Roofline cost model for a concrete platform.
@@ -64,6 +64,22 @@ impl AnalyticCostModel {
     /// launch too.
     pub fn transfer_out_ms(&self, g: &Graph, v: OpId) -> f64 {
         self.link.transfer_ms(g.node(v).output_shape.bytes()) + self.gpu.launch_overhead_ms
+    }
+
+    /// Checked [`AnalyticCostModel::build_table`]: verifies every entry
+    /// the roofline produced is usable (finite, positive exec, util in
+    /// `(0, 1]`) before handing the table out.  A degenerate GPU spec or
+    /// an operator kind whose FLOP/DRAM model collapses to zero/overflow
+    /// surfaces as a typed [`CostError`] instead of poisoning schedulers
+    /// downstream.
+    pub fn try_build_table(&self, graph: &Graph) -> Result<CostTable, CostError> {
+        let t = self.build_table(graph);
+        for v in graph.op_ids() {
+            t.try_exec(v)?;
+            t.try_util(v)?;
+            t.try_transfer(v, v)?;
+        }
+        Ok(t)
     }
 
     /// Materializes the full cost snapshot for `graph`.
@@ -157,6 +173,18 @@ mod tests {
         let t = AnalyticCostModel::a40_nvlink().build_table(&g);
         assert!(t.validate(&g).is_ok());
         assert_eq!(t.num_ops(), 2);
+    }
+
+    #[test]
+    fn checked_builder_accepts_sane_platforms_and_rejects_broken_ones() {
+        let (g, _) = fig1_conv(64);
+        assert!(AnalyticCostModel::a40_nvlink().try_build_table(&g).is_ok());
+        let mut broken = AnalyticCostModel::a40_nvlink();
+        broken.gpu.launch_overhead_ms = f64::NAN;
+        assert!(matches!(
+            broken.try_build_table(&g),
+            Err(CostError::BadEntry { field: "exec", .. })
+        ));
     }
 
     #[test]

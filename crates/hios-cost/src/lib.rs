@@ -31,4 +31,4 @@ pub use analytic::AnalyticCostModel;
 pub use gpu::GpuSpec;
 pub use interconnect::{LinkSpec, Platform};
 pub use random::{RandomCostConfig, random_cost_table};
-pub use table::{ConcurrencyParams, CostTable};
+pub use table::{ConcurrencyParams, CostError, CostTable};

@@ -3,7 +3,53 @@
 
 use hios_graph::{Graph, OpId};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Typed failure of a checked cost lookup.
+///
+/// The unchecked accessors ([`CostTable::exec`] and friends) index the
+/// flat arrays directly and panic on an out-of-range [`OpId`] — fine for
+/// the schedulers, which only ever look up ids of the graph the table was
+/// built for.  Long-running callers (the serving layer, profile-file
+/// loaders) must use the `try_*` variants instead, which surface a
+/// missing or unusable entry as a `Result`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CostError {
+    /// The table has no entry for the operator: its id is outside the
+    /// table's `0..num_ops` range (wrong graph, truncated profile file).
+    MissingEntry {
+        /// The operator looked up.
+        op: OpId,
+        /// Number of entries the table actually has.
+        num_ops: usize,
+    },
+    /// The entry exists but is unusable: non-finite, or non-positive
+    /// where the model requires `> 0`.
+    BadEntry {
+        /// The operator looked up.
+        op: OpId,
+        /// The offending value.
+        value: f64,
+        /// Which array it came from ("exec", "util", "transfer").
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::MissingEntry { op, num_ops } => {
+                write!(f, "no cost entry for {op}: table covers {num_ops} ops")
+            }
+            CostError::BadEntry { op, value, field } => {
+                write!(f, "unusable {field} cost {value} for {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
 
 /// Parameters of the concurrent-execution model.
 ///
@@ -146,6 +192,68 @@ impl CostTable {
     #[inline]
     pub fn transfer(&self, u: OpId, _v: OpId) -> f64 {
         self.transfer_out_ms[u.index()]
+    }
+
+    /// Checked `t(v)`: [`CostTable::exec`] without the panic on a
+    /// missing or unusable entry.
+    pub fn try_exec(&self, v: OpId) -> Result<f64, CostError> {
+        let t = *self.exec_ms.get(v.index()).ok_or(CostError::MissingEntry {
+            op: v,
+            num_ops: self.num_ops(),
+        })?;
+        if !(t.is_finite() && t > 0.0) {
+            return Err(CostError::BadEntry {
+                op: v,
+                value: t,
+                field: "exec",
+            });
+        }
+        Ok(t)
+    }
+
+    /// Checked SM utilization of `v`.
+    pub fn try_util(&self, v: OpId) -> Result<f64, CostError> {
+        let u = *self.util.get(v.index()).ok_or(CostError::MissingEntry {
+            op: v,
+            num_ops: self.num_ops(),
+        })?;
+        if !(u > 0.0 && u <= 1.0) {
+            return Err(CostError::BadEntry {
+                op: v,
+                value: u,
+                field: "util",
+            });
+        }
+        Ok(u)
+    }
+
+    /// Checked `t(u, v)`.
+    pub fn try_transfer(&self, u: OpId, _v: OpId) -> Result<f64, CostError> {
+        let x = *self
+            .transfer_out_ms
+            .get(u.index())
+            .ok_or(CostError::MissingEntry {
+                op: u,
+                num_ops: self.num_ops(),
+            })?;
+        if !(x.is_finite() && x >= 0.0) {
+            return Err(CostError::BadEntry {
+                op: u,
+                value: x,
+                field: "transfer",
+            });
+        }
+        Ok(x)
+    }
+
+    /// Checked `t(S)`: every member is verified before the stage cost is
+    /// computed, so the meter is only charged for answerable queries.
+    pub fn try_concurrent(&self, set: &[OpId]) -> Result<f64, CostError> {
+        for &v in set {
+            self.try_exec(v)?;
+            self.try_util(v)?;
+        }
+        Ok(self.concurrent(set))
     }
 
     /// `t(S)`: duration of a stage of independent operators started
@@ -347,6 +455,59 @@ mod tests {
         assert!((measured_ms - d).abs() < 1e-3, "{measured_ms} vs {d}");
         t.meter.reset();
         assert_eq!(t.meter.snapshot(), (0, 0.0));
+    }
+
+    #[test]
+    fn checked_lookups_surface_missing_and_bad_entries() {
+        let t = table(&[2.0, 3.0], &[0.5, 1.0]);
+        assert_eq!(t.try_exec(OpId(1)).unwrap(), 3.0);
+        assert_eq!(
+            t.try_exec(OpId(7)),
+            Err(CostError::MissingEntry {
+                op: OpId(7),
+                num_ops: 2
+            })
+        );
+        assert_eq!(
+            t.try_transfer(OpId(9), OpId(0)),
+            Err(CostError::MissingEntry {
+                op: OpId(9),
+                num_ops: 2
+            })
+        );
+        assert!(t.try_util(OpId(0)).is_ok());
+        assert!(t.try_concurrent(&[OpId(0), OpId(1)]).is_ok());
+        assert!(matches!(
+            t.try_concurrent(&[OpId(0), OpId(5)]),
+            Err(CostError::MissingEntry { .. })
+        ));
+
+        let mut bad = table(&[2.0, f64::NAN], &[0.5, 1.0]);
+        assert!(matches!(
+            bad.try_exec(OpId(1)),
+            Err(CostError::BadEntry { field: "exec", .. })
+        ));
+        bad.util[0] = 1.5;
+        assert!(matches!(
+            bad.try_util(OpId(0)),
+            Err(CostError::BadEntry { field: "util", .. })
+        ));
+        bad.transfer_out_ms[0] = -1.0;
+        assert!(matches!(
+            bad.try_transfer(OpId(0), OpId(1)),
+            Err(CostError::BadEntry {
+                field: "transfer",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn checked_concurrent_does_not_charge_meter_on_error() {
+        let t = table(&[2.0, 3.0], &[0.5, 1.0]);
+        t.meter.reset();
+        let _ = t.try_concurrent(&[OpId(0), OpId(9)]);
+        assert_eq!(t.meter.snapshot().0, 0);
     }
 
     #[test]

@@ -234,7 +234,7 @@ mod tests {
         let g = small_model();
         let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
         for algo in Algorithm::ALL {
-            let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(2));
+            let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(2)).unwrap();
             check_schedule_matches_reference(&g, &out.schedule);
         }
     }
@@ -243,7 +243,7 @@ mod tests {
     fn cross_gpu_transfers_happen() {
         let g = small_model();
         let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         if out.schedule.num_gpus_used() < 2 {
             // Cost model may decide one GPU is enough for this tiny net;
             // force a split to exercise the transfer path.
@@ -290,7 +290,8 @@ mod tests {
     fn missing_input_is_reported() {
         let g = small_model();
         let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-        let out = run_scheduler(Algorithm::Sequential, &g, &cost, &SchedulerOptions::new(1));
+        let out =
+            run_scheduler(Algorithm::Sequential, &g, &cost, &SchedulerOptions::new(1)).unwrap();
         let weights = ModelWeights::init(&g, 1);
         assert!(matches!(
             execute_schedule(&g, &out.schedule, &weights, &HashMap::new()),

@@ -116,7 +116,7 @@ mod tests {
         let conv_time = cost.exec(hios_graph::OpId(1));
         assert!(conv_time > cost.exec(hios_graph::OpId(0)));
         // The profiled table plugs straight into the schedulers.
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         assert!(out.schedule.validate(&g).is_ok());
         assert!(out.latency_ms > 0.0);
     }

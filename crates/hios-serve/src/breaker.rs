@@ -1,0 +1,215 @@
+//! Per-GPU circuit breakers.
+//!
+//! Each physical GPU gets one breaker fed by the fault-detection
+//! signals of [`hios_sim::fault`]:
+//!
+//! * **Closed** — the GPU serves traffic.
+//! * **Open** — a fail-stop or slowdown was detected; all dispatches
+//!   route around the GPU until `reset_timeout_ms` elapses.
+//! * **Half-open** — the timeout elapsed; the next health probe decides.
+//!   A successful probe closes the breaker (the GPU was repaired or
+//!   replaced, its speed resets); a failed probe re-opens it with the
+//!   timeout **doubled**, so a persistently sick GPU is probed at an
+//!   exponentially decaying rate instead of hammered.
+//!
+//! All transitions run on the virtual clock, so breaker histories are
+//! bit-identical across runs and thread counts.
+
+/// State of one breaker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BreakerState {
+    /// Healthy: dispatches may use the GPU.
+    Closed,
+    /// Tripped: the GPU is excluded until the embedded instant.
+    Open {
+        /// When the breaker becomes probeable, ms.
+        until_ms: f64,
+    },
+    /// Probing: the GPU may be tried once; the outcome decides.
+    HalfOpen,
+}
+
+/// One GPU's breaker.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    base_timeout_ms: f64,
+    timeout_ms: f64,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker whose first open lasts `reset_timeout_ms`.
+    pub fn new(reset_timeout_ms: f64) -> Self {
+        assert!(
+            reset_timeout_ms.is_finite() && reset_timeout_ms > 0.0,
+            "reset timeout must be positive and finite"
+        );
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            base_timeout_ms: reset_timeout_ms,
+            timeout_ms: reset_timeout_ms,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether dispatches may currently include this GPU.
+    pub fn admits(&self) -> bool {
+        !matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// How many times the breaker has opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Trips the breaker at `now_ms` (fault detected on the GPU).
+    /// Returns the instant the breaker becomes probeable.
+    pub fn trip(&mut self, now_ms: f64) -> f64 {
+        let until_ms = now_ms + self.timeout_ms;
+        self.state = BreakerState::Open { until_ms };
+        self.opens += 1;
+        until_ms
+    }
+
+    /// Moves Open → HalfOpen once `now_ms` reaches the reset instant.
+    /// Returns whether the transition happened.
+    pub fn try_half_open(&mut self, now_ms: f64) -> bool {
+        if let BreakerState::Open { until_ms } = self.state {
+            if now_ms >= until_ms {
+                self.state = BreakerState::HalfOpen;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records a successful probe: the breaker closes and the timeout
+    /// resets to its base value.
+    pub fn probe_success(&mut self) {
+        debug_assert_eq!(
+            self.state,
+            BreakerState::HalfOpen,
+            "probe without half-open"
+        );
+        self.state = BreakerState::Closed;
+        self.timeout_ms = self.base_timeout_ms;
+    }
+
+    /// Records a failed probe: the breaker re-opens with the timeout
+    /// doubled.  Returns the next probeable instant.
+    pub fn probe_failure(&mut self, now_ms: f64) -> f64 {
+        debug_assert_eq!(
+            self.state,
+            BreakerState::HalfOpen,
+            "probe without half-open"
+        );
+        self.timeout_ms *= 2.0;
+        self.trip(now_ms)
+    }
+}
+
+/// The bank of breakers for an `m`-GPU platform.
+#[derive(Clone, Debug)]
+pub struct BreakerBank {
+    breakers: Vec<CircuitBreaker>,
+}
+
+impl BreakerBank {
+    /// `m` closed breakers.
+    pub fn new(m: usize, reset_timeout_ms: f64) -> Self {
+        BreakerBank {
+            breakers: (0..m)
+                .map(|_| CircuitBreaker::new(reset_timeout_ms))
+                .collect(),
+        }
+    }
+
+    /// The breaker of GPU `g`.
+    pub fn gpu(&mut self, g: usize) -> &mut CircuitBreaker {
+        &mut self.breakers[g]
+    }
+
+    /// Read-only view of GPU `g`'s breaker.
+    pub fn peek(&self, g: usize) -> &CircuitBreaker {
+        &self.breakers[g]
+    }
+
+    /// Per-GPU admission mask (closed or half-open ⇒ `true`).
+    pub fn admitted(&self) -> Vec<bool> {
+        self.breakers.iter().map(|b| b.admits()).collect()
+    }
+
+    /// Number of GPUs currently admitting traffic.
+    pub fn num_admitted(&self) -> usize {
+        self.breakers.iter().filter(|b| b.admits()).count()
+    }
+
+    /// Total opens across all breakers.
+    pub fn total_opens(&self) -> u64 {
+        self.breakers.iter().map(|b| b.opens()).sum()
+    }
+
+    /// Number of GPUs in the bank.
+    pub fn len(&self) -> usize {
+        self.breakers.len()
+    }
+
+    /// Whether the bank is empty (zero-GPU platform).
+    pub fn is_empty(&self) -> bool {
+        self.breakers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cycle_closed_open_halfopen_closed() {
+        let mut b = CircuitBreaker::new(10.0);
+        assert!(b.admits());
+        let until = b.trip(5.0);
+        assert_eq!(until, 15.0);
+        assert!(!b.admits());
+        assert!(!b.try_half_open(14.9));
+        assert!(b.try_half_open(15.0));
+        assert!(b.admits()); // half-open admits a probe
+        b.probe_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_timeout() {
+        let mut b = CircuitBreaker::new(10.0);
+        b.trip(0.0);
+        assert!(b.try_half_open(10.0));
+        let next = b.probe_failure(10.0);
+        assert_eq!(next, 30.0); // 10 + doubled 20
+        assert!(b.try_half_open(30.0));
+        let next = b.probe_failure(30.0);
+        assert_eq!(next, 70.0); // 30 + doubled 40
+        assert!(b.try_half_open(70.0));
+        b.probe_success();
+        // Success resets the timeout to base.
+        assert_eq!(b.trip(100.0), 110.0);
+    }
+
+    #[test]
+    fn bank_masks_track_trips() {
+        let mut bank = BreakerBank::new(3, 5.0);
+        assert_eq!(bank.admitted(), vec![true, true, true]);
+        bank.gpu(1).trip(0.0);
+        assert_eq!(bank.admitted(), vec![true, false, true]);
+        assert_eq!(bank.num_admitted(), 2);
+        assert_eq!(bank.total_opens(), 1);
+        assert_eq!(bank.len(), 3);
+        assert!(!bank.is_empty());
+    }
+}

@@ -1,0 +1,594 @@
+//! The budget-bounded anytime scheduling ladder.
+//!
+//! Every dispatch needs a schedule for "this model on the GPUs the
+//! breakers currently admit".  The ladder produces one at the best
+//! quality the scheduling-time budget and queue pressure allow:
+//!
+//! 1. **Cached** — the best schedule previously computed for this exact
+//!    (model, alive-set) pair; near-free.
+//! 2. **Full LP** — HIOS-LP with the intra-GPU pass (Alg. 1 + Alg. 2),
+//!    warm-started on a shared [`EvalWorkspace`].
+//! 3. **Inter LP** — the inter-GPU phase alone (Alg. 1); roughly the
+//!    `w`-th of the full cost.
+//! 4. **Greedy** — the deterministic earliest-finish list pass; the
+//!    rung a saturated server can always afford.
+//!
+//! Scheduling time is *modeled* ([`modeled_sched_cost_ms`]) and charged
+//! to the virtual clock, never measured from the wall clock, so the
+//! ladder's choices — and everything downstream of them — replay
+//! bit-identically.  Results only enter the cache through
+//! `insert_if_better`, so cache quality is monotone: once the idle-time
+//! upgrader has run full HIOS-LP for a platform, every later hit serves
+//! that schedule at cached cost.
+
+use crate::request::ServeError;
+use hios_core::eval::evaluate_with;
+use hios_core::lp::{HiosLpConfig, schedule_hios_lp};
+use hios_core::{
+    Algorithm, EvalWorkspace, SchedBudget, Schedule, ScheduleCache, ScheduleCacheKey,
+    SchedulerError, greedy_schedule, modeled_sched_cost_ms,
+};
+use hios_cost::CostTable;
+use hios_graph::Graph;
+
+/// Modeled cost of serving a schedule straight from the cache, ms.
+pub const CACHE_HIT_COST_MS: f64 = 0.05;
+
+/// Modeled cost of the greedy rung for an `n`-operator model, ms.
+pub fn greedy_cost_ms(n_ops: usize) -> f64 {
+    0.004 * n_ops as f64
+}
+
+/// Which rung produced a schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// Served from the schedule cache.
+    Cached,
+    /// HIOS-LP with the intra-GPU pass.
+    FullLp,
+    /// Inter-GPU LP phase only.
+    InterLp,
+    /// Earliest-finish greedy list pass.
+    Greedy,
+}
+
+impl Rung {
+    /// All rungs, best quality first.
+    pub const ALL: [Rung; 4] = [Rung::Cached, Rung::FullLp, Rung::InterLp, Rung::Greedy];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Cached => "cached",
+            Rung::FullLp => "full-lp",
+            Rung::InterLp => "inter-lp",
+            Rung::Greedy => "greedy",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Rung::Cached => 0,
+            Rung::FullLp => 1,
+            Rung::InterLp => 2,
+            Rung::Greedy => 3,
+        }
+    }
+}
+
+/// Scheduling policy of a serving loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// The full ladder: cache, then the best rung the budget admits,
+    /// with idle-time upgrades.
+    Anytime,
+    /// Always run full HIOS-LP at dispatch time (no cache) — the
+    /// quality-obsessed baseline that melts under load.
+    FixedFullLp,
+    /// Always run the greedy pass — the latency-obsessed baseline that
+    /// serves mediocre schedules forever.
+    GreedyOnly,
+}
+
+impl Policy {
+    /// Display name used in bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Anytime => "anytime",
+            Policy::FixedFullLp => "fixed-full-lp",
+            Policy::GreedyOnly => "greedy-only",
+        }
+    }
+}
+
+/// Ladder knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LadderConfig {
+    /// Scheduling-time budget per dispatch (modeled ms).
+    pub budget: SchedBudget,
+    /// Sliding-window size `w` for the LP rungs.
+    pub window: usize,
+    /// Queue depth at which the ladder stops buying quality and drops
+    /// straight to the greedy rung.
+    pub pressure_threshold: usize,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            budget: SchedBudget::limited(30.0),
+            window: 4,
+            pressure_threshold: 8,
+        }
+    }
+}
+
+/// A cached best-known plan for one (model, alive-set) pair.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// Slot-schedule over the alive GPUs.
+    pub schedule: Schedule,
+    /// Stage-synchronous fault-free latency, ms.
+    pub makespan_ms: f64,
+    /// The rung that computed it.
+    pub rung: Rung,
+}
+
+/// What one ladder consultation produced.
+#[derive(Clone, Debug)]
+pub struct LadderDecision {
+    /// Slot-schedule over `gpu_map.len()` slots.
+    pub schedule: Schedule,
+    /// Slot → physical GPU.
+    pub gpu_map: Vec<usize>,
+    /// Stage-synchronous fault-free latency estimate, ms.
+    pub nominal_ms: f64,
+    /// The rung that answered.
+    pub rung: Rung,
+    /// Modeled scheduling time to charge to the virtual clock, ms.
+    pub sched_cost_ms: f64,
+}
+
+/// The ladder: schedule cache + shared evaluation workspace + counters.
+pub struct AnytimeLadder {
+    cfg: LadderConfig,
+    cache: ScheduleCache<CachedPlan>,
+    ws: EvalWorkspace,
+    rung_counts: [u64; 4],
+    upgrades: u64,
+}
+
+impl AnytimeLadder {
+    /// A fresh ladder.
+    pub fn new(cfg: LadderConfig) -> Self {
+        AnytimeLadder {
+            cfg,
+            cache: ScheduleCache::new(),
+            ws: EvalWorkspace::new(),
+            rung_counts: [0; 4],
+            upgrades: 0,
+        }
+    }
+
+    /// Produces a schedule for `g` on the GPUs `alive` admits, at the
+    /// quality `policy`, the budget, the queue depth, and the request's
+    /// remaining scheduling slack allow.
+    ///
+    /// `slack_ms` is the time the dispatched request can still afford to
+    /// spend *scheduling* (deadline minus now minus a service-time lower
+    /// bound); the anytime policy never picks a rung whose modeled cost
+    /// already guarantees a miss.  Pass `f64::INFINITY` when there is no
+    /// deadline.  The fixed baselines ignore it by design.
+    pub fn decide(
+        &mut self,
+        g: &Graph,
+        cost: &CostTable,
+        alive: &[bool],
+        queue_depth: usize,
+        slack_ms: f64,
+        policy: Policy,
+    ) -> Result<LadderDecision, ServeError> {
+        let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+        let m = gpu_map.len();
+        if m == 0 {
+            return Err(ServeError::NoCapacity);
+        }
+        let n = g.num_ops();
+        match policy {
+            Policy::GreedyOnly => {
+                let (schedule, nominal) = self.run_greedy(g, cost, m)?;
+                self.rung_counts[Rung::Greedy.index()] += 1;
+                Ok(LadderDecision {
+                    schedule,
+                    gpu_map,
+                    nominal_ms: nominal,
+                    rung: Rung::Greedy,
+                    sched_cost_ms: greedy_cost_ms(n),
+                })
+            }
+            Policy::FixedFullLp => {
+                let out = schedule_hios_lp(
+                    g,
+                    cost,
+                    HiosLpConfig {
+                        num_gpus: m,
+                        window: self.cfg.window,
+                        intra: true,
+                    },
+                );
+                self.rung_counts[Rung::FullLp.index()] += 1;
+                Ok(LadderDecision {
+                    schedule: out.schedule,
+                    gpu_map,
+                    nominal_ms: out.latency,
+                    rung: Rung::FullLp,
+                    sched_cost_ms: modeled_sched_cost_ms(Algorithm::HiosLp, n, m, self.cfg.window),
+                })
+            }
+            Policy::Anytime => {
+                let key = ScheduleCacheKey::for_platform(g, alive);
+                if let Some(plan) = self.cache.get(&key) {
+                    let decision = LadderDecision {
+                        schedule: plan.schedule.clone(),
+                        gpu_map,
+                        nominal_ms: plan.makespan_ms,
+                        rung: Rung::Cached,
+                        sched_cost_ms: CACHE_HIT_COST_MS,
+                    };
+                    self.rung_counts[Rung::Cached.index()] += 1;
+                    return Ok(decision);
+                }
+                let rung = self.pick_rung(n, m, queue_depth, slack_ms);
+                let (schedule, nominal, cost_ms) = self.run_rung(rung, g, cost, m)?;
+                self.rung_counts[rung.index()] += 1;
+                self.cache.insert_if_better(
+                    key,
+                    CachedPlan {
+                        schedule: schedule.clone(),
+                        makespan_ms: nominal,
+                        rung,
+                    },
+                    |new, old| new.makespan_ms < old.makespan_ms,
+                );
+                Ok(LadderDecision {
+                    schedule,
+                    gpu_map,
+                    nominal_ms: nominal,
+                    rung,
+                    sched_cost_ms: cost_ms,
+                })
+            }
+        }
+    }
+
+    /// Idle-time upgrade: with the backend drained, spend CPU cycles
+    /// running full HIOS-LP for `(g, alive)` and keep the result iff it
+    /// beats the cached plan.  Runs off the request path (the GPUs are
+    /// idle), so it is never charged to a request's latency.
+    ///
+    /// Candidates are ranked by `eval` — the caller's view of what a
+    /// schedule costs *on the platform as it is now* (e.g. simulated
+    /// under the current fault scaling), not by nominal makespan: the
+    /// LP's nominally-optimal plan can be slower than a greedy one when
+    /// the links it leans on are degraded.
+    ///
+    /// Returns whether the cache improved.
+    pub fn upgrade(
+        &mut self,
+        g: &Graph,
+        cost: &CostTable,
+        alive: &[bool],
+        eval: impl Fn(&Schedule) -> f64,
+    ) -> bool {
+        let m = alive.iter().filter(|&&a| a).count();
+        if m == 0 {
+            return false;
+        }
+        let key = ScheduleCacheKey::for_platform(g, alive);
+        if matches!(self.cache.peek(&key), Some(plan) if plan.rung == Rung::FullLp) {
+            return false; // already at top quality
+        }
+        let out = schedule_hios_lp(
+            g,
+            cost,
+            HiosLpConfig {
+                num_gpus: m,
+                window: self.cfg.window,
+                intra: true,
+            },
+        );
+        self.upgrades += 1;
+        let new_ms = eval(&out.schedule);
+        self.cache.insert_if_better(
+            key,
+            CachedPlan {
+                schedule: out.schedule,
+                makespan_ms: new_ms,
+                rung: Rung::FullLp,
+            },
+            // `<=` so an equal-cost full-LP plan still records the rung
+            // upgrade and stops future re-upgrades.  The incumbent is
+            // re-evaluated: its stored makespan may predate a fault.
+            |new, old| new.makespan_ms <= eval(&old.schedule),
+        )
+    }
+
+    /// Platform-change re-rank: after a fault (or a heal) changes what
+    /// schedules actually cost, pit the cached plan for `(g, alive)`
+    /// against a fresh greedy candidate under `eval` and keep the
+    /// winner.  A nominally-optimal cached plan can lean on a link that
+    /// just degraded; serving it blindly would be slower than greedy.
+    ///
+    /// Returns whether the cache changed.
+    pub fn rerank(
+        &mut self,
+        g: &Graph,
+        cost: &CostTable,
+        alive: &[bool],
+        eval: impl Fn(&Schedule) -> f64,
+    ) -> bool {
+        let m = alive.iter().filter(|&&a| a).count();
+        if m == 0 {
+            return false;
+        }
+        let key = ScheduleCacheKey::for_platform(g, alive);
+        let Some(old) = self.cache.peek(&key) else {
+            return false; // nothing cached: the miss path will schedule
+        };
+        let old_ms = eval(&old.schedule);
+        let Ok((schedule, _)) = self.run_greedy(g, cost, m) else {
+            return false;
+        };
+        let new_ms = eval(&schedule);
+        self.cache.insert_if_better(
+            key,
+            CachedPlan {
+                schedule,
+                makespan_ms: new_ms,
+                rung: Rung::Greedy,
+            },
+            |new, _| new.makespan_ms < old_ms,
+        )
+    }
+
+    /// Best rung the budget, the queue, and the request's slack admit
+    /// (never refuses: the greedy rung is always affordable).
+    fn pick_rung(&self, n: usize, m: usize, queue_depth: usize, slack_ms: f64) -> Rung {
+        if queue_depth >= self.cfg.pressure_threshold {
+            return Rung::Greedy;
+        }
+        let w = self.cfg.window;
+        let affordable = |cost: f64| self.cfg.budget.admits(cost) && cost <= slack_ms;
+        if affordable(modeled_sched_cost_ms(Algorithm::HiosLp, n, m, w)) {
+            Rung::FullLp
+        } else if affordable(modeled_sched_cost_ms(Algorithm::InterGpuLp, n, m, w)) {
+            Rung::InterLp
+        } else {
+            Rung::Greedy
+        }
+    }
+
+    fn run_rung(
+        &mut self,
+        rung: Rung,
+        g: &Graph,
+        cost: &CostTable,
+        m: usize,
+    ) -> Result<(Schedule, f64, f64), ServeError> {
+        let n = g.num_ops();
+        let w = self.cfg.window;
+        match rung {
+            Rung::Cached => unreachable!("cache hits answer before run_rung"),
+            Rung::FullLp | Rung::InterLp => {
+                let intra = rung == Rung::FullLp;
+                let out = schedule_hios_lp(
+                    g,
+                    cost,
+                    HiosLpConfig {
+                        num_gpus: m,
+                        window: w,
+                        intra,
+                    },
+                );
+                let algo = if intra {
+                    Algorithm::HiosLp
+                } else {
+                    Algorithm::InterGpuLp
+                };
+                Ok((
+                    out.schedule,
+                    out.latency,
+                    modeled_sched_cost_ms(algo, n, m, w),
+                ))
+            }
+            Rung::Greedy => {
+                let (schedule, nominal) = self.run_greedy(g, cost, m)?;
+                Ok((schedule, nominal, greedy_cost_ms(n)))
+            }
+        }
+    }
+
+    fn run_greedy(
+        &mut self,
+        g: &Graph,
+        cost: &CostTable,
+        m: usize,
+    ) -> Result<(Schedule, f64), ServeError> {
+        let schedule = greedy_schedule(g, cost, m);
+        let eval = evaluate_with(&mut self.ws, g, cost, &schedule).map_err(|error| {
+            ServeError::Scheduler(SchedulerError::Infeasible {
+                algorithm: Algorithm::Sequential,
+                error,
+            })
+        })?;
+        Ok((schedule, eval.latency))
+    }
+
+    /// `(hits, misses)` of the schedule cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Dispatch counts per rung, in [`Rung::ALL`] order.
+    pub fn rung_counts(&self) -> [u64; 4] {
+        self.rung_counts
+    }
+
+    /// Idle-time upgrade passes run.
+    pub fn upgrades(&self) -> u64 {
+        self.upgrades
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_cost::AnalyticCostModel;
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+    fn fixture() -> (Graph, CostTable) {
+        let g = generate_layered_dag(&LayeredDagConfig {
+            ops: 40,
+            layers: 6,
+            deps: 80,
+            seed: 5,
+        })
+        .unwrap();
+        let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
+        (g, cost)
+    }
+
+    #[test]
+    fn anytime_caches_after_the_first_dispatch() {
+        let (g, cost) = fixture();
+        let mut ladder = AnytimeLadder::new(LadderConfig::default());
+        let alive = [true, true];
+        let first = ladder
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, Policy::Anytime)
+            .unwrap();
+        assert_ne!(first.rung, Rung::Cached);
+        let second = ladder
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, Policy::Anytime)
+            .unwrap();
+        assert_eq!(second.rung, Rung::Cached);
+        assert_eq!(second.nominal_ms, first.nominal_ms);
+        assert!(second.sched_cost_ms < first.sched_cost_ms);
+        assert_eq!(ladder.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn queue_pressure_forces_the_greedy_rung() {
+        let (g, cost) = fixture();
+        let mut ladder = AnytimeLadder::new(LadderConfig {
+            pressure_threshold: 2,
+            ..LadderConfig::default()
+        });
+        let d = ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, true, false],
+                5,
+                f64::INFINITY,
+                Policy::Anytime,
+            )
+            .unwrap();
+        assert_eq!(d.rung, Rung::Greedy);
+        assert_eq!(d.gpu_map, vec![0, 1]);
+    }
+
+    #[test]
+    fn tight_budget_degrades_loose_budget_does_not() {
+        let (g, cost) = fixture();
+        let mut tight = AnytimeLadder::new(LadderConfig {
+            budget: SchedBudget::limited(0.5),
+            ..LadderConfig::default()
+        });
+        let d = tight
+            .decide(&g, &cost, &[true, true], 0, f64::INFINITY, Policy::Anytime)
+            .unwrap();
+        assert_eq!(d.rung, Rung::Greedy);
+
+        let mut loose = AnytimeLadder::new(LadderConfig {
+            budget: SchedBudget::unlimited(),
+            ..LadderConfig::default()
+        });
+        let d = loose
+            .decide(&g, &cost, &[true, true], 0, f64::INFINITY, Policy::Anytime)
+            .unwrap();
+        assert_eq!(d.rung, Rung::FullLp);
+    }
+
+    #[test]
+    fn idle_upgrade_improves_a_greedy_cache_entry() {
+        let (g, cost) = fixture();
+        let mut ladder = AnytimeLadder::new(LadderConfig {
+            budget: SchedBudget::limited(0.5), // only greedy affordable
+            ..LadderConfig::default()
+        });
+        let alive = [true, true];
+        let before = ladder
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, Policy::Anytime)
+            .unwrap();
+        assert_eq!(before.rung, Rung::Greedy);
+        let eval = |s: &Schedule| {
+            hios_sim::simulate(&g, &cost, s, &hios_sim::SimConfig::analytical())
+                .map(|r| r.makespan)
+                .unwrap_or(f64::INFINITY)
+        };
+        assert!(ladder.upgrade(&g, &cost, &alive, eval));
+        assert!(!ladder.upgrade(&g, &cost, &alive, eval)); // already top quality
+        let after = ladder
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, Policy::Anytime)
+            .unwrap();
+        assert_eq!(after.rung, Rung::Cached);
+        assert!(after.nominal_ms <= before.nominal_ms);
+        assert_eq!(ladder.upgrades(), 1);
+    }
+
+    #[test]
+    fn no_alive_gpus_is_a_typed_error() {
+        let (g, cost) = fixture();
+        let mut ladder = AnytimeLadder::new(LadderConfig::default());
+        let err = ladder
+            .decide(
+                &g,
+                &cost,
+                &[false, false],
+                0,
+                f64::INFINITY,
+                Policy::Anytime,
+            )
+            .unwrap_err();
+        assert_eq!(err, ServeError::NoCapacity);
+    }
+
+    #[test]
+    fn policies_count_their_rungs() {
+        let (g, cost) = fixture();
+        let mut ladder = AnytimeLadder::new(LadderConfig::default());
+        ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                f64::INFINITY,
+                Policy::GreedyOnly,
+            )
+            .unwrap();
+        ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                f64::INFINITY,
+                Policy::FixedFullLp,
+            )
+            .unwrap();
+        let counts = ladder.rung_counts();
+        assert_eq!(counts[Rung::Greedy.index()], 1);
+        assert_eq!(counts[Rung::FullLp.index()], 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Deadline-aware multi-tenant serving on top of the HIOS schedulers.
+//!
+//! The paper schedules one DAG for one latency number; a real inference
+//! service schedules the *same* DAGs thousands of times under load,
+//! deadlines, and hardware faults.  This crate closes that gap with a
+//! deterministic serving loop over the `hios-sim` virtual cluster:
+//!
+//! * [`workload`] — seeded Poisson arrival traces across tenant models;
+//! * [`request`] — typed requests, sheds, and failures (nothing panics,
+//!   nothing hangs silently);
+//! * [`server`] — the virtual-clock event loop: bounded admission queue
+//!   with provable-bound load shedding, dispatch, fault handling,
+//!   in-place repair, and recovery;
+//! * [`ladder`] — the budget-bounded anytime scheduling ladder
+//!   (cache → full HIOS-LP → inter-GPU LP → greedy) with idle-time
+//!   upgrades;
+//! * [`breaker`] — per-GPU circuit breakers (closed → open → half-open,
+//!   exponential probe backoff);
+//! * [`retry`] — exponential backoff with deterministic jitter;
+//! * [`report`] — latency percentiles, miss/shed rates, goodput, and a
+//!   history digest for bit-identity checks.
+//!
+//! Everything runs on [`hios_sim::VirtualClock`]; scheduling time is
+//! modeled, never measured.  A serving run is a pure function of its
+//! inputs: replaying `(models, trace, faults, config)` reproduces every
+//! latency bit-for-bit on any machine at any thread count.
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod ladder;
+pub mod report;
+pub mod request;
+pub mod retry;
+pub mod server;
+pub mod workload;
+
+pub use breaker::{BreakerBank, BreakerState, CircuitBreaker};
+pub use ladder::{AnytimeLadder, CachedPlan, LadderConfig, LadderDecision, Policy, Rung};
+pub use report::{ServeReport, history_digest, summarize};
+pub use request::{Disposition, Request, RequestRecord, ServeError, ShedReason};
+pub use retry::RetryConfig;
+pub use server::{ServeConfig, ServeOutcome, ServedModel, serve};
+pub use workload::{WorkloadConfig, generate_trace};

@@ -1,0 +1,284 @@
+//! Serving-run statistics: latency percentiles, miss/shed rates,
+//! goodput, and a history digest for bit-identity checks.
+
+use crate::request::{Disposition, RequestRecord, ShedReason};
+
+/// Aggregate statistics of one serving run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Requests in the trace.
+    pub total: usize,
+    /// Requests that passed admission at arrival.
+    pub admitted: usize,
+    /// Requests that ran to completion.
+    pub completed: usize,
+    /// Completions that met their deadline.
+    pub on_time: usize,
+    /// Sheds because the queue was full.
+    pub shed_queue: usize,
+    /// Sheds because the bound proved the deadline unmeetable.
+    pub shed_deadline: usize,
+    /// Sheds because retries ran out.
+    pub shed_retries: usize,
+    /// Deadline misses (late completions + every shed), as a fraction
+    /// of the trace.
+    pub miss_rate: f64,
+    /// Shed fraction of the trace.
+    pub shed_rate: f64,
+    /// Median end-to-end latency of completions, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Mean latency of completions, ms.
+    pub mean_ms: f64,
+    /// On-time completions per second of virtual horizon.
+    pub goodput_rps: f64,
+    /// Virtual instant of the last event processed, ms.
+    pub horizon_ms: f64,
+    /// Total execution attempts across all requests.
+    pub attempts: u64,
+    /// In-place schedule repairs applied.
+    pub repairs: u64,
+    /// Breaker opens across all GPUs.
+    pub breaker_opens: u64,
+    /// Schedule-cache `(hits, misses)`.
+    pub cache: (u64, u64),
+    /// Dispatches per ladder rung `[cached, full-lp, inter-lp, greedy]`.
+    pub rungs: [u64; 4],
+    /// Idle-time upgrade passes run.
+    pub upgrades: u64,
+    /// FNV-1a digest of the full outcome stream; equal digests ⇒
+    /// bit-identical serving histories.
+    pub history_digest: u64,
+}
+
+/// Deterministic percentile of `sorted` (ascending): the smallest value
+/// with at least `p`·n values at or below it (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// FNV-1a digest of the per-request outcome stream.
+pub fn history_digest(records: &[RequestRecord]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for r in records {
+        eat(r.request.id);
+        match &r.disposition {
+            Disposition::Completed {
+                finish_ms,
+                latency_ms,
+                attempts,
+                met_deadline,
+                repairs,
+            } => {
+                eat(1);
+                eat(finish_ms.to_bits());
+                eat(latency_ms.to_bits());
+                eat(u64::from(*attempts));
+                eat(u64::from(*met_deadline));
+                eat(u64::from(*repairs));
+            }
+            Disposition::Shed { at_ms, reason } => {
+                eat(2);
+                eat(at_ms.to_bits());
+                eat(match reason {
+                    ShedReason::QueueFull { .. } => 10,
+                    ShedReason::DeadlineUnmeetable { .. } => 11,
+                    ShedReason::RetriesExhausted { .. } => 12,
+                });
+            }
+        }
+    }
+    h
+}
+
+/// Builder-style inputs [`summarize`] folds into a [`ServeReport`].
+pub struct ReportInputs {
+    /// Virtual horizon of the run, ms.
+    pub horizon_ms: f64,
+    /// Total execution attempts.
+    pub attempts: u64,
+    /// Total in-place repairs.
+    pub repairs: u64,
+    /// Total breaker opens.
+    pub breaker_opens: u64,
+    /// Schedule-cache `(hits, misses)`.
+    pub cache: (u64, u64),
+    /// Per-rung dispatch counts.
+    pub rungs: [u64; 4],
+    /// Idle upgrade passes.
+    pub upgrades: u64,
+}
+
+/// Folds per-request records and loop counters into a report.
+pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeReport {
+    let total = records.len();
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut admitted, mut completed, mut on_time) = (0usize, 0usize, 0usize);
+    let (mut shed_queue, mut shed_deadline, mut shed_retries) = (0usize, 0usize, 0usize);
+    for r in records {
+        match &r.disposition {
+            Disposition::Completed {
+                latency_ms,
+                met_deadline,
+                ..
+            } => {
+                admitted += 1;
+                completed += 1;
+                on_time += usize::from(*met_deadline);
+                latencies.push(*latency_ms);
+            }
+            Disposition::Shed { reason, .. } => {
+                match reason {
+                    ShedReason::QueueFull { .. } => shed_queue += 1,
+                    ShedReason::DeadlineUnmeetable { .. } => shed_deadline += 1,
+                    ShedReason::RetriesExhausted { .. } => {
+                        // Was admitted, then failed out.
+                        admitted += 1;
+                        shed_retries += 1;
+                    }
+                }
+            }
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let shed = shed_queue + shed_deadline + shed_retries;
+    let misses = total - on_time;
+    let mean_ms = if latencies.is_empty() {
+        f64::NAN
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    ServeReport {
+        total,
+        admitted,
+        completed,
+        on_time,
+        shed_queue,
+        shed_deadline,
+        shed_retries,
+        miss_rate: if total == 0 {
+            0.0
+        } else {
+            misses as f64 / total as f64
+        },
+        shed_rate: if total == 0 {
+            0.0
+        } else {
+            shed as f64 / total as f64
+        },
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        mean_ms,
+        goodput_rps: if inputs.horizon_ms > 0.0 {
+            on_time as f64 / (inputs.horizon_ms / 1000.0)
+        } else {
+            0.0
+        },
+        horizon_ms: inputs.horizon_ms,
+        attempts: inputs.attempts,
+        repairs: inputs.repairs,
+        breaker_opens: inputs.breaker_opens,
+        cache: inputs.cache,
+        rungs: inputs.rungs,
+        upgrades: inputs.upgrades,
+        history_digest: history_digest(records),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn rec(id: u64, disposition: Disposition) -> RequestRecord {
+        RequestRecord {
+            request: Request {
+                id,
+                model: 0,
+                arrival_ms: 0.0,
+                deadline_ms: 100.0,
+            },
+            disposition,
+        }
+    }
+
+    fn done(id: u64, latency: f64, met: bool) -> RequestRecord {
+        rec(
+            id,
+            Disposition::Completed {
+                finish_ms: latency,
+                latency_ms: latency,
+                attempts: 1,
+                met_deadline: met,
+                repairs: 0,
+            },
+        )
+    }
+
+    const INPUTS: ReportInputs = ReportInputs {
+        horizon_ms: 1000.0,
+        attempts: 0,
+        repairs: 0,
+        breaker_opens: 0,
+        cache: (0, 0),
+        rungs: [0; 4],
+        upgrades: 0,
+    };
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.50), 50.0);
+        assert_eq!(percentile(&xs, 0.95), 95.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn summary_counts_and_rates() {
+        let records = vec![
+            done(0, 10.0, true),
+            done(1, 30.0, true),
+            done(2, 200.0, false),
+            rec(
+                3,
+                Disposition::Shed {
+                    at_ms: 5.0,
+                    reason: ShedReason::QueueFull { capacity: 2 },
+                },
+            ),
+        ];
+        let r = summarize(&records, &INPUTS);
+        assert_eq!((r.total, r.admitted, r.completed, r.on_time), (4, 3, 3, 2));
+        assert_eq!(r.shed_queue, 1);
+        assert_eq!(r.miss_rate, 0.5); // one late + one shed
+        assert_eq!(r.shed_rate, 0.25);
+        assert_eq!(r.goodput_rps, 2.0);
+        assert_eq!(r.p50_ms, 30.0);
+    }
+
+    #[test]
+    fn digest_distinguishes_histories() {
+        let a = vec![done(0, 10.0, true)];
+        let b = vec![done(0, 10.5, true)];
+        assert_eq!(history_digest(&a), history_digest(&a));
+        assert_ne!(history_digest(&a), history_digest(&b));
+    }
+}

@@ -1,0 +1,232 @@
+//! Requests, typed failure reasons, and per-request dispositions.
+//!
+//! Every request admitted by the serving loop terminates in exactly one
+//! [`Disposition`]; nothing panics, nothing hangs, and every shed or
+//! abort carries a typed reason ([`ShedReason`], [`ServeError`]) so
+//! callers can distinguish "the platform was too loaded" from "the
+//! platform was on fire".
+
+use hios_core::SchedulerError;
+use hios_graph::OpId;
+use std::fmt;
+
+/// One inference request against a served model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Request {
+    /// Trace-unique id (also the retry-jitter seed).
+    pub id: u64,
+    /// Index into the server's model list.
+    pub model: usize,
+    /// Arrival instant on the virtual clock, ms.
+    pub arrival_ms: f64,
+    /// Absolute completion deadline, ms.
+    pub deadline_ms: f64,
+}
+
+impl Request {
+    /// Slack remaining at `now_ms`, ms (negative when the deadline has
+    /// already passed).
+    pub fn slack_at(&self, now_ms: f64) -> f64 {
+        self.deadline_ms - now_ms
+    }
+}
+
+/// Why the admission controller (or the retry loop) refused a request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShedReason {
+    /// The bounded queue was at capacity.
+    QueueFull {
+        /// Queue capacity at the time of the shed.
+        capacity: usize,
+    },
+    /// Even a provable lower bound on the finish time misses the
+    /// deadline, so running the request could only waste GPU time.
+    DeadlineUnmeetable {
+        /// The lower bound on completion, ms (absolute).
+        bound_finish_ms: f64,
+        /// The request's deadline, ms (absolute).
+        deadline_ms: f64,
+    },
+    /// The request was aborted by faults more times than the retry
+    /// policy allows.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The error that killed the final attempt.
+        last_error: ServeError,
+    },
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            ShedReason::DeadlineUnmeetable {
+                bound_finish_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "deadline unmeetable: lower bound finishes at {bound_finish_ms:.3} ms, \
+                 deadline {deadline_ms:.3} ms"
+            ),
+            ShedReason::RetriesExhausted {
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "retries exhausted after {attempts} attempts ({last_error})"
+            ),
+        }
+    }
+}
+
+/// A typed runtime failure of one execution attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// A GPU in the serving set failed or slowed mid-flight; the
+    /// attempt was aborted at fault-detection time.
+    GpuFault {
+        /// The physical GPU the fault hit.
+        gpu: usize,
+    },
+    /// An NVLink within the serving set failed or degraded mid-flight.
+    LinkFault {
+        /// Source GPU of the affected link.
+        from: usize,
+        /// Destination GPU of the affected link.
+        to: usize,
+    },
+    /// An operator hung and the watchdog converted the hang into a
+    /// typed timeout instead of letting the request block forever.
+    WatchdogTimeout {
+        /// The operator that never finished.
+        op: OpId,
+        /// Virtual time spent waiting past the expected finish, ms.
+        waited_ms: f64,
+    },
+    /// The scheduling ladder could not produce any schedule.
+    Scheduler(SchedulerError),
+    /// No GPU currently admits traffic (every breaker open).
+    NoCapacity,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::GpuFault { gpu } => write!(f, "GPU {gpu} faulted mid-flight"),
+            ServeError::LinkFault { from, to } => {
+                write!(f, "link {from}->{to} faulted mid-flight")
+            }
+            ServeError::WatchdogTimeout { op, waited_ms } => {
+                write!(
+                    f,
+                    "watchdog fired: op {} hung for {waited_ms:.3} ms",
+                    op.index()
+                )
+            }
+            ServeError::Scheduler(e) => write!(f, "scheduler error: {e}"),
+            ServeError::NoCapacity => write!(f, "no GPU admits traffic"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How one admitted request ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Disposition {
+    /// The request ran to completion (possibly after retries/repairs).
+    Completed {
+        /// Completion instant, ms.
+        finish_ms: f64,
+        /// End-to-end latency (finish − arrival), ms.
+        latency_ms: f64,
+        /// Execution attempts used (1 = no retry).
+        attempts: u32,
+        /// Whether it finished by its deadline.
+        met_deadline: bool,
+        /// In-place repairs applied across all attempts.
+        repairs: u32,
+    },
+    /// The request was shed with a typed reason.
+    Shed {
+        /// When the shed happened, ms.
+        at_ms: f64,
+        /// Why.
+        reason: ShedReason,
+    },
+}
+
+impl Disposition {
+    /// Whether the request completed (regardless of deadline).
+    pub fn completed(&self) -> bool {
+        matches!(self, Disposition::Completed { .. })
+    }
+
+    /// Whether the request completed by its deadline.
+    pub fn met_deadline(&self) -> bool {
+        matches!(
+            self,
+            Disposition::Completed {
+                met_deadline: true,
+                ..
+            }
+        )
+    }
+}
+
+/// Full record of one request's journey through the server.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestRecord {
+    /// The request as admitted (or refused).
+    pub request: Request,
+    /// How it ended.
+    pub disposition: Disposition,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_and_disposition_helpers() {
+        let r = Request {
+            id: 7,
+            model: 0,
+            arrival_ms: 10.0,
+            deadline_ms: 60.0,
+        };
+        assert_eq!(r.slack_at(20.0), 40.0);
+        assert!(r.slack_at(100.0) < 0.0);
+
+        let done = Disposition::Completed {
+            finish_ms: 50.0,
+            latency_ms: 40.0,
+            attempts: 1,
+            met_deadline: true,
+            repairs: 0,
+        };
+        assert!(done.completed() && done.met_deadline());
+        let shed = Disposition::Shed {
+            at_ms: 10.0,
+            reason: ShedReason::QueueFull { capacity: 4 },
+        };
+        assert!(!shed.completed() && !shed.met_deadline());
+    }
+
+    #[test]
+    fn errors_and_reasons_render() {
+        let e = ServeError::WatchdogTimeout {
+            op: OpId(3),
+            waited_ms: 12.5,
+        };
+        assert!(e.to_string().contains("op 3"));
+        let s = ShedReason::RetriesExhausted {
+            attempts: 4,
+            last_error: e,
+        };
+        assert!(s.to_string().contains("4 attempts"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Retry policy: exponential backoff with deterministic jitter.
+//!
+//! A request invalidated mid-flight (GPU fault with no repair path,
+//! watchdog timeout, all breakers open) is re-enqueued after a backoff
+//! of `base · 2^(attempt−1)` plus a jitter drawn from a splitmix-style
+//! hash of `(request id, attempt)` — decorrelated like the classic
+//! "full jitter" scheme, but reproducible: the same request retries at
+//! the same instants in every run, at any thread count.
+
+/// Knobs of the retry loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryConfig {
+    /// Maximum execution attempts per request (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before attempt 2, ms; doubles per further attempt.
+    pub base_backoff_ms: f64,
+    /// Upper bound of the deterministic jitter added to each backoff, ms.
+    pub jitter_ms: f64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff_ms: 2.0,
+            jitter_ms: 1.0,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Whether another attempt is allowed after `attempts` tries.
+    pub fn allows(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts
+    }
+
+    /// Backoff before attempt `attempts + 1`, ms.
+    ///
+    /// `attempts` is the number of attempts already made (≥ 1).
+    pub fn backoff_ms(&self, request_id: u64, attempts: u32) -> f64 {
+        debug_assert!(attempts >= 1, "backoff before the first attempt");
+        let exp = (attempts - 1).min(16); // cap the doubling, not the retries
+        let backoff = self.base_backoff_ms * f64::from(1u32 << exp);
+        backoff + self.jitter_ms * unit_hash(request_id, attempts)
+    }
+}
+
+/// Deterministic hash of `(id, attempt)` mapped into `[0, 1)`.
+fn unit_hash(id: u64, attempt: u32) -> f64 {
+    // splitmix64 finalizer over the packed pair.
+    let mut x = id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_jitter_is_bounded() {
+        let cfg = RetryConfig {
+            max_attempts: 5,
+            base_backoff_ms: 2.0,
+            jitter_ms: 1.0,
+        };
+        let b1 = cfg.backoff_ms(42, 1);
+        let b2 = cfg.backoff_ms(42, 2);
+        let b3 = cfg.backoff_ms(42, 3);
+        assert!((2.0..3.0).contains(&b1), "b1 = {b1}");
+        assert!((4.0..5.0).contains(&b2), "b2 = {b2}");
+        assert!((8.0..9.0).contains(&b3), "b3 = {b3}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_decorrelated() {
+        let cfg = RetryConfig::default();
+        assert_eq!(cfg.backoff_ms(7, 1), cfg.backoff_ms(7, 1));
+        // Different requests retry at different offsets.
+        assert_ne!(cfg.backoff_ms(7, 1), cfg.backoff_ms(8, 1));
+    }
+
+    #[test]
+    fn attempt_budget_is_enforced() {
+        let cfg = RetryConfig {
+            max_attempts: 2,
+            ..RetryConfig::default()
+        };
+        assert!(cfg.allows(1));
+        assert!(!cfg.allows(2));
+    }
+
+    #[test]
+    fn unit_hash_stays_in_unit_interval() {
+        for id in 0..200u64 {
+            for attempt in 1..6u32 {
+                let u = unit_hash(id, attempt);
+                assert!((0.0..1.0).contains(&u), "u = {u}");
+            }
+        }
+    }
+}

@@ -1,0 +1,1093 @@
+//! The deterministic serving loop.
+//!
+//! One multi-GPU backend (the `hios-sim` virtual cluster) serves a
+//! multi-tenant stream of DAG-inference requests from a bounded FIFO
+//! queue, entirely on a virtual clock:
+//!
+//! * **Admission** — a request whose *provable* lower-bound finish time
+//!   ([`hios_core::bounds::combined_bound`] on the full platform)
+//!   already misses its deadline is shed at arrival; so is any arrival
+//!   that finds the queue at capacity.
+//! * **Dispatch** — the anytime ladder ([`crate::ladder`]) produces a
+//!   schedule for the GPUs the circuit breakers currently admit; its
+//!   *modeled* scheduling time is charged to the clock before the
+//!   request starts executing.
+//! * **Faults** — detection signals from a [`FaultPlan`] trip per-GPU
+//!   breakers, scale the platform, and invalidate in-flight work.  An
+//!   invalidated request is first **repaired in place**
+//!   ([`hios_core::repair`]) — finished operators keep their results,
+//!   the remainder is rescheduled onto the survivors — and only falls
+//!   back to a full retry (exponential backoff, deterministic jitter)
+//!   when no repair path exists.  Hung operators are converted into
+//!   typed [`ServeError::WatchdogTimeout`]s by a watchdog instead of
+//!   blocking the loop forever.
+//! * **Recovery** — opened breakers probe half-open after a reset
+//!   timeout (doubling on failed probes) and close once the GPU heals,
+//!   restoring capacity mid-run.
+//!
+//! Every instant in the loop is virtual and every tie deterministic,
+//! so a serving run is a pure function of `(models, trace, faults,
+//! config)` — bit-identical across machines and thread counts.
+
+use crate::breaker::BreakerBank;
+use crate::ladder::{AnytimeLadder, LadderConfig, Policy, greedy_cost_ms};
+use crate::report::{ReportInputs, ServeReport, summarize};
+use crate::request::{Disposition, Request, RequestRecord, ServeError, ShedReason};
+use crate::retry::RetryConfig;
+use hios_core::repair::{RepairConfig, RepairPolicy, SubgraphMap, repair_schedule};
+use hios_core::{
+    Algorithm, EvalWorkspace, GpuSchedule, Schedule, SchedulerError, Stage, bounds,
+    modeled_sched_cost_ms,
+};
+use hios_cost::CostTable;
+use hios_graph::{Graph, OpId};
+use hios_sim::{
+    EventQueue, FaultKind, FaultPlan, FaultSignal, Scaling, SimConfig, VirtualClock,
+    simulate_scaled,
+};
+use std::collections::VecDeque;
+
+/// One tenant model served by the loop.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// Display name.
+    pub name: String,
+    /// The inference DAG.
+    pub graph: Graph,
+    /// Profiled cost snapshot for the DAG.
+    pub cost: CostTable,
+}
+
+/// Knobs of a serving run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Physical GPUs in the backend.
+    pub num_gpus: usize,
+    /// Bounded queue capacity (arrivals beyond it are shed).
+    pub queue_capacity: usize,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Anytime-ladder knobs.
+    pub ladder: LadderConfig,
+    /// Retry policy for invalidated requests.
+    pub retry: RetryConfig,
+    /// Watchdog delay after a hang is detected, ms.
+    pub watchdog_ms: f64,
+    /// Initial breaker reset timeout, ms.
+    pub breaker_reset_ms: f64,
+    /// Virtual repair time of a faulted GPU (fail-stop or slowdown), ms.
+    pub gpu_repair_ms: f64,
+    /// Fault detection latency, ms.
+    pub detection_ms: f64,
+    /// Transfer-duration factor of the rerouted path replacing a failed
+    /// link (`> 1`), mirroring [`hios_sim::recover`].
+    pub reroute_factor: f64,
+    /// Execution-engine semantics.
+    pub sim: SimConfig,
+}
+
+impl ServeConfig {
+    /// Analytical-engine defaults on `m` GPUs.
+    pub fn new(m: usize) -> Self {
+        ServeConfig {
+            num_gpus: m,
+            queue_capacity: 32,
+            policy: Policy::Anytime,
+            ladder: LadderConfig::default(),
+            retry: RetryConfig::default(),
+            watchdog_ms: 5.0,
+            breaker_reset_ms: 20.0,
+            gpu_repair_ms: 60.0,
+            detection_ms: 0.5,
+            reroute_factor: 3.0,
+            sim: SimConfig::analytical(),
+        }
+    }
+}
+
+/// Everything a serving run produces.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Terminal record of every request, sorted by request id.
+    pub records: Vec<RequestRecord>,
+    /// Aggregate statistics.
+    pub report: ServeReport,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Event {
+    Arrival(usize),
+    FaultDetected(usize),
+    Completion { token: u64 },
+    Watchdog { token: u64 },
+    BreakerProbe { gpu: usize },
+    Retry { req: usize },
+}
+
+struct InFlight {
+    req: usize,
+    token: u64,
+    serving: Vec<usize>,
+    /// Absolute finish instant per operator of the request's graph
+    /// (updated by in-place repairs).
+    op_finish_abs: Vec<f64>,
+    /// The operator a detected hang blocked, if any.
+    hung_op: Option<OpId>,
+}
+
+struct ReqState {
+    request: Request,
+    attempts: u32,
+    repairs: u32,
+}
+
+struct Server<'a> {
+    models: &'a [ServedModel],
+    cfg: &'a ServeConfig,
+    clock: VirtualClock,
+    events: EventQueue<Event>,
+    queue: VecDeque<usize>,
+    states: Vec<ReqState>,
+    signals: Vec<FaultSignal>,
+    next_token: u64,
+    in_flight: Option<InFlight>,
+    breakers: BreakerBank,
+    scaling: Scaling,
+    healthy_at: Vec<f64>,
+    ladder: AnytimeLadder,
+    repair_ws: EvalWorkspace,
+    /// Provable full-platform lower bound per model, ms.
+    bound_full: Vec<f64>,
+    /// Instant of the most recent arrival (NaN before the first), ms.
+    last_arrival_ms: f64,
+    /// EWMA of inter-arrival gaps (infinite until two arrivals), ms.
+    ewma_gap_ms: f64,
+    records: Vec<RequestRecord>,
+    attempts_total: u64,
+    repairs_total: u64,
+}
+
+/// Runs the serving loop to completion.
+///
+/// Pure in its inputs: the same `(models, trace, faults, cfg)` produce
+/// the same [`ServeOutcome`] — including bit-identical latencies and
+/// history digest — on every run and at every `RAYON_NUM_THREADS`.
+pub fn serve(
+    models: &[ServedModel],
+    trace: &[Request],
+    faults: &FaultPlan,
+    cfg: &ServeConfig,
+) -> Result<ServeOutcome, ServeError> {
+    validate(models, trace, cfg)?;
+    let m = cfg.num_gpus;
+    let mut srv = Server {
+        models,
+        cfg,
+        clock: VirtualClock::new(),
+        events: EventQueue::new(),
+        queue: VecDeque::new(),
+        states: trace
+            .iter()
+            .map(|&request| ReqState {
+                request,
+                attempts: 0,
+                repairs: 0,
+            })
+            .collect(),
+        signals: faults.signals(cfg.detection_ms),
+        next_token: 0,
+        in_flight: None,
+        breakers: BreakerBank::new(m, cfg.breaker_reset_ms),
+        scaling: Scaling::identity(m),
+        healthy_at: vec![0.0; m],
+        ladder: AnytimeLadder::new(cfg.ladder),
+        repair_ws: EvalWorkspace::new(),
+        bound_full: models
+            .iter()
+            .map(|model| bounds::combined_bound(&model.graph, &model.cost, m))
+            .collect(),
+        last_arrival_ms: f64::NAN,
+        ewma_gap_ms: f64::INFINITY,
+        records: Vec::with_capacity(trace.len()),
+        attempts_total: 0,
+        repairs_total: 0,
+    };
+    for (i, r) in trace.iter().enumerate() {
+        srv.events.push(r.arrival_ms, Event::Arrival(i));
+    }
+    for (s, sig) in srv.signals.iter().enumerate() {
+        srv.events.push(sig.detected_ms, Event::FaultDetected(s));
+    }
+    while let Some((t, ev)) = srv.events.pop() {
+        srv.clock.advance_to(t);
+        srv.handle(ev);
+    }
+    debug_assert!(srv.queue.is_empty(), "drained loop left queued requests");
+    debug_assert!(srv.in_flight.is_none(), "drained loop left in-flight work");
+    let mut records = srv.records;
+    records.sort_by_key(|r| r.request.id);
+    let report = summarize(
+        &records,
+        &ReportInputs {
+            horizon_ms: srv.clock.now_ms(),
+            attempts: srv.attempts_total,
+            repairs: srv.repairs_total,
+            breaker_opens: srv.breakers.total_opens(),
+            cache: srv.ladder.cache_stats(),
+            rungs: srv.ladder.rung_counts(),
+            upgrades: srv.ladder.upgrades(),
+        },
+    );
+    Ok(ServeOutcome { records, report })
+}
+
+fn validate(
+    models: &[ServedModel],
+    trace: &[Request],
+    cfg: &ServeConfig,
+) -> Result<(), ServeError> {
+    let bad = |msg: String| Err(ServeError::Scheduler(SchedulerError::BadOptions(msg)));
+    if cfg.num_gpus == 0 || cfg.num_gpus > 64 {
+        return bad(format!("num_gpus must be in 1..=64, got {}", cfg.num_gpus));
+    }
+    if cfg.queue_capacity == 0 {
+        return bad("queue_capacity must be >= 1".into());
+    }
+    if models.is_empty() {
+        return bad("at least one served model required".into());
+    }
+    for (i, model) in models.iter().enumerate() {
+        if model.cost.num_ops() != model.graph.num_ops() {
+            return Err(ServeError::Scheduler(SchedulerError::CostMismatch {
+                table_ops: model.cost.num_ops(),
+                graph_ops: model.graph.num_ops(),
+            }));
+        }
+        if model.graph.num_ops() == 0 {
+            return bad(format!("model {i} has no operators"));
+        }
+    }
+    if let Some(r) = trace.iter().find(|r| r.model >= models.len()) {
+        return bad(format!(
+            "request {} targets model {} of {}",
+            r.id,
+            r.model,
+            models.len()
+        ));
+    }
+    if let Some(r) = trace
+        .iter()
+        .find(|r| !(r.arrival_ms.is_finite() && r.deadline_ms.is_finite()))
+    {
+        return bad(format!("request {} has non-finite instants", r.id));
+    }
+    for knob in [
+        ("watchdog_ms", cfg.watchdog_ms),
+        ("breaker_reset_ms", cfg.breaker_reset_ms),
+        ("gpu_repair_ms", cfg.gpu_repair_ms),
+        ("reroute_factor", cfg.reroute_factor),
+    ] {
+        if !(knob.1.is_finite() && knob.1 > 0.0) {
+            return bad(format!(
+                "{} must be positive and finite, got {}",
+                knob.0, knob.1
+            ));
+        }
+    }
+    if !(cfg.detection_ms.is_finite() && cfg.detection_ms >= 0.0) {
+        return bad(format!(
+            "detection_ms must be non-negative, got {}",
+            cfg.detection_ms
+        ));
+    }
+    Ok(())
+}
+
+impl Server<'_> {
+    fn now(&self) -> f64 {
+        self.clock.now_ms()
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Arrival(i) => self.on_arrival(i),
+            Event::FaultDetected(s) => self.on_fault(s),
+            Event::Completion { token } => self.on_completion(token),
+            Event::Watchdog { token } => self.on_watchdog(token),
+            Event::BreakerProbe { gpu } => self.on_probe(gpu),
+            Event::Retry { req } => self.on_retry(req),
+        }
+    }
+
+    // ---- admission -----------------------------------------------------
+
+    fn on_arrival(&mut self, i: usize) {
+        let req = self.states[i].request;
+        let now = self.now();
+        if self.last_arrival_ms.is_finite() {
+            let gap = now - self.last_arrival_ms;
+            self.ewma_gap_ms = if self.ewma_gap_ms.is_finite() {
+                0.2 * gap + 0.8 * self.ewma_gap_ms
+            } else {
+                gap
+            };
+        }
+        self.last_arrival_ms = now;
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.shed(
+                i,
+                ShedReason::QueueFull {
+                    capacity: self.cfg.queue_capacity,
+                },
+            );
+            return;
+        }
+        if let Some(reason) = self.deadline_hopeless(&req) {
+            self.shed(i, reason);
+            return;
+        }
+        self.queue.push_back(i);
+        self.try_dispatch();
+    }
+
+    /// A provable refusal: even the combined lower bound on the *full*
+    /// healthy platform — never beatable by any schedule, any policy,
+    /// or any future heal — misses the deadline.
+    fn deadline_hopeless(&self, req: &Request) -> Option<ShedReason> {
+        let bound_finish_ms = self.now() + self.bound_full[req.model];
+        (bound_finish_ms > req.deadline_ms).then_some(ShedReason::DeadlineUnmeetable {
+            bound_finish_ms,
+            deadline_ms: req.deadline_ms,
+        })
+    }
+
+    fn shed(&mut self, i: usize, reason: ShedReason) {
+        self.records.push(RequestRecord {
+            request: self.states[i].request,
+            disposition: Disposition::Shed {
+                at_ms: self.now(),
+                reason,
+            },
+        });
+    }
+
+    // ---- dispatch ------------------------------------------------------
+
+    fn try_dispatch(&mut self) {
+        while self.in_flight.is_none() {
+            let Some(&i) = self.queue.front() else { return };
+            let req = self.states[i].request;
+            if let Some(reason) = self.deadline_hopeless(&req) {
+                self.queue.pop_front();
+                self.shed(i, reason);
+                continue;
+            }
+            let alive = self.breakers.admitted();
+            if !alive.iter().any(|&a| a) {
+                return; // every breaker open; a probe event will resume us
+            }
+            let model = &self.models[req.model];
+            // Time this dispatch can afford to spend scheduling: the
+            // request's deadline slack after a provable service lower
+            // bound, capped by how long the arrival stream lets the
+            // backend stall before the bounded queue overflows (half
+            // the projected fill time, for safety margin).  Until the
+            // server has seen enough arrivals to estimate the load, it
+            // refuses to stall at all — quality then comes from the
+            // idle-time upgrader, never from gambling the queue.
+            let slack_ms = req.deadline_ms - self.now() - self.bound_full[req.model];
+            let headroom = self.cfg.queue_capacity.saturating_sub(self.queue.len());
+            let stall_ms = if self.ewma_gap_ms.is_finite() {
+                0.5 * headroom as f64 * self.ewma_gap_ms
+            } else {
+                0.0
+            };
+            let decision = match self.ladder.decide(
+                &model.graph,
+                &model.cost,
+                &alive,
+                self.queue.len(),
+                slack_ms.min(stall_ms),
+                self.cfg.policy,
+            ) {
+                Ok(d) => d,
+                Err(ServeError::NoCapacity) => return,
+                Err(e) => {
+                    self.queue.pop_front();
+                    self.states[i].attempts += 1;
+                    self.attempts_total += 1;
+                    self.fail_attempt(i, e);
+                    continue;
+                }
+            };
+            self.queue.pop_front();
+            self.states[i].attempts += 1;
+            self.attempts_total += 1;
+            let t0 = self.now() + decision.sched_cost_ms;
+            let slot_scale = self.slot_scaling(&decision.gpu_map);
+            let sim = simulate_scaled(
+                &model.graph,
+                &model.cost,
+                &decision.schedule,
+                &self.cfg.sim,
+                &slot_scale,
+            );
+            match sim {
+                Ok(r) if r.makespan.is_finite() => {
+                    let token = self.fresh_token();
+                    self.in_flight = Some(InFlight {
+                        req: i,
+                        token,
+                        serving: decision.gpu_map,
+                        op_finish_abs: r.op_finish.iter().map(|&f| t0 + f).collect(),
+                        hung_op: None,
+                    });
+                    self.events
+                        .push(t0 + r.makespan, Event::Completion { token });
+                }
+                _ => {
+                    // A stalled or failed execution plan: typed failure,
+                    // retry (the platform may heal).
+                    self.fail_attempt(i, ServeError::NoCapacity);
+                }
+            }
+        }
+    }
+
+    fn fresh_token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// Physical scaling projected onto the dispatch's GPU slots.
+    fn slot_scaling(&self, gpu_map: &[usize]) -> Scaling {
+        let m = self.cfg.num_gpus;
+        let mut link = Vec::with_capacity(gpu_map.len() * gpu_map.len());
+        for &pf in gpu_map {
+            for &pt in gpu_map {
+                link.push(self.scaling.link[pf * m + pt]);
+            }
+        }
+        Scaling {
+            gpu: gpu_map.iter().map(|&p| self.scaling.gpu[p]).collect(),
+            link,
+        }
+    }
+
+    // ---- completion / watchdog ----------------------------------------
+
+    fn on_completion(&mut self, token: u64) {
+        let Some(fl) = &self.in_flight else { return };
+        if fl.token != token {
+            return; // stale: this attempt was invalidated
+        }
+        if self.occurred_undetected_disruption() {
+            // A fault has physically happened but is not yet detected:
+            // this completion is phantom.  The detection event owns the
+            // request's fate.
+            return;
+        }
+        let i = fl.req;
+        self.in_flight = None;
+        self.complete(i);
+        self.idle_work();
+    }
+
+    fn complete(&mut self, i: usize) {
+        let st = &self.states[i];
+        let now = self.now();
+        self.records.push(RequestRecord {
+            request: st.request,
+            disposition: Disposition::Completed {
+                finish_ms: now,
+                latency_ms: now - st.request.arrival_ms,
+                attempts: st.attempts,
+                met_deadline: now <= st.request.deadline_ms,
+                repairs: st.repairs,
+            },
+        });
+    }
+
+    /// After the backend drains: let the anytime ladder spend the idle
+    /// CPU time upgrading the cached plan of the last-served model,
+    /// then dispatch whatever queued meanwhile.
+    /// Re-rank every model's cached plan for the current alive set
+    /// against a greedy candidate, evaluated under the current fault
+    /// scaling.  Called whenever the platform changes (fault detected,
+    /// GPU healed): the nominally-best cached plan may lean on hardware
+    /// that just degraded — or hardware that just came back.
+    fn rerank_cache(&mut self) {
+        if self.cfg.policy != Policy::Anytime {
+            return;
+        }
+        let alive = self.breakers.admitted();
+        let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+        if gpu_map.is_empty() {
+            return;
+        }
+        let scale = self.slot_scaling(&gpu_map);
+        let sim_cfg = &self.cfg.sim;
+        for model in self.models {
+            let eval = |schedule: &Schedule| {
+                simulate_scaled(&model.graph, &model.cost, schedule, sim_cfg, &scale)
+                    .map(|r| r.makespan)
+                    .unwrap_or(f64::INFINITY)
+            };
+            self.ladder.rerank(&model.graph, &model.cost, &alive, eval);
+        }
+    }
+
+    fn idle_work(&mut self) {
+        if self.cfg.policy == Policy::Anytime && self.queue.is_empty() {
+            if let Some(last) = self.records.last() {
+                let model = &self.models[last.request.model];
+                let alive = self.breakers.admitted();
+                let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+                let scale = self.slot_scaling(&gpu_map);
+                let sim_cfg = &self.cfg.sim;
+                // Rank candidates on the platform as it is *now*: the
+                // nominally-best plan may lean on a degraded link.
+                let eval = |schedule: &Schedule| {
+                    simulate_scaled(&model.graph, &model.cost, schedule, sim_cfg, &scale)
+                        .map(|r| r.makespan)
+                        .unwrap_or(f64::INFINITY)
+                };
+                self.ladder.upgrade(&model.graph, &model.cost, &alive, eval);
+            }
+        }
+        self.try_dispatch();
+    }
+
+    /// Whether a fault that disrupts the current in-flight attempt has
+    /// occurred but not yet been detected (its consequences own the
+    /// attempt, so any completion before detection is phantom).
+    fn occurred_undetected_disruption(&self) -> bool {
+        let Some(fl) = &self.in_flight else {
+            return false;
+        };
+        let now = self.now();
+        self.signals
+            .iter()
+            .filter(|sig| sig.at_ms <= now && sig.detected_ms >= now)
+            .any(|sig| self.signal_disrupts(sig, fl))
+    }
+
+    fn signal_disrupts(&self, sig: &FaultSignal, fl: &InFlight) -> bool {
+        match sig.kind {
+            FaultKind::GpuFailStop { gpu } | FaultKind::GpuSlowdown { gpu, .. } => {
+                fl.serving.contains(&gpu)
+            }
+            FaultKind::LinkFail { from, to } | FaultKind::LinkDegrade { from, to, .. } => {
+                fl.serving.len() > 1 && fl.serving.contains(&from) && fl.serving.contains(&to)
+            }
+            FaultKind::OpHang { op } => {
+                // Guard the index: hang plans may target a larger
+                // tenant's operator ids.
+                op.index() < fl.op_finish_abs.len() && fl.op_finish_abs[op.index()] > sig.at_ms
+            }
+        }
+    }
+
+    fn on_watchdog(&mut self, token: u64) {
+        let Some(fl) = &self.in_flight else { return };
+        if fl.token != token {
+            return;
+        }
+        let i = fl.req;
+        let op = fl.hung_op.unwrap_or(OpId(0));
+        self.in_flight = None;
+        self.fail_attempt(
+            i,
+            ServeError::WatchdogTimeout {
+                op,
+                waited_ms: self.cfg.watchdog_ms,
+            },
+        );
+        self.try_dispatch();
+    }
+
+    // ---- faults --------------------------------------------------------
+
+    fn on_fault(&mut self, s: usize) {
+        let sig = self.signals[s];
+        let now = self.now();
+        let m = self.cfg.num_gpus;
+        // 1. Persist the fault in the platform model.
+        match sig.kind {
+            FaultKind::GpuFailStop { gpu } => {
+                self.scaling.gpu[gpu] = f64::INFINITY;
+                self.healthy_at[gpu] = now + self.cfg.gpu_repair_ms;
+            }
+            FaultKind::GpuSlowdown { gpu, factor } => {
+                self.scaling.gpu[gpu] *= factor;
+                self.healthy_at[gpu] = now + self.cfg.gpu_repair_ms;
+            }
+            FaultKind::LinkFail { from, to } => {
+                // Reroute around the dead link at a penalty factor,
+                // mirroring `hios_sim::recover`.
+                self.scaling.link[from * m + to] = self.cfg.reroute_factor;
+            }
+            FaultKind::LinkDegrade { from, to, factor } => {
+                self.scaling.link[from * m + to] *= factor;
+            }
+            FaultKind::OpHang { .. } => {}
+        }
+        // 2. Trip the GPU's breaker.
+        // (An already-open breaker keeps its pending probe; the pushed-out
+        // heal horizon makes that probe fail and re-arm.)
+        if let Some(gpu) = sig.kind.gpu_target() {
+            if self.breakers.peek(gpu).admits() {
+                let until = self.breakers.gpu(gpu).trip(now);
+                self.events.push(until, Event::BreakerProbe { gpu });
+            }
+        }
+        // The platform changed under the cache: re-rank cached plans
+        // against a greedy candidate at the new scaling.
+        self.rerank_cache();
+        // 3. Invalidate in-flight work the fault touches.
+        let Some(fl) = &self.in_flight else { return };
+        if !self.signal_disrupts(&sig, fl) {
+            return;
+        }
+        match sig.kind {
+            FaultKind::OpHang { op } => {
+                // Arm the watchdog; the hang itself is silent.
+                let token = self.fresh_token();
+                let fl = self.in_flight.as_mut().expect("checked above");
+                fl.token = token;
+                fl.hung_op = Some(op);
+                fl.op_finish_abs[op.index()] = f64::INFINITY;
+                self.events
+                    .push(now + self.cfg.watchdog_ms, Event::Watchdog { token });
+            }
+            FaultKind::GpuFailStop { gpu } | FaultKind::GpuSlowdown { gpu, .. } => {
+                self.disrupt(ServeError::GpuFault { gpu });
+            }
+            FaultKind::LinkFail { from, to } | FaultKind::LinkDegrade { from, to, .. } => {
+                self.disrupt(ServeError::LinkFault { from, to });
+            }
+        }
+    }
+
+    /// The in-flight attempt is invalid from `now` on.  Try an in-place
+    /// repair (finished operators keep their results, the remainder is
+    /// rescheduled onto the surviving GPUs); fall back to a full retry.
+    fn disrupt(&mut self, err: ServeError) {
+        let fl = self.in_flight.take().expect("disrupt without in-flight");
+        let i = fl.req;
+        let now = self.now();
+        if fl.hung_op.is_some() {
+            // Progress accounting is unreliable once an operator hangs;
+            // restart the attempt from scratch.
+            self.fail_attempt(i, err);
+            self.try_dispatch();
+            return;
+        }
+        let req = self.states[i].request;
+        let model = &self.models[req.model];
+        let g = &model.graph;
+        let completed: Vec<bool> = fl.op_finish_abs.iter().map(|&f| f <= now).collect();
+        if completed.iter().all(|&c| c) {
+            // The fault only delayed the final acknowledgement.
+            self.complete(i);
+            self.idle_work();
+            return;
+        }
+        let alive = self.breakers.admitted();
+        if !alive.iter().any(|&a| a) {
+            self.fail_attempt(i, err);
+            self.try_dispatch();
+            return;
+        }
+        let n_left = completed.iter().filter(|&&c| !c).count();
+        let m_alive = alive.iter().filter(|&&a| a).count();
+        let headroom = self.cfg.queue_capacity.saturating_sub(self.queue.len());
+        let stall_ms = 0.5 * headroom as f64 * self.ewma_gap_ms;
+        let slack_ms = (req.deadline_ms - now).min(stall_ms);
+        let (policy, sched_cost) = self.repair_policy(n_left, m_alive, slack_ms);
+        let repair = repair_schedule(
+            &mut self.repair_ws,
+            g,
+            &model.cost,
+            &completed,
+            &alive,
+            &RepairConfig {
+                policy,
+                window: self.cfg.ladder.window,
+            },
+        );
+        let Ok((outcome, map)) = repair else {
+            self.fail_attempt(i, err);
+            self.try_dispatch();
+            return;
+        };
+        let sub_cost = hios_core::repair::project_cost(&model.cost, &map);
+        let slot_scale = self.slot_scaling(&outcome.gpu_map);
+        let resume = now + sched_cost;
+        // `RepairOutcome::schedule` names the unfinished operators by their
+        // parent-graph ids; translate to subgraph ids before simulating.
+        let sub_schedule = to_sub_ids(&outcome.schedule, &map);
+        match simulate_scaled(
+            &map.sub,
+            &sub_cost,
+            &sub_schedule,
+            &self.cfg.sim,
+            &slot_scale,
+        ) {
+            Ok(r) if r.makespan.is_finite() => {
+                let token = self.fresh_token();
+                let mut op_finish_abs = fl.op_finish_abs;
+                for (sv, &parent) in map.to_parent.iter().enumerate() {
+                    op_finish_abs[parent.index()] = resume + r.op_finish[sv];
+                }
+                self.states[i].repairs += 1;
+                self.repairs_total += 1;
+                self.in_flight = Some(InFlight {
+                    req: i,
+                    token,
+                    serving: outcome.gpu_map,
+                    op_finish_abs,
+                    hung_op: None,
+                });
+                self.events
+                    .push(resume + r.makespan, Event::Completion { token });
+            }
+            _ => {
+                self.fail_attempt(i, err);
+                self.try_dispatch();
+            }
+        }
+    }
+
+    /// Repair policy and its modeled scheduling cost, picked like a
+    /// ladder rung: reschedule (warm-started LP) when the budget, the
+    /// queue, and the disrupted request's remaining slack admit it,
+    /// greedy otherwise.
+    fn repair_policy(&self, n_left: usize, m_alive: usize, slack_ms: f64) -> (RepairPolicy, f64) {
+        let w = self.cfg.ladder.window;
+        let lp_cost = modeled_sched_cost_ms(Algorithm::HiosLp, n_left, m_alive, w);
+        let pressured = self.queue.len() >= self.cfg.ladder.pressure_threshold;
+        if self.cfg.policy != Policy::GreedyOnly
+            && !pressured
+            && self.cfg.ladder.budget.admits(lp_cost)
+            && lp_cost <= slack_ms
+        {
+            (RepairPolicy::Reschedule, lp_cost)
+        } else {
+            (RepairPolicy::Greedy, greedy_cost_ms(n_left))
+        }
+    }
+
+    /// One attempt failed with `err`: back off and retry if the budget
+    /// allows, shed otherwise.  (`in_flight` must already be cleared.)
+    fn fail_attempt(&mut self, i: usize, err: ServeError) {
+        let st = &self.states[i];
+        if self.cfg.retry.allows(st.attempts) {
+            let backoff = self.cfg.retry.backoff_ms(st.request.id, st.attempts);
+            self.events
+                .push(self.now() + backoff, Event::Retry { req: i });
+        } else {
+            let attempts = st.attempts;
+            self.shed(
+                i,
+                ShedReason::RetriesExhausted {
+                    attempts,
+                    last_error: err,
+                },
+            );
+        }
+    }
+
+    fn on_retry(&mut self, i: usize) {
+        let req = self.states[i].request;
+        if let Some(reason) = self.deadline_hopeless(&req) {
+            self.shed(i, reason);
+            return;
+        }
+        // Retries were admitted once; they re-enter even a full queue.
+        self.queue.push_back(i);
+        self.try_dispatch();
+    }
+
+    // ---- breaker probes ------------------------------------------------
+
+    fn on_probe(&mut self, gpu: usize) {
+        let now = self.now();
+        if !self.breakers.gpu(gpu).try_half_open(now) {
+            return; // stale probe (breaker re-tripped meanwhile)
+        }
+        if now >= self.healthy_at[gpu] {
+            self.breakers.gpu(gpu).probe_success();
+            // Repaired or replaced: the GPU runs at full speed again.
+            self.scaling.gpu[gpu] = 1.0;
+            self.rerank_cache();
+            self.try_dispatch();
+        } else {
+            let next = self.breakers.gpu(gpu).probe_failure(now);
+            self.events.push(next, Event::BreakerProbe { gpu });
+        }
+    }
+}
+
+/// Translate a repair schedule from parent-graph op ids to subgraph ids.
+fn to_sub_ids(sched: &Schedule, map: &SubgraphMap) -> Schedule {
+    Schedule {
+        gpus: sched
+            .gpus
+            .iter()
+            .map(|gq| GpuSchedule {
+                stages: gq
+                    .stages
+                    .iter()
+                    .map(|st| Stage {
+                        ops: st
+                            .ops
+                            .iter()
+                            .map(|&p| {
+                                map.from_parent[p.index()]
+                                    .expect("repair schedule covers only unfinished operators")
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkloadConfig, generate_trace};
+    use hios_cost::AnalyticCostModel;
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+    use hios_sim::FaultEvent;
+
+    fn model(seed: u64, ops: usize) -> ServedModel {
+        let graph = generate_layered_dag(&LayeredDagConfig {
+            ops,
+            layers: 6,
+            deps: ops * 2,
+            seed,
+        })
+        .unwrap();
+        let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
+        ServedModel {
+            name: format!("dag{seed}"),
+            graph,
+            cost,
+        }
+    }
+
+    fn trace_for(models: &[ServedModel], cfg: &ServeConfig, wl: &WorkloadConfig) -> Vec<Request> {
+        let nominal: Vec<f64> = models
+            .iter()
+            .map(|m| bounds::combined_bound(&m.graph, &m.cost, cfg.num_gpus))
+            .collect();
+        generate_trace(wl, &nominal)
+    }
+
+    fn wl(requests: usize, rate: f64, factor: f64) -> WorkloadConfig {
+        WorkloadConfig {
+            requests,
+            arrival_rate_rps: rate,
+            deadline_factor: factor,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn fault_free_run_completes_every_request() {
+        let models = vec![model(1, 30), model(2, 40)];
+        let cfg = ServeConfig::new(3);
+        let trace = trace_for(&models, &cfg, &wl(40, 20.0, 20.0));
+        let out = serve(&models, &trace, &FaultPlan::new(vec![]), &cfg).unwrap();
+        assert_eq!(out.records.len(), 40);
+        assert_eq!(out.report.completed, 40);
+        assert_eq!(out.report.shed_queue + out.report.shed_deadline, 0);
+        assert!(out.report.miss_rate < 0.5, "miss {}", out.report.miss_rate);
+        assert!(out.report.p99_ms >= out.report.p50_ms);
+        // Replay is bit-identical.
+        let again = serve(&models, &trace, &FaultPlan::new(vec![]), &cfg).unwrap();
+        assert_eq!(out.report.history_digest, again.report.history_digest);
+    }
+
+    #[test]
+    fn gpu_fail_stop_trips_the_breaker_and_requests_still_terminate() {
+        let models = vec![model(3, 36)];
+        let mut cfg = ServeConfig::new(3);
+        cfg.gpu_repair_ms = 40.0;
+        // Arrivals dense enough that the stream is still flowing when
+        // the GPU dies, and slack generous enough to absorb the outage.
+        let trace = trace_for(&models, &cfg, &wl(60, 2000.0, 500.0));
+        let faults = FaultPlan::single(20.0, FaultKind::GpuFailStop { gpu: 1 });
+        let out = serve(&models, &trace, &faults, &cfg).unwrap();
+        assert_eq!(out.records.len(), 60);
+        assert!(out.report.breaker_opens >= 1);
+        // The degraded platform forces a fresh schedule (cache keys
+        // include the alive mask), proving rerouting happened.
+        assert!(
+            out.report.cache.1 >= 2,
+            "expected a schedule per platform, cache {:?} rungs {:?}",
+            out.report.cache,
+            out.report.rungs
+        );
+        assert!(
+            out.report.completed >= 50,
+            "completed {}",
+            out.report.completed
+        );
+    }
+
+    #[test]
+    fn mid_flight_fault_is_repaired_in_place() {
+        // One big request, a GPU dies while its operators are running:
+        // the finished prefix must be kept and only the remainder
+        // rescheduled — one attempt, one in-place repair, no retry.
+        let graph = generate_layered_dag(&LayeredDagConfig {
+            ops: 120,
+            layers: 10,
+            deps: 240,
+            seed: 21,
+        })
+        .unwrap();
+        let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
+        let models = vec![ServedModel {
+            name: "big".into(),
+            graph,
+            cost,
+        }];
+        let mut cfg = ServeConfig::new(3);
+        cfg.detection_ms = 0.1;
+        let trace = vec![Request {
+            id: 0,
+            model: 0,
+            arrival_ms: 0.0,
+            deadline_ms: 1.0e6,
+        }];
+        let faults = FaultPlan::single(0.6, FaultKind::GpuFailStop { gpu: 2 });
+        let out = serve(&models, &trace, &faults, &cfg).unwrap();
+        assert_eq!(out.report.completed, 1);
+        let Disposition::Completed {
+            attempts, repairs, ..
+        } = out.records[0].disposition
+        else {
+            panic!("expected completion, got {:?}", out.records[0].disposition);
+        };
+        assert_eq!(attempts, 1, "repair must not consume a retry attempt");
+        assert_eq!(repairs, 1, "the fault must be repaired in place");
+    }
+
+    #[test]
+    fn overload_sheds_at_the_bounded_queue() {
+        let models = vec![model(4, 40)];
+        let mut cfg = ServeConfig::new(2);
+        cfg.queue_capacity = 2;
+        // Arrivals far faster than service.
+        let trace = trace_for(&models, &cfg, &wl(120, 2000.0, 4.0));
+        let out = serve(&models, &trace, &FaultPlan::new(vec![]), &cfg).unwrap();
+        assert_eq!(out.records.len(), 120);
+        assert!(out.report.shed_queue > 0, "queue sheds expected");
+        assert!(out.report.shed_rate > 0.0 && out.report.shed_rate < 1.0);
+    }
+
+    #[test]
+    fn impossible_deadlines_are_shed_by_the_provable_bound() {
+        let models = vec![model(5, 30)];
+        let cfg = ServeConfig::new(2);
+        let mut trace = trace_for(&models, &cfg, &wl(5, 50.0, 3.0));
+        for r in &mut trace {
+            r.deadline_ms = r.arrival_ms; // zero slack: provably unmeetable
+        }
+        let out = serve(&models, &trace, &FaultPlan::new(vec![]), &cfg).unwrap();
+        assert_eq!(out.report.shed_deadline, 5);
+        assert_eq!(out.report.completed, 0);
+    }
+
+    #[test]
+    fn op_hang_is_converted_into_a_watchdog_retry() {
+        let models = vec![model(6, 30)];
+        let cfg = ServeConfig::new(2);
+        let trace = vec![Request {
+            id: 0,
+            model: 0,
+            arrival_ms: 0.0,
+            deadline_ms: 1.0e6,
+        }];
+        // Hang the sink operator while the request is in flight (the
+        // cold-start greedy dispatch serves it within the first ms).
+        let faults = FaultPlan::single(0.2, FaultKind::OpHang { op: OpId(29) });
+        let out = serve(&models, &trace, &faults, &cfg).unwrap();
+        assert_eq!(out.report.completed, 1);
+        let Disposition::Completed { attempts, .. } = out.records[0].disposition else {
+            panic!("request must complete");
+        };
+        assert_eq!(attempts, 2, "hang must force exactly one retry");
+    }
+
+    #[test]
+    fn all_breakers_open_still_drains_via_recovery() {
+        let models = vec![model(7, 30)];
+        let mut cfg = ServeConfig::new(2);
+        cfg.gpu_repair_ms = 30.0;
+        let trace = trace_for(&models, &cfg, &wl(10, 50.0, 60.0));
+        let faults = FaultPlan::new(vec![
+            FaultEvent {
+                at_ms: 2.0,
+                kind: FaultKind::GpuFailStop { gpu: 0 },
+            },
+            FaultEvent {
+                at_ms: 2.5,
+                kind: FaultKind::GpuFailStop { gpu: 1 },
+            },
+        ]);
+        let out = serve(&models, &trace, &faults, &cfg).unwrap();
+        // Every request terminates despite a total outage window.
+        assert_eq!(out.records.len(), 10);
+        assert!(out.report.breaker_opens >= 2);
+    }
+
+    #[test]
+    fn bad_setups_are_typed_errors() {
+        let models = vec![model(8, 20)];
+        let cfg = ServeConfig::new(0);
+        let err = serve(&models, &[], &FaultPlan::new(vec![]), &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Scheduler(SchedulerError::BadOptions(_))
+        ));
+
+        let cfg = ServeConfig::new(2);
+        let bad_trace = vec![Request {
+            id: 0,
+            model: 9,
+            arrival_ms: 0.0,
+            deadline_ms: 1.0,
+        }];
+        let err = serve(&models, &bad_trace, &FaultPlan::new(vec![]), &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Scheduler(SchedulerError::BadOptions(_))
+        ));
+    }
+
+    #[test]
+    fn policies_share_admission_but_differ_in_scheduling() {
+        let models = vec![model(9, 40)];
+        let trace;
+        {
+            let cfg = ServeConfig::new(3);
+            trace = trace_for(&models, &cfg, &wl(30, 100.0, 12.0));
+        }
+        let mut digests = Vec::new();
+        for policy in [Policy::Anytime, Policy::FixedFullLp, Policy::GreedyOnly] {
+            let mut cfg = ServeConfig::new(3);
+            cfg.policy = policy;
+            let out = serve(&models, &trace, &FaultPlan::new(vec![]), &cfg).unwrap();
+            assert_eq!(out.records.len(), 30);
+            digests.push(out.report.history_digest);
+        }
+        assert_ne!(digests[0], digests[1]);
+        assert_ne!(digests[0], digests[2]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Deterministic virtual time (ISSUE 3 tentpole, sim layer).
+//!
+//! The serving loop in `hios-serve` never reads the wall clock: every
+//! instant — request arrivals, dispatch, completion, fault detection,
+//! breaker probes — lives on one [`VirtualClock`], and pending instants
+//! are ordered by an [`EventQueue`] whose ties break on insertion order.
+//! Same inputs therefore give bit-identical serving histories on any
+//! machine at any thread count.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Monotonic virtual clock, milliseconds since serving start.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct VirtualClock {
+    now_ms: f64,
+}
+
+impl VirtualClock {
+    /// A clock at `t = 0`.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time, ms.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Moves the clock forward to `t` (no-op when `t` is in the past —
+    /// an event processed at the current instant never rewinds time).
+    pub fn advance_to(&mut self, t_ms: f64) {
+        debug_assert!(t_ms.is_finite(), "virtual time must stay finite");
+        if t_ms > self.now_ms {
+            self.now_ms = t_ms;
+        }
+    }
+
+    /// Moves the clock forward by `dt_ms ≥ 0`.
+    pub fn advance_by(&mut self, dt_ms: f64) {
+        debug_assert!(dt_ms >= 0.0, "cannot advance by {dt_ms}");
+        self.now_ms += dt_ms;
+    }
+}
+
+struct Entry<E> {
+    at_ms: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ms.total_cmp(&other.at_ms) == Ordering::Equal && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    // BinaryHeap is a max-heap; reverse so the earliest instant (and,
+    // at equal instants, the earliest insertion) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at_ms
+            .total_cmp(&self.at_ms)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered queue of future events with deterministic tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `at_ms`.
+    pub fn push(&mut self, at_ms: f64, event: E) {
+        assert!(at_ms.is_finite(), "event time must be finite, got {at_ms}");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at_ms, seq, event });
+    }
+
+    /// Pops the earliest event (insertion order among equal instants).
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| (e.at_ms, e.event))
+    }
+
+    /// Instant of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.at_ms)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut c = VirtualClock::new();
+        c.advance_to(5.0);
+        c.advance_to(3.0); // past: ignored
+        assert_eq!(c.now_ms(), 5.0);
+        c.advance_by(1.5);
+        assert_eq!(c.now_ms(), 6.5);
+    }
+
+    #[test]
+    fn queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a1");
+        q.push(1.0, "a2");
+        q.push(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a1", "a2", "b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(7.0, ());
+        q.push(4.0, ());
+        assert_eq!(q.peek_time(), Some(4.0));
+        assert_eq!(q.pop().map(|(t, ())| t), Some(4.0));
+        assert_eq!(q.len(), 1);
+    }
+}

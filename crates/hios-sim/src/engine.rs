@@ -649,7 +649,8 @@ mod tests {
                 &g,
                 &cost,
                 &hios_core::SchedulerOptions::new(3),
-            );
+            )
+            .unwrap();
             let sim = simulate(&g, &cost, &out.schedule, &SimConfig::analytical()).unwrap();
             let ev = evaluate(&g, &cost, &out.schedule).unwrap();
             assert!(
@@ -733,7 +734,8 @@ mod tests {
                 &g,
                 &cost,
                 &hios_core::SchedulerOptions::new(4),
-            );
+            )
+            .unwrap();
             let mut sync_cfg = SimConfig::analytical();
             sync_cfg.link_serialization = false;
             let mut relaxed_cfg = sync_cfg;
@@ -808,7 +810,8 @@ mod tests {
             &g,
             &cost,
             &hios_core::SchedulerOptions::new(3),
-        );
+        )
+        .unwrap();
         let cfg = SimConfig::realistic(&cost);
         let plain = simulate(&g, &cost, &out.schedule, &cfg).unwrap();
         let scaled =

@@ -62,6 +62,33 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// The GPU this fault takes down or degrades, if it is a GPU fault.
+    pub fn gpu_target(&self) -> Option<usize> {
+        match *self {
+            FaultKind::GpuFailStop { gpu } | FaultKind::GpuSlowdown { gpu, .. } => Some(gpu),
+            _ => None,
+        }
+    }
+
+    /// The directed link this fault stalls or degrades, if it is a link
+    /// fault.
+    pub fn link_target(&self) -> Option<(usize, usize)> {
+        match *self {
+            FaultKind::LinkFail { from, to } | FaultKind::LinkDegrade { from, to, .. } => {
+                Some((from, to))
+            }
+            _ => None,
+        }
+    }
+
+    /// The operator this fault hangs, if it is an op-hang.
+    pub fn op_target(&self) -> Option<OpId> {
+        match *self {
+            FaultKind::OpHang { op } => Some(op),
+            _ => None,
+        }
+    }
+
     /// Short label used in bench tables and traces.
     pub fn label(&self) -> &'static str {
         match self {
@@ -116,6 +143,22 @@ impl fmt::Display for FaultPlanError {
 }
 
 impl std::error::Error for FaultPlanError {}
+
+/// A fault as the runtime *sees* it: the injected event plus the instant
+/// the detector reports it.
+///
+/// This is the signal feed of the `hios-serve` circuit breakers — they
+/// never inspect a [`FaultPlan`] directly (a real serving layer cannot
+/// see the future), only the stream of detections in time order.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSignal {
+    /// When the fault actually fired, ms.
+    pub at_ms: f64,
+    /// When the runtime noticed (`at_ms` + detection latency), ms.
+    pub detected_ms: f64,
+    /// What broke.
+    pub kind: FaultKind,
+}
 
 /// A deterministic, replayable fault history.
 #[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
@@ -201,6 +244,25 @@ impl FaultPlan {
             events.push(FaultEvent { at_ms, kind });
         }
         FaultPlan::new(events)
+    }
+
+    /// Exports the plan as the detection-ordered signal stream a
+    /// serving-layer watchdog would emit: each event surfaces
+    /// `detection_ms` after it fires.  Uniform detection latency keeps
+    /// the stream sorted, and ties keep plan order.
+    pub fn signals(&self, detection_ms: f64) -> Vec<FaultSignal> {
+        assert!(
+            detection_ms.is_finite() && detection_ms >= 0.0,
+            "detection latency must be finite and >= 0, got {detection_ms}"
+        );
+        self.events
+            .iter()
+            .map(|e| FaultSignal {
+                at_ms: e.at_ms,
+                detected_ms: e.at_ms + detection_ms,
+                kind: e.kind,
+            })
+            .collect()
     }
 
     /// Checks every event against the platform (`m` GPUs) and graph.
@@ -336,6 +398,43 @@ mod tests {
             },
         ]);
         assert_eq!(wipeout.validate(&g, 2), Err(FaultPlanError::AllGpusFail));
+    }
+
+    #[test]
+    fn signal_export_is_ordered_and_offset() {
+        let g = small_graph();
+        let p = FaultPlan::random(11, &g, 3, 40.0, 6);
+        let sigs = p.signals(0.5);
+        assert_eq!(sigs.len(), p.events.len());
+        for (s, e) in sigs.iter().zip(&p.events) {
+            assert_eq!(s.at_ms, e.at_ms);
+            assert_eq!(s.kind, e.kind);
+            assert!((s.detected_ms - (e.at_ms + 0.5)).abs() < 1e-12);
+        }
+        assert!(
+            sigs.windows(2)
+                .all(|w| w[0].detected_ms <= w[1].detected_ms)
+        );
+    }
+
+    #[test]
+    fn fault_targets_are_exposed() {
+        assert_eq!(FaultKind::GpuFailStop { gpu: 2 }.gpu_target(), Some(2));
+        assert_eq!(
+            FaultKind::GpuSlowdown {
+                gpu: 1,
+                factor: 2.0
+            }
+            .gpu_target(),
+            Some(1)
+        );
+        assert_eq!(
+            FaultKind::LinkFail { from: 0, to: 1 }.link_target(),
+            Some((0, 1))
+        );
+        assert_eq!(FaultKind::OpHang { op: OpId(3) }.op_target(), Some(OpId(3)));
+        assert_eq!(FaultKind::LinkFail { from: 0, to: 1 }.gpu_target(), None);
+        assert_eq!(FaultKind::GpuFailStop { gpu: 0 }.op_target(), None);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod engine;
 pub mod fault;
 pub mod gantt;
@@ -30,10 +31,11 @@ pub mod measure;
 pub mod recover;
 pub mod trace;
 
+pub use clock::{EventQueue, VirtualClock};
 pub use engine::{
     Scaling, Semantics, SimConfig, SimError, SimResult, TransferRecord, simulate, simulate_scaled,
 };
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultSignal};
 pub use measure::{MeasureConfig, Measurement, RecoveryMeasurement, measure, measure_recovery};
 pub use recover::{
     RecoverError, RecoveryConfig, RecoveryResult, RepairAction, SimEvent, run_with_repair,

@@ -179,7 +179,9 @@ mod tests {
         })
         .unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(3));
-        let s = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).schedule;
+        let s = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2))
+            .unwrap()
+            .schedule;
         (g, cost, s)
     }
 

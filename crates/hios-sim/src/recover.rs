@@ -405,7 +405,9 @@ mod tests {
         })
         .unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
-        let s = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m)).schedule;
+        let s = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m))
+            .unwrap()
+            .schedule;
         let base = simulate(&g, &cost, &s, &SimConfig::analytical())
             .unwrap()
             .makespan;

@@ -126,7 +126,7 @@ mod tests {
         })
         .unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(1));
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         let sim = simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).unwrap();
         let trace = chrome_trace(&g, &out.schedule, &sim);
         let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();

@@ -29,7 +29,7 @@ fn main() {
         "algorithm", "model ms", "measured ms", "gpus", "transfers"
     );
     for algo in Algorithm::ALL {
-        let out = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2)).unwrap();
         let sim =
             simulate(&graph, &cost, &out.schedule, &SimConfig::realistic(&cost)).expect("feasible");
         println!(
@@ -42,7 +42,7 @@ fn main() {
         );
     }
 
-    let lp = run_scheduler(Algorithm::HiosLp, &graph, &cost, &SchedulerOptions::new(2));
+    let lp = run_scheduler(Algorithm::HiosLp, &graph, &cost, &SchedulerOptions::new(2)).unwrap();
     let sim = simulate(&graph, &cost, &lp.schedule, &SimConfig::realistic(&cost)).unwrap();
     println!("\nHIOS-LP execution timeline:");
     println!(

@@ -35,7 +35,7 @@ fn main() {
     std::fs::write(out_dir.join("profile.json"), cost.to_json()).expect("write profile");
 
     for algo in [Algorithm::Ios, Algorithm::HiosLp, Algorithm::HiosMr] {
-        let out = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2)).unwrap();
         let file = out_dir.join(format!(
             "schedule_{}.json",
             algo.name().replace([' ', '/'], "_")

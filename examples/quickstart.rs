@@ -42,7 +42,7 @@ fn main() {
     // 4. Compare against the baselines.
     println!("\nalgorithm comparison (stage-synchronous latency):");
     for algo in Algorithm::ALL {
-        let r = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2));
+        let r = run_scheduler(algo, &graph, &cost, &SchedulerOptions::new(2)).unwrap();
         println!("  {:18} {:8.3} ms", algo.name(), r.latency_ms);
     }
 

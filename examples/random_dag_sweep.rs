@@ -34,7 +34,7 @@ fn main() {
             .into_iter()
             .enumerate()
             {
-                sums[i] += run_scheduler(algo, &g, &cost, &opts).latency_ms;
+                sums[i] += run_scheduler(algo, &g, &cost, &opts).unwrap().latency_ms;
             }
         }
         let avg = |i: usize| sums[i] / seeds as f64;

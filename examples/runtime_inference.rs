@@ -29,7 +29,7 @@ fn main() {
     );
 
     let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
-    let out = run_scheduler(Algorithm::HiosLp, &graph, &cost, &SchedulerOptions::new(2));
+    let out = run_scheduler(Algorithm::HiosLp, &graph, &cost, &SchedulerOptions::new(2)).unwrap();
     println!(
         "HIOS-LP schedule: {} ops on GPU0, {} on GPU1",
         out.schedule.gpus[0].num_ops(),

@@ -2,10 +2,11 @@
 //!
 //! See the individual crates for the real implementation:
 //! [`hios_graph`], [`hios_cost`], [`hios_models`], [`hios_core`],
-//! [`hios_sim`], [`hios_runtime`].
+//! [`hios_sim`], [`hios_runtime`], [`hios_serve`].
 pub use hios_core as core;
 pub use hios_cost as cost;
 pub use hios_graph as graph;
 pub use hios_models as models;
 pub use hios_runtime as runtime;
+pub use hios_serve as serve;
 pub use hios_sim as sim;

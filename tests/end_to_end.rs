@@ -13,9 +13,11 @@ fn inception_pipeline_all_algorithms() {
     let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
     assert!(cost.validate(&g).is_ok());
     let opts = SchedulerOptions::new(2);
-    let seq = run_scheduler(Algorithm::Sequential, &g, &cost, &opts).latency_ms;
+    let seq = run_scheduler(Algorithm::Sequential, &g, &cost, &opts)
+        .unwrap()
+        .latency_ms;
     for algo in Algorithm::ALL {
-        let out = run_scheduler(algo, &g, &cost, &opts);
+        let out = run_scheduler(algo, &g, &cost, &opts).unwrap();
         assert!(out.schedule.validate(&g).is_ok(), "{algo:?}");
         // Analytical simulation agrees with the evaluator.
         let sim = simulate(&g, &cost, &out.schedule, &SimConfig::analytical()).unwrap();
@@ -45,7 +47,7 @@ fn nasnet_hios_lp_beats_single_gpu_baselines() {
     let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
     let opts = SchedulerOptions::new(2);
     let measure = |a| {
-        let out = run_scheduler(a, &g, &cost, &opts);
+        let out = run_scheduler(a, &g, &cost, &opts).unwrap();
         simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost))
             .unwrap()
             .makespan
@@ -72,7 +74,7 @@ fn latency_lower_bound_holds_everywhere() {
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
         let cp = hios::graph::paths::critical_path(&g, |v| cost.exec(v), |_, _| 0.0).0;
         for algo in Algorithm::ALL {
-            let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(4));
+            let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(4)).unwrap();
             assert!(
                 out.latency_ms >= cp - 1e-9,
                 "{algo:?} reported {} below the critical path {cp}",
@@ -93,7 +95,7 @@ fn evaluator_matches_analytical_simulation_on_random_instances() {
         })
         .unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
-        let out = run_scheduler(Algorithm::HiosMr, &g, &cost, &SchedulerOptions::new(3));
+        let out = run_scheduler(Algorithm::HiosMr, &g, &cost, &SchedulerOptions::new(3)).unwrap();
         let ev = evaluate(&g, &cost, &out.schedule).unwrap();
         let sim = simulate(&g, &cost, &out.schedule, &SimConfig::analytical()).unwrap();
         assert!((ev.latency - sim.makespan).abs() < 1e-6, "seed {seed}");
@@ -114,8 +116,9 @@ fn more_gpus_never_hurt_hios_lp_on_average() {
         let g = generate_layered_dag(&LayeredDagConfig::paper_default(seed)).unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(seed));
         for (i, m) in [2usize, 4, 8].into_iter().enumerate() {
-            totals[i] +=
-                run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m)).latency_ms;
+            totals[i] += run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m))
+                .unwrap()
+                .latency_ms;
         }
     }
     assert!(totals[1] < totals[0], "4 GPUs beat 2 on average");

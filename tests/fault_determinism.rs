@@ -26,7 +26,7 @@ fn recovery_is_thread_count_invariant() {
     .unwrap();
     let cost = random_cost_table(&g, &RandomCostConfig::paper_default(9));
     let m = 4usize;
-    let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m));
+    let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m)).unwrap();
     let base = simulate(&g, &cost, &out.schedule, &SimConfig::analytical())
         .unwrap()
         .makespan;

@@ -41,7 +41,7 @@ proptest! {
         let m = 3usize;
         let g = generate_layered_dag(&cfg).unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(m)).unwrap();
         let horizon = simulate(&g, &cost, &out.schedule, &SimConfig::analytical())
             .unwrap()
             .makespan * 1.2;

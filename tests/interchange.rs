@@ -11,7 +11,7 @@ use hios::models::{ModelConfig, inception_v3};
 fn full_artifact_round_trip() {
     let g = inception_v3(&ModelConfig::with_input(299));
     let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-    let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2));
+    let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(2)).unwrap();
 
     // Graph round trip.
     let g2 = from_json(&to_json(&g)).expect("graph json");
@@ -38,7 +38,7 @@ fn full_artifact_round_trip() {
 fn schedule_json_is_human_readable() {
     let g = inception_v3(&ModelConfig::with_input(299));
     let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
-    let out = run_scheduler(Algorithm::HiosMr, &g, &cost, &SchedulerOptions::new(2));
+    let out = run_scheduler(Algorithm::HiosMr, &g, &cost, &SchedulerOptions::new(2)).unwrap();
     let json = out.schedule.to_json();
     assert!(json.contains("\"gpus\""));
     assert!(json.contains("\"stages\""));

@@ -44,7 +44,7 @@ proptest! {
         let g = generate_layered_dag(&cfg).unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
         for algo in Algorithm::ALL {
-            let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(3));
+            let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(3)).unwrap();
             prop_assert!(out.schedule.validate(&g).is_ok());
             let ev = evaluate(&g, &cost, &out.schedule);
             prop_assert!(ev.is_ok());
@@ -56,7 +56,7 @@ proptest! {
     fn analytical_simulation_agrees_with_evaluator((cfg, cost_seed) in workload()) {
         let g = generate_layered_dag(&cfg).unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(3));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(3)).unwrap();
         let sim = simulate(&g, &cost, &out.schedule, &SimConfig::analytical()).unwrap();
         prop_assert!((sim.makespan - out.latency_ms).abs() < 1e-6);
     }
@@ -66,9 +66,9 @@ proptest! {
         let g = generate_layered_dag(&cfg).unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
         let opts = SchedulerOptions::new(4);
-        let seq = run_scheduler(Algorithm::Sequential, &g, &cost, &opts).latency_ms;
+        let seq = run_scheduler(Algorithm::Sequential, &g, &cost, &opts).unwrap().latency_ms;
         for algo in [Algorithm::HiosLp, Algorithm::HiosMr, Algorithm::Ios] {
-            let l = run_scheduler(algo, &g, &cost, &opts).latency_ms;
+            let l = run_scheduler(algo, &g, &cost, &opts).unwrap().latency_ms;
             prop_assert!(
                 l <= seq + 1e-9,
                 "{:?} ({}) must not lose to sequential ({})", algo, l, seq
@@ -83,7 +83,7 @@ proptest! {
         // Lower bound ignoring transfers and using the most optimistic
         // concurrency (work conservation over 4 GPUs).
         let cp = hios::graph::paths::critical_path(&g, |v| cost.exec(v), |_, _| 0.0).0;
-        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(4));
+        let out = run_scheduler(Algorithm::HiosLp, &g, &cost, &SchedulerOptions::new(4)).unwrap();
         prop_assert!(out.latency_ms >= cp - 1e-9);
     }
 
@@ -91,7 +91,7 @@ proptest! {
     fn schedule_json_round_trips((cfg, cost_seed) in workload()) {
         let g = generate_layered_dag(&cfg).unwrap();
         let cost = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
-        let out = run_scheduler(Algorithm::HiosMr, &g, &cost, &SchedulerOptions::new(2));
+        let out = run_scheduler(Algorithm::HiosMr, &g, &cost, &SchedulerOptions::new(2)).unwrap();
         let back = hios::core::Schedule::from_json(&out.schedule.to_json()).unwrap();
         prop_assert_eq!(back, out.schedule);
     }

@@ -15,7 +15,7 @@ fn assert_engine_matches_reference(g: &hios::graph::Graph, gpus: usize) {
     let inputs = random_inputs(g, 7);
     let reference = execute_reference(g, &weights, &inputs);
     for algo in Algorithm::ALL {
-        let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus));
+        let out = run_scheduler(algo, g, &cost, &SchedulerOptions::new(gpus)).unwrap();
         let report = execute_schedule(g, &out.schedule, &weights, &inputs)
             .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
         assert!(!report.sink_outputs.is_empty());
