@@ -54,7 +54,7 @@ pub fn fig2(_cfg: &RunCfg) -> Table {
     ];
     let mut columns = vec!["input_size".to_string()];
     for p in &platforms {
-        columns.push(format!("{} + {}", p.gpu.name, p.link.name));
+        columns.push(format!("{} + {}", p.gpu().name, p.link().name));
     }
     let mut t = Table::new(
         "fig02_comm_ratio",

@@ -2,6 +2,7 @@
 
 pub mod ext;
 pub mod faults;
+pub mod hetero;
 pub mod micro;
 pub mod scaling;
 pub mod schedcost;
@@ -39,5 +40,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("sched-scaling", scaling::sched_scaling),
         ("fault-matrix", faults::fault_matrix),
         ("serving", serving::serving),
+        ("hetero", hetero::hetero),
     ]
 }

@@ -31,7 +31,7 @@ pub fn scheduling_cost_minutes(algo: Algorithm, model: &str, size: u32) -> f64 {
     let out = run_scheduler(algo, &g, &cost, &SchedulerOptions::new(2)).unwrap();
     // Base profiling: each operator alone + each edge transfer.
     let base_ms: f64 =
-        cost.exec_ms.iter().sum::<f64>() + g.edges().map(|(u, v)| cost.transfer(u, v)).sum::<f64>();
+        cost.total_exec() + g.edges().map(|(u, _v)| cost.transfer(u, 0, 1)).sum::<f64>();
     // Group profiling recorded by the meter during scheduling.
     let (_queries, group_ms) = out.profiling;
     let total_ms = PROFILE_REPS * (base_ms + group_ms) + out.scheduling_secs * 1e3;

@@ -32,18 +32,17 @@ fn fig4_graph() -> (Graph, CostTable) {
         b.add_edge(v[u as usize], v[w as usize]).unwrap();
     }
     let exec = vec![2.0, 3.0, 2.0, 3.0, 2.0, 3.0, 2.0, 2.0];
-    let cost = CostTable {
-        source: "fig4".into(),
-        util: vec![1.0; 8],
-        transfer_out_ms: vec![1.0; 8],
-        exec_ms: exec,
-        concurrency: ConcurrencyParams {
+    let cost = CostTable::homogeneous(
+        "fig4",
+        exec,
+        vec![1.0; 8],
+        vec![1.0; 8],
+        ConcurrencyParams {
             contention_alpha: 0.15,
             stream_overhead_ms: 0.0,
         },
-        launch_overhead_ms: 0.0,
-        meter: Default::default(),
-    };
+        0.0,
+    );
     (b.build(), cost)
 }
 
@@ -87,18 +86,17 @@ pub fn fig5(_cfg: &RunCfg) -> Table {
     let v6 = b.add_synthetic("v6", &[v5]);
     let v7 = b.add_synthetic("v7", &[v4, v6]);
     let g = b.build();
-    let cost = CostTable {
-        source: "fig5".into(),
-        exec_ms: vec![2.0; 7],
-        util: vec![0.4; 7],
-        transfer_out_ms: vec![0.5; 7],
-        concurrency: ConcurrencyParams {
+    let cost = CostTable::homogeneous(
+        "fig5",
+        vec![2.0; 7],
+        vec![0.4; 7],
+        vec![0.5; 7],
+        ConcurrencyParams {
             contention_alpha: 0.15,
             stream_overhead_ms: 0.0,
         },
-        launch_overhead_ms: 0.0,
-        meter: Default::default(),
-    };
+        0.0,
+    );
     let inter = hios_core::Schedule::from_gpu_orders(vec![vec![v1, v2, v3, v4, v7], vec![v5, v6]]);
     let before = hios_core::evaluate(&g, &cost, &inter)
         .expect("feasible input")

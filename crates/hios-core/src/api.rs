@@ -274,6 +274,13 @@ pub fn run_scheduler(
             graph_ops: g.num_ops(),
         });
     }
+    if !cost.topology.covers(opts.num_gpus) {
+        return Err(SchedulerError::BadOptions(format!(
+            "cost table topology covers {} GPUs, options ask for {}",
+            cost.topology.num_gpus(),
+            opts.num_gpus
+        )));
+    }
     let window = opts.effective_window(algo, g.num_ops());
     cost.meter.reset();
     let started = Instant::now();
@@ -390,9 +397,9 @@ mod tests {
         ));
 
         let mut short = cost.clone();
-        short.exec_ms.pop();
-        short.util.pop();
-        short.transfer_out_ms.pop();
+        short.device.exec_ms[0].pop();
+        short.device.util[0].pop();
+        short.transfer_ms[0].pop();
         assert!(matches!(
             run_scheduler(Algorithm::HiosLp, &g, &short, &SchedulerOptions::new(2)),
             Err(SchedulerError::CostMismatch {
@@ -400,6 +407,15 @@ mod tests {
                 graph_ops: 20
             })
         ));
+
+        // A heterogeneous table only covers its declared GPU count.
+        let hetero = hios_cost::Platform::mixed_a40_v100s();
+        let hcost = hios_cost::platform_table(&hetero, &g).unwrap();
+        assert!(matches!(
+            run_scheduler(Algorithm::HiosLp, &g, &hcost, &SchedulerOptions::new(8)),
+            Err(SchedulerError::BadOptions(_))
+        ));
+        assert!(run_scheduler(Algorithm::HiosLp, &g, &hcost, &SchedulerOptions::new(4)).is_ok());
     }
 
     #[test]

@@ -11,9 +11,11 @@ use hios_graph::Graph;
 use hios_graph::paths::longest_to_sink;
 
 /// Critical-path bound: the longest vertex-weighted path, with transfers
-/// costed at zero (dependent operators can always share a GPU).
+/// costed at zero (dependent operators can always share a GPU) and every
+/// operator priced on its *fastest* device class, so the bound stays
+/// admissible on heterogeneous platforms.
 pub fn critical_path_bound(g: &Graph, cost: &CostTable) -> f64 {
-    longest_to_sink(g, |v| cost.exec(v), |_, _| 0.0)
+    longest_to_sink(g, |v| cost.exec_best(v), |_, _| 0.0)
         .into_iter()
         .fold(0.0, f64::max)
 }
@@ -23,12 +25,11 @@ pub fn critical_path_bound(g: &Graph, cost: &CostTable) -> f64 {
 /// Concurrent execution inside one GPU cannot create SM-milliseconds out
 /// of thin air: under the `t(S)` model a stage always lasts at least
 /// `Σ t(v)·u(v)` over its members, so each GPU is busy at least its total
-/// SM-work and the makespan is at least `Σ t(v)·u(v) / M`.
+/// SM-work and the makespan is at least `Σ t(v)·u(v) / M`.  Each
+/// operator's SM-work is taken over its *cheapest* device class, keeping
+/// the bound admissible on heterogeneous platforms.
 pub fn work_bound(g: &Graph, cost: &CostTable, num_gpus: usize) -> f64 {
-    g.op_ids()
-        .map(|v| cost.exec(v) * cost.util_of(v))
-        .sum::<f64>()
-        / num_gpus.max(1) as f64
+    g.op_ids().map(|v| cost.work_best(v)).sum::<f64>() / num_gpus.max(1) as f64
 }
 
 /// Combined bound: the max of the critical-path and work bounds.

@@ -12,6 +12,7 @@
 //! store under it (the ladder stores schedule + makespan + the rung that
 //! produced it).
 
+use hios_cost::CostTable;
 use hios_graph::Graph;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -59,12 +60,20 @@ pub struct ScheduleCacheKey {
     pub alive_mask: u64,
     /// Number of physical GPUs the mask ranges over.
     pub num_gpus: usize,
+    /// [`CostTable::platform_fingerprint`] of the cost snapshot: device
+    /// classes, topology and every per-class/per-link cost row.  On a
+    /// heterogeneous platform the *same* alive mask over a *different*
+    /// platform is a different scheduling problem (a schedule tuned for
+    /// an NVLink pair is wrong on a PCIe pair), so the platform is part
+    /// of the identity.
+    pub platform_fp: u64,
 }
 
 impl ScheduleCacheKey {
-    /// Key for `g` on the subset of an `alive.len()`-GPU platform whose
-    /// breakers currently admit traffic.
-    pub fn for_platform(g: &Graph, alive: &[bool]) -> Self {
+    /// Key for `g` priced by `cost` on the subset of an
+    /// `alive.len()`-GPU platform whose breakers currently admit
+    /// traffic.
+    pub fn for_platform(g: &Graph, alive: &[bool], cost: &CostTable) -> Self {
         assert!(
             alive.len() <= 64,
             "alive mask of {} GPUs exceeds the 64-bit cache key",
@@ -80,6 +89,7 @@ impl ScheduleCacheKey {
             graph_fp: graph_fingerprint(g),
             alive_mask: mask,
             num_gpus: alive.len(),
+            platform_fp: cost.platform_fingerprint(),
         }
     }
 
@@ -184,6 +194,10 @@ mod tests {
         .unwrap()
     }
 
+    fn table(g: &Graph) -> CostTable {
+        hios_cost::random_cost_table(g, &hios_cost::RandomCostConfig::paper_default(0))
+    }
+
     #[test]
     fn fingerprint_separates_graphs_and_is_stable() {
         let a = dag(1);
@@ -195,8 +209,9 @@ mod tests {
     #[test]
     fn keys_encode_the_alive_set() {
         let g = dag(3);
-        let all = ScheduleCacheKey::for_platform(&g, &[true, true, true]);
-        let partial = ScheduleCacheKey::for_platform(&g, &[true, false, true]);
+        let cost = table(&g);
+        let all = ScheduleCacheKey::for_platform(&g, &[true, true, true], &cost);
+        let partial = ScheduleCacheKey::for_platform(&g, &[true, false, true], &cost);
         assert_ne!(all, partial);
         assert_eq!(all.num_alive(), 3);
         assert_eq!(partial.num_alive(), 2);
@@ -205,9 +220,22 @@ mod tests {
     }
 
     #[test]
+    fn keys_encode_the_platform() {
+        let g = dag(3);
+        let cost = table(&g);
+        let mut faster = cost.clone();
+        faster.device.exec_ms[0][0] *= 0.5;
+        let a = ScheduleCacheKey::for_platform(&g, &[true, true], &cost);
+        let b = ScheduleCacheKey::for_platform(&g, &[true, true], &faster);
+        assert_eq!(a.graph_fp, b.graph_fp);
+        assert_eq!(a.alive_mask, b.alive_mask);
+        assert_ne!(a, b, "a changed platform must miss the cache");
+    }
+
+    #[test]
     fn insert_if_better_keeps_the_best_and_counts() {
         let g = dag(4);
-        let key = ScheduleCacheKey::for_platform(&g, &[true, true]);
+        let key = ScheduleCacheKey::for_platform(&g, &[true, true], &table(&g));
         let mut cache: ScheduleCache<f64> = ScheduleCache::new();
         assert!(cache.get(&key).is_none());
         assert!(cache.insert_if_better(key, 10.0, |new, old| new < old));

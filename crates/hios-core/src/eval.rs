@@ -152,7 +152,7 @@ impl EvalWorkspace {
         for (gi, gpu) in sched.gpus.iter().enumerate() {
             for (si, stage) in gpu.stages.iter().enumerate() {
                 let sid = self.gpu_base[gi] + si;
-                self.stage_dur.push(cost.concurrent(&stage.ops));
+                self.stage_dur.push(cost.concurrent_on(gi, &stage.ops));
                 for &v in &stage.ops {
                     debug_assert_eq!(self.stage_of_op[v.index()], usize::MAX);
                     self.stage_of_op[v.index()] = sid;
@@ -218,7 +218,12 @@ impl EvalWorkspace {
             if self.gpu_of_op[u.index()] != self.gpu_of_op[v.index()] {
                 let su = self.stage_of_op[u.index()];
                 let sv = self.stage_of_op[v.index()];
-                self.succ_adj[self.cursor[su]] = (sv, cost.transfer(u, v));
+                let w = cost.transfer(
+                    u,
+                    self.gpu_of_op[u.index()] as usize,
+                    self.gpu_of_op[v.index()] as usize,
+                );
+                self.succ_adj[self.cursor[su]] = (sv, w);
                 self.cursor[su] += 1;
             }
         }
@@ -375,7 +380,7 @@ impl EvalWorkspace {
             self.merge_ops
                 .extend_from_slice(&sched.gpus[gpu].stages[si].ops);
         }
-        let merged_dur = cost.concurrent(&self.merge_ops);
+        let merged_dur = cost.concurrent_on(gpu, &self.merge_ops);
         let mut merged_start = 0.0f64;
         for s in a..=b {
             for e in self.pred_off[s]..self.pred_off[s + 1] {
@@ -500,7 +505,7 @@ pub fn evaluate_with(
     for v in g.op_ids() {
         let sid = ws.stage_of_op[v.index()];
         op_start[v.index()] = ws.start[sid];
-        op_finish[v.index()] = (ws.start[sid] + cost.exec(v))
+        op_finish[v.index()] = (ws.start[sid] + cost.exec_on(ws.gpu_of_op[v.index()] as usize, v))
             .min(ws.finish[sid])
             .max(ws.start[sid]);
     }
@@ -631,7 +636,7 @@ impl ListState {
                 let arrival = if gu as usize == gv {
                     fu
                 } else {
-                    fu + cost.transfer(u, v)
+                    fu + cost.transfer(u, gu as usize, gv)
                 };
                 ready = ready.max(arrival);
             }
@@ -642,7 +647,7 @@ impl ListState {
             // guards the fuzzy 1e-12 acceptance at the boundary.  A
             // zero-length operator (dur <= 1e-12) could still slot
             // *between* such intervals, so it keeps the full scan.
-            let dur = cost.exec(v);
+            let dur = cost.exec_on(gv, v);
             let intervals = &mut self.busy[gv];
             let mut s = ready;
             let mut from = 0usize;
@@ -721,18 +726,17 @@ mod tests {
     use hios_graph::GraphBuilder;
 
     fn uniform_cost(n: usize, exec: f64, util: f64, transfer: f64) -> CostTable {
-        CostTable {
-            source: "test".into(),
-            exec_ms: vec![exec; n],
-            util: vec![util; n],
-            transfer_out_ms: vec![transfer; n],
-            concurrency: ConcurrencyParams {
+        CostTable::homogeneous(
+            "test",
+            vec![exec; n],
+            vec![util; n],
+            vec![transfer; n],
+            ConcurrencyParams {
                 contention_alpha: 0.15,
                 stream_overhead_ms: 0.0,
             },
-            launch_overhead_ms: 0.0,
-            meter: Default::default(),
-        }
+            0.0,
+        )
     }
 
     /// Fig. 3's shape: a->d, a->e, b->f, c->f with two GPUs:
@@ -955,7 +959,7 @@ mod tests {
         let p = crate::priority::priorities(&g, &cost);
         let order = hios_graph::paths::priority_order(&g, &p);
         let r = list_schedule(&g, &cost, &order, &gpu_of, 1);
-        let total: f64 = cost.exec_ms.iter().sum();
+        let total: f64 = cost.total_exec();
         assert!((r.latency - total).abs() < 1e-9);
         assert_eq!(r.gpu_order[0].len(), 8);
     }

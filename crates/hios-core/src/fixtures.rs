@@ -34,24 +34,24 @@ pub fn fig4() -> (Graph, Vec<f64>) {
 /// pays off, isolating the inter-GPU behaviour) and unit transfers.
 pub fn fig4_cost() -> CostTable {
     let (_, exec) = fig4();
-    CostTable {
-        source: "fig4".into(),
-        util: vec![1.0; exec.len()],
-        transfer_out_ms: vec![1.0; exec.len()],
-        exec_ms: exec,
-        concurrency: ConcurrencyParams {
+    let n = exec.len();
+    CostTable::homogeneous(
+        "fig4",
+        exec,
+        vec![1.0; n],
+        vec![1.0; n],
+        ConcurrencyParams {
             contention_alpha: 0.15,
             stream_overhead_ms: 0.0,
         },
-        launch_overhead_ms: 0.0,
-        meter: Default::default(),
-    }
+        0.0,
+    )
 }
 
 /// Variant of [`fig4_cost`] with low utilizations so the sliding-window
 /// pass (Alg. 2) finds profitable intra-GPU groupings.
 pub fn fig4_cost_small_ops() -> CostTable {
     let mut c = fig4_cost();
-    c.util = vec![0.3; c.exec_ms.len()];
+    c.device.util = vec![vec![0.3; c.num_ops()]];
     c
 }

@@ -96,7 +96,7 @@ impl Dp<'_> {
                 .copied()
                 .take(self.cfg.max_stage_ops)
                 .collect();
-            let t = self.cost.concurrent(&stage);
+            let t = self.cost.concurrent_on(0, &stage);
             let rest = self.advance(remaining, &stage);
             let lat = t + self.solve(&rest);
             self.retreat(&stage);
@@ -142,7 +142,7 @@ impl Dp<'_> {
                 return;
             }
             *budget -= 1;
-            let t = self.cost.concurrent(combo);
+            let t = self.cost.concurrent_on(0, combo);
             // Lower-bound prune: this stage alone already loses.
             if t < *best {
                 let rest = self.advance(remaining, combo);
@@ -347,18 +347,17 @@ mod tests {
         let c = b.add_synthetic("c", &[]);
         let _d = b.add_synthetic("d", &[c]);
         let g = b.build();
-        let cost = hios_cost::CostTable {
-            source: "tiny".into(),
-            exec_ms: vec![1.0; 4],
-            util: vec![0.4; 4],
-            transfer_out_ms: vec![0.1; 4],
-            concurrency: hios_cost::ConcurrencyParams {
+        let cost = hios_cost::CostTable::homogeneous(
+            "tiny",
+            vec![1.0; 4],
+            vec![0.4; 4],
+            vec![0.1; 4],
+            hios_cost::ConcurrencyParams {
                 contention_alpha: 0.15,
                 stream_overhead_ms: 0.0,
             },
-            launch_overhead_ms: 0.0,
-            meter: Default::default(),
-        };
+            0.0,
+        );
         let s = schedule_ios(&g, &cost, IosConfig::default());
         let r = evaluate(&g, &cost, &s).unwrap();
         assert!((r.latency - 2.0).abs() < 1e-9, "got {}", r.latency);
@@ -373,15 +372,14 @@ mod tests {
             b.add_synthetic(format!("n{i}"), &[]);
         }
         let g = b.build();
-        let cost = hios_cost::CostTable {
-            source: "wide".into(),
-            exec_ms: vec![1.0; 6],
-            util: vec![0.1; 6],
-            transfer_out_ms: vec![0.1; 6],
-            concurrency: Default::default(),
-            launch_overhead_ms: 0.0,
-            meter: Default::default(),
-        };
+        let cost = hios_cost::CostTable::homogeneous(
+            "wide",
+            vec![1.0; 6],
+            vec![0.1; 6],
+            vec![0.1; 6],
+            Default::default(),
+            0.0,
+        );
         let cfg = IosConfig {
             max_stage_ops: 2,
             ..Default::default()
@@ -417,15 +415,14 @@ mod tests {
     #[test]
     fn empty_graph_empty_schedule() {
         let g = GraphBuilder::new().build();
-        let cost = hios_cost::CostTable {
-            source: "empty".into(),
-            exec_ms: vec![],
-            util: vec![],
-            transfer_out_ms: vec![],
-            concurrency: Default::default(),
-            launch_overhead_ms: 0.0,
-            meter: Default::default(),
-        };
+        let cost = hios_cost::CostTable::homogeneous(
+            "empty",
+            vec![],
+            vec![],
+            vec![],
+            Default::default(),
+            0.0,
+        );
         let s = schedule_ios(&g, &cost, IosConfig::default());
         assert_eq!(s.num_ops(), 0);
     }

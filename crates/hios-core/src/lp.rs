@@ -76,13 +76,13 @@ pub fn longest_valid_path(
         for &u in g.preds(v) {
             if scheduled[u.index()] {
                 free[v.index()] = false;
-                head_ext[v.index()] = head_ext[v.index()].max(cost.transfer(u, v));
+                head_ext[v.index()] = head_ext[v.index()].max(cost.transfer_worst(u));
             }
         }
         for &w in g.succs(v) {
             if scheduled[w.index()] {
                 free[v.index()] = false;
-                tail_ext[v.index()] = tail_ext[v.index()].max(cost.transfer(v, w));
+                tail_ext[v.index()] = tail_ext[v.index()].max(cost.transfer_worst(v));
             }
         }
     }
@@ -107,15 +107,15 @@ pub fn longest_valid_path(
             let into_w = if free[w.index()] {
                 f_val[w.index()]
             } else {
-                cost.exec(w) + tail_ext[w.index()]
+                cost.exec_worst(w) + tail_ext[w.index()]
             };
-            let c = cost.transfer(v, w) + into_w;
+            let c = cost.transfer_worst(v) + into_w;
             if c > best {
                 best = c;
                 choice = Some(w);
             }
         }
-        f_val[v.index()] = cost.exec(v) + best;
+        f_val[v.index()] = cost.exec_worst(v) + best;
         next[v.index()] = choice;
     }
 
@@ -381,23 +381,25 @@ mod tests {
         .unwrap();
         let cost = hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(9));
         let out = schedule_hios_lp(&g, &cost, HiosLpConfig::inter_only(2));
-        let (_, cp) =
-            hios_graph::paths::critical_path(&g, |v| cost.exec(v), |u, v| cost.transfer(u, v));
+        let (_, cp) = hios_graph::paths::critical_path(
+            &g,
+            |v| cost.exec_worst(v),
+            |u, _v| cost.transfer_worst(u),
+        );
         assert_eq!(out.paths[0], cp);
     }
 
     #[test]
     fn empty_graph() {
         let g = hios_graph::GraphBuilder::new().build();
-        let cost = hios_cost::CostTable {
-            source: "empty".into(),
-            exec_ms: vec![],
-            util: vec![],
-            transfer_out_ms: vec![],
-            concurrency: Default::default(),
-            launch_overhead_ms: 0.0,
-            meter: Default::default(),
-        };
+        let cost = hios_cost::CostTable::homogeneous(
+            "empty",
+            vec![],
+            vec![],
+            vec![],
+            Default::default(),
+            0.0,
+        );
         let out = schedule_hios_lp(&g, &cost, HiosLpConfig::new(2));
         assert_eq!(out.latency, 0.0);
     }
@@ -423,14 +425,14 @@ mod brute_force_tests {
             g.preds(v)
                 .iter()
                 .filter(|u| scheduled[u.index()])
-                .map(|&u| cost.transfer(u, v))
+                .map(|&u| cost.transfer_worst(u))
                 .fold(0.0, f64::max)
         };
         let tail_ext = |v: OpId| -> f64 {
             g.succs(v)
                 .iter()
                 .filter(|w| scheduled[w.index()])
-                .map(|&w| cost.transfer(v, w))
+                .map(|&_w| cost.transfer_worst(v))
                 .fold(0.0, f64::max)
         };
         // DFS over all paths: extend only through free intermediates.
@@ -458,7 +460,7 @@ mod brute_force_tests {
                 }
                 // w may be intermediate only if free; otherwise it ends
                 // the path right there.
-                let a = acc + cost.transfer(v, w) + cost.exec(w);
+                let a = acc + cost.transfer_worst(v) + cost.exec_worst(w);
                 if free(w) {
                     extend(g, cost, scheduled, free, tail_ext, w, a, best);
                 } else {
@@ -479,7 +481,7 @@ mod brute_force_tests {
                 &free,
                 &tail_ext,
                 v,
-                head_ext(v) + cost.exec(v),
+                head_ext(v) + cost.exec_worst(v),
                 &mut best,
             );
         }
@@ -496,19 +498,19 @@ mod brute_force_tests {
             .preds(path[0])
             .iter()
             .filter(|u| scheduled[u.index()])
-            .map(|&u| cost.transfer(u, path[0]))
+            .map(|&u| cost.transfer_worst(u))
             .fold(0.0, f64::max);
         let tail = g
             .succs(*path.last().unwrap())
             .iter()
             .filter(|w| scheduled[w.index()])
-            .map(|&w| cost.transfer(*path.last().unwrap(), w))
+            .map(|&_w| cost.transfer_worst(*path.last().unwrap()))
             .fold(0.0, f64::max);
         let mut score = head + tail;
         for (i, &v) in path.iter().enumerate() {
-            score += cost.exec(v);
+            score += cost.exec_worst(v);
             if i + 1 < path.len() {
-                score += cost.transfer(v, path[i + 1]);
+                score += cost.transfer_worst(v);
             }
         }
         score

@@ -108,7 +108,7 @@ pub fn schedule_hios_mr(g: &Graph, cost: &CostTable, cfg: HiosMrConfig) -> MrOut
     // The n × M record table (Alg. 3 lines 2-4).
     let mut t = vec![vec![f64::INFINITY; m]; n];
     let mut gprev = vec![vec![0usize; m]; n];
-    t[0][0] = cost.exec(order[0]);
+    t[0][0] = cost.exec_on(0, order[0]);
 
     // Replay buffers, one per `k` trial, pooled across rows (hot loop).
     //
@@ -164,13 +164,13 @@ pub fn schedule_hios_mr(g: &Graph, cost: &CostTable, cfg: HiosMrConfig) -> MrOut
                     let arrival = if buf.gpu[l] as usize == j {
                         buf.fin[l]
                     } else {
-                        buf.fin[l] + cost.transfer(u, vi)
+                        buf.fin[l] + cost.transfer(u, buf.gpu[l] as usize, j)
                     };
                     if arrival > ready {
                         ready = arrival;
                     }
                 }
-                buf.row[j] = ready + cost.exec(vi);
+                buf.row[j] = ready + cost.exec_on(j, vi);
             }
             (true, buf)
         });

@@ -14,7 +14,7 @@ use hios_graph::{Graph, OpId};
 /// both operator times and (worst-case) inter-GPU transfer times along
 /// paths, as Alg. 1 prescribes for the longest-path search.
 pub fn priorities(g: &Graph, cost: &CostTable) -> Vec<f64> {
-    longest_to_sink(g, |v| cost.exec(v), |u, v| cost.transfer(u, v))
+    longest_to_sink(g, |v| cost.exec_worst(v), |u, _v| cost.transfer_worst(u))
 }
 
 /// Descending-priority operator order (ties by id); a topological order.

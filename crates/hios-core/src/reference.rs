@@ -59,7 +59,7 @@ pub fn evaluate(g: &Graph, cost: &CostTable, sched: &Schedule) -> Result<EvalRes
         if pu.gpu != pv.gpu {
             let su = stage_id[pu.gpu][pu.stage];
             let sv = stage_id[pv.gpu][pv.stage];
-            succ[su].push((sv, cost.transfer(u, v)));
+            succ[su].push((sv, cost.transfer(u, pu.gpu, pv.gpu)));
             indeg[sv] += 1;
         }
     }
@@ -72,7 +72,7 @@ pub fn evaluate(g: &Graph, cost: &CostTable, sched: &Schedule) -> Result<EvalRes
     while let Some(s) = ready.pop() {
         done += 1;
         let (gi, si) = stages[s];
-        let dur = cost.concurrent(&sched.gpus[gi].stages[si].ops);
+        let dur = cost.concurrent_on(gi, &sched.gpus[gi].stages[si].ops);
         finish[s] = start[s] + dur;
         for &(t, w) in &succ[s] {
             start[t] = start[t].max(finish[s] + w);
@@ -93,7 +93,9 @@ pub fn evaluate(g: &Graph, cost: &CostTable, sched: &Schedule) -> Result<EvalRes
         let p = place[v.index()].expect("validated");
         let sid = stage_id[p.gpu][p.stage];
         op_start[v.index()] = start[sid];
-        op_finish[v.index()] = (start[sid] + cost.exec(v)).min(finish[sid]).max(start[sid]);
+        op_finish[v.index()] = (start[sid] + cost.exec_on(p.gpu, v))
+            .min(finish[sid])
+            .max(start[sid]);
     }
     let mut stage_times = Vec::with_capacity(sched.num_gpus());
     for ids in &stage_id {
@@ -139,12 +141,12 @@ pub fn list_schedule(
             let arrival = if gu as usize == gv {
                 fu
             } else {
-                fu + cost.transfer(u, v)
+                fu + cost.transfer(u, gu as usize, gv)
             };
             ready = ready.max(arrival);
         }
         // Find the earliest gap on gv of length >= t(v) starting >= ready.
-        let dur = cost.exec(v);
+        let dur = cost.exec_on(gv, v);
         let intervals = &mut busy[gv];
         let mut s = ready;
         let mut pos = intervals.len();
@@ -339,7 +341,7 @@ pub fn schedule_hios_mr(g: &Graph, cost: &CostTable, cfg: HiosMrConfig) -> MrOut
 
     let mut t = vec![vec![f64::INFINITY; m]; n];
     let mut gprev = vec![vec![0usize; m]; n];
-    t[0][0] = cost.exec(order[0]);
+    t[0][0] = cost.exec_on(0, order[0]);
 
     let mut fin = vec![0.0f64; n];
     let mut gpu = vec![0usize; n];
@@ -369,11 +371,11 @@ pub fn schedule_hios_mr(g: &Graph, cost: &CostTable, cfg: HiosMrConfig) -> MrOut
                     let arrival = if gpu[l] == j {
                         fin[l]
                     } else {
-                        fin[l] + cost.transfer(u, vi)
+                        fin[l] + cost.transfer(u, gpu[l], j)
                     };
                     ready = ready.max(arrival);
                 }
-                let finish = ready + cost.exec(vi);
+                let finish = ready + cost.exec_on(j, vi);
                 if finish < t[i][j] {
                     t[i][j] = finish;
                     gprev[i][j] = k;

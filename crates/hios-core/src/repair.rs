@@ -147,22 +147,22 @@ pub fn extract_unfinished(g: &Graph, completed: &[bool]) -> SubgraphMap {
 }
 
 /// Projects the parent cost table onto a subgraph: per-operator costs are
-/// carried over verbatim, the concurrency model is shared, and the meter
-/// starts fresh.
+/// carried over verbatim on every device and link class, the topology and
+/// concurrency model are shared, and the meter starts fresh.
 pub fn project_cost(cost: &CostTable, map: &SubgraphMap) -> CostTable {
-    CostTable {
-        source: format!("{} (repair projection)", cost.source),
-        exec_ms: map.to_parent.iter().map(|&p| cost.exec(p)).collect(),
-        util: map.to_parent.iter().map(|&p| cost.util_of(p)).collect(),
-        transfer_out_ms: map
-            .to_parent
-            .iter()
-            .map(|&p| cost.transfer_out_ms[p.index()])
-            .collect(),
-        concurrency: cost.concurrency,
-        launch_overhead_ms: cost.launch_overhead_ms,
-        meter: Default::default(),
-    }
+    let project =
+        |row: &Vec<f64>| -> Vec<f64> { map.to_parent.iter().map(|&p| row[p.index()]).collect() };
+    hios_cost::CostTable::heterogeneous(
+        format!("{} (repair projection)", cost.source),
+        hios_cost::DeviceCosts {
+            exec_ms: cost.device.exec_ms.iter().map(project).collect(),
+            util: cost.device.util.iter().map(project).collect(),
+        },
+        cost.transfer_ms.iter().map(project).collect(),
+        cost.topology.clone(),
+        cost.concurrency,
+        cost.launch_overhead_ms,
+    )
 }
 
 /// What a repair produced.
@@ -210,11 +210,11 @@ fn greedy_orders(sub: &Graph, cost: &CostTable, m: usize) -> Vec<Vec<OpId>> {
                 let arrival = if slot_of[u.index()] == slot {
                     finish[u.index()]
                 } else {
-                    finish[u.index()] + cost.transfer(u, v)
+                    finish[u.index()] + cost.transfer(u, slot_of[u.index()], slot)
                 };
                 ready = ready.max(arrival);
             }
-            let f = ready + cost.exec(v);
+            let f = ready + cost.exec_on(slot, v);
             if f < best_f {
                 best_f = f;
                 best_slot = slot;
@@ -274,7 +274,10 @@ pub fn repair_schedule(
             map,
         ));
     }
-    let sub_cost = project_cost(cost, &map);
+    // Project op rows onto the unfinished subgraph, then restrict the
+    // topology to the surviving GPUs so slot `i` prices as physical GPU
+    // `gpu_map[i]` (on a uniform platform this is the identity).
+    let sub_cost = project_cost(cost, &map).restrict_gpus(&gpu_map);
 
     let sub_sched = match cfg.policy {
         RepairPolicy::Reschedule => {

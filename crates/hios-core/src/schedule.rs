@@ -79,6 +79,23 @@ pub enum ScheduleError {
         /// The failed GPU's index.
         gpu: usize,
     },
+    /// The schedule uses more GPUs than the platform's topology covers.
+    PlatformMismatch {
+        /// GPU budget of the schedule.
+        schedule_gpus: usize,
+        /// GPUs the cost table's topology covers.
+        platform_gpus: usize,
+    },
+    /// A cross-GPU dependency crosses a pair with no interconnect link
+    /// (the transfer prices as +∞, so the schedule can never finish).
+    UnconnectedPair {
+        /// The producing operator.
+        op: OpId,
+        /// GPU of the producer.
+        src_gpu: usize,
+        /// GPU of the consumer.
+        dst_gpu: usize,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -103,6 +120,21 @@ impl fmt::Display for ScheduleError {
             ScheduleError::DeadGpu { op, gpu } => {
                 write!(f, "operator {op} is placed on failed GPU {gpu}")
             }
+            ScheduleError::PlatformMismatch {
+                schedule_gpus,
+                platform_gpus,
+            } => write!(
+                f,
+                "schedule spans {schedule_gpus} GPUs but the platform topology covers {platform_gpus}"
+            ),
+            ScheduleError::UnconnectedPair {
+                op,
+                src_gpu,
+                dst_gpu,
+            } => write!(
+                f,
+                "operator {op} feeds GPU {dst_gpu} from GPU {src_gpu} but the pair has no link"
+            ),
         }
     }
 }
@@ -287,6 +319,38 @@ impl Schedule {
         }
         if seen != n_stages {
             return Err(ScheduleError::StageCycle);
+        }
+        Ok(())
+    }
+
+    /// [`Schedule::validate_full`] plus platform checks: the schedule
+    /// spans no more GPUs than `cost`'s topology covers, and every
+    /// cross-GPU dependency crosses a connected pair (an unconnected
+    /// pair prices its transfer as +∞, so the schedule can never
+    /// finish).  On a uniform topology both checks are vacuous.
+    pub fn validate_on_platform(
+        &self,
+        g: &Graph,
+        cost: &hios_cost::CostTable,
+    ) -> Result<(), ScheduleError> {
+        self.validate_full(g, None)?;
+        if !cost.topology.covers(self.num_gpus()) {
+            return Err(ScheduleError::PlatformMismatch {
+                schedule_gpus: self.num_gpus(),
+                platform_gpus: cost.topology.num_gpus(),
+            });
+        }
+        let place = self.placements(g.num_ops());
+        for (u, v) in g.edges() {
+            let pu = place[u.index()].expect("coverage checked by validate");
+            let pv = place[v.index()].expect("coverage checked by validate");
+            if pu.gpu != pv.gpu && !cost.transfer(u, pu.gpu, pv.gpu).is_finite() {
+                return Err(ScheduleError::UnconnectedPair {
+                    op: u,
+                    src_gpu: pu.gpu,
+                    dst_gpu: pv.gpu,
+                });
+            }
         }
         Ok(())
     }
@@ -484,6 +548,68 @@ mod tests {
         );
         // … while killing the idle GPU 1 is fine.
         assert!(s.validate_full(&g, Some(&[true, false])).is_ok());
+    }
+
+    #[test]
+    fn validate_on_platform_rejects_oversized_and_unconnected() {
+        use hios_cost::{ConcurrencyParams, CostTable, DeviceCosts, NO_LINK, Topology};
+        let g = diamond();
+        let n = g.num_ops();
+        // 3 GPUs, one device class; pair {0,2} has no interconnect.
+        #[rustfmt::skip]
+        let link_class = vec![
+            0, 0, NO_LINK,
+            0, 0, 0,
+            NO_LINK, 0, 0,
+        ];
+        let cost = CostTable::heterogeneous(
+            "test",
+            DeviceCosts {
+                exec_ms: vec![vec![1.0; n]],
+                util: vec![vec![1.0; n]],
+            },
+            vec![vec![1.0; n]],
+            Topology::hetero(vec![0, 0, 0], link_class),
+            ConcurrencyParams {
+                contention_alpha: 0.15,
+                stream_overhead_ms: 0.0,
+            },
+            0.0,
+        );
+
+        // a,b on GPU 0; c on GPU 1; d on GPU 2: b -> d crosses the
+        // unconnected pair {0, 2}.
+        let s =
+            Schedule::from_gpu_orders(vec![vec![OpId(0), OpId(1)], vec![OpId(2)], vec![OpId(3)]]);
+        assert!(s.validate_full(&g, None).is_ok());
+        assert_eq!(
+            s.validate_on_platform(&g, &cost),
+            Err(ScheduleError::UnconnectedPair {
+                op: OpId(1),
+                src_gpu: 0,
+                dst_gpu: 2
+            })
+        );
+
+        // d on GPU 1 instead keeps every cross pair connected.
+        let ok =
+            Schedule::from_gpu_orders(vec![vec![OpId(0), OpId(1)], vec![OpId(2), OpId(3)], vec![]]);
+        assert!(ok.validate_on_platform(&g, &cost).is_ok());
+
+        // A 4-GPU schedule exceeds the 3-GPU topology.
+        let wide = Schedule::from_gpu_orders(vec![
+            vec![OpId(0)],
+            vec![OpId(1)],
+            vec![OpId(2)],
+            vec![OpId(3)],
+        ]);
+        assert_eq!(
+            wide.validate_on_platform(&g, &cost),
+            Err(ScheduleError::PlatformMismatch {
+                schedule_gpus: 4,
+                platform_gpus: 3
+            })
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub fn schedule_stats(g: &Graph, cost: &CostTable, sched: &Schedule) -> Schedule
             }
             histogram[stage.ops.len()] += 1;
             for &v in &stage.ops {
-                gpu_work_ms[gi] += cost.exec(v);
+                gpu_work_ms[gi] += cost.exec_on(gi, v);
             }
         }
     }
@@ -82,7 +82,7 @@ pub fn schedule_stats(g: &Graph, cost: &CostTable, sched: &Schedule) -> Schedule
         let pv = place[v.index()].expect("schedule covers the graph");
         if pu.gpu != pv.gpu {
             cross_edges += 1;
-            transfer_ms += cost.transfer(u, v);
+            transfer_ms += cost.transfer(u, pu.gpu, pv.gpu);
         }
     }
     let used: Vec<f64> = gpu_work_ms.iter().copied().filter(|&w| w > 0.0).collect();

@@ -220,15 +220,14 @@ mod tests {
         let x = b.add_synthetic("b", &[a]);
         let _c = b.add_synthetic("c", &[x]);
         let g = b.build();
-        let cost = CostTable {
-            source: "chain".into(),
-            exec_ms: vec![1.0; 3],
-            util: vec![0.1; 3],
-            transfer_out_ms: vec![0.1; 3],
-            concurrency: ConcurrencyParams::default(),
-            launch_overhead_ms: 0.0,
-            meter: Default::default(),
-        };
+        let cost = CostTable::homogeneous(
+            "chain",
+            vec![1.0; 3],
+            vec![0.1; 3],
+            vec![0.1; 3],
+            ConcurrencyParams::default(),
+            0.0,
+        );
         let input = Schedule::from_gpu_orders(vec![vec![OpId(0), OpId(1), OpId(2)]]);
         let (out, lat) = parallelize(&g, &cost, input, 3);
         assert_eq!(out.max_stage_width(), 1);
@@ -249,15 +248,14 @@ mod tests {
         let c = bld.add_synthetic("c", &[]);
         let _d = bld.add_synthetic("d", &[c]);
         let g = bld.build();
-        let cost = CostTable {
-            source: "loop".into(),
-            exec_ms: vec![1.0; 4],
-            util: vec![0.1; 4],
-            transfer_out_ms: vec![0.1; 4],
-            concurrency: ConcurrencyParams::default(),
-            launch_overhead_ms: 0.0,
-            meter: Default::default(),
-        };
+        let cost = CostTable::homogeneous(
+            "loop",
+            vec![1.0; 4],
+            vec![0.1; 4],
+            vec![0.1; 4],
+            ConcurrencyParams::default(),
+            0.0,
+        );
         // GPU0 runs a then d; GPU1 runs b then c.
         let input = Schedule::from_gpu_orders(vec![vec![OpId(0), OpId(3)], vec![OpId(1), OpId(2)]]);
         assert!(evaluate(&g, &cost, &input).is_ok(), "input is feasible");

@@ -10,8 +10,33 @@ use hios_core::eval::EvalWorkspace;
 use hios_core::lp::{HiosLpConfig, schedule_hios_lp};
 use hios_core::mr::{HiosMrConfig, schedule_hios_mr};
 use hios_core::repair::{RepairConfig, RepairPolicy, repair_schedule};
-use hios_cost::{RandomCostConfig, random_cost_table};
+use hios_cost::{CostTable, DeviceCosts, RandomCostConfig, Topology, random_cost_table};
 use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+/// A genuinely heterogeneous 4-GPU expansion of a flat table: device
+/// class `c` runs `1 + c/4` slower, link class `l` transfers `1 + l/8`
+/// slower. Exercises the per-class code paths under the parallel search.
+fn hetero_table(flat: &CostTable) -> CostTable {
+    let m = 4usize;
+    let scale = |row: &[f64], f: f64| row.iter().map(|x| x * f).collect::<Vec<f64>>();
+    let device = DeviceCosts {
+        exec_ms: (0..m)
+            .map(|c| scale(&flat.device.exec_ms[0], 1.0 + c as f64 / 4.0))
+            .collect(),
+        util: vec![flat.device.util[0].clone(); m],
+    };
+    let transfer_ms = (0..m * m)
+        .map(|l| scale(&flat.transfer_ms[0], 1.0 + l as f64 / 8.0))
+        .collect();
+    CostTable::heterogeneous(
+        format!("{} (hetero)", flat.source),
+        device,
+        transfer_ms,
+        Topology::hetero((0..m).collect(), (0..m * m).collect()),
+        flat.concurrency,
+        flat.launch_overhead_ms,
+    )
+}
 
 #[test]
 fn lp_and_mr_outputs_are_thread_count_invariant() {
@@ -37,6 +62,10 @@ fn lp_and_mr_outputs_are_thread_count_invariant() {
     }
     let alive = [true, false, true, true];
 
+    // Heterogeneous leg: the per-class pricing must be just as
+    // thread-count invariant as the flat path.
+    let hcost = hetero_table(&cost);
+
     let run = || {
         let mut ws = EvalWorkspace::new();
         let (rep, _) = repair_schedule(
@@ -52,12 +81,14 @@ fn lp_and_mr_outputs_are_thread_count_invariant() {
             schedule_hios_lp(&g, &cost, HiosLpConfig::new(4)),
             schedule_hios_mr(&g, &cost, HiosMrConfig::new(4)),
             rep,
+            schedule_hios_lp(&g, &hcost, HiosLpConfig::new(4)),
+            schedule_hios_mr(&g, &hcost, HiosMrConfig::new(4)),
         )
     };
     std::env::set_var("RAYON_NUM_THREADS", "1");
-    let (lp1, mr1, rep1) = run();
+    let (lp1, mr1, rep1, hlp1, hmr1) = run();
     std::env::set_var("RAYON_NUM_THREADS", "4");
-    let (lp4, mr4, rep4) = run();
+    let (lp4, mr4, rep4, hlp4, hmr4) = run();
     std::env::remove_var("RAYON_NUM_THREADS");
 
     assert_eq!(lp1.schedule, lp4.schedule);
@@ -72,4 +103,12 @@ fn lp_and_mr_outputs_are_thread_count_invariant() {
     assert_eq!(rep1.schedule, rep4.schedule);
     assert_eq!(rep1.latency.to_bits(), rep4.latency.to_bits());
     assert_eq!(rep1.gpu_map, rep4.gpu_map);
+
+    assert_eq!(hlp1.schedule, hlp4.schedule);
+    assert_eq!(hlp1.latency.to_bits(), hlp4.latency.to_bits());
+    assert_eq!(hlp1.gpu_of, hlp4.gpu_of);
+
+    assert_eq!(hmr1.schedule, hmr4.schedule);
+    assert_eq!(hmr1.latency.to_bits(), hmr4.latency.to_bits());
+    assert_eq!(hmr1.gpu_of, hmr4.gpu_of);
 }

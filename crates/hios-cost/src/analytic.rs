@@ -6,8 +6,8 @@
 //! fraction of the GPU's concurrent capacity its output grid occupies.
 
 use crate::gpu::GpuSpec;
-use crate::interconnect::{LinkSpec, Platform};
-use crate::table::{ConcurrencyParams, CostError, CostTable};
+use crate::interconnect::{LinkSpec, Platform, PlatformError};
+use crate::table::{ConcurrencyParams, CostError, CostTable, DeviceCosts};
 use hios_graph::{Graph, OpId};
 
 /// Roofline cost model for a concrete platform.
@@ -22,11 +22,12 @@ pub struct AnalyticCostModel {
 }
 
 impl AnalyticCostModel {
-    /// Model for one platform preset.
+    /// Model for one platform preset, priced on its reference device and
+    /// link class (heterogeneous platforms use [`platform_table`]).
     pub fn for_platform(p: &Platform) -> Self {
         AnalyticCostModel {
-            gpu: p.gpu.clone(),
-            link: p.link.clone(),
+            gpu: p.gpu().clone(),
+            link: p.link().clone(),
             concurrency: ConcurrencyParams::default(),
         }
     }
@@ -77,7 +78,7 @@ impl AnalyticCostModel {
         for v in graph.op_ids() {
             t.try_exec(v)?;
             t.try_util(v)?;
-            t.try_transfer(v, v)?;
+            t.try_transfer(v)?;
         }
         Ok(t)
     }
@@ -85,19 +86,74 @@ impl AnalyticCostModel {
     /// Materializes the full cost snapshot for `graph`.
     pub fn build_table(&self, graph: &Graph) -> CostTable {
         let ids: Vec<OpId> = graph.op_ids().collect();
-        CostTable {
-            source: format!("analytic({}, {})", self.gpu.name, self.link.name),
-            exec_ms: ids.iter().map(|&v| self.exec_ms(graph, v)).collect(),
-            util: ids.iter().map(|&v| self.util(graph, v)).collect(),
-            transfer_out_ms: ids
-                .iter()
+        CostTable::homogeneous(
+            format!("analytic({}, {})", self.gpu.name, self.link.name),
+            ids.iter().map(|&v| self.exec_ms(graph, v)).collect(),
+            ids.iter().map(|&v| self.util(graph, v)).collect(),
+            ids.iter()
                 .map(|&v| self.transfer_out_ms(graph, v))
                 .collect(),
-            concurrency: self.concurrency,
-            launch_overhead_ms: self.gpu.launch_overhead_ms,
-            meter: Default::default(),
-        }
+            self.concurrency,
+            self.gpu.launch_overhead_ms,
+        )
     }
+}
+
+/// Materializes the full heterogeneous cost snapshot for `graph` on a
+/// (possibly mixed) [`Platform`]: one exec/util row per device class
+/// (roofline per [`GpuSpec`]) and one transfer row per link class, every
+/// transfer priced through [`LinkSpec::transfer_ms`].
+///
+/// Cross-link transfers include one consumer kernel-launch overhead, like
+/// [`AnalyticCostModel::transfer_out_ms`]; on a mixed platform the
+/// consumer's class is unknown at table-build time, so the slowest
+/// class's launch overhead is charged (conservative, and exact on
+/// homogeneous platforms).
+pub fn platform_table(p: &Platform, graph: &Graph) -> Result<CostTable, PlatformError> {
+    p.validate()?;
+    let ids: Vec<OpId> = graph.op_ids().collect();
+    let concurrency = ConcurrencyParams::default();
+    let mut exec_rows = Vec::with_capacity(p.classes.len());
+    let mut util_rows = Vec::with_capacity(p.classes.len());
+    for gpu in &p.classes {
+        let m = AnalyticCostModel {
+            gpu: gpu.clone(),
+            link: p.link().clone(),
+            concurrency,
+        };
+        exec_rows.push(ids.iter().map(|&v| m.exec_ms(graph, v)).collect());
+        util_rows.push(ids.iter().map(|&v| m.util(graph, v)).collect());
+    }
+    let launch = p
+        .classes
+        .iter()
+        .map(|g| g.launch_overhead_ms)
+        .fold(0.0f64, f64::max);
+    let transfer_rows: Vec<Vec<f64>> = p
+        .links
+        .iter()
+        .map(|link| {
+            ids.iter()
+                .map(|&v| link.transfer_ms(graph.node(v).output_shape.bytes()) + launch)
+                .collect()
+        })
+        .collect();
+    Ok(CostTable::heterogeneous(
+        format!(
+            "analytic-hetero({} classes, {} links, M={})",
+            p.classes.len(),
+            p.links.len(),
+            p.num_gpus
+        ),
+        DeviceCosts {
+            exec_ms: exec_rows,
+            util: util_rows,
+        },
+        transfer_rows,
+        p.topology.clone(),
+        concurrency,
+        launch,
+    ))
 }
 
 #[cfg(test)]
@@ -194,6 +250,46 @@ mod tests {
         let bytes = g.node(c).output_shape.bytes();
         let expect = m.link.transfer_ms(bytes) + m.gpu.launch_overhead_ms;
         assert!((m.transfer_out_ms(&g, c) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_table_prices_classes_and_pairs() {
+        // Satellite regression: on the mixed A40+V100S platform, the same
+        // producer's output must price differently over the NVLink pair
+        // (0 → 1) than over the PCIe cross-link (0 → 2) — the pre-refactor
+        // `transfer(u, _v)` collapsed both to one number.
+        let (g, c) = fig1_conv(256);
+        let p = Platform::mixed_a40_v100s();
+        let t = platform_table(&p, &g).unwrap();
+        assert!(t.validate(&g).is_ok());
+        assert_eq!(t.num_device_classes(), 2);
+        assert_eq!(t.num_link_classes(), 2);
+        let nvlink_pair = t.transfer(c, 0, 1);
+        let pcie_cross = t.transfer(c, 0, 2);
+        assert!(
+            pcie_cross > nvlink_pair,
+            "PCIe cross {pcie_cross} must exceed NVLink pair {nvlink_pair}"
+        );
+        // The V100S class is slower for this compute-bound conv.
+        assert!(t.exec_on(2, c) > t.exec_on(0, c));
+        // Every row routes through LinkSpec::transfer_ms (one formula).
+        let bytes = g.node(c).output_shape.bytes();
+        let launch = GpuSpec::a40()
+            .launch_overhead_ms
+            .max(GpuSpec::v100s().launch_overhead_ms);
+        let want = LinkSpec::pcie_gen3().transfer_ms(bytes) + launch;
+        assert!((pcie_cross - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_table_rejects_invalid_platforms() {
+        let (g, _) = fig1_conv(64);
+        let mut p = Platform::mixed_a40_v100s();
+        p.links[1].bandwidth_gbps = -3.0;
+        assert!(matches!(
+            platform_table(&p, &g),
+            Err(PlatformError::BadBandwidth { link: 1, .. })
+        ));
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! Inter-GPU interconnect models (NVLink bridge, NVSwitch, PCIe).
+//! Inter-GPU interconnect models (NVLink bridge, NVSwitch, PCIe) and the
+//! multi-GPU platform description: device classes, link classes and the
+//! per-pair [`Topology`] that joins them.
 
 use crate::gpu::GpuSpec;
+use crate::topology::{NO_LINK, Topology};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// A point-to-point link between two GPUs.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -47,60 +51,327 @@ impl LinkSpec {
     }
 
     /// Time to move `bytes` across the link, ms.
+    ///
+    /// This is the **single** transfer-time formula in the repo: every
+    /// layer (the analytic model, host-staged composition, the hetero
+    /// platform table) prices transfers through this function rather than
+    /// re-deriving `latency + bytes/bandwidth` locally.
     pub fn transfer_ms(&self, bytes: u64) -> f64 {
         self.latency_ms + bytes as f64 / (self.bandwidth_gbps * 1e6)
     }
+
+    /// The two-hop link that staging through a host (or another GPU)
+    /// yields: bandwidth of the slower hop, latencies summed, plus a hop
+    /// penalty for the intermediate copy/software stack.
+    pub fn host_staged(a: &LinkSpec, b: &LinkSpec, hop_penalty_ms: f64) -> LinkSpec {
+        LinkSpec {
+            name: format!("host-staged({} + {})", a.name, b.name),
+            bandwidth_gbps: a.bandwidth_gbps.min(b.bandwidth_gbps),
+            latency_ms: a.latency_ms + b.latency_ms + hop_penalty_ms,
+        }
+    }
 }
 
-/// A multi-GPU platform: M homogeneous GPUs joined by one link type
-/// (paper §III-A assumes an SMP system of homogeneous GPUs).
+/// Typed validation failure of a [`Platform`] (degenerate inputs used to
+/// panic deep inside the cost model instead).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlatformError {
+    /// The platform has zero GPUs.
+    NoGpus,
+    /// No device class / link class definitions.
+    NoClasses,
+    /// A link has a non-positive or non-finite bandwidth.
+    BadBandwidth {
+        /// Offending link class index.
+        link: usize,
+        /// The bandwidth value, GB/s.
+        value: f64,
+    },
+    /// A link has a negative or non-finite latency.
+    BadLatency {
+        /// Offending link class index.
+        link: usize,
+        /// The latency value, ms.
+        value: f64,
+    },
+    /// `topology.device_class[gpu]` names a class outside `classes`.
+    BadDeviceClass {
+        /// The GPU with the dangling class.
+        gpu: usize,
+        /// The class index it names.
+        class: usize,
+    },
+    /// A link-matrix entry names a class outside `links`.
+    BadLinkClass {
+        /// Source GPU of the pair.
+        src: usize,
+        /// Destination GPU of the pair.
+        dst: usize,
+        /// The link class it names.
+        class: usize,
+    },
+    /// The link matrix is not `M × M`.
+    BadShape {
+        /// Number of GPUs `M`.
+        num_gpus: usize,
+        /// Actual length of the link matrix.
+        link_entries: usize,
+    },
+    /// Some GPU cannot reach the rest of the platform over finite links.
+    Disconnected,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoGpus => write!(f, "platform has no GPUs"),
+            PlatformError::NoClasses => write!(f, "platform has no device or link classes"),
+            PlatformError::BadBandwidth { link, value } => {
+                write!(f, "link class {link} has bad bandwidth {value} GB/s")
+            }
+            PlatformError::BadLatency { link, value } => {
+                write!(f, "link class {link} has bad latency {value} ms")
+            }
+            PlatformError::BadDeviceClass { gpu, class } => {
+                write!(f, "GPU {gpu} names undefined device class {class}")
+            }
+            PlatformError::BadLinkClass { src, dst, class } => {
+                write!(f, "pair ({src}, {dst}) names undefined link class {class}")
+            }
+            PlatformError::BadShape {
+                num_gpus,
+                link_entries,
+            } => {
+                write!(
+                    f,
+                    "link matrix has {link_entries} entries for {num_gpus} GPUs"
+                )
+            }
+            PlatformError::Disconnected => {
+                write!(f, "topology is not connected over finite links")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A multi-GPU platform: device classes, link classes and the topology
+/// that assigns them to GPUs and GPU pairs.
+///
+/// The paper's setting (§III-A: an SMP system of `M` homogeneous GPUs
+/// behind one link) is the uniform special case — one entry in `classes`,
+/// one in `links`, a [`Topology::uniform`] mapping. Heterogeneous
+/// platforms mix device generations and fabrics (NVLink pairs bridged
+/// over PCIe, host-staged two-hop routes).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Platform {
-    /// GPU model replicated `num_gpus` times.
-    pub gpu: GpuSpec,
-    /// Link between each GPU pair.
-    pub link: LinkSpec,
+    /// Device classes (GPU models) present on the platform.
+    pub classes: Vec<GpuSpec>,
+    /// Link classes present on the platform.
+    pub links: Vec<LinkSpec>,
+    /// Per-GPU / per-pair assignment of those classes.
+    pub topology: Topology,
     /// Number of GPUs `M`.
     pub num_gpus: usize,
 }
 
 impl Platform {
+    /// The paper's homogeneous platform: `num_gpus` identical GPUs, every
+    /// pair joined by the same link.
+    pub fn uniform(gpu: GpuSpec, link: LinkSpec, num_gpus: usize) -> Self {
+        Platform {
+            classes: vec![gpu],
+            links: vec![link],
+            topology: Topology::uniform(),
+            num_gpus,
+        }
+    }
+
+    /// An explicit heterogeneous platform.
+    ///
+    /// # Panics
+    /// Panics when the topology shape does not match `num_gpus` (call
+    /// [`Platform::validate`] for value-level checks).
+    pub fn hetero(classes: Vec<GpuSpec>, links: Vec<LinkSpec>, topology: Topology) -> Self {
+        let num_gpus = topology.num_gpus();
+        assert!(
+            !topology.is_uniform(),
+            "use Platform::uniform for the homogeneous case"
+        );
+        Platform {
+            classes,
+            links,
+            topology,
+            num_gpus,
+        }
+    }
+
+    /// Reference GPU model (class 0 — the class of GPU 0 on every
+    /// preset).
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.classes[0]
+    }
+
+    /// Reference link model (link class 0).
+    pub fn link(&self) -> &LinkSpec {
+        &self.links[0]
+    }
+
     /// The paper's testbed: Dell R750XA with two A40s over an NVLink
     /// bridge (§VI-A).
     pub fn dual_a40_nvlink() -> Self {
-        Platform {
-            gpu: GpuSpec::a40(),
-            link: LinkSpec::nvlink_bridge(),
-            num_gpus: 2,
-        }
+        Platform::uniform(GpuSpec::a40(), LinkSpec::nvlink_bridge(), 2)
     }
 
     /// Dual RTX A5500 over NVLink (Fig. 2, middle platform).
     pub fn dual_a5500_nvlink() -> Self {
-        Platform {
-            gpu: GpuSpec::a5500(),
-            link: LinkSpec::nvlink_bridge(),
-            num_gpus: 2,
-        }
+        Platform::uniform(GpuSpec::a5500(), LinkSpec::nvlink_bridge(), 2)
     }
 
     /// Dual Tesla V100S over PCIe Gen3 (Fig. 2, rightmost platform).
     pub fn dual_v100s_pcie() -> Self {
-        Platform {
-            gpu: GpuSpec::v100s(),
-            link: LinkSpec::pcie_gen3(),
-            num_gpus: 2,
-        }
+        Platform::uniform(GpuSpec::v100s(), LinkSpec::pcie_gen3(), 2)
     }
 
     /// A hypothetical M-GPU NVSwitch server (used for the GPU-count sweep
     /// of Fig. 7 when mapped onto CNN workloads).
     pub fn nvswitch_server(num_gpus: usize) -> Self {
-        Platform {
-            gpu: GpuSpec::a40(),
-            link: LinkSpec::nvswitch(),
-            num_gpus,
+        Platform::uniform(GpuSpec::a40(), LinkSpec::nvswitch(), num_gpus)
+    }
+
+    /// The mixed serving box the hetero experiments use: GPUs 0–1 are
+    /// A40s on an NVLink bridge, GPUs 2–3 are V100Ss on a second NVLink
+    /// bridge, and the two pairs see each other only over PCIe Gen3.
+    pub fn mixed_a40_v100s() -> Self {
+        let nv = 0usize; // link class 0: NVLink within a pair
+        let pc = 1usize; // link class 1: PCIe across pairs
+        #[rustfmt::skip]
+        let link_class = vec![
+            nv, nv, pc, pc,
+            nv, nv, pc, pc,
+            pc, pc, nv, nv,
+            pc, pc, nv, nv,
+        ];
+        Platform::hetero(
+            vec![GpuSpec::a40(), GpuSpec::v100s()],
+            vec![LinkSpec::nvlink_bridge(), LinkSpec::pcie_gen3()],
+            Topology::hetero(vec![0, 0, 1, 1], link_class),
+        )
+    }
+
+    /// Replaces every unconnected ([`NO_LINK`]) off-diagonal pair with a
+    /// host-staged two-hop route through the intermediate GPU that prices
+    /// cheapest for a 1 MB message, appending the composed [`LinkSpec`]s
+    /// to `links`. Ties break toward the lowest intermediate index, so
+    /// the result is deterministic.
+    pub fn fill_host_staged(&mut self, hop_penalty_ms: f64) {
+        if self.topology.is_uniform() {
+            return;
         }
+        const REF_BYTES: u64 = 1_000_000;
+        let m = self.num_gpus;
+        let mut composed: Vec<((usize, usize), usize)> = Vec::new();
+        for s in 0..m {
+            for d in 0..m {
+                if s == d || self.topology.link_between(s, d) != NO_LINK {
+                    continue;
+                }
+                let mut best: Option<(f64, usize, usize)> = None; // (cost, l1, l2)
+                for k in 0..m {
+                    if k == s || k == d {
+                        continue;
+                    }
+                    let l1 = self.topology.link_between(s, k);
+                    let l2 = self.topology.link_between(k, d);
+                    if l1 == NO_LINK || l2 == NO_LINK || l1 >= self.links.len() {
+                        continue;
+                    }
+                    if l2 >= self.links.len() {
+                        continue;
+                    }
+                    let two_hop =
+                        LinkSpec::host_staged(&self.links[l1], &self.links[l2], hop_penalty_ms);
+                    let cost = two_hop.transfer_ms(REF_BYTES);
+                    if best.as_ref().is_none_or(|&(c, _, _)| cost < c) {
+                        best = Some((cost, l1, l2));
+                    }
+                }
+                let Some((_, l1, l2)) = best else {
+                    continue; // still unreachable; validate() reports it
+                };
+                let class = match composed.iter().find(|&&(hops, _)| hops == (l1, l2)) {
+                    Some(&(_, class)) => class,
+                    None => {
+                        let class = self.links.len();
+                        self.links.push(LinkSpec::host_staged(
+                            &self.links[l1],
+                            &self.links[l2],
+                            hop_penalty_ms,
+                        ));
+                        composed.push(((l1, l2), class));
+                        class
+                    }
+                };
+                self.topology.link_class[s * m + d] = class;
+            }
+        }
+    }
+
+    /// Validates the platform: at least one GPU, well-formed class
+    /// definitions (positive finite bandwidths, non-negative latencies),
+    /// in-range topology indices and a connected link graph.
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        if self.num_gpus == 0 {
+            return Err(PlatformError::NoGpus);
+        }
+        if self.classes.is_empty() || self.links.is_empty() {
+            return Err(PlatformError::NoClasses);
+        }
+        for (li, link) in self.links.iter().enumerate() {
+            if !(link.bandwidth_gbps.is_finite() && link.bandwidth_gbps > 0.0) {
+                return Err(PlatformError::BadBandwidth {
+                    link: li,
+                    value: link.bandwidth_gbps,
+                });
+            }
+            if !(link.latency_ms.is_finite() && link.latency_ms >= 0.0) {
+                return Err(PlatformError::BadLatency {
+                    link: li,
+                    value: link.latency_ms,
+                });
+            }
+        }
+        if !self.topology.is_uniform() {
+            let m = self.topology.num_gpus();
+            if m != self.num_gpus || self.topology.link_class.len() != m * m {
+                return Err(PlatformError::BadShape {
+                    num_gpus: self.num_gpus,
+                    link_entries: self.topology.link_class.len(),
+                });
+            }
+            for (gpu, &class) in self.topology.device_class.iter().enumerate() {
+                if class >= self.classes.len() {
+                    return Err(PlatformError::BadDeviceClass { gpu, class });
+                }
+            }
+            for s in 0..m {
+                for d in 0..m {
+                    let class = self.topology.link_class[s * m + d];
+                    if s != d && class != NO_LINK && class >= self.links.len() {
+                        return Err(PlatformError::BadLinkClass {
+                            src: s,
+                            dst: d,
+                            class,
+                        });
+                    }
+                }
+            }
+        }
+        if self.num_gpus > 1 && !self.topology.is_connected() {
+            return Err(PlatformError::Disconnected);
+        }
+        Ok(())
     }
 }
 
@@ -138,8 +409,104 @@ mod tests {
         assert_eq!(Platform::dual_a40_nvlink().num_gpus, 2);
         assert_eq!(Platform::nvswitch_server(8).num_gpus, 8);
         assert_eq!(
-            Platform::dual_v100s_pcie().link.name,
+            Platform::dual_v100s_pcie().link().name,
             LinkSpec::pcie_gen3().name
         );
+        for p in [
+            Platform::dual_a40_nvlink(),
+            Platform::dual_a5500_nvlink(),
+            Platform::dual_v100s_pcie(),
+            Platform::nvswitch_server(8),
+            Platform::mixed_a40_v100s(),
+        ] {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn mixed_preset_routes_pairs_and_cross_links() {
+        let p = Platform::mixed_a40_v100s();
+        assert_eq!(p.num_gpus, 4);
+        assert_eq!(p.topology.class_of(0), 0);
+        assert_eq!(p.topology.class_of(3), 1);
+        // Within a pair: NVLink; across pairs: PCIe.
+        let nv = p.topology.link_between(0, 1);
+        let pc = p.topology.link_between(1, 2);
+        assert_ne!(nv, pc);
+        assert_eq!(p.links[nv].name, LinkSpec::nvlink_bridge().name);
+        assert_eq!(p.links[pc].name, LinkSpec::pcie_gen3().name);
+    }
+
+    #[test]
+    fn host_staged_fill_connects_and_prices_two_hops() {
+        // Ring with a missing chord: 0-1 NVLink, 1-2 PCIe, 0-2 absent.
+        #[rustfmt::skip]
+        let link_class = vec![
+            0, 0,       NO_LINK,
+            0, 0,       1,
+            NO_LINK, 1, 0,
+        ];
+        let mut p = Platform::hetero(
+            vec![GpuSpec::a40()],
+            vec![LinkSpec::nvlink_bridge(), LinkSpec::pcie_gen3()],
+            Topology::hetero(vec![0, 0, 0], link_class),
+        );
+        assert_eq!(p.topology.link_between(0, 2), NO_LINK);
+        p.fill_host_staged(0.03);
+        p.validate().unwrap();
+        let via = p.topology.link_between(0, 2);
+        assert_ne!(via, NO_LINK);
+        let staged = &p.links[via];
+        // Slower hop's bandwidth, latencies summed plus the hop penalty.
+        assert_eq!(staged.bandwidth_gbps, LinkSpec::pcie_gen3().bandwidth_gbps);
+        let want = LinkSpec::nvlink_bridge().latency_ms + LinkSpec::pcie_gen3().latency_ms + 0.03;
+        assert!((staged.latency_ms - want).abs() < 1e-12);
+        // And the composite itself prices through LinkSpec::transfer_ms.
+        let bytes = 5_000_000;
+        assert!(staged.transfer_ms(bytes) > LinkSpec::pcie_gen3().transfer_ms(bytes));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_platforms() {
+        let mut p = Platform::dual_a40_nvlink();
+        p.num_gpus = 0;
+        assert_eq!(p.validate(), Err(PlatformError::NoGpus));
+
+        let mut p = Platform::dual_a40_nvlink();
+        p.links[0].bandwidth_gbps = 0.0;
+        assert!(matches!(
+            p.validate(),
+            Err(PlatformError::BadBandwidth { link: 0, .. })
+        ));
+
+        let mut p = Platform::mixed_a40_v100s();
+        p.topology.device_class[3] = 9;
+        assert_eq!(
+            p.validate(),
+            Err(PlatformError::BadDeviceClass { gpu: 3, class: 9 })
+        );
+
+        let mut p = Platform::mixed_a40_v100s();
+        for d in 0..4 {
+            if d != 3 {
+                p.topology.link_class[3 * 4 + d] = NO_LINK;
+                p.topology.link_class[d * 4 + 3] = NO_LINK;
+            }
+        }
+        assert_eq!(p.validate(), Err(PlatformError::Disconnected));
+    }
+
+    #[test]
+    fn platform_serde_round_trip() {
+        for p in [Platform::dual_a40_nvlink(), Platform::mixed_a40_v100s()] {
+            let s = serde_json::to_string(&p).unwrap();
+            let back: Platform = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, p);
+        }
+        // NO_LINK entries survive the trip.
+        let mut p = Platform::mixed_a40_v100s();
+        p.topology.link_class[1] = NO_LINK;
+        let back: Platform = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(back.topology.link_class[1], NO_LINK);
     }
 }

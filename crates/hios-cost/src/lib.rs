@@ -26,9 +26,11 @@ pub mod gpu;
 pub mod interconnect;
 pub mod random;
 pub mod table;
+pub mod topology;
 
-pub use analytic::AnalyticCostModel;
+pub use analytic::{AnalyticCostModel, platform_table};
 pub use gpu::GpuSpec;
-pub use interconnect::{LinkSpec, Platform};
+pub use interconnect::{LinkSpec, Platform, PlatformError};
 pub use random::{RandomCostConfig, random_cost_table};
-pub use table::{ConcurrencyParams, CostError, CostTable};
+pub use table::{ConcurrencyParams, CostError, CostTable, DeviceCosts};
+pub use topology::{NO_LINK, Topology};

@@ -70,15 +70,14 @@ pub fn random_cost_table(graph: &Graph, cfg: &RandomCostConfig) -> CostTable {
         .iter()
         .map(|&t| (cfg.p * t).max(cfg.transfer_floor_ms))
         .collect();
-    CostTable {
-        source: format!("random(seed={}, p={})", cfg.seed, cfg.p),
+    CostTable::homogeneous(
+        format!("random(seed={}, p={})", cfg.seed, cfg.p),
         exec_ms,
         util,
         transfer_out_ms,
-        concurrency: ConcurrencyParams::default(),
-        launch_overhead_ms: 0.006,
-        meter: Default::default(),
-    }
+        ConcurrencyParams::default(),
+        0.006,
+    )
 }
 
 #[cfg(test)]
@@ -104,7 +103,7 @@ mod tests {
         for v in g.op_ids() {
             let e = t.exec(v);
             assert!((0.1..=4.0).contains(&e));
-            let x = t.transfer(v, v);
+            let x = t.transfer(v, 0, 1);
             assert!((x - (0.8 * e).max(0.1)).abs() < 1e-12);
         }
     }
@@ -114,9 +113,9 @@ mod tests {
         let g = sample_graph(2);
         let a = random_cost_table(&g, &RandomCostConfig::paper_default(9));
         let b = random_cost_table(&g, &RandomCostConfig::paper_default(9));
-        assert_eq!(a.exec_ms, b.exec_ms);
+        assert_eq!(a.device.exec_ms, b.device.exec_ms);
         let c = random_cost_table(&g, &RandomCostConfig::paper_default(10));
-        assert_ne!(a.exec_ms, c.exec_ms);
+        assert_ne!(a.device.exec_ms, c.device.exec_ms);
     }
 
     #[test]
@@ -124,9 +123,12 @@ mod tests {
         let g = sample_graph(3);
         let lo = random_cost_table(&g, &RandomCostConfig::paper_default(4).with_p(0.4));
         let hi = random_cost_table(&g, &RandomCostConfig::paper_default(4).with_p(1.2));
-        assert_eq!(lo.exec_ms, hi.exec_ms, "p must not change exec times");
+        assert_eq!(
+            lo.device.exec_ms, hi.device.exec_ms,
+            "p must not change exec times"
+        );
         for v in g.op_ids() {
-            assert!(lo.transfer(v, v) <= hi.transfer(v, v));
+            assert!(lo.transfer(v, 0, 1) <= hi.transfer(v, 0, 1));
         }
     }
 

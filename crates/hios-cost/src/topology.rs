@@ -1,0 +1,230 @@
+//! GPU-pair topology: which device class each GPU belongs to, and which
+//! link class joins each ordered GPU pair.
+//!
+//! The paper (§III-A) assumes an SMP system of `M` homogeneous GPUs behind
+//! one uniform link, which is the degenerate case here: a *uniform*
+//! topology maps **every** GPU to device class 0 and **every** pair to
+//! link class 0, without fixing `M` — so the existing GPU-count sweeps
+//! keep working unchanged and homogeneous cost tables stay bit-identical
+//! to the pre-refactor flat vectors. A *heterogeneous* topology pins a
+//! concrete GPU count and carries an explicit per-pair link matrix
+//! (NVLink pairs bridged over PCIe, host-staged two-hop routes, ...).
+
+use serde::{Deserialize, Serialize};
+
+/// Marker for a GPU pair with no direct link. [`Topology::link_between`]
+/// returns this for unconnected pairs; cost lookups through such a pair
+/// price as `+inf`. Platform builders normally replace these entries with
+/// host-staged two-hop links before a table reaches a scheduler.
+pub const NO_LINK: usize = usize::MAX;
+
+/// Maps GPUs to device classes and ordered GPU pairs to link classes.
+///
+/// Two representations share this struct:
+///
+/// * **Uniform** (`device_class` and `link_class` both have length 1):
+///   every GPU is class 0 and every pair is link 0, for *any* GPU count.
+/// * **Heterogeneous** (`device_class.len() == M`, `link_class.len() ==
+///   M·M`): `device_class[g]` is GPU `g`'s class, `link_class[s·M + d]`
+///   is the link class of the ordered pair `(s, d)` (or [`NO_LINK`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Per-GPU device class (length 1 ⇒ uniform).
+    pub device_class: Vec<usize>,
+    /// Row-major `M × M` link-class matrix (length 1 ⇒ uniform). The
+    /// diagonal is never consulted: same-GPU edges do not transfer.
+    pub link_class: Vec<usize>,
+}
+
+impl Topology {
+    /// The paper's setting: one device class, one link class, any `M`.
+    pub fn uniform() -> Self {
+        Topology {
+            device_class: vec![0],
+            link_class: vec![0],
+        }
+    }
+
+    /// An explicit heterogeneous topology.
+    ///
+    /// # Panics
+    /// Panics when `link_class.len() != device_class.len()²` or
+    /// `device_class` is empty — structural errors a builder should never
+    /// produce. Value-level validation (class indices in range,
+    /// connectivity) lives in `Platform::validate`.
+    pub fn hetero(device_class: Vec<usize>, link_class: Vec<usize>) -> Self {
+        assert!(!device_class.is_empty(), "topology needs at least one GPU");
+        assert_eq!(
+            link_class.len(),
+            device_class.len() * device_class.len(),
+            "link matrix must be M x M"
+        );
+        Topology {
+            device_class,
+            link_class,
+        }
+    }
+
+    /// True for the one-class-fits-all representation.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.device_class.len() == 1 && self.link_class.len() == 1
+    }
+
+    /// Number of GPUs the topology pins down (heterogeneous only; a
+    /// uniform topology covers any count — see [`Topology::covers`]).
+    #[inline]
+    pub fn num_gpus(&self) -> usize {
+        self.device_class.len()
+    }
+
+    /// Device class of `gpu`.
+    ///
+    /// # Panics
+    /// Panics when a heterogeneous topology does not cover `gpu`.
+    #[inline]
+    pub fn class_of(&self, gpu: usize) -> usize {
+        if self.is_uniform() {
+            0
+        } else {
+            self.device_class[gpu]
+        }
+    }
+
+    /// Link class of the ordered pair `(src, dst)`, or [`NO_LINK`].
+    ///
+    /// # Panics
+    /// Panics when a heterogeneous topology does not cover the pair.
+    #[inline]
+    pub fn link_between(&self, src: usize, dst: usize) -> usize {
+        if self.is_uniform() {
+            0
+        } else {
+            self.link_class[src * self.device_class.len() + dst]
+        }
+    }
+
+    /// Whether a schedule over `m` GPUs can be priced on this topology.
+    #[inline]
+    pub fn covers(&self, m: usize) -> bool {
+        self.is_uniform() || m <= self.device_class.len()
+    }
+
+    /// Sub-topology over the physical GPUs in `gpu_map`: slot `i` of the
+    /// result is physical GPU `gpu_map[i]`. A uniform topology restricts
+    /// to itself (bit-identical pricing on any subset).
+    ///
+    /// # Panics
+    /// Panics when a heterogeneous topology does not cover an entry of
+    /// `gpu_map`.
+    pub fn restrict(&self, gpu_map: &[usize]) -> Topology {
+        if self.is_uniform() {
+            return self.clone();
+        }
+        let k = gpu_map.len();
+        let device_class: Vec<usize> = gpu_map.iter().map(|&g| self.class_of(g)).collect();
+        let mut link_class = Vec::with_capacity(k * k);
+        for &s in gpu_map {
+            for &d in gpu_map {
+                link_class.push(self.link_between(s, d));
+            }
+        }
+        Topology {
+            device_class,
+            link_class,
+        }
+    }
+
+    /// True when every off-diagonal pair reaches every other GPU through
+    /// finite links (union-find over the undirected support of the link
+    /// matrix). Uniform topologies are trivially connected.
+    pub fn is_connected(&self) -> bool {
+        if self.is_uniform() {
+            return true;
+        }
+        let m = self.device_class.len();
+        let mut parent: Vec<usize> = (0..m).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for s in 0..m {
+            for d in 0..m {
+                if s != d && self.link_class[s * m + d] != NO_LINK {
+                    let (rs, rd) = (find(&mut parent, s), find(&mut parent, d));
+                    parent[rs] = rd;
+                }
+            }
+        }
+        let root = find(&mut parent, 0);
+        (1..m).all(|g| find(&mut parent, g) == root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_any_gpu_count() {
+        let t = Topology::uniform();
+        assert!(t.is_uniform());
+        assert!(t.covers(1) && t.covers(64));
+        assert_eq!(t.class_of(17), 0);
+        assert_eq!(t.link_between(3, 9), 0);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn hetero_maps_pairs() {
+        // GPUs 0,1 = class 0 (NVLink pair, link 0); GPU 2 = class 1,
+        // reached over link 1.
+        let t = Topology::hetero(vec![0, 0, 1], vec![0, 0, 1, 0, 0, 1, 1, 1, 0]);
+        assert!(!t.is_uniform());
+        assert_eq!(t.num_gpus(), 3);
+        assert!(t.covers(3) && !t.covers(4));
+        assert_eq!(t.class_of(2), 1);
+        assert_eq!(t.link_between(0, 1), 0);
+        assert_eq!(t.link_between(1, 2), 1);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn restrict_maps_slots_to_physical_gpus() {
+        let t = Topology::hetero(vec![0, 0, 1], vec![0, 0, 1, 0, 0, 1, 1, 1, 0]);
+        let r = t.restrict(&[0, 2]);
+        assert_eq!(r.num_gpus(), 2);
+        assert_eq!(r.class_of(1), 1);
+        assert_eq!(r.link_between(0, 1), 1);
+        assert_eq!(r.link_between(0, 0), 0);
+
+        let u = Topology::uniform();
+        assert_eq!(u.restrict(&[1, 3]), u);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_detected() {
+        // GPU 2 has no finite link to anyone.
+        let t = Topology::hetero(
+            vec![0, 0, 1],
+            vec![0, 0, NO_LINK, 0, 0, NO_LINK, NO_LINK, NO_LINK, 0],
+        );
+        assert!(!t.is_connected());
+        assert_eq!(t.link_between(0, 2), NO_LINK);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topology::hetero(vec![0, 1], vec![0, 1, 1, 0]);
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+        let no_link = Topology::hetero(vec![0, 1], vec![0, NO_LINK, NO_LINK, 0]);
+        let s = serde_json::to_string(&no_link).unwrap();
+        let back: Topology = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.link_between(0, 1), NO_LINK);
+    }
+}

@@ -67,15 +67,14 @@ pub fn execute_schedule(
     // Feasibility gate: a cyclic schedule would deadlock the workers.
     // The evaluator's stage-graph check covers exactly that; costs are
     // irrelevant here so a unit table suffices.
-    let unit = CostTable {
-        source: "unit".into(),
-        exec_ms: vec![1.0; g.num_ops()],
-        util: vec![1.0; g.num_ops()],
-        transfer_out_ms: vec![0.0; g.num_ops()],
-        concurrency: ConcurrencyParams::default(),
-        launch_overhead_ms: 0.0,
-        meter: Default::default(),
-    };
+    let unit = CostTable::homogeneous(
+        "unit",
+        vec![1.0; g.num_ops()],
+        vec![1.0; g.num_ops()],
+        vec![0.0; g.num_ops()],
+        ConcurrencyParams::default(),
+        0.0,
+    );
     evaluate(g, &unit, sched).map_err(|e| EngineError::InfeasibleSchedule(e.to_string()))?;
     for v in g.op_ids() {
         if matches!(g.node(v).kind, OpKind::Input) {

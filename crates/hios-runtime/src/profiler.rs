@@ -78,15 +78,14 @@ pub fn profile_on_engine(
     }
 
     let ids: Vec<_> = g.op_ids().collect();
-    CostTable {
-        source: format!("engine-profiled({} reps)", cfg.reps),
+    CostTable::homogeneous(
+        format!("engine-profiled({} reps)", cfg.reps),
         exec_ms,
-        util: ids.iter().map(|&v| hw.util(g, v)).collect(),
-        transfer_out_ms: ids.iter().map(|&v| hw.transfer_out_ms(g, v)).collect(),
-        concurrency: hw.concurrency,
-        launch_overhead_ms: hw.gpu.launch_overhead_ms,
-        meter: Default::default(),
-    }
+        ids.iter().map(|&v| hw.util(g, v)).collect(),
+        ids.iter().map(|&v| hw.transfer_out_ms(g, v)).collect(),
+        hw.concurrency,
+        hw.gpu.launch_overhead_ms,
+    )
 }
 
 #[cfg(test)]

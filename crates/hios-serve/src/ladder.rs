@@ -30,6 +30,22 @@ use hios_core::{
 };
 use hios_cost::CostTable;
 use hios_graph::Graph;
+use std::borrow::Cow;
+
+/// Cost view where slot `i` prices as physical GPU `gpu_map[i]`.
+///
+/// On a uniform platform every GPU prices alike, so the table is lent
+/// out untouched (keeping the homogeneous serving path allocation-free
+/// and bit-identical to the flat-table era); a heterogeneous table is
+/// re-indexed so the schedulers' "try every GPU" loop prices the alive
+/// devices — and the links between them — correctly.
+fn slot_cost<'a>(cost: &'a CostTable, gpu_map: &[usize]) -> Cow<'a, CostTable> {
+    if cost.topology.is_uniform() {
+        Cow::Borrowed(cost)
+    } else {
+        Cow::Owned(cost.restrict_gpus(gpu_map))
+    }
+}
 
 /// Modeled cost of serving a schedule straight from the cache, ms.
 pub const CACHE_HIT_COST_MS: f64 = 0.05;
@@ -194,6 +210,7 @@ impl AnytimeLadder {
             return Err(ServeError::NoCapacity);
         }
         let n = g.num_ops();
+        let cost = &*slot_cost(cost, &gpu_map);
         match policy {
             Policy::GreedyOnly => {
                 let (schedule, nominal) = self.run_greedy(g, cost, m)?;
@@ -226,7 +243,7 @@ impl AnytimeLadder {
                 })
             }
             Policy::Anytime => {
-                let key = ScheduleCacheKey::for_platform(g, alive);
+                let key = ScheduleCacheKey::for_platform(g, alive, cost);
                 if let Some(plan) = self.cache.get(&key) {
                     let decision = LadderDecision {
                         schedule: plan.schedule.clone(),
@@ -280,11 +297,13 @@ impl AnytimeLadder {
         alive: &[bool],
         eval: impl Fn(&Schedule) -> f64,
     ) -> bool {
-        let m = alive.iter().filter(|&&a| a).count();
+        let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+        let m = gpu_map.len();
         if m == 0 {
             return false;
         }
-        let key = ScheduleCacheKey::for_platform(g, alive);
+        let cost = &*slot_cost(cost, &gpu_map);
+        let key = ScheduleCacheKey::for_platform(g, alive, cost);
         if matches!(self.cache.peek(&key), Some(plan) if plan.rung == Rung::FullLp) {
             return false; // already at top quality
         }
@@ -327,11 +346,13 @@ impl AnytimeLadder {
         alive: &[bool],
         eval: impl Fn(&Schedule) -> f64,
     ) -> bool {
-        let m = alive.iter().filter(|&&a| a).count();
+        let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+        let m = gpu_map.len();
         if m == 0 {
             return false;
         }
-        let key = ScheduleCacheKey::for_platform(g, alive);
+        let cost = &*slot_cost(cost, &gpu_map);
+        let key = ScheduleCacheKey::for_platform(g, alive, cost);
         let Some(old) = self.cache.peek(&key) else {
             return false; // nothing cached: the miss path will schedule
         };
@@ -544,6 +565,79 @@ mod tests {
         assert_eq!(after.rung, Rung::Cached);
         assert!(after.nominal_ms <= before.nominal_ms);
         assert_eq!(ladder.upgrades(), 1);
+    }
+
+    #[test]
+    fn breakers_on_the_fast_class_reprice_the_slow_pair() {
+        // Mixed box: GPUs 0-1 are A40s, 2-3 are V100Ss.  When breakers
+        // trip the fast pair, the ladder must schedule on a slot table
+        // restricted to the slow class — not serve a plan priced for
+        // A40s — and the two platform slices must never share a cache
+        // entry.
+        let (g, _) = fixture();
+        let platform = hios_cost::Platform::mixed_a40_v100s();
+        let cost = hios_cost::platform_table(&platform, &g).unwrap();
+        let mut ladder = AnytimeLadder::new(LadderConfig {
+            budget: SchedBudget::unlimited(),
+            ..LadderConfig::default()
+        });
+        let inf = f64::INFINITY;
+        let fast = ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, true, false, false],
+                0,
+                inf,
+                Policy::Anytime,
+            )
+            .unwrap();
+        let slow = ladder
+            .decide(
+                &g,
+                &cost,
+                &[false, false, true, true],
+                0,
+                inf,
+                Policy::Anytime,
+            )
+            .unwrap();
+        assert_ne!(slow.rung, Rung::Cached, "different alive set must miss");
+        assert_eq!(slow.gpu_map, vec![2, 3]);
+        assert!(
+            slow.nominal_ms > fast.nominal_ms,
+            "V100S-only plan ({:.3} ms) must price slower than the A40 pair ({:.3} ms)",
+            slow.nominal_ms,
+            fast.nominal_ms
+        );
+        // Same alive mask on a *different* platform: the fingerprint in
+        // the cache key keeps the uniform table from hitting the entry
+        // the heterogeneous table populated.
+        let uniform = AnalyticCostModel::a40_nvlink().build_table(&g);
+        let u = ladder
+            .decide(
+                &g,
+                &uniform,
+                &[true, true, false, false],
+                0,
+                inf,
+                Policy::Anytime,
+            )
+            .unwrap();
+        assert_ne!(u.rung, Rung::Cached, "platform change must miss");
+        // Re-asking for the slow pair on the hetero table still hits.
+        let again = ladder
+            .decide(
+                &g,
+                &cost,
+                &[false, false, true, true],
+                0,
+                inf,
+                Policy::Anytime,
+            )
+            .unwrap();
+        assert_eq!(again.rung, Rung::Cached);
+        assert_eq!(again.nominal_ms, slow.nominal_ms);
     }
 
     #[test]

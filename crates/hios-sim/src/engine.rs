@@ -33,6 +33,12 @@ pub struct SimConfig {
     /// Extra delay between a remote transfer completing and the consumer
     /// kernel launching (the CUDA-aware-MPI gap of §VI-E), ms.
     pub cross_gpu_launch_gap_ms: f64,
+    /// Reroute transfers whose direct link prices as +∞ (a stalled link
+    /// under [`Scaling`], or a pair the topology leaves unconnected)
+    /// through the cheapest two-hop path over an intermediate GPU.  Off
+    /// by default: a stalled link then stalls its consumers, which is
+    /// what fault *detection* needs to observe.
+    pub reroute_failed_links: bool,
 }
 
 impl SimConfig {
@@ -44,6 +50,7 @@ impl SimConfig {
             link_serialization: false,
             launch_overhead_ms: 0.0,
             cross_gpu_launch_gap_ms: 0.0,
+            reroute_failed_links: false,
         }
     }
 
@@ -60,6 +67,7 @@ impl SimConfig {
             link_serialization: true,
             launch_overhead_ms: 0.0,
             cross_gpu_launch_gap_ms: cost.launch_overhead_ms,
+            reroute_failed_links: false,
         }
     }
 }
@@ -68,9 +76,11 @@ impl SimConfig {
 /// the hook through which fault injection expresses persistent GPU
 /// slowdowns and link degradation ([`crate::fault`], DESIGN.md §8).
 ///
-/// The cost table cannot carry these: `transfer_out_ms` is a function of
-/// the producer only, so a *per-link* factor has to be applied by the
-/// engine at the moment the directed link is known.
+/// The cost table's topology carries the platform's *static* per-pair
+/// pricing; these factors are the *dynamic* overlay (a GPU thermally
+/// throttling, a link flapping) that fault injection turns on and off
+/// mid-run, applied by the engine at the moment the directed link is
+/// known.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scaling {
     /// Per-GPU execution factor (`1.0` = nominal, `2.0` = half speed).
@@ -268,11 +278,11 @@ pub fn simulate_scaled(
         let mut fs = Vec::with_capacity(gpu.stages.len());
         let mut ds = Vec::with_capacity(gpu.stages.len());
         for stage in &gpu.stages {
-            let t_s = cost.concurrent(&stage.ops) * scaling.gpu[gi];
+            let t_s = cost.concurrent_on(gi, &stage.ops) * scaling.gpu[gi];
             let t_max = stage
                 .ops
                 .iter()
-                .map(|&v| cost.exec(v))
+                .map(|&v| cost.exec_on(gi, v))
                 .fold(0.0f64, f64::max);
             fs.push(if t_max > 0.0 { t_s / t_max } else { 1.0 });
             ds.push(t_s);
@@ -367,7 +377,8 @@ pub fn simulate_scaled(
             let p = place(v);
             if !started[v.index()] && stage_open[p.gpu][p.stage] && missing_inputs[v.index()] == 0 {
                 let start = stage_open_time[p.gpu][p.stage].max($now);
-                let dur = cost.exec(v) * stage_factor[p.gpu][p.stage] + cfg.launch_overhead_ms;
+                let dur =
+                    cost.exec_on(p.gpu, v) * stage_factor[p.gpu][p.stage] + cfg.launch_overhead_ms;
                 started[v.index()] = true;
                 op_start[v.index()] = start;
                 op_finish[v.index()] = start + dur;
@@ -428,16 +439,43 @@ pub fn simulate_scaled(
                     } else {
                         // Remote consumer: occupy the directed link.
                         let link = pv.gpu * m + pw.gpu;
+                        let direct = cost.transfer(v, pv.gpu, pw.gpu) * scaling.link[link];
+                        // A dead direct route (stalled link or a pair the
+                        // topology leaves unconnected) can optionally be
+                        // rerouted over the cheapest intermediate hop.
+                        let (dt, route) = if cfg.reroute_failed_links && !direct.is_finite() {
+                            let mut best = f64::INFINITY;
+                            let mut hop = None;
+                            for k in 0..m {
+                                if k == pv.gpu || k == pw.gpu {
+                                    continue;
+                                }
+                                let legs = cost.transfer(v, pv.gpu, k)
+                                    * scaling.link_factor(pv.gpu, k)
+                                    + cost.transfer(v, k, pw.gpu) * scaling.link_factor(k, pw.gpu);
+                                if legs < best {
+                                    best = legs;
+                                    hop = Some(k);
+                                }
+                            }
+                            match hop {
+                                Some(k) => (best, [pv.gpu * m + k, k * m + pw.gpu]),
+                                None => (direct, [link, link]),
+                            }
+                        } else {
+                            (direct, [link, link])
+                        };
                         let t_start = if cfg.link_serialization {
-                            link_busy[link].max(now)
+                            route.iter().map(|&l| link_busy[l]).fold(now, f64::max)
                         } else {
                             now
                         };
                         // A 0 × ∞ product (zero-cost transfer over a
                         // stalled link) still means "never delivers".
-                        let dt = cost.transfer(v, w) * scaling.link[link];
                         let t_finish = t_start + if dt.is_nan() { f64::INFINITY } else { dt };
-                        link_busy[link] = t_finish;
+                        for &l in &route {
+                            link_busy[l] = link_busy[l].max(t_finish);
+                        }
                         transfers.push(TransferRecord {
                             from: v,
                             to: w,
@@ -600,18 +638,17 @@ mod tests {
     use hios_graph::{GraphBuilder, LayeredDagConfig, generate_layered_dag};
 
     fn uniform_cost(n: usize, exec: f64, util: f64, transfer: f64) -> CostTable {
-        CostTable {
-            source: "test".into(),
-            exec_ms: vec![exec; n],
-            util: vec![util; n],
-            transfer_out_ms: vec![transfer; n],
-            concurrency: ConcurrencyParams {
+        CostTable::homogeneous(
+            "test",
+            vec![exec; n],
+            vec![util; n],
+            vec![transfer; n],
+            ConcurrencyParams {
                 contention_alpha: 0.15,
                 stream_overhead_ms: 0.0,
             },
-            launch_overhead_ms: 0.0,
-            meter: Default::default(),
-        }
+            0.0,
+        )
     }
 
     /// a feeds b on another GPU.
@@ -851,6 +888,47 @@ mod tests {
         let r = simulate_scaled(&g, &cost, &s, &SimConfig::analytical(), &sc).unwrap();
         assert!(r.makespan.is_infinite());
         assert!(r.op_finish[1].is_infinite());
+    }
+
+    #[test]
+    fn reroute_sends_stalled_transfers_over_a_hop() {
+        // a on GPU 0 feeds b on GPU 2; the direct 0 -> 2 link is stalled.
+        let mut b = GraphBuilder::new();
+        let a = b.add_synthetic("a", &[]);
+        let _b = b.add_synthetic("b", &[a]);
+        let g = b.build();
+        let s = Schedule {
+            gpus: vec![
+                GpuSchedule {
+                    stages: vec![Stage::solo(hios_graph::OpId(0))],
+                },
+                GpuSchedule { stages: vec![] },
+                GpuSchedule {
+                    stages: vec![Stage::solo(hios_graph::OpId(1))],
+                },
+            ],
+        };
+        let cost = uniform_cost(2, 1.0, 1.0, 0.5);
+        let mut sc = Scaling::identity(3);
+        sc.link[2] = f64::INFINITY; // link 0 -> 2
+
+        let stuck = simulate_scaled(&g, &cost, &s, &SimConfig::analytical(), &sc).unwrap();
+        assert!(stuck.makespan.is_infinite());
+
+        let mut cfg = SimConfig::analytical();
+        cfg.reroute_failed_links = true;
+        let routed = simulate_scaled(&g, &cost, &s, &cfg, &sc).unwrap();
+        // 1.0 exec + (0.5 + 0.5) two-hop transfer + 1.0 exec.
+        assert!((routed.makespan - 3.0).abs() < 1e-9, "{}", routed.makespan);
+
+        // With only two GPUs there is no intermediate hop: the flag
+        // changes nothing and the stall is still observed.
+        let (g2, s2) = cross_pair();
+        let cost2 = uniform_cost(2, 1.0, 1.0, 0.5);
+        let mut sc2 = Scaling::identity(2);
+        sc2.link[1] = f64::INFINITY;
+        let r2 = simulate_scaled(&g2, &cost2, &s2, &cfg, &sc2).unwrap();
+        assert!(r2.makespan.is_infinite());
     }
 
     #[test]

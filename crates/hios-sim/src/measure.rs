@@ -16,6 +16,28 @@ use hios_graph::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Applies one multiplicative jitter factor per operator (drawn once,
+/// shared by every device class) and one per transfer (shared by every
+/// link class): the jitter models the *kernel* running long, which it
+/// does wherever it is placed.  One draw per operator also keeps the RNG
+/// stream — and therefore every homogeneous measurement — identical to
+/// the flat-table era.
+fn jitter_table(noisy: &mut CostTable, jitter: f64, rng: &mut StdRng) {
+    let n = noisy.num_ops();
+    for i in 0..n {
+        let f = 1.0 + rng.random_range(0.0..jitter);
+        for row in &mut noisy.device.exec_ms {
+            row[i] *= f;
+        }
+    }
+    for i in 0..n {
+        let f = 1.0 + rng.random_range(0.0..jitter);
+        for row in &mut noisy.transfer_ms {
+            row[i] *= f;
+        }
+    }
+}
+
 /// Noise configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct MeasureConfig {
@@ -67,12 +89,7 @@ pub fn measure(
     for _ in 0..cfg.runs {
         let mut noisy = cost.clone();
         if cfg.jitter > 0.0 {
-            for t in &mut noisy.exec_ms {
-                *t *= 1.0 + rng.random_range(0.0..cfg.jitter);
-            }
-            for t in &mut noisy.transfer_out_ms {
-                *t *= 1.0 + rng.random_range(0.0..cfg.jitter);
-            }
+            jitter_table(&mut noisy, cfg.jitter, &mut rng);
         }
         samples.push(simulate(g, &noisy, sched, sim_cfg)?.makespan);
     }
@@ -129,12 +146,7 @@ pub fn measure_recovery(
     for _ in 0..cfg.runs {
         let mut noisy = cost.clone();
         if cfg.jitter > 0.0 {
-            for t in &mut noisy.exec_ms {
-                *t *= 1.0 + rng.random_range(0.0..cfg.jitter);
-            }
-            for t in &mut noisy.transfer_out_ms {
-                *t *= 1.0 + rng.random_range(0.0..cfg.jitter);
-            }
+            jitter_table(&mut noisy, cfg.jitter, &mut rng);
         }
         let r = run_with_repair(g, &noisy, sched, plan, rcfg)?;
         repairs_total += r.repairs;

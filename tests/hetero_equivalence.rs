@@ -1,0 +1,82 @@
+//! Differential check for the heterogeneous platform core (ISSUE 4): a
+//! *physically homogeneous* platform expressed through the heterogeneous
+//! matrix API — one device class per GPU, one link class per ordered pair,
+//! all rows copies of the same flat vectors — must produce **bit-identical**
+//! schedules and latencies to the uniform [`CostTable::homogeneous`]
+//! representation, for every algorithm, on random DAGs, at any rayon
+//! thread count.  This is the refactor's no-regression contract: the
+//! matrix plumbing through eval/lp/mr/ios/window/bounds must degenerate to
+//! exactly the pre-refactor arithmetic when every row is the same.
+
+use hios::core::{Algorithm, SchedulerOptions, run_scheduler};
+use hios::cost::{CostTable, DeviceCosts, RandomCostConfig, Topology, random_cost_table};
+use hios::graph::{LayeredDagConfig, generate_layered_dag};
+use proptest::prelude::*;
+
+/// Re-expresses a uniform table as a maximally-expanded heterogeneous one
+/// over `m` GPUs: every GPU gets its own device class and every ordered
+/// pair its own link class, with all class rows exact copies of the flat
+/// rows.  Same physical platform, different representation.
+fn hetero_expressed(cost: &CostTable, m: usize) -> CostTable {
+    assert!(cost.topology.is_uniform(), "input must be the flat form");
+    let device = DeviceCosts {
+        exec_ms: vec![cost.device.exec_ms[0].clone(); m],
+        util: vec![cost.device.util[0].clone(); m],
+    };
+    let transfer_ms = vec![cost.transfer_ms[0].clone(); m * m];
+    let topology = Topology::hetero((0..m).collect(), (0..m * m).collect());
+    CostTable::heterogeneous(
+        cost.source.clone(),
+        device,
+        transfer_ms,
+        topology,
+        cost.concurrency,
+        cost.launch_overhead_ms,
+    )
+}
+
+/// Strategy: a feasible layered-DAG configuration, cost seed and GPU count.
+fn workload() -> impl Strategy<Value = (LayeredDagConfig, u64, usize)> {
+    (3usize..8, 0u64..1000, 0u64..1000, 2usize..5).prop_flat_map(
+        |(layers, seed, cost_seed, gpus)| {
+            (layers * 3..layers * 10).prop_flat_map(move |ops| {
+                (ops..3 * ops).prop_map(move |deps| {
+                    (
+                        LayeredDagConfig {
+                            ops,
+                            layers,
+                            deps,
+                            seed,
+                        },
+                        cost_seed,
+                        gpus,
+                    )
+                })
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matrix_representation_is_bit_identical_to_flat((cfg, cost_seed, gpus) in workload()) {
+        let g = generate_layered_dag(&cfg).unwrap();
+        let flat = random_cost_table(&g, &RandomCostConfig::paper_default(cost_seed));
+        let matrix = hetero_expressed(&flat, gpus);
+        let opts = SchedulerOptions::new(gpus);
+        for algo in Algorithm::ALL {
+            let a = run_scheduler(algo, &g, &flat, &opts).unwrap();
+            let b = run_scheduler(algo, &g, &matrix, &opts).unwrap();
+            prop_assert!(
+                a.latency_ms.to_bits() == b.latency_ms.to_bits(),
+                "{:?}: {} vs {}",
+                algo,
+                a.latency_ms,
+                b.latency_ms
+            );
+            prop_assert_eq!(a.schedule, b.schedule);
+        }
+    }
+}

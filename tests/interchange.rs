@@ -22,10 +22,11 @@ fn full_artifact_round_trip() {
         assert_eq!(g2.node(v).output_shape, g.node(v).output_shape);
     }
 
-    // Profile round trip.
+    // Profile round trip: every device-class and link-class row survives.
     let cost2 = CostTable::from_json(&cost.to_json()).expect("profile json");
-    assert_eq!(cost2.exec_ms, cost.exec_ms);
-    assert_eq!(cost2.transfer_out_ms, cost.transfer_out_ms);
+    assert_eq!(cost2.device.exec_ms, cost.device.exec_ms);
+    assert_eq!(cost2.transfer_ms, cost.transfer_ms);
+    assert_eq!(cost2.topology, cost.topology);
 
     // Schedule round trip, and the reloaded artifacts evaluate to the
     // same latency as the originals.
