@@ -1,5 +1,6 @@
 //! One module per group of paper figures.
 
+pub mod drift;
 pub mod ext;
 pub mod faults;
 pub mod hetero;
@@ -41,5 +42,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("fault-matrix", faults::fault_matrix),
         ("serving", serving::serving),
         ("hetero", hetero::hetero),
+        ("drift", drift::drift),
     ]
 }

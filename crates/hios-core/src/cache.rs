@@ -163,6 +163,21 @@ impl<V> ScheduleCache<V> {
         self.entries.remove(key)
     }
 
+    /// Keeps only the entries whose key satisfies `keep`; returns how
+    /// many were dropped.  Used by calibration: when a drift alarm
+    /// re-prices a platform, every entry planned against the stale
+    /// platform fingerprint is purged in one sweep.  Removal is by
+    /// predicate, never by iteration order, so the default hasher's
+    /// nondeterminism cannot leak into results.
+    pub fn retain<F>(&mut self, mut keep: F) -> usize
+    where
+        F: FnMut(&ScheduleCacheKey) -> bool,
+    {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| keep(k));
+        before - self.entries.len()
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -245,5 +260,26 @@ mod tests {
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(cache.invalidate(&key), Some(8.0));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn retain_purges_stale_platforms() {
+        let g = dag(5);
+        let cost = table(&g);
+        let mut drifted = cost.clone();
+        drifted.device.exec_ms[0][0] *= 3.0;
+        let fresh_fp = drifted.platform_fingerprint();
+        let stale = ScheduleCacheKey::for_platform(&g, &[true, true], &cost);
+        let stale_partial = ScheduleCacheKey::for_platform(&g, &[true, false], &cost);
+        let fresh = ScheduleCacheKey::for_platform(&g, &[true, true], &drifted);
+        let mut cache: ScheduleCache<u32> = ScheduleCache::new();
+        cache.insert_if_better(stale, 1, |_, _| true);
+        cache.insert_if_better(stale_partial, 2, |_, _| true);
+        cache.insert_if_better(fresh, 3, |_, _| true);
+        let dropped = cache.retain(|k| k.platform_fp == fresh_fp);
+        assert_eq!(dropped, 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.peek(&fresh).is_some());
+        assert!(cache.peek(&stale).is_none());
     }
 }

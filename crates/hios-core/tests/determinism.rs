@@ -10,7 +10,10 @@ use hios_core::eval::EvalWorkspace;
 use hios_core::lp::{HiosLpConfig, schedule_hios_lp};
 use hios_core::mr::{HiosMrConfig, schedule_hios_mr};
 use hios_core::repair::{RepairConfig, RepairPolicy, repair_schedule};
-use hios_cost::{CostTable, DeviceCosts, RandomCostConfig, Topology, random_cost_table};
+use hios_cost::{
+    CalibratedTable, CalibrationConfig, Calibrator, CostTable, DeviceCosts, RandomCostConfig,
+    Topology, random_cost_table,
+};
 use hios_graph::{LayeredDagConfig, generate_layered_dag};
 
 /// A genuinely heterogeneous 4-GPU expansion of a flat table: device
@@ -66,6 +69,30 @@ fn lp_and_mr_outputs_are_thread_count_invariant() {
     // thread-count invariant as the flat path.
     let hcost = hetero_table(&cost);
 
+    // Calibration leg: replay a fixed drifted-observation stream into a
+    // fresh calibrator and schedule on the materialized overlay. The
+    // replay, the overlay bits and the schedules on top must all be
+    // thread-count invariant.
+    let calibrate = || {
+        let mut cal = Calibrator::new(4, g.num_ops(), CalibrationConfig::default());
+        for round in 0..4u32 {
+            for v in g.op_ids() {
+                // GPU 1 drifts ~2.5x with a deterministic per-op wobble;
+                // GPU 3 drifts mildly; 0 and 2 stay nominal.
+                let wobble = 1.0 + f64::from((v.index() as u32 ^ round) % 7) / 100.0;
+                let predicted = cost.exec(v);
+                let _ = cal
+                    .observe(1, v, predicted * 2.5 * wobble, predicted)
+                    .unwrap();
+                let _ = cal.observe(3, v, predicted * 1.3, predicted).unwrap();
+                let _ = cal.observe(0, v, predicted, predicted).unwrap();
+            }
+        }
+        let mut t = CalibratedTable::new(cost.clone(), 4);
+        t.refresh(&cal);
+        (cal.fingerprint(), t)
+    };
+
     let run = || {
         let mut ws = EvalWorkspace::new();
         let (rep, _) = repair_schedule(
@@ -77,18 +104,23 @@ fn lp_and_mr_outputs_are_thread_count_invariant() {
             &RepairConfig::new(RepairPolicy::Reschedule),
         )
         .unwrap();
+        let (cal_fp, ctable) = calibrate();
         (
             schedule_hios_lp(&g, &cost, HiosLpConfig::new(4)),
             schedule_hios_mr(&g, &cost, HiosMrConfig::new(4)),
             rep,
             schedule_hios_lp(&g, &hcost, HiosLpConfig::new(4)),
             schedule_hios_mr(&g, &hcost, HiosMrConfig::new(4)),
+            cal_fp,
+            ctable.table().platform_fingerprint(),
+            schedule_hios_lp(&g, ctable.table(), HiosLpConfig::new(4)),
+            schedule_hios_mr(&g, ctable.table(), HiosMrConfig::new(4)),
         )
     };
     std::env::set_var("RAYON_NUM_THREADS", "1");
-    let (lp1, mr1, rep1, hlp1, hmr1) = run();
+    let (lp1, mr1, rep1, hlp1, hmr1, cfp1, pfp1, clp1, cmr1) = run();
     std::env::set_var("RAYON_NUM_THREADS", "4");
-    let (lp4, mr4, rep4, hlp4, hmr4) = run();
+    let (lp4, mr4, rep4, hlp4, hmr4, cfp4, pfp4, clp4, cmr4) = run();
     std::env::remove_var("RAYON_NUM_THREADS");
 
     assert_eq!(lp1.schedule, lp4.schedule);
@@ -111,4 +143,13 @@ fn lp_and_mr_outputs_are_thread_count_invariant() {
     assert_eq!(hmr1.schedule, hmr4.schedule);
     assert_eq!(hmr1.latency.to_bits(), hmr4.latency.to_bits());
     assert_eq!(hmr1.gpu_of, hmr4.gpu_of);
+
+    assert_eq!(cfp1, cfp4, "calibration replay must be bit-identical");
+    assert_eq!(pfp1, pfp4, "calibrated overlay bits must be identical");
+    assert_eq!(clp1.schedule, clp4.schedule);
+    assert_eq!(clp1.latency.to_bits(), clp4.latency.to_bits());
+    assert_eq!(clp1.gpu_of, clp4.gpu_of);
+    assert_eq!(cmr1.schedule, cmr4.schedule);
+    assert_eq!(cmr1.latency.to_bits(), cmr4.latency.to_bits());
+    assert_eq!(cmr1.gpu_of, cmr4.gpu_of);
 }

@@ -27,6 +27,7 @@ pub mod interconnect;
 pub mod random;
 pub mod table;
 pub mod topology;
+pub mod uncertainty;
 
 pub use analytic::{AnalyticCostModel, platform_table};
 pub use gpu::GpuSpec;
@@ -34,3 +35,7 @@ pub use interconnect::{LinkSpec, Platform, PlatformError};
 pub use random::{RandomCostConfig, random_cost_table};
 pub use table::{ConcurrencyParams, CostError, CostTable, DeviceCosts};
 pub use topology::{NO_LINK, Topology};
+pub use uncertainty::{
+    CalibratedTable, CalibrationConfig, Calibrator, CusumDetector, DriftAlarm, DriftDirection,
+    ObservationError, OnlineStats,
+};

@@ -39,7 +39,7 @@ use std::borrow::Cow;
 /// and bit-identical to the flat-table era); a heterogeneous table is
 /// re-indexed so the schedulers' "try every GPU" loop prices the alive
 /// devices — and the links between them — correctly.
-fn slot_cost<'a>(cost: &'a CostTable, gpu_map: &[usize]) -> Cow<'a, CostTable> {
+pub(crate) fn slot_cost<'a>(cost: &'a CostTable, gpu_map: &[usize]) -> Cow<'a, CostTable> {
     if cost.topology.is_uniform() {
         Cow::Borrowed(cost)
     } else {
@@ -443,6 +443,24 @@ impl AnytimeLadder {
             })
         })?;
         Ok((schedule, eval.latency))
+    }
+
+    /// Calibration invalidation: drops every cached plan for `g` that
+    /// was priced against a platform other than `current_platform_fp`.
+    ///
+    /// Called when a drift alarm re-materializes the model's planning
+    /// overlay: all of its cached plans were computed on stale prices,
+    /// and the new platform fingerprint in the cache key means they can
+    /// never be hit again — purging them keeps the cache from growing
+    /// one generation of dead entries per recalibration.  Entries
+    /// cached under restricted (partial-alive) slot tables carry the
+    /// restricted table's fingerprint and are conservatively dropped
+    /// too.  Other models' entries are untouched.  Returns the number
+    /// of entries dropped.
+    pub fn invalidate_stale(&mut self, g: &Graph, current_platform_fp: u64) -> usize {
+        let gfp = hios_core::graph_fingerprint(g);
+        self.cache
+            .retain(|k| k.graph_fp != gfp || k.platform_fp == current_platform_fp)
     }
 
     /// `(hits, misses)` of the schedule cache.

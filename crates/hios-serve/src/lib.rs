@@ -40,5 +40,5 @@ pub use ladder::{AnytimeLadder, CachedPlan, LadderConfig, LadderDecision, Policy
 pub use report::{ServeReport, history_digest, summarize};
 pub use request::{Disposition, Request, RequestRecord, ServeError, ShedReason};
 pub use retry::RetryConfig;
-pub use server::{ServeConfig, ServeOutcome, ServedModel, serve};
+pub use server::{ServeConfig, ServeOutcome, ServedModel, serve, serve_drift};
 pub use workload::{WorkloadConfig, generate_trace};

@@ -49,6 +49,14 @@ pub struct ServeReport {
     pub rungs: [u64; 4],
     /// Idle-time upgrade passes run.
     pub upgrades: u64,
+    /// Drift alarms raised by the online calibrator (0 when calibration
+    /// is off).
+    pub drift_alarms: u64,
+    /// Planning-overlay rebuilds that actually changed planning prices.
+    pub recalibrations: u64,
+    /// Schedule-cache entries purged because a recalibration made their
+    /// platform fingerprint stale.
+    pub cache_invalidations: u64,
     /// FNV-1a digest of the full outcome stream; equal digests ⇒
     /// bit-identical serving histories.
     pub history_digest: u64,
@@ -122,6 +130,12 @@ pub struct ReportInputs {
     pub rungs: [u64; 4],
     /// Idle upgrade passes.
     pub upgrades: u64,
+    /// Drift alarms raised.
+    pub drift_alarms: u64,
+    /// Planning-overlay rebuilds that changed prices.
+    pub recalibrations: u64,
+    /// Cache entries purged by recalibration.
+    pub cache_invalidations: u64,
 }
 
 /// Folds per-request records and loop counters into a report.
@@ -197,6 +211,9 @@ pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeRepor
         cache: inputs.cache,
         rungs: inputs.rungs,
         upgrades: inputs.upgrades,
+        drift_alarms: inputs.drift_alarms,
+        recalibrations: inputs.recalibrations,
+        cache_invalidations: inputs.cache_invalidations,
         history_digest: history_digest(records),
     }
 }
@@ -239,6 +256,9 @@ mod tests {
         cache: (0, 0),
         rungs: [0; 4],
         upgrades: 0,
+        drift_alarms: 0,
+        recalibrations: 0,
+        cache_invalidations: 0,
     };
 
     #[test]

@@ -30,7 +30,7 @@
 //! config)` — bit-identical across machines and thread counts.
 
 use crate::breaker::BreakerBank;
-use crate::ladder::{AnytimeLadder, LadderConfig, Policy, greedy_cost_ms};
+use crate::ladder::{AnytimeLadder, LadderConfig, Policy, greedy_cost_ms, slot_cost};
 use crate::report::{ReportInputs, ServeReport, summarize};
 use crate::request::{Disposition, Request, RequestRecord, ServeError, ShedReason};
 use crate::retry::RetryConfig;
@@ -39,11 +39,11 @@ use hios_core::{
     Algorithm, EvalWorkspace, GpuSchedule, Schedule, SchedulerError, Stage, bounds,
     modeled_sched_cost_ms,
 };
-use hios_cost::CostTable;
+use hios_cost::{CalibratedTable, CalibrationConfig, Calibrator, CostTable};
 use hios_graph::{Graph, OpId};
 use hios_sim::{
-    EventQueue, FaultKind, FaultPlan, FaultSignal, Scaling, SimConfig, VirtualClock,
-    simulate_scaled,
+    DriftPlan, EventQueue, FaultKind, FaultPlan, FaultSignal, Scaling, SimConfig, SimResult,
+    VirtualClock, simulate_scaled,
 };
 use std::collections::VecDeque;
 
@@ -82,6 +82,12 @@ pub struct ServeConfig {
     /// Transfer-duration factor of the rerouted path replacing a failed
     /// link (`> 1`), mirroring [`hios_sim::recover`].
     pub reroute_factor: f64,
+    /// Online cost calibration: `Some` closes the loop (completions feed
+    /// the calibrator, drift alarms re-price planning and invalidate
+    /// stale cached schedules), `None` plans on the static profile
+    /// forever.  With no drift present, enabling calibration is
+    /// bit-identical to leaving it off.
+    pub calibration: Option<CalibrationConfig>,
     /// Execution-engine semantics.
     pub sim: SimConfig,
 }
@@ -100,6 +106,7 @@ impl ServeConfig {
             gpu_repair_ms: 60.0,
             detection_ms: 0.5,
             reroute_factor: 3.0,
+            calibration: None,
             sim: SimConfig::analytical(),
         }
     }
@@ -124,6 +131,16 @@ enum Event {
     Retry { req: usize },
 }
 
+/// One calibration observation: what operator ran where, how long the
+/// backend actually took, and what the static profile predicted.
+#[derive(Clone, Copy)]
+struct Obs {
+    gpu: usize,
+    op: OpId,
+    actual_ms: f64,
+    predicted_ms: f64,
+}
+
 struct InFlight {
     req: usize,
     token: u64,
@@ -133,6 +150,17 @@ struct InFlight {
     op_finish_abs: Vec<f64>,
     /// The operator a detected hang blocked, if any.
     hung_op: Option<OpId>,
+    /// Calibration observations of this attempt, fed to the calibrator
+    /// only on a clean completion (repairs and hangs muddy the
+    /// attribution and drop them).
+    obs: Vec<Obs>,
+}
+
+/// Per-model calibration state: the learning calibrator plus the
+/// materialized planning overlay the ladder schedules on.
+struct CalibState {
+    cal: Calibrator,
+    table: CalibratedTable,
 }
 
 struct ReqState {
@@ -144,6 +172,12 @@ struct ReqState {
 struct Server<'a> {
     models: &'a [ServedModel],
     cfg: &'a ServeConfig,
+    /// Time-varying drift of the "hardware" (the simulator) away from
+    /// the profile — invisible to the schedulers except through the
+    /// calibration loop.
+    drift: &'a DriftPlan,
+    /// One entry per model when calibration is on, empty when off.
+    calib: Vec<CalibState>,
     clock: VirtualClock,
     events: EventQueue<Event>,
     queue: VecDeque<usize>,
@@ -156,7 +190,11 @@ struct Server<'a> {
     healthy_at: Vec<f64>,
     ladder: AnytimeLadder,
     repair_ws: EvalWorkspace,
-    /// Provable full-platform lower bound per model, ms.
+    /// Provable full-platform lower bound per model, ms.  Deliberately
+    /// priced on the *base* profile even when calibration is on:
+    /// slowdown drift only raises true costs, so the bound stays a
+    /// valid reason to shed, and admission decisions never churn with
+    /// the calibration state.
     bound_full: Vec<f64>,
     /// Instant of the most recent arrival (NaN before the first), ms.
     last_arrival_ms: f64,
@@ -165,6 +203,9 @@ struct Server<'a> {
     records: Vec<RequestRecord>,
     attempts_total: u64,
     repairs_total: u64,
+    alarms_total: u64,
+    recalibrations_total: u64,
+    cache_drops_total: u64,
 }
 
 /// Runs the serving loop to completion.
@@ -178,11 +219,50 @@ pub fn serve(
     faults: &FaultPlan,
     cfg: &ServeConfig,
 ) -> Result<ServeOutcome, ServeError> {
+    serve_drift(models, trace, faults, &DriftPlan::none(), cfg)
+}
+
+/// [`serve`] under time-varying cost drift.
+///
+/// `drift` silently bends the backend's execution speeds away from the
+/// profiled cost tables at dispatch time; the schedulers never see it
+/// directly.  With [`ServeConfig::calibration`] enabled, completed
+/// requests feed observed/predicted duration ratios back into a
+/// per-model [`Calibrator`]; a sustained deviation raises a CUSUM drift
+/// alarm, quarantines the cell, re-materializes the planning overlay,
+/// purges the now-stale schedule-cache entries, and re-ranks the cached
+/// plans — a budget-bounded warm-started re-schedule on the anytime
+/// ladder.  An empty drift plan reproduces [`serve`] bit-for-bit, with
+/// or without calibration.
+pub fn serve_drift(
+    models: &[ServedModel],
+    trace: &[Request],
+    faults: &FaultPlan,
+    drift: &DriftPlan,
+    cfg: &ServeConfig,
+) -> Result<ServeOutcome, ServeError> {
     validate(models, trace, cfg)?;
+    if let Err(e) = drift.validate(cfg.num_gpus) {
+        return Err(ServeError::Scheduler(SchedulerError::BadOptions(format!(
+            "drift plan: {e}"
+        ))));
+    }
     let m = cfg.num_gpus;
+    let calib: Vec<CalibState> = match &cfg.calibration {
+        Some(ccfg) => models
+            .iter()
+            .map(|model| CalibState {
+                cal: Calibrator::new(m, model.graph.num_ops(), *ccfg),
+                table: CalibratedTable::new(model.cost.clone(), m),
+            })
+            .collect(),
+        None => Vec::new(),
+    };
     let mut srv = Server {
         models,
         cfg,
+        drift,
+        calib,
         clock: VirtualClock::new(),
         events: EventQueue::new(),
         queue: VecDeque::new(),
@@ -211,6 +291,9 @@ pub fn serve(
         records: Vec::with_capacity(trace.len()),
         attempts_total: 0,
         repairs_total: 0,
+        alarms_total: 0,
+        recalibrations_total: 0,
+        cache_drops_total: 0,
     };
     for (i, r) in trace.iter().enumerate() {
         srv.events.push(r.arrival_ms, Event::Arrival(i));
@@ -236,6 +319,9 @@ pub fn serve(
             cache: srv.ladder.cache_stats(),
             rungs: srv.ladder.rung_counts(),
             upgrades: srv.ladder.upgrades(),
+            drift_alarms: srv.alarms_total,
+            recalibrations: srv.recalibrations_total,
+            cache_invalidations: srv.cache_drops_total,
         },
     );
     Ok(ServeOutcome { records, report })
@@ -265,6 +351,18 @@ fn validate(
         }
         if model.graph.num_ops() == 0 {
             return bad(format!("model {i} has no operators"));
+        }
+        if !model.cost.topology.covers(cfg.num_gpus) {
+            return bad(format!(
+                "model {i} cost table prices {} GPUs, backend has {}",
+                model.cost.topology.num_gpus(),
+                cfg.num_gpus
+            ));
+        }
+    }
+    if let Some(ccfg) = &cfg.calibration {
+        if let Err(msg) = ccfg.validate() {
+            return bad(format!("calibration: {msg}"));
         }
     }
     if let Some(r) = trace.iter().find(|r| r.model >= models.len()) {
@@ -389,22 +487,13 @@ impl Server<'_> {
             let model = &self.models[req.model];
             // Time this dispatch can afford to spend scheduling: the
             // request's deadline slack after a provable service lower
-            // bound, capped by how long the arrival stream lets the
-            // backend stall before the bounded queue overflows (half
-            // the projected fill time, for safety margin).  Until the
-            // server has seen enough arrivals to estimate the load, it
-            // refuses to stall at all — quality then comes from the
-            // idle-time upgrader, never from gambling the queue.
+            // bound, capped by the queue-overflow stall budget.
             let slack_ms = req.deadline_ms - self.now() - self.bound_full[req.model];
-            let headroom = self.cfg.queue_capacity.saturating_sub(self.queue.len());
-            let stall_ms = if self.ewma_gap_ms.is_finite() {
-                0.5 * headroom as f64 * self.ewma_gap_ms
-            } else {
-                0.0
-            };
+            let stall_ms = self.stall_headroom_ms();
+            let planning = planning_table(&self.calib, model, req.model);
             let decision = match self.ladder.decide(
                 &model.graph,
-                &model.cost,
+                planning,
                 &alive,
                 self.queue.len(),
                 slack_ms.min(stall_ms),
@@ -424,7 +513,8 @@ impl Server<'_> {
             self.states[i].attempts += 1;
             self.attempts_total += 1;
             let t0 = self.now() + decision.sched_cost_ms;
-            let slot_scale = self.slot_scaling(&decision.gpu_map);
+            let fault_scale = self.slot_scaling(&decision.gpu_map);
+            let slot_scale = self.drifted(&fault_scale, &decision.gpu_map, t0);
             let sim = simulate_scaled(
                 &model.graph,
                 &model.cost,
@@ -434,6 +524,14 @@ impl Server<'_> {
             );
             match sim {
                 Ok(r) if r.makespan.is_finite() => {
+                    let obs = self.collect_observations(
+                        model,
+                        &decision.schedule,
+                        &decision.gpu_map,
+                        &r,
+                        &fault_scale,
+                        &slot_scale,
+                    );
                     let token = self.fresh_token();
                     self.in_flight = Some(InFlight {
                         req: i,
@@ -441,6 +539,7 @@ impl Server<'_> {
                         serving: decision.gpu_map,
                         op_finish_abs: r.op_finish.iter().map(|&f| t0 + f).collect(),
                         hung_op: None,
+                        obs,
                     });
                     self.events
                         .push(t0 + r.makespan, Event::Completion { token });
@@ -474,6 +573,126 @@ impl Server<'_> {
         }
     }
 
+    /// How long the backend may stall before the arrival stream (at its
+    /// EWMA rate) would overflow the queue's remaining headroom — half
+    /// the projected fill time, for safety margin.  Zero until the
+    /// server has seen two arrivals: with no load estimate it refuses
+    /// to stall at all, and quality comes from the idle-time upgrader
+    /// instead of gambling the queue.
+    fn stall_headroom_ms(&self) -> f64 {
+        if !self.ewma_gap_ms.is_finite() {
+            return 0.0;
+        }
+        let headroom = self.cfg.queue_capacity.saturating_sub(self.queue.len());
+        0.5 * headroom as f64 * self.ewma_gap_ms
+    }
+
+    /// Slot scaling with the drift factors of instant `t_ms` multiplied
+    /// in.  With no drift every factor is exactly `1.0` and `x * 1.0`
+    /// is a bitwise identity, so drift-free runs keep their bits.
+    fn drifted(&self, fault_scale: &Scaling, gpu_map: &[usize], t_ms: f64) -> Scaling {
+        let mut scale = fault_scale.clone();
+        for (slot, &phys) in gpu_map.iter().enumerate() {
+            scale.gpu[slot] *= self.drift.factor_at(phys, t_ms);
+        }
+        scale
+    }
+
+    /// Per-operator calibration observations of one dispatch: the
+    /// duration the drifted backend actually took next to the duration
+    /// the profile (under the *known* fault scaling) predicted.  Empty
+    /// when calibration is off.
+    fn collect_observations(
+        &self,
+        model: &ServedModel,
+        schedule: &Schedule,
+        gpu_map: &[usize],
+        actual: &SimResult,
+        fault_scale: &Scaling,
+        slot_scale: &Scaling,
+    ) -> Vec<Obs> {
+        if self.calib.is_empty() {
+            return Vec::new();
+        }
+        // The predicted timeline re-runs the sim without the drift
+        // factors.  When no drift deflected this dispatch the two
+        // scalings are equal and the actual timeline *is* the
+        // prediction — every ratio is then exactly 1, which keeps the
+        // calibrator on its bit-identity fast path.
+        let predicted = if slot_scale.gpu == fault_scale.gpu {
+            None
+        } else {
+            match simulate_scaled(
+                &model.graph,
+                &model.cost,
+                schedule,
+                &self.cfg.sim,
+                fault_scale,
+            ) {
+                Ok(p) => Some(p),
+                Err(_) => return Vec::new(),
+            }
+        };
+        let predicted = predicted.as_ref().unwrap_or(actual);
+        let mut obs = Vec::with_capacity(model.graph.num_ops());
+        for (slot, gq) in schedule.gpus.iter().enumerate() {
+            for stage in &gq.stages {
+                for &op in &stage.ops {
+                    obs.push(Obs {
+                        gpu: gpu_map[slot],
+                        op,
+                        actual_ms: actual.op_finish[op.index()] - actual.op_start[op.index()],
+                        predicted_ms: predicted.op_finish[op.index()]
+                            - predicted.op_start[op.index()],
+                    });
+                }
+            }
+        }
+        obs
+    }
+
+    /// Feeds a completed attempt's observations into the model's
+    /// calibrator.  When an observation raises a drift alarm the cell is
+    /// quarantined; the planning overlay is then re-materialized, every
+    /// schedule-cache entry priced against the stale platform is purged,
+    /// and the cached plans are re-ranked on the new prices — the
+    /// budget-bounded re-schedule itself happens lazily, on the next
+    /// dispatch's cache miss, through the anytime ladder.
+    fn feed_observations(&mut self, mi: usize, obs: &[Obs]) {
+        if self.calib.is_empty() || obs.is_empty() {
+            return;
+        }
+        let mut alarmed = false;
+        for &Obs {
+            gpu,
+            op,
+            actual_ms,
+            predicted_ms,
+        } in obs
+        {
+            // Unusable durations (a zero-cost stub, a saturated float)
+            // are typed rejections that leave the calibrator untouched.
+            if let Ok(Some(_alarm)) = self.calib[mi].cal.observe(gpu, op, actual_ms, predicted_ms) {
+                self.alarms_total += 1;
+                alarmed = true;
+            }
+        }
+        if !alarmed {
+            return;
+        }
+        let changed = {
+            let state = &mut self.calib[mi];
+            state.table.refresh(&state.cal)
+        };
+        if changed {
+            self.recalibrations_total += 1;
+            let fp = self.calib[mi].table.table().platform_fingerprint();
+            let g = &self.models[mi].graph;
+            self.cache_drops_total += self.ladder.invalidate_stale(g, fp) as u64;
+            self.rerank_model(mi);
+        }
+    }
+
     // ---- completion / watchdog ----------------------------------------
 
     fn on_completion(&mut self, token: u64) {
@@ -487,9 +706,13 @@ impl Server<'_> {
             // request's fate.
             return;
         }
+        let fl = self.in_flight.take().expect("checked above");
         let i = fl.req;
-        self.in_flight = None;
+        let mi = self.states[i].request.model;
         self.complete(i);
+        // Only clean completions teach the calibrator: this attempt ran
+        // exactly the timeline its observations describe.
+        self.feed_observations(mi, &fl.obs);
         self.idle_work();
     }
 
@@ -517,6 +740,16 @@ impl Server<'_> {
     /// GPU healed): the nominally-best cached plan may lean on hardware
     /// that just degraded — or hardware that just came back.
     fn rerank_cache(&mut self) {
+        for mi in 0..self.models.len() {
+            self.rerank_model(mi);
+        }
+    }
+
+    /// Re-rank one model's cached plan for the current alive set against
+    /// a greedy candidate, both priced on the model's *planning* table
+    /// (the calibrated overlay when calibration is on) under the current
+    /// fault scaling.
+    fn rerank_model(&mut self, mi: usize) {
         if self.cfg.policy != Policy::Anytime {
             return;
         }
@@ -527,32 +760,39 @@ impl Server<'_> {
         }
         let scale = self.slot_scaling(&gpu_map);
         let sim_cfg = &self.cfg.sim;
-        for model in self.models {
-            let eval = |schedule: &Schedule| {
-                simulate_scaled(&model.graph, &model.cost, schedule, sim_cfg, &scale)
-                    .map(|r| r.makespan)
-                    .unwrap_or(f64::INFINITY)
-            };
-            self.ladder.rerank(&model.graph, &model.cost, &alive, eval);
-        }
+        let model = &self.models[mi];
+        let planning = planning_table(&self.calib, model, mi);
+        let slots = slot_cost(planning, &gpu_map);
+        let eval = |schedule: &Schedule| {
+            simulate_scaled(&model.graph, &slots, schedule, sim_cfg, &scale)
+                .map(|r| r.makespan)
+                .unwrap_or(f64::INFINITY)
+        };
+        self.ladder.rerank(&model.graph, planning, &alive, eval);
     }
 
     fn idle_work(&mut self) {
         if self.cfg.policy == Policy::Anytime && self.queue.is_empty() {
             if let Some(last) = self.records.last() {
-                let model = &self.models[last.request.model];
+                let mi = last.request.model;
+                let model = &self.models[mi];
                 let alive = self.breakers.admitted();
                 let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+                if gpu_map.is_empty() {
+                    return; // nothing to dispatch on either
+                }
                 let scale = self.slot_scaling(&gpu_map);
                 let sim_cfg = &self.cfg.sim;
+                let planning = planning_table(&self.calib, model, mi);
+                let slots = slot_cost(planning, &gpu_map);
                 // Rank candidates on the platform as it is *now*: the
                 // nominally-best plan may lean on a degraded link.
                 let eval = |schedule: &Schedule| {
-                    simulate_scaled(&model.graph, &model.cost, schedule, sim_cfg, &scale)
+                    simulate_scaled(&model.graph, &slots, schedule, sim_cfg, &scale)
                         .map(|r| r.makespan)
                         .unwrap_or(f64::INFINITY)
                 };
-                self.ladder.upgrade(&model.graph, &model.cost, &alive, eval);
+                self.ladder.upgrade(&model.graph, planning, &alive, eval);
             }
         }
         self.try_dispatch();
@@ -701,14 +941,16 @@ impl Server<'_> {
         }
         let n_left = completed.iter().filter(|&&c| !c).count();
         let m_alive = alive.iter().filter(|&&a| a).count();
-        let headroom = self.cfg.queue_capacity.saturating_sub(self.queue.len());
-        let stall_ms = 0.5 * headroom as f64 * self.ewma_gap_ms;
-        let slack_ms = (req.deadline_ms - now).min(stall_ms);
+        let slack_ms = (req.deadline_ms - now).min(self.stall_headroom_ms());
         let (policy, sched_cost) = self.repair_policy(n_left, m_alive, slack_ms);
+        // Repair *plans* on the calibrated planning table (the best
+        // current estimate of what the survivors cost) but *executes*
+        // on the base profile, like every dispatch.
+        let planning = planning_table(&self.calib, model, req.model);
         let repair = repair_schedule(
             &mut self.repair_ws,
             g,
-            &model.cost,
+            planning,
             &completed,
             &alive,
             &RepairConfig {
@@ -722,8 +964,9 @@ impl Server<'_> {
             return;
         };
         let sub_cost = hios_core::repair::project_cost(&model.cost, &map);
-        let slot_scale = self.slot_scaling(&outcome.gpu_map);
         let resume = now + sched_cost;
+        let fault_scale = self.slot_scaling(&outcome.gpu_map);
+        let slot_scale = self.drifted(&fault_scale, &outcome.gpu_map, resume);
         // `RepairOutcome::schedule` names the unfinished operators by their
         // parent-graph ids; translate to subgraph ids before simulating.
         let sub_schedule = to_sub_ids(&outcome.schedule, &map);
@@ -748,6 +991,10 @@ impl Server<'_> {
                     serving: outcome.gpu_map,
                     op_finish_abs,
                     hung_op: None,
+                    // A stitched-together attempt is no longer one clean
+                    // timeline; its observations would mis-attribute the
+                    // disruption as drift.
+                    obs: Vec::new(),
                 });
                 self.events
                     .push(resume + r.makespan, Event::Completion { token });
@@ -826,6 +1073,18 @@ impl Server<'_> {
             let next = self.breakers.gpu(gpu).probe_failure(now);
             self.events.push(next, Event::BreakerProbe { gpu });
         }
+    }
+}
+
+/// The table model `mi` plans with: the calibrated overlay when
+/// calibration is on (the base profile itself while the calibrator is
+/// still the identity), the base profile when it is off.  A free
+/// function so callers can keep disjoint borrows of the server's other
+/// fields.
+fn planning_table<'a>(calib: &'a [CalibState], model: &'a ServedModel, mi: usize) -> &'a CostTable {
+    match calib.get(mi) {
+        Some(state) => state.table.table(),
+        None => &model.cost,
     }
 }
 
@@ -1065,6 +1324,96 @@ mod tests {
             deadline_ms: 1.0,
         }];
         let err = serve(&models, &bad_trace, &FaultPlan::new(vec![]), &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Scheduler(SchedulerError::BadOptions(_))
+        ));
+    }
+
+    #[test]
+    fn zero_drift_calibration_is_bit_identical() {
+        // Turning calibration on in a drift-free deployment must change
+        // nothing: every observation ratio is exactly 1, the planning
+        // overlay stays the base table, and the full report — digest
+        // included — is equal field for field.
+        let models = vec![model(1, 30), model(2, 40)];
+        let cfg_off = ServeConfig::new(3);
+        let trace = trace_for(&models, &cfg_off, &wl(40, 20.0, 20.0));
+        let base = serve(&models, &trace, &FaultPlan::new(vec![]), &cfg_off).unwrap();
+        let mut cfg_on = ServeConfig::new(3);
+        cfg_on.calibration = Some(CalibrationConfig::default());
+        let on = serve_drift(
+            &models,
+            &trace,
+            &FaultPlan::new(vec![]),
+            &DriftPlan::none(),
+            &cfg_on,
+        )
+        .unwrap();
+        assert_eq!(on.report.drift_alarms, 0);
+        assert_eq!(on.report.recalibrations, 0);
+        assert_eq!(on.report.cache_invalidations, 0);
+        assert_eq!(base.report, on.report);
+    }
+
+    #[test]
+    fn faults_without_drift_never_alarm_the_calibrator() {
+        // A detected fault scales the *known* platform model, so the
+        // predicted timeline already includes it: observation ratios
+        // stay exactly 1 and the serving history keeps its bits.
+        let models = vec![model(3, 36)];
+        let mut cfg = ServeConfig::new(3);
+        cfg.gpu_repair_ms = 40.0;
+        let trace = trace_for(&models, &cfg, &wl(60, 2000.0, 500.0));
+        let faults = FaultPlan::single(20.0, FaultKind::GpuFailStop { gpu: 1 });
+        let off = serve(&models, &trace, &faults, &cfg).unwrap();
+        cfg.calibration = Some(CalibrationConfig::default());
+        let on = serve_drift(&models, &trace, &faults, &DriftPlan::none(), &cfg).unwrap();
+        assert_eq!(on.report.drift_alarms, 0);
+        assert_eq!(off.report.history_digest, on.report.history_digest);
+    }
+
+    #[test]
+    fn sustained_drift_alarms_recalibrates_and_invalidates() {
+        let models = vec![model(3, 36)];
+        let mut cfg = ServeConfig::new(3);
+        cfg.calibration = Some(CalibrationConfig::default());
+        let trace = trace_for(&models, &cfg, &wl(60, 200.0, 50.0));
+        // GPU 2 ramps to a sustained 4x slowdown early in the run.
+        let drift = DriftPlan::ramp(2, 2.0, 10.0, 1.0, 4.0, 4);
+        let out = serve_drift(&models, &trace, &FaultPlan::new(vec![]), &drift, &cfg).unwrap();
+        assert_eq!(out.records.len(), 60);
+        assert!(out.report.drift_alarms > 0, "sustained drift must alarm");
+        assert!(
+            out.report.recalibrations > 0,
+            "alarms must re-price planning"
+        );
+        assert!(
+            out.report.cache_invalidations > 0,
+            "re-pricing must purge stale cached schedules"
+        );
+        // Replaying the drifted run is still bit-identical.
+        let again = serve_drift(&models, &trace, &FaultPlan::new(vec![]), &drift, &cfg).unwrap();
+        assert_eq!(out.report.history_digest, again.report.history_digest);
+    }
+
+    #[test]
+    fn bad_drift_and_calibration_setups_are_typed_errors() {
+        let models = vec![model(8, 20)];
+        let mut cfg = ServeConfig::new(2);
+        cfg.calibration = Some(CalibrationConfig {
+            alpha: 0.0,
+            ..CalibrationConfig::default()
+        });
+        let err = serve(&models, &[], &FaultPlan::new(vec![]), &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Scheduler(SchedulerError::BadOptions(_))
+        ));
+
+        let cfg = ServeConfig::new(2);
+        let drift = DriftPlan::ramp(5, 0.0, 1.0, 1.0, 2.0, 2); // unknown GPU
+        let err = serve_drift(&models, &[], &FaultPlan::new(vec![]), &drift, &cfg).unwrap_err();
         assert!(matches!(
             err,
             ServeError::Scheduler(SchedulerError::BadOptions(_))

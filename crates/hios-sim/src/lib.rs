@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod drift;
 pub mod engine;
 pub mod fault;
 pub mod gantt;
@@ -32,6 +33,7 @@ pub mod recover;
 pub mod trace;
 
 pub use clock::{EventQueue, VirtualClock};
+pub use drift::{DRIFT_FACTOR_RANGE, DriftPlan, DriftPlanError, DriftTrace};
 pub use engine::{
     Scaling, Semantics, SimConfig, SimError, SimResult, TransferRecord, simulate, simulate_scaled,
 };

@@ -70,6 +70,33 @@ impl RecoveryConfig {
             reroute_factor: 3.0,
         }
     }
+
+    /// Rejects non-finite or out-of-range recovery knobs: detection and
+    /// repair downtime must be finite and non-negative, the reroute
+    /// factor finite and `>= 1` (a rerouted path is never faster than the
+    /// link it replaces).  A NaN knob would otherwise poison every
+    /// absolute timestamp downstream of the first repair.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.detection_ms >= 0.0 && self.detection_ms.is_finite()) {
+            return Err(format!(
+                "detection_ms {} must be finite >= 0",
+                self.detection_ms
+            ));
+        }
+        if !(self.repair_overhead_ms >= 0.0 && self.repair_overhead_ms.is_finite()) {
+            return Err(format!(
+                "repair_overhead_ms {} must be finite >= 0",
+                self.repair_overhead_ms
+            ));
+        }
+        if !(self.reroute_factor >= 1.0 && self.reroute_factor.is_finite()) {
+            return Err(format!(
+                "reroute_factor {} must be finite >= 1",
+                self.reroute_factor
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// What the loop did about one fault.
@@ -124,6 +151,8 @@ pub struct RecoveryResult {
 /// Why a recovery run could not be carried out.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RecoverError {
+    /// The recovery configuration has a non-finite or out-of-range knob.
+    BadConfig(String),
     /// The fault plan does not fit the platform or graph.
     Plan(FaultPlanError),
     /// A simulation segment failed.
@@ -135,6 +164,7 @@ pub enum RecoverError {
 impl fmt::Display for RecoverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            RecoverError::BadConfig(msg) => write!(f, "invalid recovery config: {msg}"),
             RecoverError::Plan(e) => write!(f, "invalid fault plan: {e}"),
             RecoverError::Sim(e) => write!(f, "simulation failed: {e}"),
             RecoverError::Repair(e) => write!(f, "repair failed: {e}"),
@@ -180,6 +210,7 @@ pub fn run_with_repair(
     cfg: &RecoveryConfig,
 ) -> Result<RecoveryResult, RecoverError> {
     let m = sched.num_gpus();
+    cfg.validate().map_err(RecoverError::BadConfig)?;
     plan.validate(g, m).map_err(RecoverError::Plan)?;
     let n = g.num_ops();
 
@@ -412,6 +443,29 @@ mod tests {
             .unwrap()
             .makespan;
         (g, cost, s, base)
+    }
+
+    #[test]
+    fn bad_recovery_knobs_are_rejected() {
+        let (g, cost, s, _) = setup(2, 4);
+        let plan = FaultPlan::none();
+        for mutate in [
+            (|c: &mut RecoveryConfig| c.detection_ms = f64::NAN) as fn(&mut RecoveryConfig),
+            |c| c.detection_ms = -1.0,
+            |c| c.repair_overhead_ms = f64::INFINITY,
+            |c| c.repair_overhead_ms = -0.5,
+            |c| c.reroute_factor = 0.5,
+            |c| c.reroute_factor = f64::NAN,
+        ] {
+            let mut cfg = RecoveryConfig::analytical();
+            mutate(&mut cfg);
+            assert!(cfg.validate().is_err(), "{cfg:?} should be rejected");
+            assert!(matches!(
+                run_with_repair(&g, &cost, &s, &plan, &cfg),
+                Err(RecoverError::BadConfig(_))
+            ));
+        }
+        assert!(RecoveryConfig::analytical().validate().is_ok());
     }
 
     #[test]
