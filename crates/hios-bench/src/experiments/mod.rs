@@ -5,6 +5,7 @@ pub mod ext;
 pub mod faults;
 pub mod hetero;
 pub mod micro;
+pub mod restart;
 pub mod scaling;
 pub mod schedcost;
 pub mod serving;
@@ -43,5 +44,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("serving", serving::serving),
         ("hetero", hetero::hetero),
         ("drift", drift::drift),
+        ("restart", restart::restart),
     ]
 }

@@ -99,34 +99,71 @@ impl ScheduleCacheKey {
     }
 }
 
-/// A keyed store of best-known schedules with hit/miss accounting.
+/// One cached value plus the logical instant it was last touched.
+#[derive(Clone, Debug)]
+struct CacheEntry<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// A keyed store of best-known schedules with hit/miss accounting and a
+/// bounded footprint: beyond `capacity` entries the least-recently-used
+/// entry is evicted.
 ///
 /// Lookups never iterate the map, so the default hasher's nondeterminism
-/// cannot leak into results; the serving loop stays bit-identical at any
+/// cannot leak into results; eviction picks the minimum of a strictly
+/// increasing logical clock, which is unique per entry, so the victim is
+/// deterministic too and the serving loop stays bit-identical at any
 /// thread count.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ScheduleCache<V> {
-    entries: HashMap<ScheduleCacheKey, V>,
+    entries: HashMap<ScheduleCacheKey, CacheEntry<V>>,
+    capacity: usize,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl<V> Default for ScheduleCache<V> {
+    fn default() -> Self {
+        ScheduleCache::new()
+    }
 }
 
 impl<V> ScheduleCache<V> {
-    /// An empty cache.
+    /// An empty, effectively unbounded cache.
     pub fn new() -> Self {
+        ScheduleCache::with_capacity(usize::MAX)
+    }
+
+    /// An empty cache holding at most `capacity` entries (≥ 1), with
+    /// deterministic LRU eviction beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
         ScheduleCache {
             entries: HashMap::new(),
+            capacity,
+            tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
-    /// Looks up `key`, counting the hit or miss.
+    fn touch(tick: &mut u64) -> u64 {
+        *tick += 1;
+        *tick
+    }
+
+    /// Looks up `key`, counting the hit or miss and refreshing the
+    /// entry's recency.
     pub fn get(&mut self, key: &ScheduleCacheKey) -> Option<&V> {
-        match self.entries.get(key) {
-            Some(v) => {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = Self::touch(&mut self.tick);
                 self.hits += 1;
-                Some(v)
+                Some(&e.value)
             }
             None => {
                 self.misses += 1;
@@ -135,24 +172,44 @@ impl<V> ScheduleCache<V> {
         }
     }
 
-    /// Uncounted lookup (for peeking without skewing stats).
+    /// Uncounted lookup (for peeking without skewing stats or recency).
     pub fn peek(&self, key: &ScheduleCacheKey) -> Option<&V> {
-        self.entries.get(key)
+        self.entries.get(key).map(|e| &e.value)
     }
 
     /// Inserts `value` under `key` only if `better` says it improves on
     /// the incumbent (ties keep the incumbent, so re-running a rung can
-    /// never churn the cache).  Returns whether the entry changed.
+    /// never churn the cache).  A fresh insert beyond capacity evicts
+    /// the least-recently-used entry.  Returns whether the entry
+    /// changed.
     pub fn insert_if_better<F>(&mut self, key: ScheduleCacheKey, value: V, better: F) -> bool
     where
         F: FnOnce(&V, &V) -> bool,
     {
         match self.entries.get(&key) {
-            Some(old) if !better(&value, old) => false,
+            Some(old) if !better(&value, &old.value) => false,
             _ => {
-                self.entries.insert(key, value);
+                let last_used = Self::touch(&mut self.tick);
+                self.entries.insert(key, CacheEntry { value, last_used });
+                self.evict_to_capacity();
                 true
             }
+        }
+    }
+
+    /// Evicts least-recently-used entries until the cache fits its
+    /// capacity.  The logical clock is strictly increasing, so the
+    /// minimum is unique and the victim deterministic.
+    fn evict_to_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty beyond capacity");
+            self.entries.remove(&victim);
+            self.evictions += 1;
         }
     }
 
@@ -160,7 +217,7 @@ impl<V> ScheduleCache<V> {
     /// changes the platform out from under it).  Returns the evicted
     /// value, if any.
     pub fn invalidate(&mut self, key: &ScheduleCacheKey) -> Option<V> {
-        self.entries.remove(key)
+        self.entries.remove(key).map(|e| e.value)
     }
 
     /// Keeps only the entries whose key satisfies `keep`; returns how
@@ -168,7 +225,8 @@ impl<V> ScheduleCache<V> {
     /// re-prices a platform, every entry planned against the stale
     /// platform fingerprint is purged in one sweep.  Removal is by
     /// predicate, never by iteration order, so the default hasher's
-    /// nondeterminism cannot leak into results.
+    /// nondeterminism cannot leak into results.  Predicate drops are
+    /// invalidations, not LRU evictions, and are counted by the caller.
     pub fn retain<F>(&mut self, mut keep: F) -> usize
     where
         F: FnMut(&ScheduleCacheKey) -> bool,
@@ -191,6 +249,12 @@ impl<V> ScheduleCache<V> {
     /// `(hits, misses)` since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// LRU evictions since construction (capacity pressure only;
+    /// `invalidate`/`retain` drops are not evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -260,6 +324,40 @@ mod tests {
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(cache.invalidate(&key), Some(8.0));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_deterministic() {
+        let g = dag(6);
+        let cost = table(&g);
+        let keys: Vec<ScheduleCacheKey> = (0..4)
+            .map(|i| {
+                let mut alive = [true; 5];
+                alive[i] = false;
+                ScheduleCacheKey::for_platform(&g, &alive[..], &cost)
+            })
+            .collect();
+        let mut cache: ScheduleCache<u32> = ScheduleCache::with_capacity(2);
+        cache.insert_if_better(keys[0], 0, |_, _| true);
+        cache.insert_if_better(keys[1], 1, |_, _| true);
+        assert_eq!(cache.evictions(), 0);
+        // Touch keys[0] so keys[1] is now the LRU victim.
+        assert_eq!(cache.get(&keys[0]), Some(&0));
+        cache.insert_if_better(keys[2], 2, |_, _| true);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.peek(&keys[1]).is_none(), "LRU entry must be evicted");
+        assert!(cache.peek(&keys[0]).is_some());
+        // Replacing an existing entry does not evict.
+        cache.insert_if_better(keys[2], 3, |_, _| true);
+        assert_eq!(cache.evictions(), 1);
+        // keys[2] was refreshed by the replacement, so keys[0]
+        // (touched earlier) is the next victim.
+        cache.insert_if_better(keys[3], 4, |_, _| true);
+        assert_eq!(cache.evictions(), 2);
+        assert!(cache.peek(&keys[0]).is_none());
+        assert!(cache.peek(&keys[2]).is_some());
+        assert!(cache.peek(&keys[3]).is_some());
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub use repair::{
     RepairConfig, RepairError, RepairOutcome, RepairPolicy, SubgraphMap, extract_unfinished,
     greedy_schedule, project_cost, repair_schedule,
 };
-pub use schedule::{GpuSchedule, Schedule, ScheduleError, Stage};
+pub use schedule::{
+    GpuSchedule, SCHEDULE_FORMAT_VERSION, Schedule, ScheduleCodecError, ScheduleError, Stage,
+};
 
 #[cfg(test)]
 pub(crate) mod fixtures;

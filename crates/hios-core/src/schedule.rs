@@ -1,8 +1,44 @@
 //! Schedule types: the output of every scheduling algorithm.
 
 use hios_graph::{Graph, OpId};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
+
+/// Current version of the schedule interchange envelope written by
+/// [`Schedule::to_value_versioned`].  Bumped when the schedule shape
+/// changes incompatibly; readers accept any version up to this one and
+/// fail with a typed [`ScheduleCodecError::Incompatible`] beyond it.
+pub const SCHEDULE_FORMAT_VERSION: u32 = 1;
+
+/// Typed failures of the versioned schedule codec.  The load path never
+/// panics: malformed input from disk (or from an older/newer build) is
+/// always a value of this type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleCodecError {
+    /// The envelope was written by a newer build than this reader.
+    Incompatible {
+        /// Version found in the envelope.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// The input does not decode as a schedule envelope.
+    Malformed(String),
+}
+
+impl fmt::Display for ScheduleCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleCodecError::Incompatible { found, supported } => write!(
+                f,
+                "schedule envelope version {found} is newer than supported version {supported}"
+            ),
+            ScheduleCodecError::Malformed(msg) => write!(f, "malformed schedule envelope: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleCodecError {}
 
 /// A set of independent operators executed concurrently on one GPU
 /// (paper §III-A, "Stage").  A stage may hold a single operator — e.g. a
@@ -366,6 +402,76 @@ impl Schedule {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Content digest of the schedule: FNV-1a over the GPU count and
+    /// every stage's operator list, in order.  Two schedules digest
+    /// equal iff they are structurally identical, so the digest is the
+    /// identity a content-addressed plan store verifies plans against —
+    /// a reconstructed plan whose digest mismatches its record must
+    /// never be served.
+    pub fn content_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.gpus.len() as u64);
+        for gpu in &self.gpus {
+            eat(gpu.stages.len() as u64);
+            for stage in &gpu.stages {
+                eat(stage.ops.len() as u64);
+                for &v in &stage.ops {
+                    eat(v.index() as u64);
+                }
+            }
+        }
+        h
+    }
+
+    /// Serializes to the versioned interchange envelope:
+    /// `{"v": <version>, "schedule": <schedule>}`.  The envelope is the
+    /// durable on-disk shape — persisted plans carry their format
+    /// version so a reader can tell "older but loadable" from
+    /// "newer than me" without guessing.
+    pub fn to_value_versioned(&self) -> Value {
+        Value::Object(vec![
+            ("v".into(), Value::Num(f64::from(SCHEDULE_FORMAT_VERSION))),
+            ("schedule".into(), serde::Serialize::to_value(self)),
+        ])
+    }
+
+    /// Parses the envelope written by [`Schedule::to_value_versioned`].
+    ///
+    /// Unknown fields are ignored (a future version may add fields this
+    /// build does not know about without breaking it), a version beyond
+    /// [`SCHEDULE_FORMAT_VERSION`] is a typed
+    /// [`ScheduleCodecError::Incompatible`], and any shape mismatch is a
+    /// typed [`ScheduleCodecError::Malformed`] — nothing in this path
+    /// can panic on hostile input.
+    pub fn from_value_versioned(v: &Value) -> Result<Self, ScheduleCodecError> {
+        let version = v
+            .get("v")
+            .ok_or_else(|| ScheduleCodecError::Malformed("missing version field `v`".into()))?
+            .as_u64()
+            .ok_or_else(|| {
+                ScheduleCodecError::Malformed("version field `v` is not integral".into())
+            })?;
+        if version > u64::from(SCHEDULE_FORMAT_VERSION) {
+            return Err(ScheduleCodecError::Incompatible {
+                found: version.min(u64::from(u32::MAX)) as u32,
+                supported: SCHEDULE_FORMAT_VERSION,
+            });
+        }
+        let body = v
+            .get("schedule")
+            .ok_or_else(|| ScheduleCodecError::Malformed("missing field `schedule`".into()))?;
+        <Schedule as serde::Deserialize>::from_value(body)
+            .map_err(|e| ScheduleCodecError::Malformed(e.to_string()))
+    }
 }
 
 impl fmt::Display for Schedule {
@@ -624,6 +730,78 @@ mod tests {
         let s = ok_schedule();
         let back = Schedule::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn versioned_envelope_round_trips_and_tolerates_unknown_fields() {
+        let s = ok_schedule();
+        let v = s.to_value_versioned();
+        assert_eq!(Schedule::from_value_versioned(&v).unwrap(), s);
+
+        // Unknown fields from a future (minor) writer are ignored.
+        let Value::Object(mut fields) = v else {
+            panic!("envelope must be an object")
+        };
+        fields.push(("written_by".into(), Value::Str("hios 9.99".into())));
+        let extended = Value::Object(fields);
+        assert_eq!(Schedule::from_value_versioned(&extended).unwrap(), s);
+    }
+
+    #[test]
+    fn versioned_envelope_rejects_newer_and_malformed_input_typed() {
+        let s = ok_schedule();
+        let Value::Object(fields) = s.to_value_versioned() else {
+            panic!("envelope must be an object")
+        };
+        let bumped = Value::Object(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    if k == "v" {
+                        (k.clone(), Value::Num(99.0))
+                    } else {
+                        (k.clone(), v.clone())
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(
+            Schedule::from_value_versioned(&bumped),
+            Err(ScheduleCodecError::Incompatible {
+                found: 99,
+                supported: SCHEDULE_FORMAT_VERSION
+            })
+        );
+        for hostile in [
+            Value::Null,
+            Value::Num(3.0),
+            Value::Object(vec![("v".into(), Value::Str("one".into()))]),
+            Value::Object(vec![("v".into(), Value::Num(1.0))]),
+            Value::Object(vec![
+                ("v".into(), Value::Num(1.0)),
+                ("schedule".into(), Value::Str("junk".into())),
+            ]),
+        ] {
+            assert!(matches!(
+                Schedule::from_value_versioned(&hostile),
+                Err(ScheduleCodecError::Malformed(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn content_digest_separates_structures() {
+        let a = ok_schedule();
+        let mut b = a.clone();
+        assert_eq!(a.content_digest(), b.content_digest());
+        b.gpus[0].stages[1].ops.swap(0, 1);
+        assert_ne!(a.content_digest(), b.content_digest());
+        // Moving an op across GPUs changes the digest even though the
+        // op multiset is unchanged.
+        let mut c = a.clone();
+        let st = c.gpus[0].stages.pop().unwrap();
+        c.gpus[1].stages.push(st);
+        assert_ne!(a.content_digest(), c.content_digest());
     }
 
     #[test]

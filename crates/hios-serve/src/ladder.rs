@@ -6,11 +6,16 @@
 //!
 //! 1. **Cached** — the best schedule previously computed for this exact
 //!    (model, alive-set) pair; near-free.
-//! 2. **Full LP** — HIOS-LP with the intra-GPU pass (Alg. 1 + Alg. 2),
+//! 2. **Store** — the durable plan store ([`hios_store::PlanStore`]),
+//!    when one is attached: a digest-verified plan persisted by an
+//!    earlier run (or an earlier epoch of this one), served at roughly
+//!    the cost of a read and a validation — the warm-start rung that
+//!    makes restarts cheap.
+//! 3. **Full LP** — HIOS-LP with the intra-GPU pass (Alg. 1 + Alg. 2),
 //!    warm-started on a shared [`EvalWorkspace`].
-//! 3. **Inter LP** — the inter-GPU phase alone (Alg. 1); roughly the
+//! 4. **Inter LP** — the inter-GPU phase alone (Alg. 1); roughly the
 //!    `w`-th of the full cost.
-//! 4. **Greedy** — the deterministic earliest-finish list pass; the
+//! 5. **Greedy** — the deterministic earliest-finish list pass; the
 //!    rung a saturated server can always afford.
 //!
 //! Scheduling time is *modeled* ([`modeled_sched_cost_ms`]) and charged
@@ -30,6 +35,7 @@ use hios_core::{
 };
 use hios_cost::CostTable;
 use hios_graph::Graph;
+use hios_store::{PlanKey, PlanStore, RecoveryReport, StoreStats};
 use std::borrow::Cow;
 
 /// Cost view where slot `i` prices as physical GPU `gpu_map[i]`.
@@ -50,6 +56,12 @@ pub(crate) fn slot_cost<'a>(cost: &'a CostTable, gpu_map: &[usize]) -> Cow<'a, C
 /// Modeled cost of serving a schedule straight from the cache, ms.
 pub const CACHE_HIT_COST_MS: f64 = 0.05;
 
+/// Modeled cost of serving a schedule from the durable plan store, ms:
+/// a log-index lookup, a possible delta replay, a digest check and a
+/// structural validation — pricier than a memory hit, orders cheaper
+/// than any LP rung.
+pub const STORE_HIT_COST_MS: f64 = 0.25;
+
 /// Modeled cost of the greedy rung for an `n`-operator model, ms.
 pub fn greedy_cost_ms(n_ops: usize) -> f64 {
     0.004 * n_ops as f64
@@ -60,6 +72,8 @@ pub fn greedy_cost_ms(n_ops: usize) -> f64 {
 pub enum Rung {
     /// Served from the schedule cache.
     Cached,
+    /// Served from the durable plan store (warm start).
+    Store,
     /// HIOS-LP with the intra-GPU pass.
     FullLp,
     /// Inter-GPU LP phase only.
@@ -69,25 +83,35 @@ pub enum Rung {
 }
 
 impl Rung {
-    /// All rungs, best quality first.
-    pub const ALL: [Rung; 4] = [Rung::Cached, Rung::FullLp, Rung::InterLp, Rung::Greedy];
+    /// All rungs, cheapest answer first.
+    pub const ALL: [Rung; 5] = [
+        Rung::Cached,
+        Rung::Store,
+        Rung::FullLp,
+        Rung::InterLp,
+        Rung::Greedy,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
             Rung::Cached => "cached",
+            Rung::Store => "store",
             Rung::FullLp => "full-lp",
             Rung::InterLp => "inter-lp",
             Rung::Greedy => "greedy",
         }
     }
 
-    fn index(self) -> usize {
+    /// Position of this rung in [`Rung::ALL`] — and therefore in the
+    /// per-rung dispatch counters of the serving report.
+    pub fn index(self) -> usize {
         match self {
             Rung::Cached => 0,
-            Rung::FullLp => 1,
-            Rung::InterLp => 2,
-            Rung::Greedy => 3,
+            Rung::Store => 1,
+            Rung::FullLp => 2,
+            Rung::InterLp => 3,
+            Rung::Greedy => 4,
         }
     }
 }
@@ -127,6 +151,11 @@ pub struct LadderConfig {
     /// Queue depth at which the ladder stops buying quality and drops
     /// straight to the greedy rung.
     pub pressure_threshold: usize,
+    /// Bound on in-memory schedule-cache entries; the least recently
+    /// used entry is evicted (deterministically) at capacity.  Evicted
+    /// plans that were persisted remain reachable through the store
+    /// rung.
+    pub cache_capacity: usize,
 }
 
 impl Default for LadderConfig {
@@ -135,6 +164,7 @@ impl Default for LadderConfig {
             budget: SchedBudget::limited(30.0),
             window: 4,
             pressure_threshold: 8,
+            cache_capacity: 256,
         }
     }
 }
@@ -165,13 +195,18 @@ pub struct LadderDecision {
     pub sched_cost_ms: f64,
 }
 
-/// The ladder: schedule cache + shared evaluation workspace + counters.
+/// The ladder: schedule cache + shared evaluation workspace + counters,
+/// optionally backed by a durable plan store.
 pub struct AnytimeLadder {
     cfg: LadderConfig,
     cache: ScheduleCache<CachedPlan>,
+    /// Durable warm-start tier; `None` keeps the ladder bit-identical
+    /// to the store-less era.
+    store: Option<PlanStore>,
     ws: EvalWorkspace,
-    rung_counts: [u64; 4],
+    rung_counts: [u64; 5],
     upgrades: u64,
+    store_io_errors: u64,
 }
 
 impl AnytimeLadder {
@@ -179,11 +214,20 @@ impl AnytimeLadder {
     pub fn new(cfg: LadderConfig) -> Self {
         AnytimeLadder {
             cfg,
-            cache: ScheduleCache::new(),
+            cache: ScheduleCache::with_capacity(cfg.cache_capacity),
+            store: None,
             ws: EvalWorkspace::new(),
-            rung_counts: [0; 4],
+            rung_counts: [0; 5],
             upgrades: 0,
+            store_io_errors: 0,
         }
+    }
+
+    /// Backs the ladder with a durable plan store: memory-cache misses
+    /// consult it before scheduling, computed plans are persisted into
+    /// it, and epoch purges extend to it.
+    pub fn attach_store(&mut self, store: PlanStore) {
+        self.store = Some(store);
     }
 
     /// Produces a schedule for `g` on the GPUs `alive` admits, at the
@@ -195,6 +239,12 @@ impl AnytimeLadder {
     /// bound); the anytime policy never picks a rung whose modeled cost
     /// already guarantees a miss.  Pass `f64::INFINITY` when there is no
     /// deadline.  The fixed baselines ignore it by design.
+    ///
+    /// `epoch` is the model's calibration epoch — part of the durable
+    /// plan key, so plans persisted under stale prices are typed misses
+    /// rather than warm starts.  Irrelevant (and ignored) without an
+    /// attached store.
+    #[allow(clippy::too_many_arguments)]
     pub fn decide(
         &mut self,
         g: &Graph,
@@ -202,6 +252,7 @@ impl AnytimeLadder {
         alive: &[bool],
         queue_depth: usize,
         slack_ms: f64,
+        epoch: u64,
         policy: Policy,
     ) -> Result<LadderDecision, ServeError> {
         let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
@@ -255,6 +306,16 @@ impl AnytimeLadder {
                     self.rung_counts[Rung::Cached.index()] += 1;
                     return Ok(decision);
                 }
+                if let Some(plan) = self.store_lookup(g, &key, m, epoch) {
+                    self.rung_counts[Rung::Store.index()] += 1;
+                    return Ok(LadderDecision {
+                        schedule: plan.schedule,
+                        gpu_map,
+                        nominal_ms: plan.makespan_ms,
+                        rung: Rung::Store,
+                        sched_cost_ms: STORE_HIT_COST_MS,
+                    });
+                }
                 let rung = self.pick_rung(n, m, queue_depth, slack_ms);
                 let (schedule, nominal, cost_ms) = self.run_rung(rung, g, cost, m)?;
                 self.rung_counts[rung.index()] += 1;
@@ -267,6 +328,7 @@ impl AnytimeLadder {
                     },
                     |new, old| new.makespan_ms < old.makespan_ms,
                 );
+                self.store_put(&key, epoch, &schedule, nominal);
                 Ok(LadderDecision {
                     schedule,
                     gpu_map,
@@ -275,6 +337,50 @@ impl AnytimeLadder {
                     sched_cost_ms: cost_ms,
                 })
             }
+        }
+    }
+
+    /// Durable-tier lookup on a memory-cache miss.  A hit is adopted
+    /// into the memory cache so subsequent dispatches pay memory-hit
+    /// cost.  The stored plan is digest-verified by the store and
+    /// structurally validated here against the model it is about to
+    /// serve — a corrupt or foreign plan is a miss, never a dispatch.
+    fn store_lookup(
+        &mut self,
+        g: &Graph,
+        key: &ScheduleCacheKey,
+        m: usize,
+        epoch: u64,
+    ) -> Option<CachedPlan> {
+        let store = self.store.as_mut()?;
+        let hit = store.get(&PlanKey::from_cache_key(key, epoch))?;
+        if hit.schedule.gpus.len() != m || hit.schedule.validate_full(g, None).is_err() {
+            return None; // fingerprint collision or foreign plan
+        }
+        let plan = CachedPlan {
+            schedule: hit.schedule,
+            makespan_ms: hit.makespan_ms,
+            rung: Rung::Store,
+        };
+        self.cache.insert_if_better(*key, plan.clone(), |new, old| {
+            new.makespan_ms < old.makespan_ms
+        });
+        Some(plan)
+    }
+
+    /// Best-effort durable persist.  An I/O failure here costs future
+    /// warm starts, never the dispatch in hand: it is counted
+    /// ([`AnytimeLadder::store_io_errors`]) and serving continues on
+    /// the in-memory tier.
+    fn store_put(&mut self, key: &ScheduleCacheKey, epoch: u64, schedule: &Schedule, nominal: f64) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        if store
+            .put(PlanKey::from_cache_key(key, epoch), schedule, nominal)
+            .is_err()
+        {
+            self.store_io_errors += 1;
         }
     }
 
@@ -289,12 +395,15 @@ impl AnytimeLadder {
     /// LP's nominally-optimal plan can be slower than a greedy one when
     /// the links it leans on are degraded.
     ///
-    /// Returns whether the cache improved.
+    /// Returns whether the cache improved.  An improvement is also
+    /// persisted to the attached store under `epoch`, so idle-time
+    /// quality survives a restart.
     pub fn upgrade(
         &mut self,
         g: &Graph,
         cost: &CostTable,
         alive: &[bool],
+        epoch: u64,
         eval: impl Fn(&Schedule) -> f64,
     ) -> bool {
         let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
@@ -318,7 +427,8 @@ impl AnytimeLadder {
         );
         self.upgrades += 1;
         let new_ms = eval(&out.schedule);
-        self.cache.insert_if_better(
+        let schedule = out.schedule.clone();
+        let improved = self.cache.insert_if_better(
             key,
             CachedPlan {
                 schedule: out.schedule,
@@ -329,7 +439,11 @@ impl AnytimeLadder {
             // upgrade and stops future re-upgrades.  The incumbent is
             // re-evaluated: its stored makespan may predate a fault.
             |new, old| new.makespan_ms <= eval(&old.schedule),
-        )
+        );
+        if improved {
+            self.store_put(&key, epoch, &schedule, new_ms);
+        }
+        improved
     }
 
     /// Platform-change re-rank: after a fault (or a heal) changes what
@@ -399,7 +513,9 @@ impl AnytimeLadder {
         let n = g.num_ops();
         let w = self.cfg.window;
         match rung {
-            Rung::Cached => unreachable!("cache hits answer before run_rung"),
+            Rung::Cached | Rung::Store => {
+                unreachable!("cache and store hits answer before run_rung")
+            }
             Rung::FullLp | Rung::InterLp => {
                 let intra = rung == Rung::FullLp;
                 let out = schedule_hios_lp(
@@ -456,9 +572,27 @@ impl AnytimeLadder {
     /// cached under restricted (partial-alive) slot tables carry the
     /// restricted table's fingerprint and are conservatively dropped
     /// too.  Other models' entries are untouched.  Returns the number
-    /// of entries dropped.
-    pub fn invalidate_stale(&mut self, g: &Graph, current_platform_fp: u64) -> usize {
+    /// of in-memory entries dropped.
+    ///
+    /// The purge extends to the durable tier: stored plans for this
+    /// model whose epoch is older than `current_epoch` (but not the
+    /// epoch-0 base plans, which remain warm-start inventory for
+    /// restarts) are dropped from the store and its log compacted.
+    /// Durable drops are reported through
+    /// [`AnytimeLadder::store_stats`]; a purge I/O failure is counted,
+    /// never fatal.
+    pub fn invalidate_stale(
+        &mut self,
+        g: &Graph,
+        current_platform_fp: u64,
+        current_epoch: u64,
+    ) -> usize {
         let gfp = hios_core::graph_fingerprint(g);
+        if let Some(store) = self.store.as_mut() {
+            if store.invalidate_stale(gfp, current_epoch).is_err() {
+                self.store_io_errors += 1;
+            }
+        }
         self.cache
             .retain(|k| k.graph_fp != gfp || k.platform_fp == current_platform_fp)
     }
@@ -468,8 +602,29 @@ impl AnytimeLadder {
         self.cache.stats()
     }
 
+    /// Entries evicted from the bounded schedule cache.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Counters of the attached plan store (`None` without one).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(PlanStore::stats)
+    }
+
+    /// What opening the attached plan store found and repaired
+    /// (`None` without one).
+    pub fn store_recovery(&self) -> Option<&RecoveryReport> {
+        self.store.as_ref().map(PlanStore::recovery)
+    }
+
+    /// Store put/purge I/O failures absorbed (never fatal to serving).
+    pub fn store_io_errors(&self) -> u64 {
+        self.store_io_errors
+    }
+
     /// Dispatch counts per rung, in [`Rung::ALL`] order.
-    pub fn rung_counts(&self) -> [u64; 4] {
+    pub fn rung_counts(&self) -> [u64; 5] {
         self.rung_counts
     }
 
@@ -503,11 +658,11 @@ mod tests {
         let mut ladder = AnytimeLadder::new(LadderConfig::default());
         let alive = [true, true];
         let first = ladder
-            .decide(&g, &cost, &alive, 0, f64::INFINITY, Policy::Anytime)
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, 0, Policy::Anytime)
             .unwrap();
         assert_ne!(first.rung, Rung::Cached);
         let second = ladder
-            .decide(&g, &cost, &alive, 0, f64::INFINITY, Policy::Anytime)
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, 0, Policy::Anytime)
             .unwrap();
         assert_eq!(second.rung, Rung::Cached);
         assert_eq!(second.nominal_ms, first.nominal_ms);
@@ -529,6 +684,7 @@ mod tests {
                 &[true, true, false],
                 5,
                 f64::INFINITY,
+                0,
                 Policy::Anytime,
             )
             .unwrap();
@@ -544,7 +700,15 @@ mod tests {
             ..LadderConfig::default()
         });
         let d = tight
-            .decide(&g, &cost, &[true, true], 0, f64::INFINITY, Policy::Anytime)
+            .decide(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                f64::INFINITY,
+                0,
+                Policy::Anytime,
+            )
             .unwrap();
         assert_eq!(d.rung, Rung::Greedy);
 
@@ -553,7 +717,15 @@ mod tests {
             ..LadderConfig::default()
         });
         let d = loose
-            .decide(&g, &cost, &[true, true], 0, f64::INFINITY, Policy::Anytime)
+            .decide(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                f64::INFINITY,
+                0,
+                Policy::Anytime,
+            )
             .unwrap();
         assert_eq!(d.rung, Rung::FullLp);
     }
@@ -567,7 +739,7 @@ mod tests {
         });
         let alive = [true, true];
         let before = ladder
-            .decide(&g, &cost, &alive, 0, f64::INFINITY, Policy::Anytime)
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, 0, Policy::Anytime)
             .unwrap();
         assert_eq!(before.rung, Rung::Greedy);
         let eval = |s: &Schedule| {
@@ -575,10 +747,10 @@ mod tests {
                 .map(|r| r.makespan)
                 .unwrap_or(f64::INFINITY)
         };
-        assert!(ladder.upgrade(&g, &cost, &alive, eval));
-        assert!(!ladder.upgrade(&g, &cost, &alive, eval)); // already top quality
+        assert!(ladder.upgrade(&g, &cost, &alive, 0, eval));
+        assert!(!ladder.upgrade(&g, &cost, &alive, 0, eval)); // already top quality
         let after = ladder
-            .decide(&g, &cost, &alive, 0, f64::INFINITY, Policy::Anytime)
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, 0, Policy::Anytime)
             .unwrap();
         assert_eq!(after.rung, Rung::Cached);
         assert!(after.nominal_ms <= before.nominal_ms);
@@ -607,6 +779,7 @@ mod tests {
                 &[true, true, false, false],
                 0,
                 inf,
+                0,
                 Policy::Anytime,
             )
             .unwrap();
@@ -617,6 +790,7 @@ mod tests {
                 &[false, false, true, true],
                 0,
                 inf,
+                0,
                 Policy::Anytime,
             )
             .unwrap();
@@ -639,6 +813,7 @@ mod tests {
                 &[true, true, false, false],
                 0,
                 inf,
+                0,
                 Policy::Anytime,
             )
             .unwrap();
@@ -651,6 +826,7 @@ mod tests {
                 &[false, false, true, true],
                 0,
                 inf,
+                0,
                 Policy::Anytime,
             )
             .unwrap();
@@ -669,6 +845,7 @@ mod tests {
                 &[false, false],
                 0,
                 f64::INFINITY,
+                0,
                 Policy::Anytime,
             )
             .unwrap_err();
@@ -686,6 +863,7 @@ mod tests {
                 &[true, true],
                 0,
                 f64::INFINITY,
+                0,
                 Policy::GreedyOnly,
             )
             .unwrap();
@@ -696,11 +874,224 @@ mod tests {
                 &[true, true],
                 0,
                 f64::INFINITY,
+                0,
                 Policy::FixedFullLp,
             )
             .unwrap();
         let counts = ladder.rung_counts();
         assert_eq!(counts[Rung::Greedy.index()], 1);
         assert_eq!(counts[Rung::FullLp.index()], 1);
+    }
+
+    // ---- durable store rung -------------------------------------------
+
+    use hios_store::StoreOptions;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch() -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hios-ladder-store-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&p).expect("create scratch dir");
+        p.join("plans.log")
+    }
+
+    fn with_store(cfg: LadderConfig, path: &std::path::Path) -> AnytimeLadder {
+        let mut ladder = AnytimeLadder::new(cfg);
+        ladder.attach_store(PlanStore::open(path, StoreOptions::default()).unwrap());
+        ladder
+    }
+
+    #[test]
+    fn store_rung_warm_starts_a_fresh_ladder() {
+        let (g, cost) = fixture();
+        let path = scratch();
+        let cfg = LadderConfig {
+            budget: SchedBudget::unlimited(),
+            ..LadderConfig::default()
+        };
+        let alive = [true, true];
+        let cold = {
+            let mut ladder = with_store(cfg, &path);
+            ladder
+                .decide(&g, &cost, &alive, 0, f64::INFINITY, 0, Policy::Anytime)
+                .unwrap()
+        };
+        assert_eq!(cold.rung, Rung::FullLp);
+
+        // A restarted process: fresh ladder, same log.
+        let mut warm = with_store(cfg, &path);
+        let first = warm
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, 0, Policy::Anytime)
+            .unwrap();
+        assert_eq!(first.rung, Rung::Store, "restart must warm-start");
+        assert_eq!(first.sched_cost_ms, STORE_HIT_COST_MS);
+        assert_eq!(first.schedule, cold.schedule);
+        assert_eq!(first.nominal_ms, cold.nominal_ms);
+        // The store hit was adopted into the memory cache.
+        let second = warm
+            .decide(&g, &cost, &alive, 0, f64::INFINITY, 0, Policy::Anytime)
+            .unwrap();
+        assert_eq!(second.rung, Rung::Cached);
+        assert_eq!(warm.rung_counts()[Rung::Store.index()], 1);
+        let stats = warm.store_stats().unwrap();
+        assert_eq!((stats.hits, stats.quarantines), (1, 0));
+    }
+
+    #[test]
+    fn decisions_with_and_without_a_store_are_identical() {
+        let (g, cost) = fixture();
+        let cfg = LadderConfig::default();
+        let mut plain = AnytimeLadder::new(cfg);
+        let mut backed = with_store(cfg, &scratch());
+        for queue in [0usize, 1, 9] {
+            let a = plain
+                .decide(&g, &cost, &[true, true], queue, 40.0, 0, Policy::Anytime)
+                .unwrap();
+            let b = backed
+                .decide(&g, &cost, &[true, true], queue, 40.0, 0, Policy::Anytime)
+                .unwrap();
+            assert_eq!(a.schedule, b.schedule);
+            assert_eq!(a.nominal_ms, b.nominal_ms);
+            assert_eq!(a.sched_cost_ms, b.sched_cost_ms);
+        }
+    }
+
+    #[test]
+    fn stale_epoch_plans_are_typed_misses() {
+        let (g, cost) = fixture();
+        let path = scratch();
+        let cfg = LadderConfig {
+            budget: SchedBudget::unlimited(),
+            ..LadderConfig::default()
+        };
+        {
+            let mut ladder = with_store(cfg, &path);
+            ladder
+                .decide(
+                    &g,
+                    &cost,
+                    &[true, true],
+                    0,
+                    f64::INFINITY,
+                    0,
+                    Policy::Anytime,
+                )
+                .unwrap();
+        }
+        // Same problem, later calibration epoch: the epoch-0 plan must
+        // not masquerade as a current-price plan.
+        let mut ladder = with_store(cfg, &path);
+        let d = ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                f64::INFINITY,
+                3,
+                Policy::Anytime,
+            )
+            .unwrap();
+        assert_ne!(d.rung, Rung::Store);
+        assert_eq!(ladder.store_stats().unwrap().misses, 1);
+    }
+
+    #[test]
+    fn evicted_entries_fall_back_to_the_store_rung() {
+        let (g, cost) = fixture();
+        let cfg = LadderConfig {
+            budget: SchedBudget::unlimited(),
+            cache_capacity: 1,
+            ..LadderConfig::default()
+        };
+        let mut ladder = with_store(cfg, &scratch());
+        let a = ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                f64::INFINITY,
+                0,
+                Policy::Anytime,
+            )
+            .unwrap();
+        ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, false],
+                0,
+                f64::INFINITY,
+                0,
+                Policy::Anytime,
+            )
+            .unwrap();
+        assert_eq!(ladder.cache_evictions(), 1, "capacity 1 must evict");
+        // The evicted platform's plan survives in the durable tier.
+        let again = ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                f64::INFINITY,
+                0,
+                Policy::Anytime,
+            )
+            .unwrap();
+        assert_eq!(again.rung, Rung::Store);
+        assert_eq!(again.schedule, a.schedule);
+    }
+
+    #[test]
+    fn corrupted_log_replans_instead_of_serving_garbage() {
+        let (g, cost) = fixture();
+        let path = scratch();
+        let cfg = LadderConfig {
+            budget: SchedBudget::unlimited(),
+            ..LadderConfig::default()
+        };
+        let cold = {
+            let mut ladder = with_store(cfg, &path);
+            ladder
+                .decide(
+                    &g,
+                    &cost,
+                    &[true, true],
+                    0,
+                    f64::INFINITY,
+                    0,
+                    Policy::Anytime,
+                )
+                .unwrap()
+        };
+        // Flip a bit in the record body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 40;
+        bytes[at] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut ladder = with_store(cfg, &path);
+        let d = ladder
+            .decide(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                f64::INFINITY,
+                0,
+                Policy::Anytime,
+            )
+            .unwrap();
+        assert_ne!(d.rung, Rung::Store, "corruption must be a miss, not a hit");
+        assert_eq!(d.schedule, cold.schedule, "replanning restores the plan");
+        assert_eq!(ladder.rung_counts()[Rung::Store.index()], 0);
     }
 }

@@ -12,8 +12,8 @@
 //!   with provable-bound load shedding, dispatch, fault handling,
 //!   in-place repair, and recovery;
 //! * [`ladder`] — the budget-bounded anytime scheduling ladder
-//!   (cache → full HIOS-LP → inter-GPU LP → greedy) with idle-time
-//!   upgrades;
+//!   (cache → durable plan store → full HIOS-LP → inter-GPU LP →
+//!   greedy) with idle-time upgrades and crash-safe warm starts;
 //! * [`breaker`] — per-GPU circuit breakers (closed → open → half-open,
 //!   exponential probe backoff);
 //! * [`retry`] — exponential backoff with deterministic jitter;
@@ -36,9 +36,12 @@ pub mod server;
 pub mod workload;
 
 pub use breaker::{BreakerBank, BreakerState, CircuitBreaker};
-pub use ladder::{AnytimeLadder, CachedPlan, LadderConfig, LadderDecision, Policy, Rung};
+pub use ladder::{
+    AnytimeLadder, CACHE_HIT_COST_MS, CachedPlan, LadderConfig, LadderDecision, Policy, Rung,
+    STORE_HIT_COST_MS,
+};
 pub use report::{ServeReport, history_digest, summarize};
 pub use request::{Disposition, Request, RequestRecord, ServeError, ShedReason};
 pub use retry::RetryConfig;
-pub use server::{ServeConfig, ServeOutcome, ServedModel, serve, serve_drift};
+pub use server::{ServeConfig, ServeOutcome, ServedModel, StoreConfig, serve, serve_drift};
 pub use workload::{WorkloadConfig, generate_trace};

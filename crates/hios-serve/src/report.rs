@@ -2,6 +2,7 @@
 //! goodput, and a history digest for bit-identity checks.
 
 use crate::request::{Disposition, RequestRecord, ShedReason};
+use hios_store::{RecoveryReport, StoreStats};
 
 /// Aggregate statistics of one serving run.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,8 +46,9 @@ pub struct ServeReport {
     pub breaker_opens: u64,
     /// Schedule-cache `(hits, misses)`.
     pub cache: (u64, u64),
-    /// Dispatches per ladder rung `[cached, full-lp, inter-lp, greedy]`.
-    pub rungs: [u64; 4],
+    /// Dispatches per ladder rung
+    /// `[cached, store, full-lp, inter-lp, greedy]`.
+    pub rungs: [u64; 5],
     /// Idle-time upgrade passes run.
     pub upgrades: u64,
     /// Drift alarms raised by the online calibrator (0 when calibration
@@ -57,6 +59,17 @@ pub struct ServeReport {
     /// Schedule-cache entries purged because a recalibration made their
     /// platform fingerprint stale.
     pub cache_invalidations: u64,
+    /// Entries evicted from the bounded schedule cache (LRU).
+    pub cache_evictions: u64,
+    /// Durable plan-store counters: hits, misses, quarantines, puts,
+    /// purges.  All zero when no store is attached.
+    pub store: StoreStats,
+    /// What opening the plan log found and repaired (all zero when no
+    /// store is attached or the log was pristine).
+    pub store_recovery: RecoveryReport,
+    /// Store put/purge I/O failures absorbed during serving (each
+    /// costs a warm start, never a request).
+    pub store_io_errors: u64,
     /// FNV-1a digest of the full outcome stream; equal digests ⇒
     /// bit-identical serving histories.
     pub history_digest: u64,
@@ -127,7 +140,7 @@ pub struct ReportInputs {
     /// Schedule-cache `(hits, misses)`.
     pub cache: (u64, u64),
     /// Per-rung dispatch counts.
-    pub rungs: [u64; 4],
+    pub rungs: [u64; 5],
     /// Idle upgrade passes.
     pub upgrades: u64,
     /// Drift alarms raised.
@@ -136,6 +149,14 @@ pub struct ReportInputs {
     pub recalibrations: u64,
     /// Cache entries purged by recalibration.
     pub cache_invalidations: u64,
+    /// Bounded-cache LRU evictions.
+    pub cache_evictions: u64,
+    /// Durable plan-store counters.
+    pub store: StoreStats,
+    /// Plan-log open-time recovery summary.
+    pub store_recovery: RecoveryReport,
+    /// Absorbed store I/O failures.
+    pub store_io_errors: u64,
 }
 
 /// Folds per-request records and loop counters into a report.
@@ -214,6 +235,10 @@ pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeRepor
         drift_alarms: inputs.drift_alarms,
         recalibrations: inputs.recalibrations,
         cache_invalidations: inputs.cache_invalidations,
+        cache_evictions: inputs.cache_evictions,
+        store: inputs.store,
+        store_recovery: inputs.store_recovery,
+        store_io_errors: inputs.store_io_errors,
         history_digest: history_digest(records),
     }
 }
@@ -254,11 +279,29 @@ mod tests {
         repairs: 0,
         breaker_opens: 0,
         cache: (0, 0),
-        rungs: [0; 4],
+        rungs: [0; 5],
         upgrades: 0,
         drift_alarms: 0,
         recalibrations: 0,
         cache_invalidations: 0,
+        cache_evictions: 0,
+        store: StoreStats {
+            hits: 0,
+            misses: 0,
+            quarantines: 0,
+            puts_full: 0,
+            puts_delta: 0,
+            invalidated: 0,
+        },
+        store_recovery: RecoveryReport {
+            records_loaded: 0,
+            records_quarantined: 0,
+            incompatible_records: 0,
+            tail_bytes_quarantined: 0,
+            torn_tail: false,
+            reset: false,
+        },
+        store_io_errors: 0,
     };
 
     #[test]

@@ -108,6 +108,10 @@ pub enum ServeError {
     },
     /// The scheduling ladder could not produce any schedule.
     Scheduler(SchedulerError),
+    /// The durable plan store could not be opened at startup (an
+    /// unusable file or an incompatible newer format — corruption never
+    /// raises this; recovery absorbs it).
+    Store(hios_store::StoreError),
     /// No GPU currently admits traffic (every breaker open).
     NoCapacity,
 }
@@ -127,6 +131,7 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Scheduler(e) => write!(f, "scheduler error: {e}"),
+            ServeError::Store(e) => write!(f, "plan store error: {e}"),
             ServeError::NoCapacity => write!(f, "no GPU admits traffic"),
         }
     }

@@ -45,7 +45,9 @@ use hios_sim::{
     DriftPlan, EventQueue, FaultKind, FaultPlan, FaultSignal, Scaling, SimConfig, SimResult,
     VirtualClock, simulate_scaled,
 };
+use hios_store::{PlanStore, StoreOptions};
 use std::collections::VecDeque;
+use std::path::PathBuf;
 
 /// One tenant model served by the loop.
 #[derive(Debug)]
@@ -88,8 +90,33 @@ pub struct ServeConfig {
     /// forever.  With no drift present, enabling calibration is
     /// bit-identical to leaving it off.
     pub calibration: Option<CalibrationConfig>,
+    /// Durable plan store: `Some` opens (and crash-recovers) the
+    /// append-only plan log at startup and gives the anytime ladder a
+    /// warm-start rung below the memory cache; `None` serves
+    /// bit-identically to the store-less era.  Store corruption can
+    /// only cost warm starts, never serve a wrong plan.
+    pub store: Option<StoreConfig>,
     /// Execution-engine semantics.
     pub sim: SimConfig,
+}
+
+/// Where the durable plan log lives and how it behaves.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Path of the append-only plan log file.
+    pub path: PathBuf,
+    /// Store knobs (delta-chain depth bound).
+    pub options: StoreOptions,
+}
+
+impl StoreConfig {
+    /// A store at `path` with default options.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            path: path.into(),
+            options: StoreOptions::default(),
+        }
+    }
 }
 
 impl ServeConfig {
@@ -107,6 +134,7 @@ impl ServeConfig {
             detection_ms: 0.5,
             reroute_factor: 3.0,
             calibration: None,
+            store: None,
             sim: SimConfig::analytical(),
         }
     }
@@ -189,6 +217,11 @@ struct Server<'a> {
     scaling: Scaling,
     healthy_at: Vec<f64>,
     ladder: AnytimeLadder,
+    /// Per-model calibration epoch: bumped every time a drift alarm
+    /// re-materializes the model's planning overlay.  Part of the
+    /// durable plan key, so a restarted server (epoch 0 again) warm
+    /// starts from base-profile plans, never stale-price ones.
+    epochs: Vec<u64>,
     repair_ws: EvalWorkspace,
     /// Provable full-platform lower bound per model, ms.  Deliberately
     /// priced on the *base* profile even when calibration is on:
@@ -258,6 +291,16 @@ pub fn serve_drift(
             .collect(),
         None => Vec::new(),
     };
+    let mut ladder = AnytimeLadder::new(cfg.ladder);
+    if let Some(sc) = &cfg.store {
+        // Open is the only store call that can fail a run: a log in any
+        // state of corruption still opens (recovery quarantines what it
+        // must), so `Err` here means the file itself is unusable
+        // (permissions, unsupported newer format) — a deployment error
+        // worth surfacing, not absorbing.
+        let store = PlanStore::open(&sc.path, sc.options).map_err(ServeError::Store)?;
+        ladder.attach_store(store);
+    }
     let mut srv = Server {
         models,
         cfg,
@@ -280,7 +323,8 @@ pub fn serve_drift(
         breakers: BreakerBank::new(m, cfg.breaker_reset_ms),
         scaling: Scaling::identity(m),
         healthy_at: vec![0.0; m],
-        ladder: AnytimeLadder::new(cfg.ladder),
+        ladder,
+        epochs: vec![0; models.len()],
         repair_ws: EvalWorkspace::new(),
         bound_full: models
             .iter()
@@ -322,6 +366,10 @@ pub fn serve_drift(
             drift_alarms: srv.alarms_total,
             recalibrations: srv.recalibrations_total,
             cache_invalidations: srv.cache_drops_total,
+            cache_evictions: srv.ladder.cache_evictions(),
+            store: srv.ladder.store_stats().unwrap_or_default(),
+            store_recovery: srv.ladder.store_recovery().copied().unwrap_or_default(),
+            store_io_errors: srv.ladder.store_io_errors(),
         },
     );
     Ok(ServeOutcome { records, report })
@@ -497,6 +545,7 @@ impl Server<'_> {
                 &alive,
                 self.queue.len(),
                 slack_ms.min(stall_ms),
+                self.epochs[req.model],
                 self.cfg.policy,
             ) {
                 Ok(d) => d,
@@ -686,9 +735,10 @@ impl Server<'_> {
         };
         if changed {
             self.recalibrations_total += 1;
+            self.epochs[mi] += 1;
             let fp = self.calib[mi].table.table().platform_fingerprint();
             let g = &self.models[mi].graph;
-            self.cache_drops_total += self.ladder.invalidate_stale(g, fp) as u64;
+            self.cache_drops_total += self.ladder.invalidate_stale(g, fp, self.epochs[mi]) as u64;
             self.rerank_model(mi);
         }
     }
@@ -792,7 +842,8 @@ impl Server<'_> {
                         .map(|r| r.makespan)
                         .unwrap_or(f64::INFINITY)
                 };
-                self.ladder.upgrade(&model.graph, planning, &alive, eval);
+                self.ladder
+                    .upgrade(&model.graph, planning, &alive, self.epochs[mi], eval);
             }
         }
         self.try_dispatch();

@@ -1,0 +1,305 @@
+//! Delta records: a plan expressed as edits against a parent plan.
+//!
+//! Drift repair and epoch-to-epoch replanning usually move a handful of
+//! operators and leave most stages untouched, so storing the child as
+//! per-stage edits against the parent is much smaller than a full plan.
+//! The representation is deliberately dumb — per-GPU stage lists where
+//! each stage is either `Same` (copy the parent's stage at the same
+//! position) or `New(ops)` — because replay must be bit-exact and
+//! trivially auditable: [`PlanDelta::apply`] is pure structure copying,
+//! with the digest check in the store catching anything it gets wrong.
+
+use hios_core::Schedule;
+use hios_core::schedule::{GpuSchedule, Stage};
+use hios_graph::OpId;
+use serde::Value;
+use std::fmt;
+
+/// Current version of the delta interchange envelope.
+pub(crate) const DELTA_FORMAT_VERSION: u32 = 1;
+
+/// One stage position in a delta.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StageEdit {
+    /// Copy the parent's stage at the same `(gpu, stage)` position.
+    Same,
+    /// Replace with these operators.
+    New(Vec<OpId>),
+}
+
+/// A plan encoded as edits against a parent plan: for each GPU of the
+/// child, its stage list as [`StageEdit`]s.  The child may use more or
+/// fewer GPUs/stages than the parent; positions beyond the parent's
+/// shape must be `New`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanDelta {
+    /// Per-GPU stage edits; `gpus.len()` is the child's GPU budget.
+    pub gpus: Vec<Vec<StageEdit>>,
+}
+
+/// Typed failures of delta replay and decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A `Same` edit points at a stage the parent does not have.
+    MissingParentStage {
+        /// GPU index of the dangling edit.
+        gpu: usize,
+        /// Stage index of the dangling edit.
+        stage: usize,
+    },
+    /// The delta envelope does not decode.
+    Malformed(String),
+    /// The delta envelope was written by a newer build.
+    Incompatible {
+        /// Version found in the envelope.
+        found: u32,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::MissingParentStage { gpu, stage } => {
+                write!(
+                    f,
+                    "delta copies stage {stage} on GPU {gpu} which the parent lacks"
+                )
+            }
+            DeltaError::Malformed(msg) => write!(f, "malformed plan delta: {msg}"),
+            DeltaError::Incompatible { found } => write!(
+                f,
+                "plan delta version {found} is newer than supported version {DELTA_FORMAT_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl PlanDelta {
+    /// Expresses `child` as edits against `parent`.  Always succeeds;
+    /// in the worst case (disjoint plans) every stage is `New` and the
+    /// delta is no smaller than the full plan — the store compares
+    /// encoded sizes and keeps whichever is smaller.
+    pub fn diff(parent: &Schedule, child: &Schedule) -> PlanDelta {
+        let gpus = child
+            .gpus
+            .iter()
+            .enumerate()
+            .map(|(gi, gpu)| {
+                gpu.stages
+                    .iter()
+                    .enumerate()
+                    .map(|(si, stage)| {
+                        let same = parent
+                            .gpus
+                            .get(gi)
+                            .and_then(|pg| pg.stages.get(si))
+                            .is_some_and(|ps| ps == stage);
+                        if same {
+                            StageEdit::Same
+                        } else {
+                            StageEdit::New(stage.ops.clone())
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        PlanDelta { gpus }
+    }
+
+    /// Replays the delta on `parent`, reconstructing the child plan.
+    pub fn apply(&self, parent: &Schedule) -> Result<Schedule, DeltaError> {
+        let mut gpus = Vec::with_capacity(self.gpus.len());
+        for (gi, edits) in self.gpus.iter().enumerate() {
+            let mut stages = Vec::with_capacity(edits.len());
+            for (si, edit) in edits.iter().enumerate() {
+                match edit {
+                    StageEdit::Same => {
+                        let ps = parent
+                            .gpus
+                            .get(gi)
+                            .and_then(|pg| pg.stages.get(si))
+                            .ok_or(DeltaError::MissingParentStage { gpu: gi, stage: si })?;
+                        stages.push(ps.clone());
+                    }
+                    StageEdit::New(ops) => stages.push(Stage { ops: ops.clone() }),
+                }
+            }
+            gpus.push(GpuSchedule { stages });
+        }
+        Ok(Schedule { gpus })
+    }
+
+    /// Fraction of the child's stages copied from the parent (1.0 for
+    /// an identical plan); what makes a delta worth storing.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total: usize = self.gpus.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let same = self
+            .gpus
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, StageEdit::Same))
+            .count();
+        same as f64 / total as f64
+    }
+
+    /// Serializes to the versioned envelope
+    /// `{"v": 1, "gpus": [[null | [op, ...], ...], ...]}` — `null` is
+    /// `Same`, an array of operator indices is `New`.
+    pub fn to_value(&self) -> Value {
+        let gpus = self
+            .gpus
+            .iter()
+            .map(|edits| {
+                Value::Array(
+                    edits
+                        .iter()
+                        .map(|e| match e {
+                            StageEdit::Same => Value::Null,
+                            StageEdit::New(ops) => Value::Array(
+                                ops.iter().map(|v| Value::Num(v.index() as f64)).collect(),
+                            ),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("v".into(), Value::Num(f64::from(DELTA_FORMAT_VERSION))),
+            ("gpus".into(), Value::Array(gpus)),
+        ])
+    }
+
+    /// Parses the envelope written by [`PlanDelta::to_value`]; unknown
+    /// object fields are ignored, newer versions are typed
+    /// [`DeltaError::Incompatible`], shape mismatches are typed
+    /// [`DeltaError::Malformed`].
+    pub fn from_value(v: &Value) -> Result<PlanDelta, DeltaError> {
+        let version = v
+            .get("v")
+            .ok_or_else(|| DeltaError::Malformed("missing version field `v`".into()))?
+            .as_u64()
+            .ok_or_else(|| DeltaError::Malformed("version field `v` is not integral".into()))?;
+        if version > u64::from(DELTA_FORMAT_VERSION) {
+            return Err(DeltaError::Incompatible {
+                found: version.min(u64::from(u32::MAX)) as u32,
+            });
+        }
+        let gpus_v = v
+            .get("gpus")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DeltaError::Malformed("missing or non-array field `gpus`".into()))?;
+        let mut gpus = Vec::with_capacity(gpus_v.len());
+        for gpu_v in gpus_v {
+            let edits_v = gpu_v
+                .as_array()
+                .ok_or_else(|| DeltaError::Malformed("GPU entry is not an array".into()))?;
+            let mut edits = Vec::with_capacity(edits_v.len());
+            for edit_v in edits_v {
+                match edit_v {
+                    Value::Null => edits.push(StageEdit::Same),
+                    Value::Array(ops_v) => {
+                        let mut ops = Vec::with_capacity(ops_v.len());
+                        for op_v in ops_v {
+                            let idx = op_v
+                                .as_u64()
+                                .filter(|&i| i <= u64::from(u32::MAX))
+                                .ok_or_else(|| {
+                                    DeltaError::Malformed("operator index is not a u32".into())
+                                })?;
+                            ops.push(OpId(idx as u32));
+                        }
+                        edits.push(StageEdit::New(ops));
+                    }
+                    other => {
+                        return Err(DeltaError::Malformed(format!(
+                            "stage edit must be null or an array, got {other:?}"
+                        )));
+                    }
+                }
+            }
+            gpus.push(edits);
+        }
+        Ok(PlanDelta { gpus })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(orders: Vec<Vec<u32>>) -> Schedule {
+        Schedule::from_gpu_orders(
+            orders
+                .into_iter()
+                .map(|ops| ops.into_iter().map(OpId).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn diff_apply_round_trips_and_reuses() {
+        let parent = plan(vec![vec![0, 1, 2], vec![3, 4]]);
+        let mut child = parent.clone();
+        child.gpus[1].stages[1] = Stage::solo(OpId(5));
+        let d = PlanDelta::diff(&parent, &child);
+        assert_eq!(d.apply(&parent).unwrap(), child);
+        assert!(d.reuse_ratio() > 0.7, "4 of 5 stages reused");
+        // Identical plans are all-Same.
+        let id = PlanDelta::diff(&parent, &parent);
+        assert_eq!(id.reuse_ratio(), 1.0);
+        assert_eq!(id.apply(&parent).unwrap(), parent);
+    }
+
+    #[test]
+    fn shape_changes_are_representable() {
+        let parent = plan(vec![vec![0, 1]]);
+        let child = plan(vec![vec![0], vec![1, 2]]);
+        let d = PlanDelta::diff(&parent, &child);
+        assert_eq!(d.apply(&parent).unwrap(), child);
+        // A Same edit beyond the parent's shape is a typed error, and
+        // diff never emits one.
+        let dangling = PlanDelta {
+            gpus: vec![vec![], vec![StageEdit::Same]],
+        };
+        assert_eq!(
+            dangling.apply(&parent),
+            Err(DeltaError::MissingParentStage { gpu: 1, stage: 0 })
+        );
+    }
+
+    #[test]
+    fn value_round_trip_and_hostile_input() {
+        let parent = plan(vec![vec![0, 1, 2], vec![3]]);
+        let child = plan(vec![vec![0, 2, 1], vec![3]]);
+        let d = PlanDelta::diff(&parent, &child);
+        let back = PlanDelta::from_value(&d.to_value()).unwrap();
+        assert_eq!(back, d);
+
+        assert!(matches!(
+            PlanDelta::from_value(&Value::Null),
+            Err(DeltaError::Malformed(_))
+        ));
+        assert!(matches!(
+            PlanDelta::from_value(&Value::Object(vec![("v".into(), Value::Num(99.0))])),
+            Err(DeltaError::Incompatible { found: 99 })
+        ));
+        let bad_op = Value::Object(vec![
+            ("v".into(), Value::Num(1.0)),
+            (
+                "gpus".into(),
+                Value::Array(vec![Value::Array(vec![Value::Array(vec![Value::Num(
+                    -1.0,
+                )])])]),
+            ),
+        ]);
+        assert!(matches!(
+            PlanDelta::from_value(&bad_op),
+            Err(DeltaError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,683 @@
+//! The durable plan store: open/recover, get with digest-verified
+//! replay, put with delta compression, epoch-based invalidation.
+
+use crate::delta::PlanDelta;
+use crate::log::{self, LogScan};
+use crate::record::{self, PlanKey, PlanRecord, RecordBody, RecordDecode};
+use hios_core::Schedule;
+use std::collections::{HashMap, HashSet};
+use std::ffi::OsString;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Current version of the store file format (the log header).
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Typed store failures.  Corruption is *not* an error — recovery
+/// turns it into typed misses and quarantine counts — so this enum
+/// covers only real I/O failures and logs written by a newer build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io {
+        /// The operation that failed (`"read"`, `"append"`, …).
+        op: &'static str,
+        /// The OS error, stringified so the variant stays `Clone`.
+        detail: String,
+    },
+    /// The log (or a record in it) was written by a newer build.
+    Incompatible {
+        /// Format version found.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+}
+
+impl StoreError {
+    fn io(op: &'static str, err: &io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            detail: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, detail } => write!(f, "plan store {op} failed: {detail}"),
+            StoreError::Incompatible { found, supported } => write!(
+                f,
+                "plan store format version {found} is newer than supported version {supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Tunables for a [`PlanStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Maximum delta links a stored plan may sit behind; deeper chains
+    /// are stored as full plans on write and refused (quarantined) on
+    /// read.  Bounds both replay cost and compounded-corruption risk.
+    pub max_delta_depth: u32,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { max_delta_depth: 8 }
+    }
+}
+
+/// What [`PlanStore::open`] found and repaired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records decoded and indexed (including superseded duplicates).
+    pub records_loaded: usize,
+    /// Checksum-valid records that failed to decode and were skipped.
+    pub records_quarantined: usize,
+    /// Records written by a newer build, skipped but kept on disk.
+    pub incompatible_records: usize,
+    /// Bytes of torn/corrupt tail moved to the quarantine sidecar.
+    pub tail_bytes_quarantined: usize,
+    /// Whether the log had to be truncated to its longest valid prefix.
+    pub torn_tail: bool,
+    /// Whether the header itself was unreadable and the whole file was
+    /// quarantined (the store restarted empty).
+    pub reset: bool,
+}
+
+/// Runtime counters (everything after `open`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful, digest-verified `get`s.
+    pub hits: u64,
+    /// `get`s that found nothing servable (includes quarantined ones).
+    pub misses: u64,
+    /// Entries dropped at `get` time: digest mismatch, broken or
+    /// over-deep delta chain.  Every quarantine is also a miss.
+    pub quarantines: u64,
+    /// Records appended storing a full plan.
+    pub puts_full: u64,
+    /// Records appended storing a delta.
+    pub puts_delta: u64,
+    /// Entries dropped by [`PlanStore::invalidate_stale`].
+    pub invalidated: u64,
+}
+
+/// How a [`PlanStore::put`] was persisted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// Appended as a full plan.
+    Full,
+    /// Appended as a delta against an earlier plan.
+    Delta,
+    /// Identical to the incumbent record; nothing written.
+    Unchanged,
+}
+
+/// A plan served from the store.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredPlan {
+    /// The reconstructed, digest-verified schedule.
+    pub schedule: Schedule,
+    /// The makespan recorded when the plan was stored.
+    pub makespan_ms: f64,
+    /// Whether delta replay was involved in reconstruction.
+    pub via_delta: bool,
+}
+
+/// A durable, content-addressed plan store over one append-only log
+/// file.  See the crate docs for the format and recovery protocol.
+#[derive(Debug)]
+pub struct PlanStore {
+    path: PathBuf,
+    opts: StoreOptions,
+    file: File,
+    records: Vec<PlanRecord>,
+    index: HashMap<PlanKey, usize>,
+    /// Record per `(key, content digest)` — what delta parents pin, so
+    /// a chain stays resolvable after its parent key is rebound to a
+    /// different plan by a later put.
+    index_by_digest: HashMap<(PlanKey, u64), usize>,
+    /// Latest key per scheduling problem, the delta-parent candidate.
+    latest_by_problem: HashMap<(u64, u64, u32), PlanKey>,
+    recovery: RecoveryReport,
+    stats: StoreStats,
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name: OsString = path.as_os_str().to_owned();
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = sibling(path, ".tmp");
+    let mut f = File::create(&tmp).map_err(|e| StoreError::io("create temp", &e))?;
+    f.write_all(bytes)
+        .map_err(|e| StoreError::io("write temp", &e))?;
+    f.sync_all().map_err(|e| StoreError::io("sync temp", &e))?;
+    fs::rename(&tmp, path).map_err(|e| StoreError::io("rename", &e))?;
+    Ok(())
+}
+
+fn open_append(path: &Path) -> Result<File, StoreError> {
+    OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| StoreError::io("open for append", &e))
+}
+
+impl PlanStore {
+    /// Opens (creating if absent) the log at `path`, scanning and
+    /// repairing it.  Corruption never fails the open: a mangled
+    /// header quarantines the whole file and restarts empty, a torn
+    /// tail is truncated to the longest valid prefix, and undecodable
+    /// records are skipped — all tallied in [`PlanStore::recovery`].
+    /// Only real I/O errors and a log written by a newer build
+    /// ([`StoreError::Incompatible`]) are errors.
+    pub fn open(path: impl Into<PathBuf>, opts: StoreOptions) -> Result<PlanStore, StoreError> {
+        let path = path.into();
+        let bytes = match fs::read(&path) {
+            Ok(b) => Some(b),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(StoreError::io("read", &e)),
+        };
+
+        let mut recovery = RecoveryReport::default();
+        let mut payloads = Vec::new();
+        match bytes {
+            None => {
+                write_atomic(&path, &log::encode_header(STORE_FORMAT_VERSION))?;
+            }
+            Some(bytes) => match log::scan(&bytes, STORE_FORMAT_VERSION) {
+                LogScan::Incompatible { found } => {
+                    return Err(StoreError::Incompatible {
+                        found,
+                        supported: STORE_FORMAT_VERSION,
+                    });
+                }
+                LogScan::Corrupt => {
+                    recovery.reset = true;
+                    recovery.torn_tail = true;
+                    recovery.tail_bytes_quarantined = bytes.len();
+                    fs::write(sibling(&path, ".quarantine"), &bytes)
+                        .map_err(|e| StoreError::io("write quarantine", &e))?;
+                    write_atomic(&path, &log::encode_header(STORE_FORMAT_VERSION))?;
+                }
+                LogScan::Ok(scan) => {
+                    if scan.torn {
+                        recovery.torn_tail = true;
+                        recovery.tail_bytes_quarantined = bytes.len() - scan.valid_len;
+                        fs::write(sibling(&path, ".quarantine"), &bytes[scan.valid_len..])
+                            .map_err(|e| StoreError::io("write quarantine", &e))?;
+                        write_atomic(&path, &bytes[..scan.valid_len])?;
+                    }
+                    payloads = scan.payloads;
+                }
+            },
+        }
+
+        let mut store = PlanStore {
+            file: open_append(&path)?,
+            path,
+            opts,
+            records: Vec::with_capacity(payloads.len()),
+            index: HashMap::new(),
+            index_by_digest: HashMap::new(),
+            latest_by_problem: HashMap::new(),
+            recovery,
+            stats: StoreStats::default(),
+        };
+        for payload in payloads {
+            match record::decode(&payload) {
+                RecordDecode::Ok(rec) => store.admit(*rec),
+                RecordDecode::Incompatible => store.recovery.incompatible_records += 1,
+                RecordDecode::Malformed => store.recovery.records_quarantined += 1,
+            }
+        }
+        store.recovery.records_loaded = store.records.len();
+        Ok(store)
+    }
+
+    fn admit(&mut self, rec: PlanRecord) {
+        let key = rec.key;
+        let digest = rec.digest;
+        let idx = self.records.len();
+        self.records.push(rec);
+        self.index.insert(key, idx);
+        self.index_by_digest.insert((key, digest), idx);
+        self.latest_by_problem.insert(key.problem(), key);
+    }
+
+    /// Reconstructs the full plan under `key`, verifying every link's
+    /// digest.  `Err` means the entry (or its chain) is unservable.
+    fn resolve(&self, key: &PlanKey) -> Result<(Schedule, f64, u32), ()> {
+        let mut chain = Vec::new();
+        let mut idx = *self.index.get(key).ok_or(())?;
+        let mut depth = 0u32;
+        let (mut plan, base_digest) = loop {
+            let rec = &self.records[idx];
+            match &rec.body {
+                RecordBody::Full(s) => break (s.clone(), rec.digest),
+                RecordBody::Delta {
+                    parent,
+                    parent_digest,
+                    ..
+                } => {
+                    depth += 1;
+                    if depth > self.opts.max_delta_depth {
+                        return Err(()); // over-deep or cyclic chain
+                    }
+                    chain.push(idx);
+                    idx = *self
+                        .index_by_digest
+                        .get(&(*parent, *parent_digest))
+                        .ok_or(())?;
+                }
+            }
+        };
+        if plan.content_digest() != base_digest {
+            return Err(());
+        }
+        for &idx in chain.iter().rev() {
+            let rec = &self.records[idx];
+            let delta = match &rec.body {
+                RecordBody::Delta { delta, .. } => delta,
+                RecordBody::Full(_) => return Err(()),
+            };
+            plan = delta.apply(&plan).map_err(|_| ())?;
+            if plan.content_digest() != rec.digest {
+                return Err(());
+            }
+        }
+        let &top = self.index.get(key).ok_or(())?;
+        Ok((plan, self.records[top].makespan_ms, depth))
+    }
+
+    /// Looks up `key`; `None` is a typed miss.  A present entry is
+    /// served only if its (possibly delta-replayed) reconstruction
+    /// matches the recorded content digest; anything else — digest
+    /// mismatch, broken parent chain, over-deep replay — quarantines
+    /// the entry and reports a miss.  This is the invariant the whole
+    /// store exists to uphold: corruption can cost a warm start, it
+    /// can never serve a wrong plan.
+    pub fn get(&mut self, key: &PlanKey) -> Option<StoredPlan> {
+        if !self.index.contains_key(key) {
+            self.stats.misses += 1;
+            return None;
+        }
+        match self.resolve(key) {
+            Ok((schedule, makespan_ms, depth)) => {
+                self.stats.hits += 1;
+                Some(StoredPlan {
+                    schedule,
+                    makespan_ms,
+                    via_delta: depth > 0,
+                })
+            }
+            Err(()) => {
+                self.quarantine(key);
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn quarantine(&mut self, key: &PlanKey) {
+        self.index.remove(key);
+        if self.latest_by_problem.get(&key.problem()) == Some(key) {
+            self.latest_by_problem.remove(&key.problem());
+        }
+        self.stats.quarantines += 1;
+    }
+
+    /// Persists `schedule` under `key`: appends one checksummed frame
+    /// and flushes.  Stores a delta against the latest plan of the
+    /// same scheduling problem when that is smaller and keeps the
+    /// replay chain within bounds; a put identical to the incumbent
+    /// record writes nothing.
+    pub fn put(
+        &mut self,
+        key: PlanKey,
+        schedule: &Schedule,
+        makespan_ms: f64,
+    ) -> Result<PutOutcome, StoreError> {
+        let digest = schedule.content_digest();
+        if let Some(&idx) = self.index.get(&key) {
+            let old = &self.records[idx];
+            if old.digest == digest && old.makespan_ms.to_bits() == makespan_ms.to_bits() {
+                return Ok(PutOutcome::Unchanged);
+            }
+        }
+
+        let full = PlanRecord {
+            key,
+            makespan_ms,
+            digest,
+            body: RecordBody::Full(schedule.clone()),
+        };
+        let full_bytes = record::encode(&full);
+        let mut chosen = (full, full_bytes, PutOutcome::Full);
+
+        if let Some(&parent_key) = self.latest_by_problem.get(&key.problem()) {
+            if parent_key != key {
+                if let Ok((parent_plan, _, parent_depth)) = self.resolve(&parent_key) {
+                    if parent_depth < self.opts.max_delta_depth {
+                        let delta = PlanDelta::diff(&parent_plan, schedule);
+                        let rec = PlanRecord {
+                            key,
+                            makespan_ms,
+                            digest,
+                            body: RecordBody::Delta {
+                                parent: parent_key,
+                                parent_digest: parent_plan.content_digest(),
+                                delta,
+                            },
+                        };
+                        let bytes = record::encode(&rec);
+                        if bytes.len() < chosen.1.len() {
+                            chosen = (rec, bytes, PutOutcome::Delta);
+                        }
+                    }
+                }
+            }
+        }
+
+        let frame = log::encode_frame(&chosen.1);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StoreError::io("append", &e))?;
+        self.file.flush().map_err(|e| StoreError::io("flush", &e))?;
+        match chosen.2 {
+            PutOutcome::Full => self.stats.puts_full += 1,
+            PutOutcome::Delta => self.stats.puts_delta += 1,
+            PutOutcome::Unchanged => {}
+        }
+        self.admit(chosen.0);
+        Ok(chosen.2)
+    }
+
+    /// Extends the serving ladder's `invalidate_stale` to the durable
+    /// tier: drops every plan of `graph_fp` from a superseded
+    /// intermediate epoch (`0 < epoch < current_epoch`).  Epoch-0
+    /// plans survive — they are priced against the base profile a
+    /// restarted process calibrates from, so they are exactly the
+    /// warm-start inventory — as does the current epoch.  Dropping
+    /// compacts the log (survivors rewritten as full records, delta
+    /// parents may be purged) through an atomic temp + rename commit.
+    /// Returns how many entries were dropped.
+    pub fn invalidate_stale(
+        &mut self,
+        graph_fp: u64,
+        current_epoch: u64,
+    ) -> Result<usize, StoreError> {
+        let stale: HashSet<PlanKey> = self
+            .index
+            .keys()
+            .filter(|k| k.graph_fp == graph_fp && k.epoch > 0 && k.epoch < current_epoch)
+            .copied()
+            .collect();
+        if stale.is_empty() {
+            return Ok(0);
+        }
+
+        let mut survivors: Vec<(usize, PlanKey)> = self
+            .index
+            .iter()
+            .filter(|(k, _)| !stale.contains(k))
+            .map(|(k, &i)| (i, *k))
+            .collect();
+        survivors.sort_unstable_by_key(|&(i, _)| i);
+
+        // Materialize before dropping anything: a survivor's delta
+        // parent may be stale, so it must be re-rooted as a full plan.
+        let mut rebuilt = Vec::with_capacity(survivors.len());
+        for &(_, k) in &survivors {
+            match self.resolve(&k) {
+                Ok((plan, makespan_ms, _)) => rebuilt.push(PlanRecord {
+                    key: k,
+                    makespan_ms,
+                    digest: plan.content_digest(),
+                    body: RecordBody::Full(plan),
+                }),
+                // An unservable chain surfaces here instead of at the
+                // next get; drop it with the same accounting.
+                Err(()) => self.stats.quarantines += 1,
+            }
+        }
+
+        let mut image = log::encode_header(STORE_FORMAT_VERSION).to_vec();
+        for rec in &rebuilt {
+            image.extend_from_slice(&log::encode_frame(&record::encode(rec)));
+        }
+        write_atomic(&self.path, &image)?;
+        self.file = open_append(&self.path)?;
+
+        self.records.clear();
+        self.index.clear();
+        self.index_by_digest.clear();
+        self.latest_by_problem.clear();
+        for rec in rebuilt {
+            self.admit(rec);
+        }
+        self.stats.invalidated += stale.len() as u64;
+        Ok(stale.len())
+    }
+
+    /// Number of distinct keys currently servable.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no plans are stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` has a (not yet quarantined) entry.
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// What `open` found and repaired.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Runtime counters since `open`.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The log file this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hios_graph::OpId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "hios-store-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        fs::create_dir_all(&p).expect("create scratch dir");
+        p.join("plans.log")
+    }
+
+    fn key(graph_fp: u64, epoch: u64) -> PlanKey {
+        PlanKey {
+            graph_fp,
+            platform_fp: u64::MAX - 11,
+            alive_mask: 0b11,
+            num_gpus: 2,
+            epoch,
+        }
+    }
+
+    fn plan(tail: u32) -> Schedule {
+        Schedule::from_gpu_orders(vec![vec![OpId(0), OpId(1)], vec![OpId(2), OpId(tail)]])
+    }
+
+    #[test]
+    fn put_get_survives_reopen_bit_identically() {
+        let path = scratch("reopen");
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.put(key(1, 0), &plan(3), 10.0), Ok(PutOutcome::Full));
+        assert_eq!(store.get(&key(1, 0)).unwrap().schedule, plan(3));
+        let before = fs::read(&path).unwrap();
+        drop(store);
+
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            before,
+            "clean reopen rewrites nothing"
+        );
+        assert_eq!(
+            *store.recovery(),
+            RecoveryReport {
+                records_loaded: 1,
+                ..RecoveryReport::default()
+            }
+        );
+        let hit = store.get(&key(1, 0)).unwrap();
+        assert_eq!(hit.schedule, plan(3));
+        assert_eq!(hit.makespan_ms, 10.0);
+        assert!(!hit.via_delta);
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn unchanged_put_writes_nothing() {
+        let path = scratch("unchanged");
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        store.put(key(1, 0), &plan(3), 10.0).unwrap();
+        let size = fs::metadata(&path).unwrap().len();
+        assert_eq!(
+            store.put(key(1, 0), &plan(3), 10.0),
+            Ok(PutOutcome::Unchanged)
+        );
+        assert_eq!(fs::metadata(&path).unwrap().len(), size);
+    }
+
+    #[test]
+    fn near_identical_plans_store_as_deltas_and_replay() {
+        let path = scratch("delta");
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        store.put(key(1, 0), &plan(3), 10.0).unwrap();
+        for e in 1..=4u64 {
+            let outcome = store
+                .put(key(1, e), &plan(3 + e as u32), 10.0 - e as f64)
+                .unwrap();
+            assert_eq!(outcome, PutOutcome::Delta, "epoch {e} should delta-chain");
+        }
+        drop(store);
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        for e in 0..=4u64 {
+            let hit = store.get(&key(1, e)).unwrap();
+            assert_eq!(hit.schedule, plan(3 + e as u32));
+            assert_eq!(hit.via_delta, e > 0);
+        }
+    }
+
+    #[test]
+    fn delta_depth_is_bounded_on_write() {
+        let path = scratch("depth");
+        let opts = StoreOptions { max_delta_depth: 2 };
+        let mut store = PlanStore::open(&path, opts).unwrap();
+        store.put(key(1, 0), &plan(3), 9.0).unwrap();
+        assert_eq!(store.put(key(1, 1), &plan(4), 9.0), Ok(PutOutcome::Delta));
+        assert_eq!(store.put(key(1, 2), &plan(5), 9.0), Ok(PutOutcome::Delta));
+        // Parent is already at the depth bound: falls back to full.
+        assert_eq!(store.put(key(1, 3), &plan(6), 9.0), Ok(PutOutcome::Full));
+        assert_eq!(store.get(&key(1, 3)).unwrap().schedule, plan(6));
+    }
+
+    #[test]
+    fn invalidate_stale_purges_intermediates_keeps_base_and_current() {
+        let path = scratch("epochs");
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        for e in 0..=3u64 {
+            store.put(key(1, e), &plan(3 + e as u32), 9.0).unwrap();
+        }
+        store.put(key(2, 1), &plan(9), 9.0).unwrap(); // other graph untouched
+        assert_eq!(store.invalidate_stale(1, 3), Ok(2)); // epochs 1, 2
+        assert_eq!(store.invalidate_stale(1, 3), Ok(0)); // idempotent
+        assert!(
+            store.contains(&key(1, 0)),
+            "base epoch survives for restarts"
+        );
+        assert!(store.contains(&key(1, 3)), "current epoch survives");
+        assert!(!store.contains(&key(1, 1)) && !store.contains(&key(1, 2)));
+        assert!(store.contains(&key(2, 1)));
+        drop(store);
+
+        // The compaction is durable and survivors were re-rooted as
+        // full plans even though their delta parents are gone.
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(&key(1, 3)).unwrap().schedule, plan(6));
+        assert_eq!(store.get(&key(1, 0)).unwrap().schedule, plan(3));
+        assert_eq!(store.stats().quarantines, 0);
+    }
+
+    #[test]
+    fn header_corruption_resets_with_sidecar_not_error() {
+        let path = scratch("header");
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        store.put(key(1, 0), &plan(3), 9.0).unwrap();
+        drop(store);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[2] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        assert!(store.recovery().reset);
+        assert!(store.is_empty());
+        assert_eq!(
+            store.get(&key(1, 0)),
+            None,
+            "typed miss, never a wrong plan"
+        );
+        let sidecar = sibling(&path, ".quarantine");
+        assert_eq!(
+            fs::read(sidecar).unwrap(),
+            bytes,
+            "corrupt image kept for post-mortems"
+        );
+    }
+
+    #[test]
+    fn newer_file_format_is_typed_incompatible() {
+        let path = scratch("newer");
+        drop(PlanStore::open(&path, StoreOptions::default()).unwrap());
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(STORE_FORMAT_VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            PlanStore::open(&path, StoreOptions::default()).err(),
+            Some(StoreError::Incompatible {
+                found: STORE_FORMAT_VERSION + 1,
+                supported: STORE_FORMAT_VERSION
+            })
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Delta-replay differential test (ISSUE 7 satellite): a plan stored
+//! as parent + delta must reconstruct bit-identically to the same plan
+//! stored directly as a full record — across process restarts and at
+//! any rayon thread count of the scheduler that produced it.
+
+use hios_core::{Algorithm, Schedule, SchedulerOptions, run_scheduler};
+use hios_graph::Graph;
+use hios_store::{PlanDelta, PlanKey, PlanStore, PutOutcome, StoreOptions};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "hios-store-diff-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    fs::create_dir_all(&p).expect("create scratch dir");
+    p.join("plans.log")
+}
+
+fn dag(seed: u64) -> Graph {
+    hios_graph::generate_layered_dag(&hios_graph::LayeredDagConfig {
+        ops: 40,
+        layers: 6,
+        deps: 80,
+        seed,
+    })
+    .unwrap()
+}
+
+fn lp_plan(g: &Graph, cost: &hios_cost::CostTable) -> Schedule {
+    run_scheduler(Algorithm::HiosLp, g, cost, &SchedulerOptions::new(3))
+        .expect("LP schedules the layered DAG")
+        .schedule
+}
+
+fn key(platform_fp: u64, epoch: u64) -> PlanKey {
+    PlanKey {
+        graph_fp: 0xabcd_ef01_2345_6789,
+        platform_fp,
+        alive_mask: 0b111,
+        num_gpus: 3,
+        epoch,
+    }
+}
+
+/// Serves `child` two ways — delta-encoded behind `parent`, and as a
+/// directly stored full record — and requires bit-identical results.
+fn assert_differential(parent: &Schedule, child: &Schedule, expect_delta: bool) {
+    // Way 1: parent first, child second; the store may delta-encode.
+    let path_a = scratch();
+    let mut via_delta = PlanStore::open(&path_a, StoreOptions::default()).unwrap();
+    via_delta.put(key(1, 0), parent, 10.0).unwrap();
+    let outcome = via_delta.put(key(2, 1), child, 9.0).unwrap();
+    if expect_delta {
+        assert_eq!(
+            outcome,
+            PutOutcome::Delta,
+            "near-identical plan must delta-encode"
+        );
+    }
+
+    // Way 2: child alone; necessarily a full record.
+    let path_b = scratch();
+    let mut direct = PlanStore::open(&path_b, StoreOptions::default()).unwrap();
+    assert_eq!(direct.put(key(2, 1), child, 9.0), Ok(PutOutcome::Full));
+
+    let a = via_delta
+        .get(&key(2, 1))
+        .expect("delta-encoded plan must serve");
+    let b = direct.get(&key(2, 1)).expect("full plan must serve");
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.schedule.content_digest(), b.schedule.content_digest());
+    assert_eq!(
+        a.schedule.to_json(),
+        b.schedule.to_json(),
+        "reconstructions must be bit-identical, not merely equal"
+    );
+    assert_eq!(a.schedule, *child);
+
+    // And across a restart: replay from disk, not from memory.
+    drop(via_delta);
+    let mut reopened = PlanStore::open(&path_a, StoreOptions::default()).unwrap();
+    let c = reopened
+        .get(&key(2, 1))
+        .expect("delta chain must survive reopen");
+    assert_eq!(c.schedule, *child);
+    assert_eq!(c.via_delta, a.via_delta);
+}
+
+#[test]
+fn lp_drift_replan_reconstructs_bit_identically() {
+    let g = dag(11);
+    let cost = hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(7));
+    let parent = lp_plan(&g, &cost);
+
+    // Mild drift on a few operators, as online calibration would
+    // apply, then replan: the usual source of delta records.
+    let mut drifted = cost.clone();
+    for class in &mut drifted.device.exec_ms {
+        for c in class.iter_mut().take(4) {
+            *c *= 1.15;
+        }
+    }
+    let child = lp_plan(&g, &drifted);
+    assert_differential(&parent, &child, false);
+
+    // A surgical repair edit — guaranteed near-identical, so the
+    // store must actually pick the delta encoding.
+    let mut repaired = parent.clone();
+    let moved = repaired.gpus[0].stages.pop().expect("GPU 0 is used");
+    repaired.gpus[1].stages.push(moved);
+    assert_differential(&parent, &repaired, true);
+    let d = PlanDelta::diff(&parent, &repaired);
+    assert!(
+        d.reuse_ratio() > 0.8,
+        "surgical edit must reuse most stages"
+    );
+}
+
+#[test]
+fn reconstruction_is_identical_at_any_rayon_thread_count() {
+    // The vendored rayon reads RAYON_NUM_THREADS per parallel region,
+    // so one process can schedule under different thread counts.  The
+    // LP plan — and therefore the delta chain built from it — must be
+    // bit-identical at every count.  (This test owns the env var; no
+    // other test in this binary touches it.)
+    let g = dag(23);
+    let cost = hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(3));
+    let mut drifted = cost.clone();
+    for class in &mut drifted.device.exec_ms {
+        for c in class.iter_mut().skip(8).take(4) {
+            *c *= 1.25;
+        }
+    }
+
+    let mut reference: Option<(Schedule, Schedule, Vec<u8>)> = None;
+    for threads in ["1", "2", "5"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let parent = lp_plan(&g, &cost);
+        let child = lp_plan(&g, &drifted);
+
+        let path = scratch();
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        store.put(key(1, 0), &parent, 10.0).unwrap();
+        store.put(key(2, 0), &child, 9.5).unwrap();
+        let served = store.get(&key(2, 0)).expect("plan must serve");
+        assert_eq!(served.schedule, child);
+        let log_bytes = fs::read(&path).unwrap();
+
+        match &reference {
+            None => reference = Some((parent, child, log_bytes)),
+            Some((p0, c0, l0)) => {
+                assert_eq!(&parent, p0, "{threads} threads changed the parent plan");
+                assert_eq!(&child, c0, "{threads} threads changed the child plan");
+                assert_eq!(&log_bytes, l0, "{threads} threads changed the log bytes");
+            }
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
