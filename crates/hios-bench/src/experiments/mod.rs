@@ -5,6 +5,7 @@ pub mod ext;
 pub mod faults;
 pub mod hetero;
 pub mod micro;
+pub mod overload;
 pub mod restart;
 pub mod scaling;
 pub mod schedcost;
@@ -44,6 +45,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("serving", serving::serving),
         ("hetero", hetero::hetero),
         ("drift", drift::drift),
+        ("overload", overload::overload),
         ("restart", restart::restart),
     ]
 }

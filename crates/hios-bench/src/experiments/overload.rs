@@ -1,0 +1,538 @@
+//! `overload`: overload-hardened serving under SLO priority classes and
+//! correlated failures (`hios-serve` brownout controller + retry budget
+//! + flap-aware breakers).
+//!
+//! An admit-everything server collapses uniformly under overload: the
+//! queue sheds blindly, every class misses together, and a correlated
+//! fault turns the retry path into a storm.  This study sweeps load
+//! multiplier × fault shape × hardening mode on a shared 3-GPU backend
+//! serving two tenant DAGs under a Gold/Silver/Bronze arrival mix:
+//!
+//! * `brownout` — [`hios_serve::OverloadConfig`] attached: hysteresis
+//!   brownout levels (cap the ladder → shed Bronze → Gold only), the
+//!   server-global retry budget, and flap-escalating breakers;
+//! * `static` — the same server with no overload hardening.
+//!
+//! The load axis is calibrated, not guessed: a saturating probe trace
+//! measures the backend's sustained service rate, and `1x` is pinned at
+//! 75% of it (a healthy utilization), so `2x`/`3x` are honest overload
+//! multiples on any cost model.  Fault shapes are `none`, a correlated
+//! `domain-kill` (one two-GPU host dies mid-run), and `flapping` (a GPU
+//! cycling fail/heal on a deterministic duty cycle).
+//!
+//! A machine-readable summary lands in `BENCH_overload.json` at the
+//! repository root; headline fields:
+//!
+//! * `gold_protected_overloaded` — brownout Gold on-time ≥ static in
+//!   **every** cell at ≥ 1.5× load;
+//! * `transitions_bounded` — no cell's brownout controller oscillates
+//!   (hysteresis + dwell keep the transition count small);
+//! * `nominal_identical` — at 1× load with no faults, the attached
+//!   controller is bit-identical to the unhardened server;
+//! * `deterministic_replay` — the deepest overload cell replays
+//!   digest-identically.
+//!
+//! `--validate` turns all four headline criteria into hard assertions.
+
+use crate::table::f3;
+use crate::{RunCfg, Table};
+use hios_core::bounds;
+use hios_cost::AnalyticCostModel;
+use hios_graph::{LayeredDagConfig, generate_layered_dag};
+use hios_serve::{
+    ClassMix, OverloadConfig, PriorityClass, Request, ServeConfig, ServeReport, ServedModel,
+    WorkloadConfig, generate_trace_with_classes, serve, trace_span_ms,
+};
+use hios_sim::{DomainKill, FaultPlan, FaultScript, FlapSpec, host_domains};
+use rayon::prelude::*;
+use serde_json::Value;
+
+/// GPUs in the shared backend (two on one host, one on its own).
+const GPUS: usize = 3;
+
+/// GPUs per PCIe-switch failure domain.
+const GPUS_PER_HOST: usize = 2;
+
+/// Requests per cell.
+const REQUESTS: usize = 200;
+
+/// Deadline slack factor over the nominal bound.
+const DEADLINE_FACTOR: f64 = 30.0;
+
+/// Transition bound per cell: far below the outcome-event count, so a
+/// pass certifies hysteresis, not luck.
+const MAX_TRANSITIONS: u64 = 48;
+
+/// One cell of the sweep.
+#[derive(Clone, Copy)]
+struct CellCfg {
+    /// Load multiplier over the calibrated 1x rate.
+    mult: f64,
+    /// Fault shape name.
+    shape: &'static str,
+    /// Whether overload hardening is attached.
+    harden: bool,
+}
+
+/// One cell's outcome.
+struct CellOut {
+    cfg: CellCfg,
+    report: ServeReport,
+}
+
+impl CellOut {
+    fn to_json(&self) -> Value {
+        let r = &self.report;
+        let class = |c: PriorityClass| {
+            let s = &r.class_stats[c.index()];
+            Value::Object(vec![
+                ("total".into(), Value::Num(s.total as f64)),
+                ("on_time".into(), Value::Num(s.on_time as f64)),
+                ("shed".into(), Value::Num(s.shed as f64)),
+                ("p99_ms".into(), Value::Num(s.p99_ms)),
+                ("miss_rate".into(), Value::Num(s.miss_rate)),
+                ("goodput_rps".into(), Value::Num(s.goodput_rps)),
+            ])
+        };
+        Value::Object(vec![
+            ("load_mult".into(), Value::Num(self.cfg.mult)),
+            ("fault".into(), Value::Str(self.cfg.shape.to_string())),
+            (
+                "mode".into(),
+                Value::Str(mode_name(self.cfg.harden).to_string()),
+            ),
+            ("completed".into(), Value::Num(r.completed as f64)),
+            ("on_time".into(), Value::Num(r.on_time as f64)),
+            ("p99_ms".into(), Value::Num(r.p99_ms)),
+            ("miss_rate".into(), Value::Num(r.miss_rate)),
+            ("goodput_rps".into(), Value::Num(r.goodput_rps)),
+            ("gold".into(), class(PriorityClass::Gold)),
+            ("silver".into(), class(PriorityClass::Silver)),
+            ("bronze".into(), class(PriorityClass::Bronze)),
+            ("shed_queue".into(), Value::Num(r.shed_queue as f64)),
+            ("shed_brownout".into(), Value::Num(r.shed_brownout as f64)),
+            (
+                "shed_retry_budget".into(),
+                Value::Num(r.shed_retry_budget as f64),
+            ),
+            (
+                "retry_budget_denied".into(),
+                Value::Num(r.retry_budget_denied as f64),
+            ),
+            (
+                "flap_escalations".into(),
+                Value::Num(r.flap_escalations as f64),
+            ),
+            (
+                "brownout_transitions".into(),
+                Value::Num(r.brownout.transitions as f64),
+            ),
+            (
+                "brownout_max_level".into(),
+                Value::Num(f64::from(r.brownout.max_level)),
+            ),
+            (
+                "brownout_timeline".into(),
+                Value::Array(
+                    r.brownout
+                        .timeline
+                        .iter()
+                        .map(|&(at, lvl)| {
+                            Value::Array(vec![Value::Num(at), Value::Num(f64::from(lvl))])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "history_digest".into(),
+                Value::Str(format!("{:016x}", r.history_digest)),
+            ),
+        ])
+    }
+}
+
+fn mode_name(harden: bool) -> &'static str {
+    if harden { "brownout" } else { "static" }
+}
+
+/// The two tenant models served in every cell.
+fn tenants() -> Vec<ServedModel> {
+    [(41u64, 36usize), (42, 48)]
+        .iter()
+        .map(|&(seed, ops)| {
+            let graph = generate_layered_dag(&LayeredDagConfig {
+                ops,
+                layers: 6,
+                deps: ops * 2,
+                seed,
+            })
+            .expect("feasible tenant workload");
+            let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
+            ServedModel {
+                name: format!("tenant{seed}"),
+                graph,
+                cost,
+            }
+        })
+        .collect()
+}
+
+fn nominal(models: &[ServedModel]) -> Vec<f64> {
+    models
+        .iter()
+        .map(|m| bounds::combined_bound(&m.graph, &m.cost, GPUS))
+        .collect()
+}
+
+/// Measures the backend's sustained service rate with a saturating
+/// probe (arrivals far faster than service, deadlines effectively
+/// infinite) and pins the `1x` load at 75% of it.  Deterministic: the
+/// probe runs on the virtual clock like every other cell.
+fn calibrated_rate_rps(models: &[ServedModel]) -> f64 {
+    let trace = generate_trace_with_classes(
+        &WorkloadConfig {
+            requests: 120,
+            arrival_rate_rps: 20_000.0,
+            deadline_factor: 1.0e6,
+            seed: 13,
+        },
+        &nominal(models),
+        &ClassMix::default(),
+    );
+    let out = serve(
+        models,
+        &trace,
+        &FaultPlan::new(vec![]),
+        &ServeConfig::new(GPUS),
+    )
+    .expect("well-formed probe setup");
+    let throughput_rps = 1000.0 * out.report.completed as f64 / out.report.horizon_ms;
+    0.75 * throughput_rps
+}
+
+/// The shared class-mixed arrival trace of one load multiplier.
+fn trace_for(models: &[ServedModel], rate_rps: f64) -> Vec<Request> {
+    generate_trace_with_classes(
+        &WorkloadConfig {
+            requests: REQUESTS,
+            arrival_rate_rps: rate_rps,
+            deadline_factor: DEADLINE_FACTOR,
+            seed: 17,
+        },
+        &nominal(models),
+        &ClassMix::default(),
+    )
+}
+
+/// The fault plan of a shape, anchored to the trace's arrival span.
+fn faults_for(models: &[ServedModel], shape: &'static str, span_ms: f64) -> FaultPlan {
+    let script = match shape {
+        "none" => return FaultPlan::new(vec![]),
+        // One two-GPU host dies mid-run: a correlated loss of 2/3 of
+        // the platform in a single instant.
+        "domain-kill" => FaultScript {
+            domains: host_domains(GPUS, GPUS_PER_HOST),
+            kills: vec![DomainKill {
+                at_ms: 0.4 * span_ms,
+                domain: 0,
+            }],
+            flaps: vec![],
+            raw: vec![],
+        },
+        // The lone-host GPU cycles fail/heal: each up interval outlasts
+        // the breaker reset, so every cycle closes the breaker and the
+        // re-trip lands inside the flap window — the worst shape for a
+        // breaker without flap detection.
+        "flapping" => FaultScript {
+            domains: vec![],
+            kills: vec![],
+            flaps: vec![FlapSpec {
+                gpu: GPUS - 1,
+                first_fail_ms: 0.2 * span_ms,
+                down_ms: 6.0,
+                up_ms: 30.0,
+                cycles: 4,
+            }],
+            raw: vec![],
+        },
+        other => panic!("unknown fault shape {other}"),
+    };
+    script
+        .compile(&models[0].graph, GPUS)
+        .expect("valid fault script")
+}
+
+fn run_cell(models: &[ServedModel], rate_1x: f64, c: CellCfg) -> CellOut {
+    let trace = trace_for(models, c.mult * rate_1x);
+    let faults = faults_for(models, c.shape, trace_span_ms(&trace));
+    let mut cfg = ServeConfig::new(GPUS);
+    if c.harden {
+        cfg.overload = Some(OverloadConfig::default());
+    }
+    let out = serve(models, &trace, &faults, &cfg).expect("well-formed serving setup");
+    CellOut {
+        cfg: c,
+        report: out.report,
+    }
+}
+
+/// Headline verdicts over the full grid.
+struct Verdict {
+    /// Brownout Gold on-time ≥ static in every ≥ 1.5× cell.
+    gold_protected_overloaded: bool,
+    /// No cell's controller exceeded [`MAX_TRANSITIONS`].
+    transitions_bounded: bool,
+    /// Worst brownout-vs-static Gold on-time deficit (≥ 0 is good).
+    worst_gold_margin: i64,
+    /// Most transitions any cell's controller made.
+    max_transitions: u64,
+    /// Brownout sheds across all overloaded cells (the controller must
+    /// actually act, not win by accident).
+    brownout_sheds_total: u64,
+}
+
+/// Cells come in `(brownout, static)` pairs per `(mult, shape)`.
+fn verdict(outs: &[CellOut]) -> Verdict {
+    let mut protected = true;
+    let mut worst_margin = i64::MAX;
+    let mut max_transitions = 0u64;
+    let mut sheds = 0u64;
+    for pair in outs.chunks(2) {
+        let [brn, stat] = pair else {
+            panic!("cells come in mode pairs");
+        };
+        debug_assert!(brn.cfg.harden && !stat.cfg.harden);
+        max_transitions = max_transitions.max(brn.report.brownout.transitions);
+        if brn.cfg.mult < 1.5 {
+            continue; // nominal cells are judged by digest identity
+        }
+        sheds += brn.report.shed_brownout as u64;
+        let gold = PriorityClass::Gold.index();
+        let margin = brn.report.class_stats[gold].on_time as i64
+            - stat.report.class_stats[gold].on_time as i64;
+        worst_margin = worst_margin.min(margin);
+        if margin < 0 {
+            protected = false;
+        }
+    }
+    Verdict {
+        gold_protected_overloaded: protected,
+        transitions_bounded: max_transitions <= MAX_TRANSITIONS,
+        worst_gold_margin: if worst_margin == i64::MAX {
+            0
+        } else {
+            worst_margin
+        },
+        max_transitions,
+        brownout_sheds_total: sheds,
+    }
+}
+
+/// The `overload` experiment.
+pub fn overload(cfg: &RunCfg) -> Table {
+    let models = tenants();
+    let rate_1x = calibrated_rate_rps(&models);
+    let (mults, shapes): (&[f64], &[&'static str]) = if cfg.smoke {
+        (&[1.0, 2.0], &["none", "domain-kill"])
+    } else {
+        (&[1.0, 1.5, 2.0, 3.0], &["none", "domain-kill", "flapping"])
+    };
+    let mut cells: Vec<CellCfg> = Vec::new();
+    for &mult in mults {
+        for &shape in shapes {
+            for harden in [true, false] {
+                cells.push(CellCfg {
+                    mult,
+                    shape,
+                    harden,
+                });
+            }
+        }
+    }
+    let outs: Vec<CellOut> = cells
+        .into_par_iter()
+        .map(|c| run_cell(&models, rate_1x, c))
+        .collect();
+    let v = verdict(&outs);
+
+    // Digest identity at nominal load: the attached controller must not
+    // perturb a server that never needs it.
+    let nominal_pair: Vec<u64> = outs
+        .iter()
+        .filter(|o| o.cfg.mult == 1.0 && o.cfg.shape == "none")
+        .map(|o| o.report.history_digest)
+        .collect();
+    let nominal_identical = matches!(nominal_pair.as_slice(), [a, b] if a == b);
+
+    // Deterministic replay of the deepest overload cell.
+    let deepest = CellCfg {
+        mult: *mults.last().expect("non-empty sweep"),
+        shape: shapes[1],
+        harden: true,
+    };
+    let replay_digest = run_cell(&models, rate_1x, deepest).report.history_digest;
+    let original_digest = outs
+        .iter()
+        .find(|o| o.cfg.mult == deepest.mult && o.cfg.shape == deepest.shape && o.cfg.harden)
+        .expect("deepest cell ran")
+        .report
+        .history_digest;
+    let deterministic_replay = replay_digest == original_digest;
+
+    if cfg.validate {
+        assert!(
+            v.gold_protected_overloaded,
+            "brownout must keep Gold on-time >= static in every >=1.5x cell \
+             (worst margin {})",
+            v.worst_gold_margin
+        );
+        assert!(
+            v.transitions_bounded,
+            "brownout controller oscillated: {} transitions > {}",
+            v.max_transitions, MAX_TRANSITIONS
+        );
+        assert!(
+            v.brownout_sheds_total > 0,
+            "overloaded cells must actually brown out"
+        );
+        assert!(
+            nominal_identical,
+            "at 1x no-fault the controller must be digest-identical to the static server"
+        );
+        assert!(
+            deterministic_replay,
+            "overload cells must replay bit-identically"
+        );
+    }
+
+    let mut t = Table::new(
+        "overload",
+        "Overload-hardened serving: brownout + retry budget vs an unhardened server",
+        &[
+            "load",
+            "fault",
+            "mode",
+            "gold_ontime",
+            "silver_ontime",
+            "bronze_ontime",
+            "shed_brn",
+            "shed_q",
+            "rb_denied",
+            "trans",
+            "maxlvl",
+            "p99_ms",
+        ],
+    );
+    for o in &outs {
+        let r = &o.report;
+        t.push(vec![
+            format!("{:.1}x", o.cfg.mult),
+            o.cfg.shape.to_string(),
+            mode_name(o.cfg.harden).to_string(),
+            r.class_stats[0].on_time.to_string(),
+            r.class_stats[1].on_time.to_string(),
+            r.class_stats[2].on_time.to_string(),
+            r.shed_brownout.to_string(),
+            r.shed_queue.to_string(),
+            r.retry_budget_denied.to_string(),
+            r.brownout.transitions.to_string(),
+            r.brownout.max_level.to_string(),
+            f3(r.p99_ms),
+        ]);
+    }
+
+    let json = Value::Object(vec![
+        ("experiment".into(), Value::Str("overload".into())),
+        ("gpus".into(), Value::Num(GPUS as f64)),
+        ("smoke".into(), Value::Bool(cfg.smoke)),
+        ("rate_1x_rps".into(), Value::Num(rate_1x)),
+        ("requests_per_cell".into(), Value::Num(REQUESTS as f64)),
+        ("deadline_factor".into(), Value::Num(DEADLINE_FACTOR)),
+        (
+            "points".into(),
+            Value::Array(outs.iter().map(CellOut::to_json).collect()),
+        ),
+        (
+            "headline".into(),
+            Value::Object(vec![
+                (
+                    "gold_protected_overloaded".into(),
+                    Value::Bool(v.gold_protected_overloaded),
+                ),
+                (
+                    "transitions_bounded".into(),
+                    Value::Bool(v.transitions_bounded),
+                ),
+                ("nominal_identical".into(), Value::Bool(nominal_identical)),
+                (
+                    "deterministic_replay".into(),
+                    Value::Bool(deterministic_replay),
+                ),
+                (
+                    "worst_gold_margin".into(),
+                    Value::Num(v.worst_gold_margin as f64),
+                ),
+                (
+                    "max_transitions".into(),
+                    Value::Num(v.max_transitions as f64),
+                ),
+                (
+                    "brownout_sheds_total".into(),
+                    Value::Num(v.brownout_sheds_total as f64),
+                ),
+            ]),
+        ),
+    ]);
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_overload.json");
+    let rendered = serde_json::to_string_pretty(&json).expect("JSON rendering");
+    std::fs::write(&out, rendered + "\n").expect("write BENCH_overload.json");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_rate_is_positive_and_finite() {
+        let models = tenants();
+        let rate = calibrated_rate_rps(&models);
+        assert!(rate.is_finite() && rate > 0.0, "rate {rate}");
+    }
+
+    #[test]
+    fn overloaded_cell_browns_out_and_protects_gold() {
+        let models = tenants();
+        let rate_1x = calibrated_rate_rps(&models);
+        let outs: Vec<CellOut> = [true, false]
+            .iter()
+            .map(|&harden| {
+                run_cell(
+                    &models,
+                    rate_1x,
+                    CellCfg {
+                        mult: 2.0,
+                        shape: "none",
+                        harden,
+                    },
+                )
+            })
+            .collect();
+        let v = verdict(&outs);
+        assert!(
+            v.gold_protected_overloaded,
+            "gold margin {}",
+            v.worst_gold_margin
+        );
+        assert!(v.brownout_sheds_total > 0, "2x load never browned out");
+        assert!(v.transitions_bounded);
+    }
+
+    #[test]
+    fn every_fault_shape_compiles_to_a_valid_plan() {
+        let models = tenants();
+        for shape in ["none", "domain-kill", "flapping"] {
+            faults_for(&models, shape, 300.0);
+        }
+    }
+}

@@ -41,7 +41,8 @@ use crate::{RunCfg, Table};
 use hios_cost::AnalyticCostModel;
 use hios_graph::{LayeredDagConfig, generate_layered_dag};
 use hios_serve::{
-    Request, Rung, ServeConfig, ServeOutcome, ServeReport, ServedModel, StoreConfig, serve,
+    PriorityClass, Request, Rung, ServeConfig, ServeOutcome, ServeReport, ServedModel, StoreConfig,
+    serve,
 };
 use hios_sim::FaultPlan;
 use rayon::prelude::*;
@@ -187,6 +188,7 @@ fn trace_for(models: usize, requests: usize) -> Vec<Request> {
             model: i % models,
             arrival_ms: 3.0 * i as f64,
             deadline_ms: 3.0 * i as f64 + 500.0,
+            class: PriorityClass::Gold,
         })
         .collect()
 }

@@ -12,8 +12,62 @@
 //!   timeout **doubled**, so a persistently sick GPU is probed at an
 //!   exponentially decaying rate instead of hammered.
 //!
+//! **Flap detection** (ISSUE 8): a GPU that heals convincingly and then
+//! fails again shortly after would otherwise cycle open → closed → open
+//! forever at the *base* timeout — each heal resets the backoff that
+//! the doubling built up.  The breaker therefore remembers when it last
+//! closed; a re-trip within [`FlapConfig::window_ms`] counts as a flap,
+//! and once [`FlapConfig::threshold`] consecutive flaps accumulate, a
+//! closing probe *keeps* an escalated timeout (multiplied by
+//! [`FlapConfig::escalation`], capped at [`FlapConfig::max_timeout_ms`])
+//! instead of resetting to base — quarantining the flapping GPU for
+//! progressively longer stretches.
+//!
 //! All transitions run on the virtual clock, so breaker histories are
 //! bit-identical across runs and thread counts.
+
+/// Flap-detection knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlapConfig {
+    /// A re-trip within this long after a close counts as a flap, ms.
+    pub window_ms: f64,
+    /// Consecutive flaps before quarantine escalation kicks in.
+    pub threshold: u32,
+    /// Timeout multiplier applied at each escalated close (`> 1`).
+    pub escalation: f64,
+    /// Upper bound on the escalated timeout, ms.
+    pub max_timeout_ms: f64,
+}
+
+impl Default for FlapConfig {
+    fn default() -> Self {
+        FlapConfig {
+            window_ms: 50.0,
+            threshold: 2,
+            escalation: 4.0,
+            max_timeout_ms: 1000.0,
+        }
+    }
+}
+
+impl FlapConfig {
+    /// Rejects non-finite or degenerate knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.window_ms >= 0.0 && self.window_ms.is_finite()) {
+            return Err(format!("window_ms {} must be finite >= 0", self.window_ms));
+        }
+        if !(self.escalation > 1.0 && self.escalation.is_finite()) {
+            return Err(format!("escalation {} must be finite > 1", self.escalation));
+        }
+        if !(self.max_timeout_ms > 0.0 && self.max_timeout_ms.is_finite()) {
+            return Err(format!(
+                "max_timeout_ms {} must be finite > 0",
+                self.max_timeout_ms
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// State of one breaker.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,20 +90,39 @@ pub struct CircuitBreaker {
     base_timeout_ms: f64,
     timeout_ms: f64,
     opens: u64,
+    flap: FlapConfig,
+    /// When the breaker last closed, ms (−∞ before the first close, so
+    /// the first trip is never a flap).
+    last_close_ms: f64,
+    /// Consecutive open→close→open cycles inside the flap window.
+    flaps: u32,
+    /// Quarantine escalations applied over the breaker's lifetime.
+    escalations: u64,
 }
 
 impl CircuitBreaker {
-    /// A closed breaker whose first open lasts `reset_timeout_ms`.
+    /// A closed breaker whose first open lasts `reset_timeout_ms`, with
+    /// default flap detection.
     pub fn new(reset_timeout_ms: f64) -> Self {
+        CircuitBreaker::with_flap(reset_timeout_ms, FlapConfig::default())
+    }
+
+    /// A closed breaker with explicit flap-detection knobs.
+    pub fn with_flap(reset_timeout_ms: f64, flap: FlapConfig) -> Self {
         assert!(
             reset_timeout_ms.is_finite() && reset_timeout_ms > 0.0,
             "reset timeout must be positive and finite"
         );
+        flap.validate().expect("invalid flap config");
         CircuitBreaker {
             state: BreakerState::Closed,
             base_timeout_ms: reset_timeout_ms,
             timeout_ms: reset_timeout_ms,
             opens: 0,
+            flap,
+            last_close_ms: f64::NEG_INFINITY,
+            flaps: 0,
+            escalations: 0,
         }
     }
 
@@ -68,9 +141,28 @@ impl CircuitBreaker {
         self.opens
     }
 
+    /// Consecutive flap cycles currently on record.
+    pub fn flaps(&self) -> u32 {
+        self.flaps
+    }
+
+    /// Quarantine escalations applied over the breaker's lifetime.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
     /// Trips the breaker at `now_ms` (fault detected on the GPU).
     /// Returns the instant the breaker becomes probeable.
+    ///
+    /// A trip arriving within the flap window of the last close counts
+    /// as a flap cycle; one arriving later proves the close was stable
+    /// and clears the flap record.
     pub fn trip(&mut self, now_ms: f64) -> f64 {
+        if now_ms - self.last_close_ms <= self.flap.window_ms {
+            self.flaps = self.flaps.saturating_add(1);
+        } else {
+            self.flaps = 0;
+        }
         let until_ms = now_ms + self.timeout_ms;
         self.state = BreakerState::Open { until_ms };
         self.opens += 1;
@@ -89,16 +181,25 @@ impl CircuitBreaker {
         false
     }
 
-    /// Records a successful probe: the breaker closes and the timeout
-    /// resets to its base value.
-    pub fn probe_success(&mut self) {
+    /// Records a successful probe at `now_ms`: the breaker closes.  A
+    /// well-behaved GPU gets its timeout reset to base; one with
+    /// [`FlapConfig::threshold`] flaps on record instead keeps an
+    /// *escalated* timeout — its next open quarantines it for longer.
+    pub fn probe_success(&mut self, now_ms: f64) {
         debug_assert_eq!(
             self.state,
             BreakerState::HalfOpen,
             "probe without half-open"
         );
         self.state = BreakerState::Closed;
-        self.timeout_ms = self.base_timeout_ms;
+        self.last_close_ms = now_ms;
+        if self.flaps >= self.flap.threshold {
+            self.timeout_ms =
+                (self.timeout_ms * self.flap.escalation).min(self.flap.max_timeout_ms);
+            self.escalations += 1;
+        } else {
+            self.timeout_ms = self.base_timeout_ms;
+        }
     }
 
     /// Records a failed probe: the breaker re-opens with the timeout
@@ -121,11 +222,16 @@ pub struct BreakerBank {
 }
 
 impl BreakerBank {
-    /// `m` closed breakers.
+    /// `m` closed breakers with default flap detection.
     pub fn new(m: usize, reset_timeout_ms: f64) -> Self {
+        BreakerBank::with_flap(m, reset_timeout_ms, FlapConfig::default())
+    }
+
+    /// `m` closed breakers with explicit flap-detection knobs.
+    pub fn with_flap(m: usize, reset_timeout_ms: f64, flap: FlapConfig) -> Self {
         BreakerBank {
             breakers: (0..m)
-                .map(|_| CircuitBreaker::new(reset_timeout_ms))
+                .map(|_| CircuitBreaker::with_flap(reset_timeout_ms, flap))
                 .collect(),
         }
     }
@@ -155,6 +261,11 @@ impl BreakerBank {
         self.breakers.iter().map(|b| b.opens()).sum()
     }
 
+    /// Total quarantine escalations across all breakers.
+    pub fn total_flap_escalations(&self) -> u64 {
+        self.breakers.iter().map(|b| b.escalations()).sum()
+    }
+
     /// Number of GPUs in the bank.
     pub fn len(&self) -> usize {
         self.breakers.len()
@@ -180,7 +291,7 @@ mod tests {
         assert!(!b.try_half_open(14.9));
         assert!(b.try_half_open(15.0));
         assert!(b.admits()); // half-open admits a probe
-        b.probe_success();
+        b.probe_success(15.0);
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.opens(), 1);
     }
@@ -196,9 +307,63 @@ mod tests {
         let next = b.probe_failure(30.0);
         assert_eq!(next, 70.0); // 30 + doubled 40
         assert!(b.try_half_open(70.0));
-        b.probe_success();
+        b.probe_success(70.0);
         // Success resets the timeout to base.
         assert_eq!(b.trip(100.0), 110.0);
+    }
+
+    #[test]
+    fn flapping_escalates_quarantine_and_stability_clears_it() {
+        let flap = FlapConfig {
+            window_ms: 50.0,
+            threshold: 2,
+            escalation: 4.0,
+            max_timeout_ms: 1000.0,
+        };
+        let mut b = CircuitBreaker::with_flap(10.0, flap);
+        // Cycle 1: trip → heal; re-trip 5 ms after the close = flap 1.
+        b.trip(0.0);
+        assert!(b.try_half_open(10.0));
+        b.probe_success(10.0);
+        b.trip(15.0);
+        assert_eq!(b.flaps(), 1);
+        // Cycle 2: heal and re-trip again = flap 2 → threshold reached,
+        // the *next* close escalates instead of resetting.
+        assert!(b.try_half_open(25.0));
+        b.probe_success(25.0);
+        b.trip(30.0);
+        assert_eq!(b.flaps(), 2);
+        assert!(b.try_half_open(40.0));
+        b.probe_success(40.0);
+        assert_eq!(b.escalations(), 1);
+        // The escalated timeout quarantines the next open 4× longer.
+        assert_eq!(b.trip(45.0), 45.0 + 40.0);
+        // Repeated flapping keeps escalating, capped at max_timeout_ms.
+        for _ in 0..10 {
+            let BreakerState::Open { until_ms } = b.state() else {
+                panic!("open")
+            };
+            assert!(b.try_half_open(until_ms));
+            b.probe_success(until_ms);
+            b.trip(until_ms + 1.0);
+        }
+        let BreakerState::Open { until_ms } = b.state() else {
+            panic!("open")
+        };
+        assert!(b.try_half_open(until_ms));
+        b.probe_success(until_ms);
+        assert_eq!(b.trip(until_ms + 1.0), until_ms + 1.0 + 1000.0);
+        // A close that survives past the window clears the flap record:
+        // the breaker trips much later and the next success resets to
+        // base.
+        let t = until_ms + 1.0 + 1000.0;
+        assert!(b.try_half_open(t));
+        b.probe_success(t);
+        b.trip(t + 500.0); // 500 ms after close > 50 ms window
+        assert_eq!(b.flaps(), 0);
+        assert!(b.try_half_open(t + 500.0 + 1000.0));
+        b.probe_success(t + 500.0 + 1000.0);
+        assert_eq!(b.trip(t + 2000.0 + 500.0), t + 2500.0 + 10.0);
     }
 
     #[test]

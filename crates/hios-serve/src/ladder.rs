@@ -116,6 +116,23 @@ impl Rung {
     }
 }
 
+/// Upper bound on the rung the anytime policy may buy, imposed by the
+/// brownout controller (ISSUE 8): a browned-out server stops paying for
+/// expensive scheduling before it starts shedding traffic.  Cache and
+/// store hits are never capped — they are already paid for.  The fixed
+/// baselines ([`Policy::FixedFullLp`], [`Policy::GreedyOnly`]) ignore
+/// the cap by design.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RungCap {
+    /// No cap: any rung the budget admits.
+    #[default]
+    Full,
+    /// At most the inter-GPU LP phase (no full LP).
+    InterLp,
+    /// Greedy only.
+    Greedy,
+}
+
 /// Scheduling policy of a serving loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Policy {
@@ -255,6 +272,33 @@ impl AnytimeLadder {
         epoch: u64,
         policy: Policy,
     ) -> Result<LadderDecision, ServeError> {
+        self.decide_capped(
+            g,
+            cost,
+            alive,
+            queue_depth,
+            slack_ms,
+            epoch,
+            policy,
+            RungCap::Full,
+        )
+    }
+
+    /// [`AnytimeLadder::decide`] with an explicit brownout rung cap: the
+    /// anytime policy never *computes* a rung above `cap` (cache and
+    /// store hits still answer — they cost nothing extra).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_capped(
+        &mut self,
+        g: &Graph,
+        cost: &CostTable,
+        alive: &[bool],
+        queue_depth: usize,
+        slack_ms: f64,
+        epoch: u64,
+        policy: Policy,
+        cap: RungCap,
+    ) -> Result<LadderDecision, ServeError> {
         let gpu_map: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
         let m = gpu_map.len();
         if m == 0 {
@@ -316,7 +360,7 @@ impl AnytimeLadder {
                         sched_cost_ms: STORE_HIT_COST_MS,
                     });
                 }
-                let rung = self.pick_rung(n, m, queue_depth, slack_ms);
+                let rung = self.pick_rung(n, m, queue_depth, slack_ms, cap);
                 let (schedule, nominal, cost_ms) = self.run_rung(rung, g, cost, m)?;
                 self.rung_counts[rung.index()] += 1;
                 self.cache.insert_if_better(
@@ -486,15 +530,23 @@ impl AnytimeLadder {
         )
     }
 
-    /// Best rung the budget, the queue, and the request's slack admit
-    /// (never refuses: the greedy rung is always affordable).
-    fn pick_rung(&self, n: usize, m: usize, queue_depth: usize, slack_ms: f64) -> Rung {
-        if queue_depth >= self.cfg.pressure_threshold {
+    /// Best rung the budget, the queue, the request's slack, and the
+    /// brownout cap admit (never refuses: the greedy rung is always
+    /// affordable).
+    fn pick_rung(
+        &self,
+        n: usize,
+        m: usize,
+        queue_depth: usize,
+        slack_ms: f64,
+        cap: RungCap,
+    ) -> Rung {
+        if queue_depth >= self.cfg.pressure_threshold || cap == RungCap::Greedy {
             return Rung::Greedy;
         }
         let w = self.cfg.window;
         let affordable = |cost: f64| self.cfg.budget.admits(cost) && cost <= slack_ms;
-        if affordable(modeled_sched_cost_ms(Algorithm::HiosLp, n, m, w)) {
+        if cap == RungCap::Full && affordable(modeled_sched_cost_ms(Algorithm::HiosLp, n, m, w)) {
             Rung::FullLp
         } else if affordable(modeled_sched_cost_ms(Algorithm::InterGpuLp, n, m, w)) {
             Rung::InterLp
@@ -832,6 +884,67 @@ mod tests {
             .unwrap();
         assert_eq!(again.rung, Rung::Cached);
         assert_eq!(again.nominal_ms, slow.nominal_ms);
+    }
+
+    #[test]
+    fn brownout_cap_bounds_the_computed_rung_but_not_cache_hits() {
+        let (g, cost) = fixture();
+        let mut ladder = AnytimeLadder::new(LadderConfig {
+            budget: SchedBudget::unlimited(),
+            ..LadderConfig::default()
+        });
+        let inf = f64::INFINITY;
+        // Capped at InterLp: full LP is affordable but forbidden.
+        let d = ladder
+            .decide_capped(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                inf,
+                0,
+                Policy::Anytime,
+                RungCap::InterLp,
+            )
+            .unwrap();
+        assert_eq!(d.rung, Rung::InterLp);
+        // Under the deepest cap a *different* platform goes greedy.
+        let d = ladder
+            .decide_capped(
+                &g,
+                &cost,
+                &[true, false],
+                0,
+                inf,
+                0,
+                Policy::Anytime,
+                RungCap::Greedy,
+            )
+            .unwrap();
+        assert_eq!(d.rung, Rung::Greedy);
+        // But the cached inter-LP plan still answers under any cap.
+        let d = ladder
+            .decide_capped(
+                &g,
+                &cost,
+                &[true, true],
+                0,
+                inf,
+                0,
+                Policy::Anytime,
+                RungCap::Greedy,
+            )
+            .unwrap();
+        assert_eq!(d.rung, Rung::Cached);
+        // The uncapped wrapper is the Full cap.
+        let mut fresh = AnytimeLadder::new(LadderConfig {
+            budget: SchedBudget::unlimited(),
+            ..LadderConfig::default()
+        });
+        let d = fresh
+            .decide(&g, &cost, &[true, true], 0, inf, 0, Policy::Anytime)
+            .unwrap();
+        assert_eq!(d.rung, Rung::FullLp);
     }
 
     #[test]

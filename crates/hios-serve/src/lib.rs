@@ -15,10 +15,16 @@
 //!   (cache → durable plan store → full HIOS-LP → inter-GPU LP →
 //!   greedy) with idle-time upgrades and crash-safe warm starts;
 //! * [`breaker`] — per-GPU circuit breakers (closed → open → half-open,
-//!   exponential probe backoff);
-//! * [`retry`] — exponential backoff with deterministic jitter;
-//! * [`report`] — latency percentiles, miss/shed rates, goodput, and a
-//!   history digest for bit-identity checks.
+//!   exponential probe backoff) with flap detection that escalates
+//!   quarantine for GPUs cycling fail/heal;
+//! * [`brownout`] — the hysteresis overload controller: SLO priority
+//!   classes degrade in stages (cap the ladder → shed Bronze → Gold
+//!   only) instead of collapsing together;
+//! * [`retry`] — exponential backoff with deterministic jitter, plus a
+//!   server-global retry budget against retry storms;
+//! * [`report`] — latency percentiles, miss/shed rates, per-class
+//!   goodput, brownout timeline, and a history digest for bit-identity
+//!   checks.
 //!
 //! Everything runs on [`hios_sim::VirtualClock`]; scheduling time is
 //! modeled, never measured.  A serving run is a pure function of its
@@ -28,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod brownout;
 pub mod ladder;
 pub mod report;
 pub mod request;
@@ -35,13 +42,18 @@ pub mod retry;
 pub mod server;
 pub mod workload;
 
-pub use breaker::{BreakerBank, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerBank, BreakerState, CircuitBreaker, FlapConfig};
+pub use brownout::{
+    BrownoutConfig, BrownoutController, BrownoutLevel, BrownoutTelemetry, OverloadConfig,
+};
 pub use ladder::{
     AnytimeLadder, CACHE_HIT_COST_MS, CachedPlan, LadderConfig, LadderDecision, Policy, Rung,
-    STORE_HIT_COST_MS,
+    RungCap, STORE_HIT_COST_MS,
 };
-pub use report::{ServeReport, history_digest, summarize};
-pub use request::{Disposition, Request, RequestRecord, ServeError, ShedReason};
-pub use retry::RetryConfig;
+pub use report::{ClassStats, ServeReport, history_digest, summarize};
+pub use request::{Disposition, PriorityClass, Request, RequestRecord, ServeError, ShedReason};
+pub use retry::{RetryBudget, RetryBudgetConfig, RetryConfig};
 pub use server::{ServeConfig, ServeOutcome, ServedModel, StoreConfig, serve, serve_drift};
-pub use workload::{WorkloadConfig, generate_trace};
+pub use workload::{
+    ClassMix, WorkloadConfig, generate_trace, generate_trace_with_classes, trace_span_ms,
+};

@@ -1,8 +1,36 @@
 //! Serving-run statistics: latency percentiles, miss/shed rates,
 //! goodput, and a history digest for bit-identity checks.
+//!
+//! ISSUE 8 adds per-SLO-class breakdowns ([`ClassStats`]) and the
+//! overload-controller telemetry (brownout timeline, shed and
+//! retry-budget counters, flap escalations).
 
+use crate::brownout::BrownoutTelemetry;
 use crate::request::{Disposition, RequestRecord, ShedReason};
 use hios_store::{RecoveryReport, StoreStats};
+
+/// Per-priority-class outcome statistics.
+///
+/// Empty aggregates report `0.0` (not NaN) so reports stay comparable
+/// with `==` — the bit-identity tests rely on it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClassStats {
+    /// Requests of this class in the trace.
+    pub total: usize,
+    /// Completions.
+    pub completed: usize,
+    /// On-time completions.
+    pub on_time: usize,
+    /// Sheds (any reason).
+    pub shed: usize,
+    /// 99th-percentile completion latency, ms (0 with no completions).
+    pub p99_ms: f64,
+    /// Misses (late + shed) over the class total (0 for an absent
+    /// class).
+    pub miss_rate: f64,
+    /// On-time completions per second of virtual horizon.
+    pub goodput_rps: f64,
+}
 
 /// Aggregate statistics of one serving run.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,6 +49,10 @@ pub struct ServeReport {
     pub shed_deadline: usize,
     /// Sheds because retries ran out.
     pub shed_retries: usize,
+    /// Sheds by the brownout controller (class refused at the level).
+    pub shed_brownout: usize,
+    /// Sheds because the global retry budget denied a retry.
+    pub shed_retry_budget: usize,
     /// Deadline misses (late completions + every shed), as a fraction
     /// of the trace.
     pub miss_rate: f64,
@@ -70,6 +102,17 @@ pub struct ServeReport {
     /// Store put/purge I/O failures absorbed during serving (each
     /// costs a warm start, never a request).
     pub store_io_errors: u64,
+    /// Per-class outcome breakdown, indexed by
+    /// [`crate::request::PriorityClass::index`].
+    pub class_stats: [ClassStats; 3],
+    /// Retries denied by the global retry budget (each denial sheds the
+    /// request).
+    pub retry_budget_denied: u64,
+    /// Breaker quarantine escalations triggered by flap detection.
+    pub flap_escalations: u64,
+    /// Brownout-controller telemetry (empty timeline when no controller
+    /// is attached).
+    pub brownout: BrownoutTelemetry,
     /// FNV-1a digest of the full outcome stream; equal digests ⇒
     /// bit-identical serving histories.
     pub history_digest: u64,
@@ -120,6 +163,8 @@ pub fn history_digest(records: &[RequestRecord]) -> u64 {
                     ShedReason::QueueFull { .. } => 10,
                     ShedReason::DeadlineUnmeetable { .. } => 11,
                     ShedReason::RetriesExhausted { .. } => 12,
+                    ShedReason::Brownout { .. } => 13,
+                    ShedReason::RetryBudgetExhausted { .. } => 14,
                 });
             }
         }
@@ -157,15 +202,26 @@ pub struct ReportInputs {
     pub store_recovery: RecoveryReport,
     /// Absorbed store I/O failures.
     pub store_io_errors: u64,
+    /// Retries denied by the global retry budget.
+    pub retry_budget_denied: u64,
+    /// Flap-detection quarantine escalations.
+    pub flap_escalations: u64,
+    /// Brownout telemetry (default/empty without a controller).
+    pub brownout: BrownoutTelemetry,
 }
 
 /// Folds per-request records and loop counters into a report.
 pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeReport {
     let total = records.len();
     let mut latencies: Vec<f64> = Vec::new();
+    let mut class_lat: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut class_stats = [ClassStats::default(); 3];
     let (mut admitted, mut completed, mut on_time) = (0usize, 0usize, 0usize);
     let (mut shed_queue, mut shed_deadline, mut shed_retries) = (0usize, 0usize, 0usize);
+    let (mut shed_brownout, mut shed_retry_budget) = (0usize, 0usize);
     for r in records {
+        let c = r.request.class.index();
+        class_stats[c].total += 1;
         match &r.disposition {
             Disposition::Completed {
                 latency_ms,
@@ -176,8 +232,12 @@ pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeRepor
                 completed += 1;
                 on_time += usize::from(*met_deadline);
                 latencies.push(*latency_ms);
+                class_stats[c].completed += 1;
+                class_stats[c].on_time += usize::from(*met_deadline);
+                class_lat[c].push(*latency_ms);
             }
             Disposition::Shed { reason, .. } => {
+                class_stats[c].shed += 1;
                 match reason {
                     ShedReason::QueueFull { .. } => shed_queue += 1,
                     ShedReason::DeadlineUnmeetable { .. } => shed_deadline += 1,
@@ -186,12 +246,36 @@ pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeRepor
                         admitted += 1;
                         shed_retries += 1;
                     }
+                    ShedReason::Brownout { .. } => shed_brownout += 1,
+                    ShedReason::RetryBudgetExhausted { .. } => {
+                        // Was admitted, then failed out of budget.
+                        admitted += 1;
+                        shed_retry_budget += 1;
+                    }
                 }
             }
         }
     }
     latencies.sort_by(f64::total_cmp);
-    let shed = shed_queue + shed_deadline + shed_retries;
+    for (c, stats) in class_stats.iter_mut().enumerate() {
+        class_lat[c].sort_by(f64::total_cmp);
+        stats.p99_ms = if class_lat[c].is_empty() {
+            0.0
+        } else {
+            percentile(&class_lat[c], 0.99)
+        };
+        stats.miss_rate = if stats.total == 0 {
+            0.0
+        } else {
+            (stats.total - stats.on_time) as f64 / stats.total as f64
+        };
+        stats.goodput_rps = if inputs.horizon_ms > 0.0 {
+            stats.on_time as f64 / (inputs.horizon_ms / 1000.0)
+        } else {
+            0.0
+        };
+    }
+    let shed = shed_queue + shed_deadline + shed_retries + shed_brownout + shed_retry_budget;
     let misses = total - on_time;
     let mean_ms = if latencies.is_empty() {
         f64::NAN
@@ -206,6 +290,8 @@ pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeRepor
         shed_queue,
         shed_deadline,
         shed_retries,
+        shed_brownout,
+        shed_retry_budget,
         miss_rate: if total == 0 {
             0.0
         } else {
@@ -239,6 +325,10 @@ pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeRepor
         store: inputs.store,
         store_recovery: inputs.store_recovery,
         store_io_errors: inputs.store_io_errors,
+        class_stats,
+        retry_budget_denied: inputs.retry_budget_denied,
+        flap_escalations: inputs.flap_escalations,
+        brownout: inputs.brownout.clone(),
         history_digest: history_digest(records),
     }
 }
@@ -246,18 +336,23 @@ pub fn summarize(records: &[RequestRecord], inputs: &ReportInputs) -> ServeRepor
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::Request;
+    use crate::request::{PriorityClass, Request};
 
-    fn rec(id: u64, disposition: Disposition) -> RequestRecord {
+    fn rec_class(id: u64, class: PriorityClass, disposition: Disposition) -> RequestRecord {
         RequestRecord {
             request: Request {
                 id,
                 model: 0,
                 arrival_ms: 0.0,
                 deadline_ms: 100.0,
+                class,
             },
             disposition,
         }
+    }
+
+    fn rec(id: u64, disposition: Disposition) -> RequestRecord {
+        rec_class(id, PriorityClass::Gold, disposition)
     }
 
     fn done(id: u64, latency: f64, met: bool) -> RequestRecord {
@@ -273,36 +368,41 @@ mod tests {
         )
     }
 
-    const INPUTS: ReportInputs = ReportInputs {
-        horizon_ms: 1000.0,
-        attempts: 0,
-        repairs: 0,
-        breaker_opens: 0,
-        cache: (0, 0),
-        rungs: [0; 5],
-        upgrades: 0,
-        drift_alarms: 0,
-        recalibrations: 0,
-        cache_invalidations: 0,
-        cache_evictions: 0,
-        store: StoreStats {
-            hits: 0,
-            misses: 0,
-            quarantines: 0,
-            puts_full: 0,
-            puts_delta: 0,
-            invalidated: 0,
-        },
-        store_recovery: RecoveryReport {
-            records_loaded: 0,
-            records_quarantined: 0,
-            incompatible_records: 0,
-            tail_bytes_quarantined: 0,
-            torn_tail: false,
-            reset: false,
-        },
-        store_io_errors: 0,
-    };
+    fn inputs() -> ReportInputs {
+        ReportInputs {
+            horizon_ms: 1000.0,
+            attempts: 0,
+            repairs: 0,
+            breaker_opens: 0,
+            cache: (0, 0),
+            rungs: [0; 5],
+            upgrades: 0,
+            drift_alarms: 0,
+            recalibrations: 0,
+            cache_invalidations: 0,
+            cache_evictions: 0,
+            store: StoreStats {
+                hits: 0,
+                misses: 0,
+                quarantines: 0,
+                puts_full: 0,
+                puts_delta: 0,
+                invalidated: 0,
+            },
+            store_recovery: RecoveryReport {
+                records_loaded: 0,
+                records_quarantined: 0,
+                incompatible_records: 0,
+                tail_bytes_quarantined: 0,
+                torn_tail: false,
+                reset: false,
+            },
+            store_io_errors: 0,
+            retry_budget_denied: 0,
+            flap_escalations: 0,
+            brownout: BrownoutTelemetry::default(),
+        }
+    }
 
     #[test]
     fn percentiles_use_nearest_rank() {
@@ -328,13 +428,69 @@ mod tests {
                 },
             ),
         ];
-        let r = summarize(&records, &INPUTS);
+        let r = summarize(&records, &inputs());
         assert_eq!((r.total, r.admitted, r.completed, r.on_time), (4, 3, 3, 2));
         assert_eq!(r.shed_queue, 1);
         assert_eq!(r.miss_rate, 0.5); // one late + one shed
         assert_eq!(r.shed_rate, 0.25);
         assert_eq!(r.goodput_rps, 2.0);
         assert_eq!(r.p50_ms, 30.0);
+        // All-Gold records: class stats mirror the aggregate.
+        let gold = r.class_stats[0];
+        assert_eq!((gold.total, gold.completed, gold.on_time), (4, 3, 2));
+        assert_eq!(gold.miss_rate, 0.5);
+        assert_eq!(gold.goodput_rps, 2.0);
+        // Absent classes report zeros, never NaN.
+        assert_eq!(r.class_stats[1], ClassStats::default());
+        assert_eq!(r.class_stats[2].p99_ms, 0.0);
+    }
+
+    #[test]
+    fn class_stats_split_by_priority() {
+        use PriorityClass::*;
+        let records = vec![
+            rec_class(
+                0,
+                Gold,
+                Disposition::Completed {
+                    finish_ms: 10.0,
+                    latency_ms: 10.0,
+                    attempts: 1,
+                    met_deadline: true,
+                    repairs: 0,
+                },
+            ),
+            rec_class(
+                1,
+                Bronze,
+                Disposition::Shed {
+                    at_ms: 1.0,
+                    reason: ShedReason::Brownout { level: 2 },
+                },
+            ),
+            rec_class(
+                2,
+                Silver,
+                Disposition::Shed {
+                    at_ms: 2.0,
+                    reason: ShedReason::RetryBudgetExhausted {
+                        attempts: 2,
+                        last_error: crate::request::ServeError::NoCapacity,
+                    },
+                },
+            ),
+        ];
+        let r = summarize(&records, &inputs());
+        assert_eq!(r.shed_brownout, 1);
+        assert_eq!(r.shed_retry_budget, 1);
+        // Retry-budget sheds were admitted first; brownout sheds never
+        // were.
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.shed_rate, 2.0 / 3.0);
+        assert_eq!(r.class_stats[0].on_time, 1);
+        assert_eq!(r.class_stats[1].shed, 1);
+        assert_eq!(r.class_stats[2].shed, 1);
+        assert_eq!(r.class_stats[2].miss_rate, 1.0);
     }
 
     #[test]

@@ -10,6 +10,61 @@ use hios_core::SchedulerError;
 use hios_graph::OpId;
 use std::fmt;
 
+/// SLO priority class of a request (ISSUE 8).
+///
+/// Classes order strictly: Gold is never shed by the brownout
+/// controller, Bronze goes first.  Deadline multipliers live in the
+/// workload layer ([`crate::workload::ClassMix`]); the class itself is
+/// just the tag the server degrades by.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PriorityClass {
+    /// Tightest SLO, protected last.
+    #[default]
+    Gold,
+    /// Middle tier: shed only in the deepest brownout level.
+    Silver,
+    /// Best-effort: first to go under overload.
+    Bronze,
+}
+
+impl PriorityClass {
+    /// All classes, Gold first.
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Gold,
+        PriorityClass::Silver,
+        PriorityClass::Bronze,
+    ];
+
+    /// Dense index (Gold 0, Silver 1, Bronze 2) for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            PriorityClass::Gold => 0,
+            PriorityClass::Silver => 1,
+            PriorityClass::Bronze => 2,
+        }
+    }
+
+    /// Inverse of [`PriorityClass::index`]; panics on `i >= 3`.
+    pub fn from_index(i: usize) -> Self {
+        PriorityClass::ALL[i]
+    }
+
+    /// Lower-case label for reports and bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityClass::Gold => "gold",
+            PriorityClass::Silver => "silver",
+            PriorityClass::Bronze => "bronze",
+        }
+    }
+}
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One inference request against a served model.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Request {
@@ -21,6 +76,8 @@ pub struct Request {
     pub arrival_ms: f64,
     /// Absolute completion deadline, ms.
     pub deadline_ms: f64,
+    /// SLO priority class (Gold when the workload has no class mix).
+    pub class: PriorityClass,
 }
 
 impl Request {
@@ -55,6 +112,21 @@ pub enum ShedReason {
         /// The error that killed the final attempt.
         last_error: ServeError,
     },
+    /// The brownout controller refused the request's class at the
+    /// current degradation level.
+    Brownout {
+        /// Brownout level at the shed instant
+        /// ([`crate::brownout::BrownoutLevel`] as its index).
+        level: u8,
+    },
+    /// The attempt failed and the retry policy would allow another try,
+    /// but the global retry budget was exhausted (retry-storm guard).
+    RetryBudgetExhausted {
+        /// Attempts made before the budget denied the retry.
+        attempts: u32,
+        /// The error that killed the final attempt.
+        last_error: ServeError,
+    },
 }
 
 impl fmt::Display for ShedReason {
@@ -77,6 +149,16 @@ impl fmt::Display for ShedReason {
             } => write!(
                 f,
                 "retries exhausted after {attempts} attempts ({last_error})"
+            ),
+            ShedReason::Brownout { level } => {
+                write!(f, "shed by brownout controller at level {level}")
+            }
+            ShedReason::RetryBudgetExhausted {
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "retry budget exhausted after {attempts} attempts ({last_error})"
             ),
         }
     }
@@ -202,6 +284,7 @@ mod tests {
             model: 0,
             arrival_ms: 10.0,
             deadline_ms: 60.0,
+            class: PriorityClass::Gold,
         };
         assert_eq!(r.slack_at(20.0), 40.0);
         assert!(r.slack_at(100.0) < 0.0);
@@ -230,8 +313,27 @@ mod tests {
         assert!(e.to_string().contains("op 3"));
         let s = ShedReason::RetriesExhausted {
             attempts: 4,
-            last_error: e,
+            last_error: e.clone(),
         };
         assert!(s.to_string().contains("4 attempts"));
+        let b = ShedReason::Brownout { level: 3 };
+        assert!(b.to_string().contains("level 3"));
+        let rb = ShedReason::RetryBudgetExhausted {
+            attempts: 2,
+            last_error: e,
+        };
+        assert!(rb.to_string().contains("retry budget"));
+    }
+
+    #[test]
+    fn priority_class_round_trips_and_orders() {
+        for (i, c) in PriorityClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(PriorityClass::from_index(i), c);
+        }
+        assert!(PriorityClass::Gold < PriorityClass::Silver);
+        assert!(PriorityClass::Silver < PriorityClass::Bronze);
+        assert_eq!(PriorityClass::default(), PriorityClass::Gold);
+        assert_eq!(PriorityClass::Bronze.to_string(), "bronze");
     }
 }

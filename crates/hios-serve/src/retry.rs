@@ -1,4 +1,5 @@
-//! Retry policy: exponential backoff with deterministic jitter.
+//! Retry policy: exponential backoff with deterministic jitter, plus a
+//! global retry budget (ISSUE 8).
 //!
 //! A request invalidated mid-flight (GPU fault with no repair path,
 //! watchdog timeout, all breakers open) is re-enqueued after a backoff
@@ -6,6 +7,14 @@
 //! hash of `(request id, attempt)` — decorrelated like the classic
 //! "full jitter" scheme, but reproducible: the same request retries at
 //! the same instants in every run, at any thread count.
+//!
+//! Per-request backoff bounds *one* request's aggression; it does not
+//! stop a *fleet* of failed requests from retrying in lockstep after a
+//! correlated fault and holding the server in a metastable state where
+//! all capacity goes to doomed retries.  [`RetryBudget`] guards that:
+//! retries across the whole server are capped at a fraction of fresh
+//! admissions per tumbling window, so retry traffic can never crowd out
+//! first-attempt traffic.
 
 /// Knobs of the retry loop.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,6 +51,109 @@ impl RetryConfig {
         let exp = (attempts - 1).min(16); // cap the doubling, not the retries
         let backoff = self.base_backoff_ms * f64::from(1u32 << exp);
         backoff + self.jitter_ms * unit_hash(request_id, attempts)
+    }
+}
+
+/// Knobs of the global retry budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Tumbling-window length, ms.
+    pub window_ms: f64,
+    /// Retries allowed per window as a fraction of the window's fresh
+    /// admissions.
+    pub fraction: f64,
+    /// Retries always allowed per window regardless of admissions, so a
+    /// lone failed request on an idle server can still retry.
+    pub floor: u32,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            window_ms: 50.0,
+            fraction: 0.2,
+            floor: 1,
+        }
+    }
+}
+
+impl RetryBudgetConfig {
+    /// Rejects a non-positive window or a non-finite/negative fraction.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.window_ms > 0.0 && self.window_ms.is_finite()) {
+            return Err(format!("window_ms {} must be finite > 0", self.window_ms));
+        }
+        if !(self.fraction >= 0.0 && self.fraction.is_finite()) {
+            return Err(format!("fraction {} must be finite >= 0", self.fraction));
+        }
+        Ok(())
+    }
+}
+
+/// Server-global retry-storm guard: a tumbling window counting fresh
+/// admissions and retries, denying retries past
+/// `floor + fraction × admissions`.
+///
+/// Driven entirely by the virtual clock, so it is deterministic and
+/// free at any thread count.
+#[derive(Clone, Debug)]
+pub struct RetryBudget {
+    cfg: RetryBudgetConfig,
+    /// Start of the current window, ms.
+    window_start_ms: f64,
+    /// Fresh admissions in the current window.
+    admissions: u32,
+    /// Retries granted in the current window.
+    retries: u32,
+    /// Total retries denied over the run.
+    denied: u64,
+}
+
+impl RetryBudget {
+    /// A fresh budget; panics on an invalid config.
+    pub fn new(cfg: RetryBudgetConfig) -> Self {
+        cfg.validate().expect("invalid retry budget config");
+        RetryBudget {
+            cfg,
+            window_start_ms: 0.0,
+            admissions: 0,
+            retries: 0,
+            denied: 0,
+        }
+    }
+
+    /// Advances the tumbling window to the one containing `now_ms`.
+    fn roll(&mut self, now_ms: f64) {
+        if now_ms - self.window_start_ms >= self.cfg.window_ms {
+            let windows = ((now_ms - self.window_start_ms) / self.cfg.window_ms).floor();
+            self.window_start_ms += windows * self.cfg.window_ms;
+            self.admissions = 0;
+            self.retries = 0;
+        }
+    }
+
+    /// Records one fresh admission at `now_ms`.
+    pub fn note_admission(&mut self, now_ms: f64) {
+        self.roll(now_ms);
+        self.admissions = self.admissions.saturating_add(1);
+    }
+
+    /// Asks for one retry token at `now_ms`; `true` grants it.
+    pub fn try_retry(&mut self, now_ms: f64) -> bool {
+        self.roll(now_ms);
+        let cap = self.cfg.floor as u64 + (self.cfg.fraction * f64::from(self.admissions)) as u64;
+        if u64::from(self.retries) < cap {
+            self.retries += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    /// Total retries denied over the run.
+    pub fn denied(&self) -> u64 {
+        self.denied
     }
 }
 
@@ -92,6 +204,58 @@ mod tests {
         };
         assert!(cfg.allows(1));
         assert!(!cfg.allows(2));
+    }
+
+    #[test]
+    fn retry_budget_caps_retries_per_window() {
+        let mut b = RetryBudget::new(RetryBudgetConfig {
+            window_ms: 50.0,
+            fraction: 0.2,
+            floor: 1,
+        });
+        // 10 admissions → cap = 1 + 0.2·10 = 3 retries this window.
+        for _ in 0..10 {
+            b.note_admission(5.0);
+        }
+        assert!(b.try_retry(10.0));
+        assert!(b.try_retry(11.0));
+        assert!(b.try_retry(12.0));
+        assert!(!b.try_retry(13.0));
+        assert!(!b.try_retry(49.9));
+        assert_eq!(b.denied(), 2);
+        // New window: counters reset, floor applies with no admissions.
+        assert!(b.try_retry(55.0));
+        assert!(!b.try_retry(56.0));
+        assert_eq!(b.denied(), 3);
+    }
+
+    #[test]
+    fn retry_budget_floor_allows_idle_server_retry() {
+        let mut b = RetryBudget::new(RetryBudgetConfig::default());
+        // No admissions at all — the floor still grants one retry.
+        assert!(b.try_retry(0.0));
+        assert!(!b.try_retry(1.0));
+    }
+
+    #[test]
+    fn bad_budget_configs_are_rejected() {
+        assert!(
+            RetryBudgetConfig {
+                window_ms: 0.0,
+                ..RetryBudgetConfig::default()
+            }
+            .validate()
+            .is_err()
+        );
+        assert!(
+            RetryBudgetConfig {
+                fraction: f64::NAN,
+                ..RetryBudgetConfig::default()
+            }
+            .validate()
+            .is_err()
+        );
+        assert!(RetryBudgetConfig::default().validate().is_ok());
     }
 
     #[test]

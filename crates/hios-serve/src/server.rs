@@ -30,10 +30,11 @@
 //! config)` — bit-identical across machines and thread counts.
 
 use crate::breaker::BreakerBank;
-use crate::ladder::{AnytimeLadder, LadderConfig, Policy, greedy_cost_ms, slot_cost};
+use crate::brownout::{BrownoutController, BrownoutTelemetry, OverloadConfig};
+use crate::ladder::{AnytimeLadder, LadderConfig, Policy, RungCap, greedy_cost_ms, slot_cost};
 use crate::report::{ReportInputs, ServeReport, summarize};
 use crate::request::{Disposition, Request, RequestRecord, ServeError, ShedReason};
-use crate::retry::RetryConfig;
+use crate::retry::{RetryBudget, RetryConfig};
 use hios_core::repair::{RepairConfig, RepairPolicy, SubgraphMap, repair_schedule};
 use hios_core::{
     Algorithm, EvalWorkspace, GpuSchedule, Schedule, SchedulerError, Stage, bounds,
@@ -96,6 +97,12 @@ pub struct ServeConfig {
     /// bit-identically to the store-less era.  Store corruption can
     /// only cost warm starts, never serve a wrong plan.
     pub store: Option<StoreConfig>,
+    /// Overload hardening: `Some` attaches the hysteresis brownout
+    /// controller ([`crate::brownout`]) and the global retry budget;
+    /// `None` admits everything until the queue overflows.  A controller
+    /// that never leaves Normal level (no overload, no faults) is
+    /// bit-identical to `None`.
+    pub overload: Option<OverloadConfig>,
     /// Execution-engine semantics.
     pub sim: SimConfig,
 }
@@ -135,6 +142,7 @@ impl ServeConfig {
             reroute_factor: 3.0,
             calibration: None,
             store: None,
+            overload: None,
             sim: SimConfig::analytical(),
         }
     }
@@ -197,6 +205,13 @@ struct ReqState {
     repairs: u32,
 }
 
+/// Live overload-hardening state: the brownout state machine plus the
+/// server-global retry budget.  Present iff [`ServeConfig::overload`].
+struct OverloadState {
+    ctl: BrownoutController,
+    budget: RetryBudget,
+}
+
 struct Server<'a> {
     models: &'a [ServedModel],
     cfg: &'a ServeConfig,
@@ -214,6 +229,7 @@ struct Server<'a> {
     next_token: u64,
     in_flight: Option<InFlight>,
     breakers: BreakerBank,
+    overload: Option<OverloadState>,
     scaling: Scaling,
     healthy_at: Vec<f64>,
     ladder: AnytimeLadder,
@@ -321,6 +337,10 @@ pub fn serve_drift(
         next_token: 0,
         in_flight: None,
         breakers: BreakerBank::new(m, cfg.breaker_reset_ms),
+        overload: cfg.overload.map(|oc| OverloadState {
+            ctl: BrownoutController::new(oc.brownout),
+            budget: RetryBudget::new(oc.retry_budget),
+        }),
         scaling: Scaling::identity(m),
         healthy_at: vec![0.0; m],
         ladder,
@@ -353,10 +373,16 @@ pub fn serve_drift(
     debug_assert!(srv.in_flight.is_none(), "drained loop left in-flight work");
     let mut records = srv.records;
     records.sort_by_key(|r| r.request.id);
+    let horizon_ms = srv.clock.now_ms();
+    let retry_budget_denied = srv.overload.as_ref().map_or(0, |ov| ov.budget.denied());
+    let brownout = match srv.overload.take() {
+        Some(ov) => ov.ctl.finish(horizon_ms),
+        None => BrownoutTelemetry::default(),
+    };
     let report = summarize(
         &records,
         &ReportInputs {
-            horizon_ms: srv.clock.now_ms(),
+            horizon_ms,
             attempts: srv.attempts_total,
             repairs: srv.repairs_total,
             breaker_opens: srv.breakers.total_opens(),
@@ -370,6 +396,9 @@ pub fn serve_drift(
             store: srv.ladder.store_stats().unwrap_or_default(),
             store_recovery: srv.ladder.store_recovery().copied().unwrap_or_default(),
             store_io_errors: srv.ladder.store_io_errors(),
+            retry_budget_denied,
+            flap_escalations: srv.breakers.total_flap_escalations(),
+            brownout,
         },
     );
     Ok(ServeOutcome { records, report })
@@ -411,6 +440,11 @@ fn validate(
     if let Some(ccfg) = &cfg.calibration {
         if let Err(msg) = ccfg.validate() {
             return bad(format!("calibration: {msg}"));
+        }
+    }
+    if let Some(oc) = &cfg.overload {
+        if let Err(msg) = oc.validate() {
+            return bad(format!("overload: {msg}"));
         }
     }
     if let Some(r) = trace.iter().find(|r| r.model >= models.len()) {
@@ -479,6 +513,24 @@ impl Server<'_> {
             };
         }
         self.last_arrival_ms = now;
+        // Brownout gate: reassess pressure on every arrival; at elevated
+        // levels low-priority classes are shed before they can take a
+        // queue slot.  At Normal level this is pure bookkeeping — a
+        // controller that never escalates admits exactly what a
+        // controller-free server admits.
+        let fill = self.queue_fill();
+        if let Some(ov) = &mut self.overload {
+            let level = ov.ctl.reassess(now, fill);
+            if level.sheds(req.class) {
+                self.shed(
+                    i,
+                    ShedReason::Brownout {
+                        level: level.index() as u8,
+                    },
+                );
+                return;
+            }
+        }
         if self.queue.len() >= self.cfg.queue_capacity {
             self.shed(
                 i,
@@ -493,7 +545,15 @@ impl Server<'_> {
             return;
         }
         self.queue.push_back(i);
+        if let Some(ov) = &mut self.overload {
+            ov.budget.note_admission(now);
+        }
         self.try_dispatch();
+    }
+
+    /// Queue occupancy in `[0, 1]`.
+    fn queue_fill(&self) -> f64 {
+        self.queue.len() as f64 / self.cfg.queue_capacity as f64
     }
 
     /// A provable refusal: even the combined lower bound on the *full*
@@ -508,6 +568,11 @@ impl Server<'_> {
     }
 
     fn shed(&mut self, i: usize, reason: ShedReason) {
+        // Brownout sheds are the controller's *own* output; feeding them
+        // back as misses would hold pressure up and lock the deepest
+        // level in place after the load drops.  Every other shed is a
+        // genuine miss signal.
+        let brownout_shed = matches!(reason, ShedReason::Brownout { .. });
         self.records.push(RequestRecord {
             request: self.states[i].request,
             disposition: Disposition::Shed {
@@ -515,6 +580,12 @@ impl Server<'_> {
                 reason,
             },
         });
+        if !brownout_shed {
+            let (now, fill) = (self.now(), self.queue_fill());
+            if let Some(ov) = &mut self.overload {
+                ov.ctl.observe_outcome(now, true, fill);
+            }
+        }
     }
 
     // ---- dispatch ------------------------------------------------------
@@ -539,7 +610,14 @@ impl Server<'_> {
             let slack_ms = req.deadline_ms - self.now() - self.bound_full[req.model];
             let stall_ms = self.stall_headroom_ms();
             let planning = planning_table(&self.calib, model, req.model);
-            let decision = match self.ladder.decide(
+            // An elevated brownout level caps the ladder at cheaper
+            // rungs; at Normal level the cap is `Full` and the decision
+            // is bit-identical to the uncapped one.
+            let cap = self
+                .overload
+                .as_ref()
+                .map_or(RungCap::Full, |ov| ov.ctl.level().rung_cap());
+            let decision = match self.ladder.decide_capped(
                 &model.graph,
                 planning,
                 &alive,
@@ -547,6 +625,7 @@ impl Server<'_> {
                 slack_ms.min(stall_ms),
                 self.epochs[req.model],
                 self.cfg.policy,
+                cap,
             ) {
                 Ok(d) => d,
                 Err(ServeError::NoCapacity) => return,
@@ -769,16 +848,21 @@ impl Server<'_> {
     fn complete(&mut self, i: usize) {
         let st = &self.states[i];
         let now = self.now();
+        let met_deadline = now <= st.request.deadline_ms;
         self.records.push(RequestRecord {
             request: st.request,
             disposition: Disposition::Completed {
                 finish_ms: now,
                 latency_ms: now - st.request.arrival_ms,
                 attempts: st.attempts,
-                met_deadline: now <= st.request.deadline_ms,
+                met_deadline,
                 repairs: st.repairs,
             },
         });
+        let fill = self.queue_fill();
+        if let Some(ov) = &mut self.overload {
+            ov.ctl.observe_outcome(now, !met_deadline, fill);
+        }
     }
 
     /// After the backend drains: let the anytime ladder spend the idle
@@ -876,6 +960,8 @@ impl Server<'_> {
                 // tenant's operator ids.
                 op.index() < fl.op_finish_abs.len() && fl.op_finish_abs[op.index()] > sig.at_ms
             }
+            // A heal only adds capacity; it never invalidates work.
+            FaultKind::GpuHeal { .. } => false,
         }
     }
 
@@ -921,6 +1007,14 @@ impl Server<'_> {
             FaultKind::LinkDegrade { from, to, factor } => {
                 self.scaling.link[from * m + to] *= factor;
             }
+            FaultKind::GpuHeal { gpu } => {
+                // A scripted heal (the "up" edge of a flapping GPU):
+                // the hardware runs at full speed again, and the heal
+                // horizon snaps to now so the breaker's next probe
+                // succeeds instead of waiting out `gpu_repair_ms`.
+                self.scaling.gpu[gpu] = 1.0;
+                self.healthy_at[gpu] = now;
+            }
             FaultKind::OpHang { .. } => {}
         }
         // 2. Trip the GPU's breaker.
@@ -957,6 +1051,7 @@ impl Server<'_> {
             FaultKind::LinkFail { from, to } | FaultKind::LinkDegrade { from, to, .. } => {
                 self.disrupt(ServeError::LinkFault { from, to });
             }
+            FaultKind::GpuHeal { .. } => unreachable!("heals never disrupt"),
         }
     }
 
@@ -1079,16 +1174,35 @@ impl Server<'_> {
     /// One attempt failed with `err`: back off and retry if the budget
     /// allows, shed otherwise.  (`in_flight` must already be cleared.)
     fn fail_attempt(&mut self, i: usize, err: ServeError) {
-        let st = &self.states[i];
-        if self.cfg.retry.allows(st.attempts) {
-            let backoff = self.cfg.retry.backoff_ms(st.request.id, st.attempts);
-            self.events
-                .push(self.now() + backoff, Event::Retry { req: i });
-        } else {
-            let attempts = st.attempts;
+        let attempts = self.states[i].attempts;
+        if !self.cfg.retry.allows(attempts) {
             self.shed(
                 i,
                 ShedReason::RetriesExhausted {
+                    attempts,
+                    last_error: err,
+                },
+            );
+            return;
+        }
+        // Per-request policy allows another attempt; the server-global
+        // budget must also grant a token, or a correlated fault's worth
+        // of requests would retry in lockstep and crowd out fresh work.
+        let now = self.now();
+        let granted = match &mut self.overload {
+            Some(ov) => ov.budget.try_retry(now),
+            None => true,
+        };
+        if granted {
+            let backoff = self
+                .cfg
+                .retry
+                .backoff_ms(self.states[i].request.id, attempts);
+            self.events.push(now + backoff, Event::Retry { req: i });
+        } else {
+            self.shed(
+                i,
+                ShedReason::RetryBudgetExhausted {
                     attempts,
                     last_error: err,
                 },
@@ -1115,7 +1229,7 @@ impl Server<'_> {
             return; // stale probe (breaker re-tripped meanwhile)
         }
         if now >= self.healthy_at[gpu] {
-            self.breakers.gpu(gpu).probe_success();
+            self.breakers.gpu(gpu).probe_success(now);
             // Repaired or replaced: the GPU runs at full speed again.
             self.scaling.gpu[gpu] = 1.0;
             self.rerank_cache();
@@ -1168,6 +1282,7 @@ fn to_sub_ids(sched: &Schedule, map: &SubgraphMap) -> Schedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::PriorityClass;
     use crate::workload::{WorkloadConfig, generate_trace};
     use hios_cost::AnalyticCostModel;
     use hios_graph::{LayeredDagConfig, generate_layered_dag};
@@ -1274,6 +1389,7 @@ mod tests {
             model: 0,
             arrival_ms: 0.0,
             deadline_ms: 1.0e6,
+            class: PriorityClass::Gold,
         }];
         let faults = FaultPlan::single(0.6, FaultKind::GpuFailStop { gpu: 2 });
         let out = serve(&models, &trace, &faults, &cfg).unwrap();
@@ -1323,6 +1439,7 @@ mod tests {
             model: 0,
             arrival_ms: 0.0,
             deadline_ms: 1.0e6,
+            class: PriorityClass::Gold,
         }];
         // Hang the sink operator while the request is in flight (the
         // cold-start greedy dispatch serves it within the first ms).
@@ -1373,6 +1490,7 @@ mod tests {
             model: 9,
             arrival_ms: 0.0,
             deadline_ms: 1.0,
+            class: PriorityClass::Gold,
         }];
         let err = serve(&models, &bad_trace, &FaultPlan::new(vec![]), &cfg).unwrap_err();
         assert!(matches!(

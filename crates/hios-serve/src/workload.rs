@@ -7,8 +7,14 @@
 //! `Vec<Request>` computed up front, so a workload is a pure function
 //! of its config — the foundation of the serve loop's bit-identical
 //! replay guarantee.
+//!
+//! ISSUE 8 adds SLO priority classes: [`ClassMix`] draws each request's
+//! [`PriorityClass`] from a seeded categorical distribution and widens
+//! its deadline by a per-class multiplier (Gold keeps the tight SLO,
+//! Bronze is best-effort).  [`generate_trace`] stays class-free (all
+//! Gold), so pre-existing workloads are byte-for-byte unchanged.
 
-use crate::request::Request;
+use crate::request::{PriorityClass, Request};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,10 +32,107 @@ pub struct WorkloadConfig {
     pub seed: u64,
 }
 
+/// Arrival mix and deadline policy of the three SLO classes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassMix {
+    /// Fraction of Gold arrivals.
+    pub gold: f64,
+    /// Fraction of Silver arrivals.
+    pub silver: f64,
+    /// Fraction of Bronze arrivals (the three must sum to ~1).
+    pub bronze: f64,
+    /// Per-class multiplier applied on top of
+    /// [`WorkloadConfig::deadline_factor`], indexed by
+    /// [`PriorityClass::index`].
+    pub deadline_mult: [f64; 3],
+}
+
+impl Default for ClassMix {
+    /// 20% Gold / 30% Silver / 50% Bronze; Gold keeps the base SLO,
+    /// Silver gets 1.5×, Bronze 2.5× slack.
+    fn default() -> Self {
+        ClassMix {
+            gold: 0.2,
+            silver: 0.3,
+            bronze: 0.5,
+            deadline_mult: [1.0, 1.5, 2.5],
+        }
+    }
+}
+
+impl ClassMix {
+    /// Rejects non-finite or negative fractions, a mix that does not
+    /// sum to 1 (±1e-6), and non-positive deadline multipliers.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, x) in [
+            ("gold", self.gold),
+            ("silver", self.silver),
+            ("bronze", self.bronze),
+        ] {
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!("{name} fraction {x} must be finite >= 0"));
+            }
+        }
+        let sum = self.gold + self.silver + self.bronze;
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(format!("class fractions sum to {sum}, expected 1"));
+        }
+        for m in self.deadline_mult {
+            if !m.is_finite() || m <= 0.0 {
+                return Err(format!("deadline multiplier {m} must be finite > 0"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws a class from the categorical distribution via one uniform
+    /// sample.
+    fn draw(&self, u: f64) -> PriorityClass {
+        if u < self.gold {
+            PriorityClass::Gold
+        } else if u < self.gold + self.silver {
+            PriorityClass::Silver
+        } else {
+            PriorityClass::Bronze
+        }
+    }
+}
+
+/// Span of a trace: the last arrival instant, ms (`0` for an empty
+/// trace — a zero-request workload has zero span, not a panic).
+pub fn trace_span_ms(trace: &[Request]) -> f64 {
+    trace.last().map_or(0.0, |r| r.arrival_ms)
+}
+
 /// Generates the arrival trace for models whose fault-free nominal
 /// latencies are `nominal_ms` (one entry per tenant model; requests
 /// round-robin across tenants and interleave by arrival order).
+///
+/// Every request is Gold with the base deadline — identical shape to
+/// the pre-class workloads.  Use [`generate_trace_with_classes`] for a
+/// mixed-SLO trace.
 pub fn generate_trace(cfg: &WorkloadConfig, nominal_ms: &[f64]) -> Vec<Request> {
+    generate_trace_inner(cfg, nominal_ms, None)
+}
+
+/// Like [`generate_trace`], with each request's [`PriorityClass`] drawn
+/// from `mix` and its deadline widened by the class multiplier.  The
+/// class draw consumes its own sample from the same seeded stream, so
+/// the trace stays a pure function of (config, nominals, mix).
+pub fn generate_trace_with_classes(
+    cfg: &WorkloadConfig,
+    nominal_ms: &[f64],
+    mix: &ClassMix,
+) -> Vec<Request> {
+    mix.validate().expect("invalid class mix");
+    generate_trace_inner(cfg, nominal_ms, Some(mix))
+}
+
+fn generate_trace_inner(
+    cfg: &WorkloadConfig,
+    nominal_ms: &[f64],
+    mix: Option<&ClassMix>,
+) -> Vec<Request> {
     assert!(!nominal_ms.is_empty(), "at least one tenant model");
     assert!(
         cfg.arrival_rate_rps > 0.0 && cfg.arrival_rate_rps.is_finite(),
@@ -47,11 +150,19 @@ pub fn generate_trace(cfg: &WorkloadConfig, nominal_ms: &[f64]) -> Vec<Request> 
         let u: f64 = rng.random_range(0.0..1.0);
         t += -mean_gap_ms * (1.0 - u).ln();
         let model = i % nominal_ms.len();
+        let (class, mult) = match mix {
+            Some(mix) => {
+                let c = mix.draw(rng.random_range(0.0..1.0));
+                (c, mix.deadline_mult[c.index()])
+            }
+            None => (PriorityClass::Gold, 1.0),
+        };
         out.push(Request {
             id: i as u64,
             model,
             arrival_ms: t,
-            deadline_ms: t + cfg.deadline_factor * nominal_ms[model],
+            deadline_ms: t + mult * cfg.deadline_factor * nominal_ms[model],
+            class,
         });
     }
     out
@@ -74,8 +185,9 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
         assert!(a.iter().all(|r| r.deadline_ms > r.arrival_ms));
-        // Round-robin tenancy.
+        // Round-robin tenancy; class-free traces are all Gold.
         assert!(a.iter().enumerate().all(|(i, r)| r.model == i % 2));
+        assert!(a.iter().all(|r| r.class == PriorityClass::Gold));
         // Deadlines reflect each tenant's nominal latency.
         assert!((a[0].deadline_ms - a[0].arrival_ms - 60.0).abs() < 1e-9);
         assert!((a[1].deadline_ms - a[1].arrival_ms - 105.0).abs() < 1e-9);
@@ -90,10 +202,23 @@ mod tests {
             seed: 3,
         };
         let trace = generate_trace(&cfg, &[10.0]);
-        let span_ms = trace.last().unwrap().arrival_ms;
-        let mean_gap = span_ms / (cfg.requests as f64);
+        let mean_gap = trace_span_ms(&trace) / (cfg.requests as f64);
         // Expected 5 ms gap; allow generous sampling noise.
         assert!((4.0..6.0).contains(&mean_gap), "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn empty_trace_has_zero_span() {
+        // Regression: `trace.last().unwrap()` used to panic here.
+        let cfg = WorkloadConfig {
+            requests: 0,
+            arrival_rate_rps: 100.0,
+            deadline_factor: 2.0,
+            seed: 1,
+        };
+        let trace = generate_trace(&cfg, &[10.0]);
+        assert!(trace.is_empty());
+        assert_eq!(trace_span_ms(&trace), 0.0);
     }
 
     #[test]
@@ -110,5 +235,53 @@ mod tests {
             )
         };
         assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn class_mix_tracks_fractions_and_widens_deadlines() {
+        let cfg = WorkloadConfig {
+            requests: 3000,
+            arrival_rate_rps: 100.0,
+            deadline_factor: 2.0,
+            seed: 17,
+        };
+        let mix = ClassMix::default();
+        let a = generate_trace_with_classes(&cfg, &[10.0], &mix);
+        let b = generate_trace_with_classes(&cfg, &[10.0], &mix);
+        assert_eq!(a, b);
+        let mut counts = [0usize; 3];
+        for r in &a {
+            counts[r.class.index()] += 1;
+            let mult = mix.deadline_mult[r.class.index()];
+            assert!(
+                (r.deadline_ms - r.arrival_ms - mult * 2.0 * 10.0).abs() < 1e-9,
+                "class {} deadline",
+                r.class
+            );
+        }
+        let frac = |c: usize| counts[c] as f64 / cfg.requests as f64;
+        assert!((frac(0) - 0.2).abs() < 0.05, "gold {}", frac(0));
+        assert!((frac(1) - 0.3).abs() < 0.05, "silver {}", frac(1));
+        assert!((frac(2) - 0.5).abs() < 0.05, "bronze {}", frac(2));
+    }
+
+    #[test]
+    fn bad_class_mixes_are_rejected() {
+        let m = ClassMix {
+            gold: 0.9, // sums to 1.7
+            ..ClassMix::default()
+        };
+        assert!(m.validate().is_err());
+        let m = ClassMix {
+            bronze: -0.1,
+            ..ClassMix::default()
+        };
+        assert!(m.validate().is_err());
+        let m = ClassMix {
+            deadline_mult: [1.0, 0.0, 2.5],
+            ..ClassMix::default()
+        };
+        assert!(m.validate().is_err());
+        assert!(ClassMix::default().validate().is_ok());
     }
 }

@@ -8,7 +8,9 @@
 use hios_cost::AnalyticCostModel;
 use hios_graph::{LayeredDagConfig, generate_layered_dag};
 use hios_serve::server::serve_drift;
-use hios_serve::{Policy, Request, Rung, ServeConfig, ServedModel, StoreConfig, serve};
+use hios_serve::{
+    Policy, PriorityClass, Request, Rung, ServeConfig, ServedModel, StoreConfig, serve,
+};
 use hios_sim::{DriftPlan, FaultPlan};
 use std::fs;
 use std::path::PathBuf;
@@ -50,6 +52,7 @@ fn trace(models: usize, requests: usize) -> Vec<Request> {
             model: i % models,
             arrival_ms: 3.0 * i as f64,
             deadline_ms: 3.0 * i as f64 + 500.0,
+            class: PriorityClass::Gold,
         })
         .collect()
 }
@@ -152,6 +155,7 @@ fn recalibration_bumps_the_epoch_and_restart_stays_safe() {
             model: 0,
             arrival_ms: 5.0 * i as f64,
             deadline_ms: 5.0 * i as f64 + 400.0,
+            class: PriorityClass::Gold,
         })
         .collect();
     let drift = DriftPlan::ramp(2, 2.0, 10.0, 1.0, 4.0, 4);

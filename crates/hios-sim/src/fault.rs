@@ -2,10 +2,21 @@
 //!
 //! A [`FaultPlan`] is an ordered list of timed [`FaultEvent`]s injected
 //! into a simulated run: GPU fail-stop, persistent per-GPU slowdown
-//! (stragglers), NVLink failure or degradation, and per-operator timeout
-//! (hang) events.  Plans are plain data — seeded, serializable, and
-//! replayable bit-for-bit — so every experiment in `hios-bench` and
-//! every proptest case can name the exact fault history it ran under.
+//! (stragglers), NVLink failure or degradation, per-operator timeout
+//! (hang), and GPU heal events.  Plans are plain data — seeded,
+//! serializable, and replayable bit-for-bit — so every experiment in
+//! `hios-bench` and every proptest case can name the exact fault
+//! history it ran under.
+//!
+//! On top of the primitive events sits [`FaultScript`], the validated
+//! plan layer of ISSUE 8: **failure domains** ([`FailureDomain`] — GPUs
+//! grouped by host or PCIe switch, killed by one correlated event),
+//! **flapping GPUs** ([`FlapSpec`] — deterministic fail/heal duty
+//! cycles), and raw events, all checked with typed errors
+//! ([`FaultPlanError`]) before they lower into a primitive plan.  The
+//! temporal "never kill the last GPU" invariant accounts for heals: a
+//! plan is rejected only if at some instant *every* GPU is
+//! simultaneously dead.
 //!
 //! The closed detect → repair → resume loop that consumes a plan lives
 //! in [`crate::recover`].
@@ -59,6 +70,16 @@ pub enum FaultKind {
         /// The hanging operator.
         op: OpId,
     },
+    /// The GPU returns to service at nominal speed (undoes a fail-stop
+    /// or slowdown).  Healing never disrupts in-flight work — it only
+    /// restores capacity, which the consumer picks up at its next
+    /// scheduling decision (a repair in [`crate::recover`], a breaker
+    /// probe in `hios-serve`).  Paired with [`FaultKind::GpuFailStop`]
+    /// it expresses the flapping duty cycles of [`FlapSpec`].
+    GpuHeal {
+        /// The healing GPU.
+        gpu: usize,
+    },
 }
 
 impl FaultKind {
@@ -89,6 +110,14 @@ impl FaultKind {
         }
     }
 
+    /// The GPU this event returns to service, if it is a heal.
+    pub fn heal_target(&self) -> Option<usize> {
+        match *self {
+            FaultKind::GpuHeal { gpu } => Some(gpu),
+            _ => None,
+        }
+    }
+
     /// Short label used in bench tables and traces.
     pub fn label(&self) -> &'static str {
         match self {
@@ -97,6 +126,7 @@ impl FaultKind {
             FaultKind::LinkFail { .. } => "link-fail",
             FaultKind::LinkDegrade { .. } => "link-degrade",
             FaultKind::OpHang { .. } => "op-hang",
+            FaultKind::GpuHeal { .. } => "gpu-heal",
         }
     }
 }
@@ -123,8 +153,20 @@ pub enum FaultPlanError {
     BadFactor(f64),
     /// A negative or non-finite injection time.
     BadTime(f64),
-    /// Every GPU fail-stops: nothing could ever finish the run.
+    /// At some instant every GPU is simultaneously dead: nothing could
+    /// ever finish the run (heals earlier in the plan are honoured).
     AllGpusFail,
+    /// A failure domain with no member GPUs (by domain index).
+    EmptyDomain(usize),
+    /// A domain kill referencing a domain index the script does not
+    /// define.
+    UnknownDomain(usize),
+    /// Two flapping duty cycles on the same GPU overlap in time.
+    FlapOverlap(usize),
+    /// A flap duty-cycle duration that is not finite and positive.
+    BadDuration(f64),
+    /// A flap spec with zero cycles.
+    NoCycles,
 }
 
 impl fmt::Display for FaultPlanError {
@@ -137,7 +179,20 @@ impl fmt::Display for FaultPlanError {
                 write!(f, "fault factor {x} must be finite and > 1")
             }
             FaultPlanError::BadTime(t) => write!(f, "fault time {t} must be finite and >= 0"),
-            FaultPlanError::AllGpusFail => write!(f, "plan fail-stops every GPU"),
+            FaultPlanError::AllGpusFail => {
+                write!(f, "plan kills every GPU simultaneously at some instant")
+            }
+            FaultPlanError::EmptyDomain(d) => write!(f, "failure domain {d} has no GPUs"),
+            FaultPlanError::UnknownDomain(d) => {
+                write!(f, "domain kill references unknown domain {d}")
+            }
+            FaultPlanError::FlapOverlap(g) => {
+                write!(f, "overlapping flap duty cycles on GPU {g}")
+            }
+            FaultPlanError::BadDuration(x) => {
+                write!(f, "flap duration {x} must be finite and > 0")
+            }
+            FaultPlanError::NoCycles => write!(f, "flap spec must run at least one cycle"),
         }
     }
 }
@@ -266,9 +321,18 @@ impl FaultPlan {
     }
 
     /// Checks every event against the platform (`m` GPUs) and graph.
+    ///
+    /// The liveness check is *temporal*: events are replayed in time
+    /// order with [`FaultKind::GpuHeal`] clearing earlier fail-stops,
+    /// and the plan is rejected only if at some instant every GPU is
+    /// simultaneously dead.  A plan that fail-stops all GPUs but heals
+    /// one before the last kill is fine.
     pub fn validate(&self, g: &Graph, m: usize) -> Result<(), FaultPlanError> {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by(|&a, &b| self.events[a].at_ms.total_cmp(&self.events[b].at_ms));
         let mut failed = vec![false; m];
-        for e in &self.events {
+        for &i in &order {
+            let e = &self.events[i];
             if !e.at_ms.is_finite() || e.at_ms < 0.0 {
                 return Err(FaultPlanError::BadTime(e.at_ms));
             }
@@ -278,6 +342,9 @@ impl FaultPlan {
                         return Err(FaultPlanError::UnknownGpu(gpu));
                     }
                     failed[gpu] = true;
+                    if m > 0 && failed.iter().all(|&f| f) {
+                        return Err(FaultPlanError::AllGpusFail);
+                    }
                 }
                 FaultKind::GpuSlowdown { gpu, factor } => {
                     if gpu >= m {
@@ -305,12 +372,174 @@ impl FaultPlan {
                         return Err(FaultPlanError::UnknownOp(op));
                     }
                 }
+                FaultKind::GpuHeal { gpu } => {
+                    if gpu >= m {
+                        return Err(FaultPlanError::UnknownGpu(gpu));
+                    }
+                    failed[gpu] = false;
+                }
             }
         }
-        if m > 0 && failed.iter().all(|&f| f) {
-            return Err(FaultPlanError::AllGpusFail);
-        }
         Ok(())
+    }
+}
+
+/// A correlated-failure blast radius: GPUs that share a host, PCIe
+/// switch, or power feed and therefore die together.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureDomain {
+    /// Human-readable name, e.g. `"host0"`.
+    pub name: String,
+    /// Member GPUs (need not be contiguous).
+    pub gpus: Vec<usize>,
+}
+
+/// Partitions `m` GPUs into hosts of `gpus_per_host` consecutive GPUs
+/// (the last host takes the remainder) — the common "GPUs 2k and 2k+1
+/// share a PCIe switch" topology.
+pub fn host_domains(m: usize, gpus_per_host: usize) -> Vec<FailureDomain> {
+    assert!(gpus_per_host >= 1, "hosts must hold at least one GPU");
+    (0..m)
+        .step_by(gpus_per_host)
+        .enumerate()
+        .map(|(h, start)| FailureDomain {
+            name: format!("host{h}"),
+            gpus: (start..(start + gpus_per_host).min(m)).collect(),
+        })
+        .collect()
+}
+
+/// One correlated event: every GPU in the domain fail-stops at `at_ms`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DomainKill {
+    /// Injection time, ms.
+    pub at_ms: f64,
+    /// Index into [`FaultScript::domains`].
+    pub domain: usize,
+}
+
+/// A deterministic fail/heal duty cycle: the GPU fail-stops at
+/// `first_fail_ms`, heals `down_ms` later, stays up `up_ms`, and
+/// repeats for `cycles` cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlapSpec {
+    /// The flapping GPU.
+    pub gpu: usize,
+    /// First fail-stop instant, ms.
+    pub first_fail_ms: f64,
+    /// Dead time per cycle, ms (`> 0`).
+    pub down_ms: f64,
+    /// Healthy time between cycles, ms (`> 0`).
+    pub up_ms: f64,
+    /// Number of fail/heal cycles (`>= 1`).
+    pub cycles: u32,
+}
+
+impl FlapSpec {
+    /// Period of one full cycle, ms.
+    pub fn period_ms(&self) -> f64 {
+        self.down_ms + self.up_ms
+    }
+
+    /// Instant the last heal fires, ms.
+    pub fn last_heal_ms(&self) -> f64 {
+        self.first_fail_ms
+            + (self.cycles.saturating_sub(1)) as f64 * self.period_ms()
+            + self.down_ms
+    }
+}
+
+/// A validated high-level fault scenario: failure domains with
+/// correlated kills, flapping GPUs, and raw primitive events.  Compiles
+/// into a plain [`FaultPlan`] after typed validation, so every consumer
+/// of the primitive layer (the engine, the recovery loop, the serving
+/// breakers) works unchanged.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultScript {
+    /// Blast radii referenced by [`FaultScript::kills`].
+    pub domains: Vec<FailureDomain>,
+    /// Correlated domain kills.
+    pub kills: Vec<DomainKill>,
+    /// Flapping duty cycles (at most one per GPU, non-overlapping in
+    /// time if a GPU appears more than once).
+    pub flaps: Vec<FlapSpec>,
+    /// Extra primitive events injected verbatim.
+    pub raw: Vec<FaultEvent>,
+}
+
+impl FaultScript {
+    /// Validates the script and lowers it to a primitive [`FaultPlan`]
+    /// (sorted by time), then re-validates the lowered plan against the
+    /// platform — so the temporal "never kill every GPU at once"
+    /// invariant covers interactions between domains, flaps, and raw
+    /// events.
+    pub fn compile(&self, g: &Graph, m: usize) -> Result<FaultPlan, FaultPlanError> {
+        for (d, dom) in self.domains.iter().enumerate() {
+            if dom.gpus.is_empty() {
+                return Err(FaultPlanError::EmptyDomain(d));
+            }
+            for &gpu in &dom.gpus {
+                if gpu >= m {
+                    return Err(FaultPlanError::UnknownGpu(gpu));
+                }
+            }
+        }
+        let mut events = Vec::new();
+        for k in &self.kills {
+            if !k.at_ms.is_finite() || k.at_ms < 0.0 {
+                return Err(FaultPlanError::BadTime(k.at_ms));
+            }
+            let dom = self
+                .domains
+                .get(k.domain)
+                .ok_or(FaultPlanError::UnknownDomain(k.domain))?;
+            for &gpu in &dom.gpus {
+                events.push(FaultEvent {
+                    at_ms: k.at_ms,
+                    kind: FaultKind::GpuFailStop { gpu },
+                });
+            }
+        }
+        // Per-GPU duty-cycle windows, to reject overlapping flaps.
+        let mut windows: Vec<(usize, f64, f64)> = Vec::new();
+        for f in &self.flaps {
+            if f.gpu >= m {
+                return Err(FaultPlanError::UnknownGpu(f.gpu));
+            }
+            if !f.first_fail_ms.is_finite() || f.first_fail_ms < 0.0 {
+                return Err(FaultPlanError::BadTime(f.first_fail_ms));
+            }
+            for d in [f.down_ms, f.up_ms] {
+                if !d.is_finite() || d <= 0.0 {
+                    return Err(FaultPlanError::BadDuration(d));
+                }
+            }
+            if f.cycles == 0 {
+                return Err(FaultPlanError::NoCycles);
+            }
+            let span = (f.first_fail_ms, f.last_heal_ms());
+            for &(gpu, lo, hi) in &windows {
+                if gpu == f.gpu && f.first_fail_ms < hi && lo < span.1 {
+                    return Err(FaultPlanError::FlapOverlap(f.gpu));
+                }
+            }
+            windows.push((f.gpu, span.0, span.1));
+            for c in 0..f.cycles {
+                let fail_at = f.first_fail_ms + c as f64 * f.period_ms();
+                events.push(FaultEvent {
+                    at_ms: fail_at,
+                    kind: FaultKind::GpuFailStop { gpu: f.gpu },
+                });
+                events.push(FaultEvent {
+                    at_ms: fail_at + f.down_ms,
+                    kind: FaultKind::GpuHeal { gpu: f.gpu },
+                });
+            }
+        }
+        events.extend_from_slice(&self.raw);
+        let plan = FaultPlan::new(events);
+        plan.validate(g, m)?;
+        Ok(plan)
     }
 }
 
@@ -444,5 +673,233 @@ mod tests {
         let s = serde_json::to_string(&p).unwrap();
         let back: FaultPlan = serde_json::from_str(&s).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn heal_restores_liveness_in_temporal_check() {
+        let g = small_graph();
+        // Kill 0, kill 1 → dead fleet at t=2 even though 0 heals later.
+        let dead = FaultPlan::new(vec![
+            FaultEvent {
+                at_ms: 1.0,
+                kind: FaultKind::GpuFailStop { gpu: 0 },
+            },
+            FaultEvent {
+                at_ms: 2.0,
+                kind: FaultKind::GpuFailStop { gpu: 1 },
+            },
+            FaultEvent {
+                at_ms: 3.0,
+                kind: FaultKind::GpuHeal { gpu: 0 },
+            },
+        ]);
+        assert_eq!(dead.validate(&g, 2), Err(FaultPlanError::AllGpusFail));
+        // Kill 0, heal 0, kill 1 → someone is always alive.
+        let ok = FaultPlan::new(vec![
+            FaultEvent {
+                at_ms: 1.0,
+                kind: FaultKind::GpuFailStop { gpu: 0 },
+            },
+            FaultEvent {
+                at_ms: 2.0,
+                kind: FaultKind::GpuHeal { gpu: 0 },
+            },
+            FaultEvent {
+                at_ms: 3.0,
+                kind: FaultKind::GpuFailStop { gpu: 1 },
+            },
+        ]);
+        ok.validate(&g, 2).unwrap();
+        let bad_heal = FaultPlan::single(1.0, FaultKind::GpuHeal { gpu: 7 });
+        assert_eq!(bad_heal.validate(&g, 2), Err(FaultPlanError::UnknownGpu(7)));
+    }
+
+    #[test]
+    fn host_domains_partition_the_fleet() {
+        let doms = host_domains(5, 2);
+        assert_eq!(doms.len(), 3);
+        assert_eq!(doms[0].gpus, vec![0, 1]);
+        assert_eq!(doms[1].gpus, vec![2, 3]);
+        assert_eq!(doms[2].gpus, vec![4]);
+        assert_eq!(doms[0].name, "host0");
+    }
+
+    #[test]
+    fn domain_kill_compiles_to_correlated_fail_stops() {
+        let g = small_graph();
+        let script = FaultScript {
+            domains: host_domains(4, 2),
+            kills: vec![DomainKill {
+                at_ms: 10.0,
+                domain: 0,
+            }],
+            flaps: vec![],
+            raw: vec![],
+        };
+        let plan = script.compile(&g, 4).unwrap();
+        assert_eq!(plan.events.len(), 2);
+        let gpus: Vec<usize> = plan
+            .events
+            .iter()
+            .filter_map(|e| e.kind.gpu_target())
+            .collect();
+        assert_eq!(gpus, vec![0, 1]);
+        assert!(plan.events.iter().all(|e| e.at_ms == 10.0));
+    }
+
+    #[test]
+    fn flap_compiles_to_alternating_fail_heal() {
+        let g = small_graph();
+        let script = FaultScript {
+            domains: vec![],
+            kills: vec![],
+            flaps: vec![FlapSpec {
+                gpu: 1,
+                first_fail_ms: 5.0,
+                down_ms: 2.0,
+                up_ms: 3.0,
+                cycles: 3,
+            }],
+            raw: vec![],
+        };
+        let plan = script.compile(&g, 3).unwrap();
+        assert_eq!(plan.events.len(), 6);
+        let times: Vec<f64> = plan.events.iter().map(|e| e.at_ms).collect();
+        assert_eq!(times, vec![5.0, 7.0, 10.0, 12.0, 15.0, 17.0]);
+        for (i, e) in plan.events.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(e.kind, FaultKind::GpuFailStop { gpu: 1 });
+            } else {
+                assert_eq!(e.kind, FaultKind::GpuHeal { gpu: 1 });
+            }
+        }
+    }
+
+    #[test]
+    fn script_validation_rejects_bad_shapes() {
+        let g = small_graph();
+        let empty_dom = FaultScript {
+            domains: vec![FailureDomain {
+                name: "x".into(),
+                gpus: vec![],
+            }],
+            ..FaultScript::default()
+        };
+        assert_eq!(
+            empty_dom.compile(&g, 2),
+            Err(FaultPlanError::EmptyDomain(0))
+        );
+
+        let unknown_dom = FaultScript {
+            domains: host_domains(2, 2),
+            kills: vec![DomainKill {
+                at_ms: 1.0,
+                domain: 5,
+            }],
+            ..FaultScript::default()
+        };
+        assert_eq!(
+            unknown_dom.compile(&g, 2),
+            Err(FaultPlanError::UnknownDomain(5))
+        );
+
+        // A single domain covering the whole fleet → killing it wipes
+        // out every GPU, mirroring the primitive-layer invariant.
+        let wipeout = FaultScript {
+            domains: host_domains(2, 2),
+            kills: vec![DomainKill {
+                at_ms: 1.0,
+                domain: 0,
+            }],
+            ..FaultScript::default()
+        };
+        assert_eq!(wipeout.compile(&g, 2), Err(FaultPlanError::AllGpusFail));
+
+        let overlap = FaultScript {
+            flaps: vec![
+                FlapSpec {
+                    gpu: 0,
+                    first_fail_ms: 0.0,
+                    down_ms: 5.0,
+                    up_ms: 5.0,
+                    cycles: 2,
+                },
+                FlapSpec {
+                    gpu: 0,
+                    first_fail_ms: 8.0,
+                    down_ms: 1.0,
+                    up_ms: 1.0,
+                    cycles: 1,
+                },
+            ],
+            ..FaultScript::default()
+        };
+        assert_eq!(overlap.compile(&g, 2), Err(FaultPlanError::FlapOverlap(0)));
+
+        let bad_dur = FaultScript {
+            flaps: vec![FlapSpec {
+                gpu: 0,
+                first_fail_ms: 0.0,
+                down_ms: -1.0,
+                up_ms: 1.0,
+                cycles: 1,
+            }],
+            ..FaultScript::default()
+        };
+        assert_eq!(
+            bad_dur.compile(&g, 2),
+            Err(FaultPlanError::BadDuration(-1.0))
+        );
+
+        let no_cycles = FaultScript {
+            flaps: vec![FlapSpec {
+                gpu: 0,
+                first_fail_ms: 0.0,
+                down_ms: 1.0,
+                up_ms: 1.0,
+                cycles: 0,
+            }],
+            ..FaultScript::default()
+        };
+        assert_eq!(no_cycles.compile(&g, 2), Err(FaultPlanError::NoCycles));
+    }
+
+    #[test]
+    fn flap_on_sole_survivor_is_rejected_only_while_domain_dead() {
+        let g = small_graph();
+        // GPU 0 dies for good at t=1; GPU 1 flaps at t=5 → all dead.
+        let script = FaultScript {
+            domains: host_domains(2, 1),
+            kills: vec![DomainKill {
+                at_ms: 1.0,
+                domain: 0,
+            }],
+            flaps: vec![FlapSpec {
+                gpu: 1,
+                first_fail_ms: 5.0,
+                down_ms: 1.0,
+                up_ms: 1.0,
+                cycles: 1,
+            }],
+            raw: vec![],
+        };
+        assert_eq!(script.compile(&g, 2), Err(FaultPlanError::AllGpusFail));
+        // Same flap before the kill, healed by t=1 → fine.
+        let ok = FaultScript {
+            domains: host_domains(2, 1),
+            kills: vec![DomainKill {
+                at_ms: 5.0,
+                domain: 0,
+            }],
+            flaps: vec![FlapSpec {
+                gpu: 1,
+                first_fail_ms: 1.0,
+                down_ms: 1.0,
+                up_ms: 1.0,
+                cycles: 1,
+            }],
+            raw: vec![],
+        };
+        ok.compile(&g, 2).unwrap();
     }
 }

@@ -37,7 +37,10 @@ pub use drift::{DRIFT_FACTOR_RANGE, DriftPlan, DriftPlanError, DriftTrace};
 pub use engine::{
     Scaling, Semantics, SimConfig, SimError, SimResult, TransferRecord, simulate, simulate_scaled,
 };
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultSignal};
+pub use fault::{
+    DomainKill, FailureDomain, FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultScript,
+    FaultSignal, FlapSpec, host_domains,
+};
 pub use measure::{MeasureConfig, Measurement, RecoveryMeasurement, measure, measure_recovery};
 pub use recover::{
     RecoverError, RecoveryConfig, RecoveryResult, RepairAction, SimEvent, run_with_repair,

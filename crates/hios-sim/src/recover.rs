@@ -287,10 +287,18 @@ pub fn run_with_repair(
                         || map.from_parent[op.index()]
                             .is_some_and(|sv| r.op_finish[sv.index()] <= t_rel)
                 }
+                // Healing restores capacity without disturbing in-flight
+                // work, so it never cuts the run; the healed GPU rejoins
+                // at the next repair.
+                FaultKind::GpuHeal { .. } => true,
             };
             if !absorbed {
                 disruptive = Some(e);
                 break;
+            }
+            if let FaultKind::GpuHeal { gpu } = e.kind {
+                alive[gpu] = true;
+                scale.gpu[gpu] = 1.0;
             }
             events_out.push(SimEvent {
                 fault: e,
@@ -357,6 +365,8 @@ pub fn run_with_repair(
                 FaultKind::LinkFail { .. } | FaultKind::LinkDegrade { .. } => {
                     link_victim[sv] && f > t_f
                 }
+                // Heals are always absorbed above and never reach the cut.
+                FaultKind::GpuHeal { .. } => false,
             };
             pin[sv] = !lost;
         }
@@ -381,7 +391,7 @@ pub fn run_with_repair(
             FaultKind::GpuSlowdown { gpu, factor } => scale.gpu[gpu] *= factor,
             FaultKind::LinkFail { from, to } => scale.link[from * m + to] = cfg.reroute_factor,
             FaultKind::LinkDegrade { from, to, factor } => scale.link[from * m + to] *= factor,
-            FaultKind::OpHang { .. } => {}
+            FaultKind::OpHang { .. } | FaultKind::GpuHeal { .. } => {}
         }
 
         let detected_abs = t_now + t_d;
