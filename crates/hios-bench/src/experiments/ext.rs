@@ -7,7 +7,9 @@ use crate::table::f3;
 use crate::{RunCfg, Table};
 use hios_core::ios::{IosConfig, schedule_ios};
 use hios_core::lp::{HiosLpConfig, schedule_hios_lp};
-use hios_core::{Algorithm, SchedulerOptions, evaluate, run_scheduler};
+use hios_core::{
+    Algorithm, EvalWorkspace, SchedulerOptions, evaluate, run_scheduler, run_scheduler_with,
+};
 use hios_cost::{AnalyticCostModel, Platform, RandomCostConfig, random_cost_table};
 use hios_graph::{LayeredDagConfig, generate_layered_dag};
 use hios_sim::{Semantics, SimConfig, simulate};
@@ -172,11 +174,12 @@ pub fn ext_model_zoo(_cfg: &RunCfg) -> Table {
             randwire(&ModelConfig::with_input(512), &RandWireConfig::default()),
         ),
     ];
+    let mut ws = EvalWorkspace::new();
     for (name, g) in models {
         let cost = AnalyticCostModel::a40_nvlink().build_table(&g);
         let mut row = vec![name.to_string(), g.num_ops().to_string()];
         for a in Algorithm::ALL {
-            let out = run_scheduler(a, &g, &cost, &SchedulerOptions::new(2)).unwrap();
+            let out = run_scheduler_with(&mut ws, a, &g, &cost, &SchedulerOptions::new(2)).unwrap();
             let sim =
                 simulate(&g, &cost, &out.schedule, &SimConfig::realistic(&cost)).expect("feasible");
             row.push(f3(sim.makespan));

@@ -2,7 +2,7 @@
 //! paper (§V-B): Sequential, IOS, HIOS-LP, HIOS-MR and the two inter-GPU
 //! ablations.
 
-use crate::eval::{EvalError, evaluate};
+use crate::eval::{EvalError, EvalWorkspace, evaluate_with};
 use crate::ios::{IosConfig, schedule_ios};
 use crate::lp::{HiosLpConfig, schedule_hios_lp};
 use crate::mr::{HiosMrConfig, schedule_hios_mr};
@@ -262,6 +262,21 @@ pub fn run_scheduler(
     cost: &CostTable,
     opts: &SchedulerOptions,
 ) -> Result<ScheduleOutcome, SchedulerError> {
+    run_scheduler_with(&mut EvalWorkspace::new(), algo, g, cost, opts)
+}
+
+/// [`run_scheduler`] through a caller-provided [`EvalWorkspace`]: loops
+/// that schedule many instances (the bench harness, the serving ladder's
+/// repair path) reuse one arena for the final evaluation of the
+/// baseline algorithms instead of allocating a fresh workspace per call.
+/// The outcome is bit-identical to [`run_scheduler`].
+pub fn run_scheduler_with(
+    ws: &mut EvalWorkspace,
+    algo: Algorithm,
+    g: &Graph,
+    cost: &CostTable,
+    opts: &SchedulerOptions,
+) -> Result<ScheduleOutcome, SchedulerError> {
     if opts.num_gpus == 0 {
         return Err(SchedulerError::BadOptions("num_gpus must be >= 1".into()));
     }
@@ -328,7 +343,7 @@ pub fn run_scheduler(
     let latency_ms = match latency {
         Some(l) => l,
         None => {
-            evaluate(g, cost, &schedule)
+            evaluate_with(ws, g, cost, &schedule)
                 .map_err(|error| SchedulerError::Infeasible {
                     algorithm: algo,
                     error,

@@ -23,28 +23,31 @@ use std::hash::Hash;
 /// probability) the same scheduling problem; the id-ordered sweep makes
 /// the fingerprint deterministic across runs and platforms.
 pub fn graph_fingerprint(g: &Graph) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x1000_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    eat(&(g.num_ops() as u64).to_le_bytes());
+    // Serialize into one contiguous buffer first, then hash in a single
+    // dense pass: the byte stream (and so every persisted fingerprint)
+    // is unchanged, but the FNV loop runs over flat memory instead of
+    // interleaving with node-field pointer chasing.
+    let mut buf: Vec<u8> = Vec::with_capacity(g.num_ops() * 32);
+    buf.extend_from_slice(&(g.num_ops() as u64).to_le_bytes());
     for v in g.op_ids() {
         let node = g.node(v);
-        eat(node.name.as_bytes());
-        eat(&[0]);
+        buf.extend_from_slice(node.name.as_bytes());
+        buf.push(0);
         let s = &node.output_shape;
         for d in [s.n, s.c, s.h, s.w] {
-            eat(&d.to_le_bytes());
+            buf.extend_from_slice(&d.to_le_bytes());
         }
     }
     for (u, v) in g.edges() {
-        eat(&(u.index() as u32).to_le_bytes());
-        eat(&(v.index() as u32).to_le_bytes());
+        buf.extend_from_slice(&(u.index() as u32).to_le_bytes());
+        buf.extend_from_slice(&(v.index() as u32).to_le_bytes());
+    }
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for &b in &buf {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
     }
     h
 }

@@ -18,9 +18,19 @@
 //! the whole schedule.  All fast paths are differential-tested to be
 //! bit-identical to [`crate::reference`].
 
+use crate::dense::{DenseContext, NO_GPU};
 use crate::schedule::{Schedule, ScheduleError};
 use hios_cost::CostTable;
 use hios_graph::{Graph, OpId};
+
+/// Relative margin applied to structural lower bounds before they may
+/// short-circuit a cutoff comparison.  A bound of the form `exact
+/// finish + suffix of k additions` can overshoot the true
+/// forward-accumulated value by at most ~`k * f64::EPSILON` relative
+/// (k bounded by the stage
+/// count), so 1e-9 keeps every short-circuit conservative by several
+/// orders of magnitude.
+pub(crate) const CUTOFF_GUARD: f64 = 1e-9;
 
 /// Errors raised while evaluating a schedule.
 #[derive(Clone, Debug, PartialEq)]
@@ -88,15 +98,62 @@ pub struct EvalWorkspace {
     stage_dur: Vec<f64>,
     stage_of_op: Vec<usize>,
     gpu_of_op: Vec<u32>,
-    // CSR stage graph (duplicate edges kept; relaxation takes the max).
-    succ_off: Vec<usize>,
-    succ_adj: Vec<(usize, f64)>,
-    pred_off: Vec<usize>,
-    pred_adj: Vec<(usize, f64)>,
+    // CSR stage graph in structure-of-arrays form (targets and weights in
+    // parallel vectors; duplicate edges kept, relaxation takes the max).
+    succ_off: Vec<u32>,
+    succ_idx: Vec<u32>,
+    succ_w: Vec<f64>,
+    pred_off: Vec<u32>,
+    pred_idx: Vec<u32>,
+    pred_w: Vec<f64>,
     indeg: Vec<u32>,
     // Baseline relaxation results (valid after `relax`).
     start: Vec<f64>,
     finish: Vec<f64>,
+    /// Topological position of every stage in the last `relax` pop order.
+    topo_pos: Vec<u32>,
+    /// The inverse permutation: stage at each topological position.
+    topo_order: Vec<u32>,
+    /// The stages with the largest baseline finishes, descending (built
+    /// lazily by `merged_latency`, invalidated by `relax`).  Finding the
+    /// max *unmarked* baseline finish walks this tiny array first and
+    /// falls back to a full scan only when every entry is marked.
+    finish_rank: Vec<u32>,
+    rank_dirty: bool,
+    /// Structural longest suffix path per stage (max over downstream
+    /// chains of `edge weight + stage duration`), built lazily by
+    /// `merged_latency_bounded`, invalidated by `relax`.
+    tail: Vec<f64>,
+    tail_dirty: bool,
+    /// Ancestors of the critical stage (the first stage attaining the
+    /// baseline latency): stamp array built lazily by
+    /// `merged_latency_bounded` with one reverse sweep per `relax`.  A
+    /// merge whose absorbed range contains no ancestor of the critical
+    /// stage cannot move its finish, so the candidate is bounded below by
+    /// the baseline latency before any re-relaxation.
+    crit_anc: Vec<u32>,
+    crit_stamp: u32,
+    crit_finish: f64,
+    crit_dirty: bool,
+    /// Snapshot of the best candidate's wave so far (filled by
+    /// [`EvalWorkspace::snapshot_candidate`], consumed by
+    /// [`EvalWorkspace::commit_merge`]): the changed stages with their
+    /// recomputed times, the merged stage's interval, and the candidate
+    /// latency.  Lets the commit apply an accepted merge without
+    /// re-running its wave.
+    snap_ids: Vec<u32>,
+    snap_start: Vec<f64>,
+    snap_finish: Vec<f64>,
+    snap_key: (usize, usize, usize),
+    snap_merged: (f64, f64),
+    snap_latency: f64,
+    snap_valid: bool,
+    /// Whether the last `merged_latency_bounded` call completed the
+    /// incremental wave (as opposed to short-circuiting or taking the
+    /// checked path) — the precondition for `snapshot_candidate`.
+    last_eval_wave: bool,
+    /// Merged stage `(start, finish)` of the last `merged_stage_finish`.
+    last_merged: (f64, f64),
     // Scratch: full relaxation.
     indeg_w: Vec<u32>,
     worklist: Vec<usize>,
@@ -108,6 +165,7 @@ pub struct EvalWorkspace {
     c_start: Vec<f64>,
     c_finish: Vec<f64>,
     merge_ops: Vec<OpId>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
 }
 
 impl EvalWorkspace {
@@ -192,25 +250,32 @@ impl EvalWorkspace {
         self.pred_off.reserve(n_stages + 1);
         let (mut sa, mut pa) = (0usize, 0usize);
         for s in 0..n_stages {
-            self.succ_off.push(sa);
-            self.pred_off.push(pa);
+            self.succ_off.push(sa as u32);
+            self.pred_off.push(pa as u32);
             sa += self.cursor[s];
             pa += self.indeg[s] as usize;
         }
-        self.succ_off.push(sa);
-        self.pred_off.push(pa);
-        self.succ_adj.clear();
-        self.succ_adj.resize(sa, (0, 0.0));
-        self.pred_adj.clear();
-        self.pred_adj.resize(pa, (0, 0.0));
+        self.succ_off.push(sa as u32);
+        self.pred_off.push(pa as u32);
+        self.succ_idx.clear();
+        self.succ_idx.resize(sa, 0);
+        self.succ_w.clear();
+        self.succ_w.resize(sa, 0.0);
+        self.pred_idx.clear();
+        self.pred_idx.resize(pa, 0);
+        self.pred_w.clear();
+        self.pred_w.resize(pa, 0.0);
 
         // Fill successors, then predecessors (cursor reset in between).
-        self.cursor.copy_from_slice(&self.succ_off[..n_stages]);
+        for s in 0..n_stages {
+            self.cursor[s] = self.succ_off[s] as usize;
+        }
         for (gi, gpu) in sched.gpus.iter().enumerate() {
             let base = self.gpu_base[gi];
             for si in 1..gpu.stages.len() {
                 let s = base + si - 1;
-                self.succ_adj[self.cursor[s]] = (base + si, 0.0);
+                self.succ_idx[self.cursor[s]] = (base + si) as u32;
+                self.succ_w[self.cursor[s]] = 0.0;
                 self.cursor[s] += 1;
             }
         }
@@ -223,15 +288,19 @@ impl EvalWorkspace {
                     self.gpu_of_op[u.index()] as usize,
                     self.gpu_of_op[v.index()] as usize,
                 );
-                self.succ_adj[self.cursor[su]] = (sv, w);
+                self.succ_idx[self.cursor[su]] = sv as u32;
+                self.succ_w[self.cursor[su]] = w;
                 self.cursor[su] += 1;
             }
         }
-        self.cursor.copy_from_slice(&self.pred_off[..n_stages]);
         for s in 0..n_stages {
-            for e in self.succ_off[s]..self.succ_off[s + 1] {
-                let (t, w) = self.succ_adj[e];
-                self.pred_adj[self.cursor[t]] = (s, w);
+            self.cursor[s] = self.pred_off[s] as usize;
+        }
+        for s in 0..n_stages {
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
+                self.pred_idx[self.cursor[t]] = s as u32;
+                self.pred_w[self.cursor[t]] = self.succ_w[e];
                 self.cursor[t] += 1;
             }
         }
@@ -257,21 +326,31 @@ impl EvalWorkspace {
         self.start.resize(n_stages, 0.0);
         self.finish.clear();
         self.finish.resize(n_stages, 0.0);
+        self.topo_pos.clear();
+        self.topo_pos.resize(n_stages, 0);
+        self.topo_order.clear();
+        self.topo_order.resize(n_stages, 0);
+        self.rank_dirty = true;
+        self.tail_dirty = true;
+        self.crit_dirty = true;
+        self.snap_valid = false;
         self.indeg_w.clear();
         self.indeg_w.extend_from_slice(&self.indeg);
         self.worklist.clear();
-        for s in 0..n_stages {
-            if self.indeg_w[s] == 0 {
-                self.worklist.push(s);
-            }
-        }
+        crate::simd::push_zero_indices(&self.indeg_w, &mut self.worklist);
         let mut done = 0usize;
         while let Some(s) = self.worklist.pop() {
+            // The pop order is topological (a stage is popped only once
+            // every predecessor has been), which is what lets
+            // `merged_latency` re-relax changed stages in one pass.
+            self.topo_pos[s] = done as u32;
+            self.topo_order[done] = s as u32;
             done += 1;
             let f = self.start[s] + self.stage_dur[s];
             self.finish[s] = f;
-            for e in self.succ_off[s]..self.succ_off[s + 1] {
-                let (t, w) = self.succ_adj[e];
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
+                let w = self.succ_w[e];
                 if self.start[t] < f + w {
                     self.start[t] = f + w;
                 }
@@ -284,7 +363,7 @@ impl EvalWorkspace {
         if done != n_stages {
             return Err(EvalError::StageCycle);
         }
-        Ok(self.finish.iter().copied().fold(0.0f64, f64::max))
+        Ok(crate::simd::max_f64(&self.finish))
     }
 
     /// Baseline start time of the stage at `(gpu, stage)`.
@@ -321,7 +400,38 @@ impl EvalWorkspace {
         first: usize,
         last: usize,
     ) -> Result<f64, EvalError> {
+        self.merged_latency_bounded(cost, sched, gpu, first, last, f64::INFINITY)
+    }
+
+    /// [`EvalWorkspace::merged_latency`] with an early-out `cutoff`: the
+    /// returned latency is exact whenever it is below `cutoff`, while any
+    /// candidate provably at or above `cutoff` may short-circuit and
+    /// report a conservative lower bound of its true latency (itself
+    /// `>= cutoff`).  Callers that only *compare* the result against
+    /// `cutoff` — like the window pass, which accepts a merge only when
+    /// it is strictly better than the best latency seen — therefore make
+    /// bit-identical decisions at a fraction of the cost: most rejected
+    /// candidates are dismissed from the merged stage's structural suffix
+    /// bound alone, without re-relaxing anything downstream.
+    ///
+    /// The proof obligation for every short-circuit is `true latency >=
+    /// cutoff`.  Each bound is `(exact finish of some stage in the merged
+    /// schedule) + (structural longest suffix path from it)`; the sum is
+    /// a lower bound of the true latency up to floating-point rounding of
+    /// the suffix accumulation, which a relative guard of `1e-9` —
+    /// orders of magnitude above the worst-case accumulated rounding of
+    /// the longest representable chains — makes conservative.
+    pub fn merged_latency_bounded(
+        &mut self,
+        cost: &CostTable,
+        sched: &Schedule,
+        gpu: usize,
+        first: usize,
+        last: usize,
+        cutoff: f64,
+    ) -> Result<f64, EvalError> {
         debug_assert!(first < last && self.gpu_base[gpu] + last < self.n_stages);
+        self.last_eval_wave = false;
         let a = self.gpu_base[gpu] + first;
         let b = self.gpu_base[gpu] + last;
 
@@ -332,18 +442,374 @@ impl EvalWorkspace {
         }
         self.mark_gen += 1;
         let gen = self.mark_gen;
+        for s in a..=b {
+            self.mark[s] = gen;
+        }
 
+        // Top baseline finishes, rebuilt once per relax in one pass (no
+        // full sort): the max unmarked baseline finish below is then
+        // (almost always) an early rank entry instead of an O(stages)
+        // scan per candidate.
+        self.ensure_rank();
+
+        // Structural suffix bounds, rebuilt once per relax (reverse
+        // topological sweep): `tail[s]` is the heaviest chain of
+        // `edge weight + stage duration` strictly below `s`.  Stage
+        // durations and the downstream structure are untouched by any
+        // merge candidate (a suffix path re-entering the absorbed range
+        // would be a cycle), so `finish + tail` bounds the candidate's
+        // true latency from below wherever `finish` is exact.
+        if self.tail_dirty {
+            self.tail.clear();
+            self.tail.resize(self.n_stages, 0.0);
+            for pos in (0..self.n_stages).rev() {
+                let s = self.topo_order[pos] as usize;
+                let mut t_max = 0.0f64;
+                for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                    let t = self.succ_idx[e] as usize;
+                    let via = self.succ_w[e] + self.stage_dur[t] + self.tail[t];
+                    if via > t_max {
+                        t_max = via;
+                    }
+                }
+                self.tail[s] = t_max;
+            }
+            self.tail_dirty = false;
+        }
+
+        // Ancestors of the critical stage, rebuilt once per relax
+        // (reverse sweep from the first stage attaining the baseline
+        // latency).  The re-relaxation wave below only ever touches
+        // descendants of the absorbed range, so when the range holds no
+        // ancestor of the critical stage that stage's finish — the
+        // baseline latency — is final in the merged schedule too and
+        // bounds the candidate from below *exactly* (no rounding guard
+        // needed).  Most rejected candidates exit here: the typical
+        // rejection is a merge that leaves the critical path, often on
+        // another GPU, untouched.
+        if self.crit_dirty {
+            let mut crit = 0usize;
+            for s in 1..self.n_stages {
+                if self.finish[s] > self.finish[crit] {
+                    crit = s;
+                }
+            }
+            self.crit_finish = self.finish[crit];
+            if self.crit_anc.len() != self.n_stages || self.crit_stamp == u32::MAX {
+                self.crit_anc.clear();
+                self.crit_anc.resize(self.n_stages, 0);
+                self.crit_stamp = 0;
+            }
+            self.crit_stamp += 1;
+            let stamp = self.crit_stamp;
+            self.crit_anc[crit] = stamp;
+            self.worklist.clear();
+            self.worklist.push(crit);
+            while let Some(s) = self.worklist.pop() {
+                for e in self.pred_off[s] as usize..self.pred_off[s + 1] as usize {
+                    let p = self.pred_idx[e] as usize;
+                    if self.crit_anc[p] != stamp {
+                        self.crit_anc[p] = stamp;
+                        self.worklist.push(p);
+                    }
+                }
+            }
+            self.crit_dirty = false;
+        }
+        if self.crit_finish >= cutoff {
+            let stamp = self.crit_stamp;
+            if !(a..=b).any(|s| self.crit_anc[s] == stamp) {
+                return Ok(self.crit_finish);
+            }
+        }
+
+        // Cycle pre-filter on baseline topological positions.  A circular
+        // wait needs an external predecessor of the absorbed range that is
+        // also reachable *from* the range; any stage reachable from range
+        // member `s` has a topological position above `topo_pos[s]`, so if
+        // every external predecessor sits below the range's minimum
+        // position, no cycle is possible and the full reachability sweep
+        // can be skipped.
+        let mut range_min_pos = u32::MAX;
+        for s in a..=b {
+            range_min_pos = range_min_pos.min(self.topo_pos[s]);
+        }
+        let mut cycle_possible = false;
+        'scan: for s in a..=b {
+            for e in self.pred_off[s] as usize..self.pred_off[s + 1] as usize {
+                let p = self.pred_idx[e] as usize;
+                if (p < a || p > b) && self.topo_pos[p] > range_min_pos {
+                    cycle_possible = true;
+                    break 'scan;
+                }
+            }
+        }
+        if cycle_possible {
+            return self.merged_latency_checked(cost, sched, gpu, first, last, a, b, gen, cutoff);
+        }
+
+        // The merged stage: fresh concurrent query over the union of the
+        // absorbed stages' operators (in drain order, matching what a
+        // materialized merge would ask), started at the max over external
+        // predecessor arrivals; every external predecessor is provably
+        // unaffected here, so its baseline finish is final.
+        let merged_finish = self.merged_stage_finish(cost, sched, gpu, first, last, a, b);
+
+        // Pre-wave cutoff: the merged stage's finish is exact, so its
+        // heaviest structural suffix bounds the candidate latency from
+        // below before anything downstream is recomputed.
+        if let Some(bound) = self.range_suffix_bound(a, b, merged_finish, cutoff) {
+            return Ok(bound);
+        }
+
+        // Changed-only re-relaxation: external successors of the range
+        // always recompute (their arrival now comes from the merged
+        // stage); from there, a recomputed stage forwards the wave only
+        // when its finish actually moved (bitwise).  Processing strictly
+        // in baseline topological order (min-heap on `topo_pos`, valid
+        // because merging adds no edges among non-absorbed stages)
+        // guarantees every marked predecessor is already final when read.
+        self.affected.clear();
+        self.heap.clear();
+        for s in a..=b {
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
+                if t >= a && t <= b {
+                    continue; // internal chain/data edge, absorbed
+                }
+                if self.mark[t] != gen {
+                    self.mark[t] = gen;
+                    self.heap
+                        .push(std::cmp::Reverse((self.topo_pos[t], t as u32)));
+                }
+            }
+        }
+        while let Some(std::cmp::Reverse((_, t))) = self.heap.pop() {
+            let t = t as usize;
+            let mut st = 0.0f64;
+            for e in self.pred_off[t] as usize..self.pred_off[t + 1] as usize {
+                let p = self.pred_idx[e] as usize;
+                let w = self.pred_w[e];
+                let arrival = if p >= a && p <= b {
+                    merged_finish + w
+                } else if self.mark[p] == gen {
+                    self.c_finish[p] + w
+                } else {
+                    self.finish[p] + w
+                };
+                if arrival > st {
+                    st = arrival;
+                }
+            }
+            let f = st + self.stage_dur[t];
+            self.c_start[t] = st;
+            self.c_finish[t] = f;
+            self.affected.push(t);
+            // In-wave cutoff: `f` is this stage's exact merged finish
+            // (topological pop order), so `f + tail` bounds the final
+            // latency; once it provably reaches `cutoff` the candidate is
+            // rejected either way and the rest of the wave is moot.
+            let bound = f + self.tail[t];
+            if bound * (1.0 - CUTOFF_GUARD) >= cutoff {
+                self.heap.clear();
+                return Ok(bound);
+            }
+            if f.to_bits() != self.finish[t].to_bits() {
+                for e in self.succ_off[t] as usize..self.succ_off[t + 1] as usize {
+                    let u = self.succ_idx[e] as usize;
+                    debug_assert!(!(u >= a && u <= b), "pre-filter rejects cycles");
+                    if self.mark[u] != gen {
+                        self.mark[u] = gen;
+                        self.heap
+                            .push(std::cmp::Reverse((self.topo_pos[u], u as u32)));
+                    }
+                }
+            }
+        }
+        self.last_eval_wave = true;
+        Ok(self.candidate_latency(merged_finish, gen))
+    }
+
+    /// Saves the just-evaluated candidate's wave (changed stages and
+    /// their recomputed times) so [`EvalWorkspace::commit_merge`] on the
+    /// same `(gpu, first, last)` range can apply it instead of re-running
+    /// the wave.  Call right after a [`merged_latency_bounded`] call
+    /// returned an exact (below-cutoff) latency `latency` the caller
+    /// intends to commit; a no-op when that call short-circuited or took
+    /// the checked path.  Invalidated by any `relax` or commit.
+    ///
+    /// [`merged_latency_bounded`]: EvalWorkspace::merged_latency_bounded
+    pub fn snapshot_candidate(&mut self, gpu: usize, first: usize, last: usize, latency: f64) {
+        self.snap_valid = false;
+        if !self.last_eval_wave {
+            return;
+        }
+        self.snap_ids.clear();
+        self.snap_start.clear();
+        self.snap_finish.clear();
+        for &t in &self.affected {
+            self.snap_ids.push(t as u32);
+            self.snap_start.push(self.c_start[t]);
+            self.snap_finish.push(self.c_finish[t]);
+        }
+        self.snap_key = (gpu, first, last);
+        self.snap_merged = self.last_merged;
+        self.snap_latency = latency;
+        self.snap_valid = true;
+    }
+
+    /// Rebuilds `finish_rank` (the descending top-8 baseline finishes)
+    /// when dirty: one pass with a running 8th-place threshold, so almost
+    /// every stage costs a single compare.  Ties keep the lower stage id,
+    /// exactly as the plain partition-point insertion would.
+    fn ensure_rank(&mut self) {
+        if !self.rank_dirty {
+            return;
+        }
+        const RANK_K: usize = 8;
+        self.finish_rank.clear();
+        for s in 0..self.n_stages as u32 {
+            let f = self.finish[s as usize];
+            if self.finish_rank.len() == RANK_K {
+                if f <= self.finish[self.finish_rank[RANK_K - 1] as usize] {
+                    continue;
+                }
+                self.finish_rank.pop();
+            }
+            let at = self
+                .finish_rank
+                .partition_point(|&r| self.finish[r as usize] >= f);
+            self.finish_rank.insert(at, s);
+        }
+        self.rank_dirty = false;
+    }
+
+    /// The merged stage's heaviest structural suffix: `Some(bound)` when
+    /// `merged_finish` plus the best chain through any external successor
+    /// of the absorbed range `a..=b` provably reaches `cutoff` (the
+    /// candidate is rejected without a wave), `None` otherwise.
+    fn range_suffix_bound(
+        &self,
+        a: usize,
+        b: usize,
+        merged_finish: f64,
+        cutoff: f64,
+    ) -> Option<f64> {
+        let mut suffix = 0.0f64;
+        for s in a..=b {
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
+                if t >= a && t <= b {
+                    continue;
+                }
+                let via = self.succ_w[e] + self.stage_dur[t] + self.tail[t];
+                if via > suffix {
+                    suffix = via;
+                }
+            }
+        }
+        let bound = merged_finish + suffix;
+        (bound * (1.0 - CUTOFF_GUARD) >= cutoff).then_some(bound)
+    }
+
+    /// Operator union, duration query and start of the merged stage
+    /// (shared by both `merged_latency` paths; the `concurrent_on` call
+    /// keeps the profiling-meter side effect of a materialized merge).
+    #[allow(clippy::too_many_arguments)]
+    fn merged_stage_finish(
+        &mut self,
+        cost: &CostTable,
+        sched: &Schedule,
+        gpu: usize,
+        first: usize,
+        last: usize,
+        a: usize,
+        b: usize,
+    ) -> f64 {
+        self.merge_ops.clear();
+        for si in first..=last {
+            self.merge_ops
+                .extend_from_slice(&sched.gpus[gpu].stages[si].ops);
+        }
+        let merged_dur = cost.concurrent_on(gpu, &self.merge_ops);
+        let mut merged_start = 0.0f64;
+        for s in a..=b {
+            for e in self.pred_off[s] as usize..self.pred_off[s + 1] as usize {
+                let p = self.pred_idx[e] as usize;
+                if p >= a && p <= b {
+                    continue;
+                }
+                let arrival = self.finish[p] + self.pred_w[e];
+                if arrival > merged_start {
+                    merged_start = arrival;
+                }
+            }
+        }
+        self.last_merged = (merged_start, merged_start + merged_dur);
+        merged_start + merged_dur
+    }
+
+    /// Candidate latency: recomputed finishes over `affected`, the max
+    /// unmarked baseline finish via the rank walk, and the merged stage.
+    fn candidate_latency(&self, merged_finish: f64, gen: u32) -> f64 {
+        let mut latency = merged_finish.max(0.0);
+        let mut ranked = false;
+        for &s in &self.finish_rank {
+            if self.mark[s as usize] != gen {
+                let f = self.finish[s as usize];
+                if f > latency {
+                    latency = f;
+                }
+                ranked = true;
+                break;
+            }
+        }
+        if !ranked {
+            // Every top-ranked stage was absorbed or re-relaxed: scan for
+            // the max unmarked baseline finish directly.
+            for s in 0..self.n_stages {
+                if self.mark[s] != gen {
+                    let f = self.finish[s];
+                    if f > latency {
+                        latency = f;
+                    }
+                }
+            }
+        }
+        for &t in &self.affected {
+            if self.c_finish[t] > latency {
+                latency = self.c_finish[t];
+            }
+        }
+        latency
+    }
+
+    /// The conservative `merged_latency` path for candidates the
+    /// topological pre-filter could not clear: full reachability sweep
+    /// from the absorbed range (doubling as the circular-wait check of
+    /// Alg. 2 line 10) followed by a restricted Kahn re-relaxation of
+    /// everything reachable.
+    #[allow(clippy::too_many_arguments)]
+    fn merged_latency_checked(
+        &mut self,
+        cost: &CostTable,
+        sched: &Schedule,
+        gpu: usize,
+        first: usize,
+        last: usize,
+        a: usize,
+        b: usize,
+        gen: u32,
+        cutoff: f64,
+    ) -> Result<f64, EvalError> {
         // Affected set: the absorbed stages and everything reachable from
         // them.  An edge from outside the absorbed range *back into* it
         // means the merged stage would transitively wait on itself — the
         // circular wait Alg. 2 line 10 rejects.
         self.affected.clear();
         for s in a..=b {
-            self.mark[s] = gen;
-        }
-        for s in a..=b {
-            for e in self.succ_off[s]..self.succ_off[s + 1] {
-                let t = self.succ_adj[e].0;
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
                 if t >= a && t <= b {
                     continue; // internal chain/data edge, absorbed
                 }
@@ -357,8 +823,8 @@ impl EvalWorkspace {
         while i < self.affected.len() {
             let s = self.affected[i];
             i += 1;
-            for e in self.succ_off[s]..self.succ_off[s + 1] {
-                let t = self.succ_adj[e].0;
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
                 if t >= a && t <= b {
                     return Err(EvalError::StageCycle);
                 }
@@ -369,33 +835,14 @@ impl EvalWorkspace {
             }
         }
 
-        // The merged stage: fresh concurrent query over the union of the
-        // absorbed stages' operators (in drain order, matching what a
-        // materialized merge would ask), started at the max over external
-        // predecessor arrivals.  Every external predecessor is
-        // unaffected — a marked predecessor would have been caught as a
-        // cycle above — so its baseline finish is final.
-        self.merge_ops.clear();
-        for si in first..=last {
-            self.merge_ops
-                .extend_from_slice(&sched.gpus[gpu].stages[si].ops);
+        let merged_finish = self.merged_stage_finish(cost, sched, gpu, first, last, a, b);
+
+        // Same pre-wave cutoff as the fast path (the cycle sweep above
+        // already proved no suffix path re-enters the range, so the
+        // baseline tails are valid for the merged schedule here too).
+        if let Some(bound) = self.range_suffix_bound(a, b, merged_finish, cutoff) {
+            return Ok(bound);
         }
-        let merged_dur = cost.concurrent_on(gpu, &self.merge_ops);
-        let mut merged_start = 0.0f64;
-        for s in a..=b {
-            for e in self.pred_off[s]..self.pred_off[s + 1] {
-                let (p, w) = self.pred_adj[e];
-                if p >= a && p <= b {
-                    continue;
-                }
-                debug_assert_ne!(self.mark[p], gen);
-                let arrival = self.finish[p] + w;
-                if arrival > merged_start {
-                    merged_start = arrival;
-                }
-            }
-        }
-        let merged_finish = merged_start + merged_dur;
 
         // Restricted Kahn over the affected set: starts seeded from
         // unaffected predecessors' baseline finishes, in-degrees counted
@@ -404,8 +851,9 @@ impl EvalWorkspace {
             let t = self.affected[idx];
             let mut st = 0.0f64;
             let mut deg = 0u32;
-            for e in self.pred_off[t]..self.pred_off[t + 1] {
-                let (p, w) = self.pred_adj[e];
+            for e in self.pred_off[t] as usize..self.pred_off[t + 1] as usize {
+                let p = self.pred_idx[e] as usize;
+                let w = self.pred_w[e];
                 if self.mark[p] == gen {
                     deg += 1;
                 } else {
@@ -421,12 +869,12 @@ impl EvalWorkspace {
         // Release the merged stage's outgoing edges first.
         self.worklist.clear();
         for s in a..=b {
-            for e in self.succ_off[s]..self.succ_off[s + 1] {
-                let (t, w) = self.succ_adj[e];
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
                 if t >= a && t <= b {
                     continue;
                 }
-                let arrival = merged_finish + w;
+                let arrival = merged_finish + self.succ_w[e];
                 if arrival > self.c_start[t] {
                     self.c_start[t] = arrival;
                 }
@@ -441,8 +889,9 @@ impl EvalWorkspace {
             done += 1;
             let f = self.c_start[s] + self.stage_dur[s];
             self.c_finish[s] = f;
-            for e in self.succ_off[s]..self.succ_off[s + 1] {
-                let (t, w) = self.succ_adj[e];
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
+                let w = self.succ_w[e];
                 debug_assert!(!(t >= a && t <= b), "cycle check above rejects these");
                 if self.c_start[t] < f + w {
                     self.c_start[t] = f + w;
@@ -456,21 +905,316 @@ impl EvalWorkspace {
         if done != self.affected.len() {
             return Err(EvalError::StageCycle);
         }
+        Ok(self.candidate_latency(merged_finish, gen))
+    }
 
-        // Candidate latency: recomputed finishes over the affected set,
-        // baseline finishes elsewhere.
-        let mut latency = merged_finish.max(0.0);
-        for (s, &f) in self.finish.iter().enumerate() {
-            if self.mark[s] != gen && f > latency {
-                latency = f;
+    /// Commits an accepted merge of old stages `first..=last` on `gpu`
+    /// *in place*: the workspace's stage graph is rewritten by id surgery
+    /// (absorbed stages collapse into one, every later stage shifts down,
+    /// edges are remapped carrying their cached weights) and re-relaxed —
+    /// no schedule re-compile, no re-validation, and exactly one fresh
+    /// `concurrent` query (the merged stage's duration).
+    ///
+    /// `sched` must already hold the materialized merge (the combined
+    /// stage sits at `first`).  Bit-identity with a full
+    /// [`EvalWorkspace::prepare`] + [`EvalWorkspace::relax`] on the
+    /// merged schedule follows because both build the same stage-edge
+    /// multiset with the same weights and durations — relaxation maxima
+    /// do not depend on edge order — and the absorbed range had no
+    /// internal edges beyond its own chain (same-GPU data edges never
+    /// become stage edges).
+    ///
+    /// Returns the relaxed latency of the merged schedule.
+    ///
+    /// # Panics
+    /// Panics when the merged graph has a stage cycle — the caller must
+    /// only commit merges already vetted by
+    /// [`EvalWorkspace::merged_latency`].
+    pub fn commit_merge(
+        &mut self,
+        cost: &CostTable,
+        sched: &Schedule,
+        gpu: usize,
+        first: usize,
+        last: usize,
+    ) -> f64 {
+        let delta = last - first;
+        debug_assert!(delta > 0);
+        let a = self.gpu_base[gpu] + first;
+        let b = a + delta;
+        let old_n = self.n_stages;
+        let new_n = old_n - delta;
+        let remap = |s: usize| -> usize {
+            if s <= a {
+                s
+            } else if s <= b {
+                a
+            } else {
+                s - delta
+            }
+        };
+
+        // Stage durations: every survivor keeps its cached value; only
+        // the merged stage needs a fresh concurrent query.
+        self.stage_dur[a] = cost.concurrent_on(gpu, &sched.gpus[gpu].stages[first].ops);
+
+        // Same topological pre-filter as `merged_latency_bounded`: when
+        // every external predecessor of the absorbed range sits at or
+        // before the range's minimum baseline position, the merge is
+        // acyclic, the baseline topological order stays valid for the
+        // merged graph (the merged stage inherits that minimum position;
+        // every successor of a range member already sat strictly after
+        // it), and the committed times can be produced by the same exact
+        // changed-only wave the candidate evaluation runs — no full
+        // re-relaxation.  Only the rare pre-filter miss falls back to
+        // `relax`.
+        let mut range_min_pos = u32::MAX;
+        for s in a..=b {
+            range_min_pos = range_min_pos.min(self.topo_pos[s]);
+        }
+        let mut incremental = true;
+        'scan: for s in a..=b {
+            for e in self.pred_off[s] as usize..self.pred_off[s + 1] as usize {
+                let p = self.pred_idx[e] as usize;
+                if (p < a || p > b) && self.topo_pos[p] > range_min_pos {
+                    incremental = false;
+                    break 'scan;
+                }
             }
         }
-        for &t in &self.affected {
-            if self.c_finish[t] > latency {
-                latency = self.c_finish[t];
+
+        let mut latency = f64::NAN;
+        if incremental && self.snap_valid && self.snap_key == (gpu, first, last) {
+            // The accepted candidate's own wave was snapshotted at
+            // evaluation time: apply it directly.
+            for i in 0..self.snap_ids.len() {
+                let t = self.snap_ids[i] as usize;
+                self.start[t] = self.snap_start[i];
+                self.finish[t] = self.snap_finish[i];
+            }
+            self.start[a] = self.snap_merged.0;
+            self.finish[a] = self.snap_merged.1;
+            latency = self.snap_latency;
+        } else if incremental {
+            // Merged stage times from external predecessors, whose
+            // baseline finishes are final (the pre-filter placed them all
+            // at or before the range, so none descends from it).
+            let mut merged_start = 0.0f64;
+            for s in a..=b {
+                for e in self.pred_off[s] as usize..self.pred_off[s + 1] as usize {
+                    let p = self.pred_idx[e] as usize;
+                    if p >= a && p <= b {
+                        continue;
+                    }
+                    let arrival = self.finish[p] + self.pred_w[e];
+                    if arrival > merged_start {
+                        merged_start = arrival;
+                    }
+                }
+            }
+            let merged_finish = merged_start + self.stage_dur[a];
+
+            // Exact changed-only wave over the old ids (identical to the
+            // candidate path with no cutoff), recording starts too so the
+            // results can be applied as the new baseline.
+            if self.mark_gen == u32::MAX {
+                self.mark.iter_mut().for_each(|m| *m = 0);
+                self.mark_gen = 0;
+            }
+            self.mark_gen += 1;
+            let gen = self.mark_gen;
+            for s in a..=b {
+                self.mark[s] = gen;
+            }
+            self.ensure_rank();
+            self.affected.clear();
+            self.heap.clear();
+            for s in a..=b {
+                for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                    let t = self.succ_idx[e] as usize;
+                    if t >= a && t <= b {
+                        continue;
+                    }
+                    if self.mark[t] != gen {
+                        self.mark[t] = gen;
+                        self.heap
+                            .push(std::cmp::Reverse((self.topo_pos[t], t as u32)));
+                    }
+                }
+            }
+            while let Some(std::cmp::Reverse((_, t))) = self.heap.pop() {
+                let t = t as usize;
+                let mut st = 0.0f64;
+                for e in self.pred_off[t] as usize..self.pred_off[t + 1] as usize {
+                    let p = self.pred_idx[e] as usize;
+                    let w = self.pred_w[e];
+                    let arrival = if p >= a && p <= b {
+                        merged_finish + w
+                    } else if self.mark[p] == gen {
+                        self.c_finish[p] + w
+                    } else {
+                        self.finish[p] + w
+                    };
+                    if arrival > st {
+                        st = arrival;
+                    }
+                }
+                let f = st + self.stage_dur[t];
+                self.c_start[t] = st;
+                self.c_finish[t] = f;
+                self.affected.push(t);
+                if f.to_bits() != self.finish[t].to_bits() {
+                    for e in self.succ_off[t] as usize..self.succ_off[t + 1] as usize {
+                        let u = self.succ_idx[e] as usize;
+                        debug_assert!(!(u >= a && u <= b), "pre-filter rejects cycles");
+                        if self.mark[u] != gen {
+                            self.mark[u] = gen;
+                            self.heap
+                                .push(std::cmp::Reverse((self.topo_pos[u], u as u32)));
+                        }
+                    }
+                }
+            }
+            latency = self.candidate_latency(merged_finish, gen);
+
+            // Apply the wave as the new baseline and compress the id
+            // space (the drains mirror the CSR remap below).
+            for idx in 0..self.affected.len() {
+                let t = self.affected[idx];
+                self.start[t] = self.c_start[t];
+                self.finish[t] = self.c_finish[t];
+            }
+            self.start[a] = merged_start;
+            self.finish[a] = merged_finish;
+        }
+        if incremental {
+            // Compress the id space (the drains mirror the CSR remap
+            // below) and the still-valid baseline topological order.
+            self.start.drain(a + 1..=b);
+            self.finish.drain(a + 1..=b);
+            let rmp = range_min_pos as usize;
+            let mut w = 0usize;
+            for p in 0..old_n {
+                let s = self.topo_order[p] as usize;
+                if s >= a && s <= b {
+                    if p == rmp {
+                        self.topo_order[w] = a as u32;
+                        w += 1;
+                    }
+                } else {
+                    self.topo_order[w] = remap(s) as u32;
+                    w += 1;
+                }
+            }
+            debug_assert_eq!(w, new_n);
+            self.topo_order.truncate(new_n);
+            self.topo_pos.clear();
+            self.topo_pos.resize(new_n, 0);
+            for (p, &s) in self.topo_order.iter().enumerate() {
+                self.topo_pos[s as usize] = p as u32;
+            }
+            self.rank_dirty = true;
+            self.tail_dirty = true;
+            self.crit_dirty = true;
+        }
+        self.stage_dur.drain(a + 1..=b);
+
+        // Rebuild the successor CSR under the id map, writing into the
+        // predecessor arrays' storage (they are re-derived below anyway).
+        // Self-edges after remapping are exactly the absorbed range's
+        // internal chain edges — dropped, like a re-compile would.
+        self.cursor.clear();
+        self.cursor.resize(new_n, 0);
+        for s in 0..old_n {
+            let ns = remap(s);
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let nt = remap(self.succ_idx[e] as usize);
+                if ns != nt {
+                    self.cursor[ns] += 1;
+                }
             }
         }
-        Ok(latency)
+        self.pred_off.clear();
+        let mut acc = 0usize;
+        for s in 0..new_n {
+            self.pred_off.push(acc as u32);
+            acc += self.cursor[s];
+            self.cursor[s] = self.pred_off[s] as usize;
+        }
+        self.pred_off.push(acc as u32);
+        self.pred_idx.clear();
+        self.pred_idx.resize(acc, 0);
+        self.pred_w.clear();
+        self.pred_w.resize(acc, 0.0);
+        for s in 0..old_n {
+            let ns = remap(s);
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let nt = remap(self.succ_idx[e] as usize);
+                if ns != nt {
+                    self.pred_idx[self.cursor[ns]] = nt as u32;
+                    self.pred_w[self.cursor[ns]] = self.succ_w[e];
+                    self.cursor[ns] += 1;
+                }
+            }
+        }
+        std::mem::swap(&mut self.succ_off, &mut self.pred_off);
+        std::mem::swap(&mut self.succ_idx, &mut self.pred_idx);
+        std::mem::swap(&mut self.succ_w, &mut self.pred_w);
+
+        // In-degrees and the predecessor CSR, re-derived from the new
+        // successor arrays exactly as `prepare` does.
+        self.indeg.clear();
+        self.indeg.resize(new_n, 0);
+        for &t in &self.succ_idx {
+            self.indeg[t as usize] += 1;
+        }
+        self.pred_off.clear();
+        let mut pa = 0usize;
+        for s in 0..new_n {
+            self.pred_off.push(pa as u32);
+            pa += self.indeg[s] as usize;
+            self.cursor[s] = self.pred_off[s] as usize;
+        }
+        self.pred_off.push(pa as u32);
+        self.pred_idx.clear();
+        self.pred_idx.resize(pa, 0);
+        self.pred_w.clear();
+        self.pred_w.resize(pa, 0.0);
+        for s in 0..new_n {
+            for e in self.succ_off[s] as usize..self.succ_off[s + 1] as usize {
+                let t = self.succ_idx[e] as usize;
+                self.pred_idx[self.cursor[t]] = s as u32;
+                self.pred_w[self.cursor[t]] = self.succ_w[e];
+                self.cursor[t] += 1;
+            }
+        }
+
+        // Per-op and per-GPU maps shift with the ids.
+        for sid in &mut self.stage_of_op {
+            *sid = remap(*sid);
+        }
+        for base in self.gpu_base.iter_mut().skip(gpu + 1) {
+            *base -= delta;
+        }
+        self.n_stages = new_n;
+
+        // Incremental scratch is index-based: invalidate it wholesale.
+        self.mark.clear();
+        self.mark.resize(new_n, 0);
+        self.mark_gen = 0;
+        self.c_start.clear();
+        self.c_start.resize(new_n, 0.0);
+        self.c_finish.clear();
+        self.c_finish.resize(new_n, 0.0);
+        self.snap_valid = false;
+        self.last_eval_wave = false;
+
+        if incremental {
+            latency
+        } else {
+            self.relax()
+                .expect("committed merge was vetted acyclic by merged_latency")
+        }
     }
 }
 
@@ -551,9 +1295,15 @@ pub struct ListScheduleResult {
 pub struct ListState {
     start: Vec<f64>,
     finish: Vec<f64>,
-    /// Sorted busy intervals per GPU: (start, finish, op).
-    busy: Vec<Vec<(f64, f64, OpId)>>,
+    /// Sorted busy intervals per GPU, structure-of-arrays: `(start,
+    /// finish)` pairs in `busy_iv`, the matching operator ids in
+    /// `busy_op` (the gap search only touches the times).
+    busy_iv: Vec<Vec<(f64, f64)>>,
+    busy_op: Vec<Vec<u32>>,
     latency: f64,
+    /// Whether `busy_op` is maintained; latency-only trial states skip
+    /// the per-placement ordered insert (times are unaffected).
+    track_order: bool,
 }
 
 impl Clone for ListState {
@@ -561,8 +1311,10 @@ impl Clone for ListState {
         ListState {
             start: self.start.clone(),
             finish: self.finish.clone(),
-            busy: self.busy.clone(),
+            busy_iv: self.busy_iv.clone(),
+            busy_op: self.busy_op.clone(),
             latency: self.latency,
+            track_order: self.track_order,
         }
     }
 
@@ -572,16 +1324,32 @@ impl Clone for ListState {
         // recycled across candidate searches without reallocating.
         self.start.clone_from(&source.start);
         self.finish.clone_from(&source.finish);
-        self.busy.clone_from(&source.busy);
+        self.busy_iv.clone_from(&source.busy_iv);
+        self.busy_op.clone_from(&source.busy_op);
         self.latency = source.latency;
+        self.track_order = source.track_order;
     }
 }
 
 impl ListState {
     /// Creates an empty state for `num_ops` operators on `num_gpus` GPUs.
     pub fn new(num_ops: usize, num_gpus: usize) -> Self {
-        let mut s = ListState::default();
+        let mut s = ListState {
+            track_order: true,
+            ..ListState::default()
+        };
         s.reset(num_ops, num_gpus);
+        s
+    }
+
+    /// Like [`ListState::new`], but skips the per-GPU operator-order
+    /// bookkeeping: every start/finish/latency is identical, only
+    /// [`ListState::into_result`] is unavailable.  Candidate trials that
+    /// just need the makespan use this to drop one ordered insert per
+    /// placement.
+    pub fn new_latency_only(num_ops: usize, num_gpus: usize) -> Self {
+        let mut s = Self::new(num_ops, num_gpus);
+        s.track_order = false;
         s
     }
 
@@ -591,17 +1359,27 @@ impl ListState {
         self.start.resize(num_ops, f64::NAN);
         self.finish.clear();
         self.finish.resize(num_ops, f64::NAN);
-        self.busy.truncate(num_gpus);
-        for b in &mut self.busy {
+        self.busy_iv.truncate(num_gpus);
+        for b in &mut self.busy_iv {
             b.clear();
         }
-        self.busy.resize(num_gpus, Vec::new());
+        self.busy_iv.resize(num_gpus, Vec::new());
+        self.busy_op.truncate(num_gpus);
+        for b in &mut self.busy_op {
+            b.clear();
+        }
+        self.busy_op.resize(num_gpus, Vec::new());
         self.latency = 0.0;
     }
 
     /// Makespan over the operators scheduled so far.
     pub fn latency(&self) -> f64 {
         self.latency
+    }
+
+    /// Finish time of `v` (`NaN` while unscheduled).
+    pub fn op_finish(&self, v: u32) -> f64 {
+        self.finish[v as usize]
     }
 
     /// List-schedules `ops` (in order) on top of the current state.
@@ -640,49 +1418,279 @@ impl ListState {
                 };
                 ready = ready.max(arrival);
             }
-            // Find the earliest gap on gv of length >= t(v) starting >=
-            // ready.  Intervals with finish <= ready can never host the
-            // operator nor move `s` beyond `ready`, so skip them with a
-            // binary search instead of a linear scan; the backward walk
-            // guards the fuzzy 1e-12 acceptance at the boundary.  A
-            // zero-length operator (dur <= 1e-12) could still slot
-            // *between* such intervals, so it keeps the full scan.
             let dur = cost.exec_on(gv, v);
-            let intervals = &mut self.busy[gv];
-            let mut s = ready;
-            let mut from = 0usize;
-            if dur > 1e-12 {
-                from = intervals.partition_point(|&(_, bf, _)| bf <= ready);
-                while from > 0 && intervals[from - 1].1 > ready {
-                    from -= 1;
-                }
-            }
-            let mut pos = intervals.len();
-            for (i, &(bs, bf, _)) in intervals.iter().enumerate().skip(from) {
-                if s + dur <= bs + 1e-12 {
-                    pos = i;
-                    break;
-                }
-                s = s.max(bf);
-            }
-            let f = s + dur;
-            intervals.insert(pos, (s, f, v));
-            self.start[v.index()] = s;
-            self.finish[v.index()] = f;
-            self.latency = self.latency.max(f);
+            self.place_op(v.0, gv, ready, dur);
         }
     }
 
+    /// [`ListState::schedule`] over a [`DenseContext`], the hot path of
+    /// the HIOS-LP candidate search.
+    ///
+    /// `place[v]` gives each operator's GPU with [`NO_GPU`] marking
+    /// operators still in the unscheduled subgraph `G'`; placements and
+    /// insertion points match [`ListState::schedule`] bit for bit (the
+    /// dense arrays hold the exact `CostTable` values and the predecessor
+    /// order is the graph's).
+    ///
+    /// `prune` is re-read before each operator; the call aborts and
+    /// returns `false` as soon as the running makespan *exceeds* it.
+    /// Because the makespan only grows as operators are placed, a trial
+    /// whose partial makespan is already above the best completed
+    /// trial's cannot strictly beat it, so aborted trials never change
+    /// the candidate search's argmin (ties are kept by completing them).
+    /// Pass `|| f64::INFINITY` to disable pruning; returns `true` when
+    /// every operator was placed.
+    pub fn schedule_dense(
+        &mut self,
+        ctx: &DenseContext,
+        ops: &[u32],
+        place: &[u32],
+        tail: &[f64],
+        prune: impl Fn() -> f64,
+    ) -> bool {
+        for &v in ops {
+            let gv = place[v as usize];
+            if gv == NO_GPU {
+                continue;
+            }
+            let gv = gv as usize;
+            let mut ready = 0.0f64;
+            for &u in ctx.preds(v) {
+                let gu = place[u as usize];
+                if gu == NO_GPU {
+                    continue;
+                }
+                let fu = self.finish[u as usize];
+                if fu.is_nan() {
+                    debug_assert!(false, "list_schedule order must be topological");
+                    continue;
+                }
+                let arrival = if gu as usize == gv {
+                    fu
+                } else {
+                    fu + ctx.transfer(u, gu as usize, gv)
+                };
+                ready = ready.max(arrival);
+            }
+            let dur = ctx.exec(gv, v);
+            self.place_op(v, gv, ready, dur);
+            // Abort once this partial schedule provably cannot end up
+            // *strictly below* the pruning bound: its makespan only
+            // grows, and each later operator chained after `v` starts no
+            // earlier than `v`'s finish, so `finish + tail[v]` (any
+            // structural lower bound of the work after `v` among the ops
+            // this pass will place) is a latency floor.  Both tests are
+            // strict, so a trial tying the bound is never cut — the
+            // lowest-index tie-break stays exact — and the guard keeps
+            // the suffix sum conservative under rounding.
+            let bar = prune();
+            if self.latency > bar {
+                return false;
+            }
+            if !tail.is_empty() {
+                let floor = self.finish[v as usize] + tail[v as usize];
+                if floor * (1.0 - CUTOFF_GUARD) > bar {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Re-derives the list schedule of `base` extended with this round's
+    /// newly placed operators, copying instead of recomputing wherever
+    /// the from-scratch fold provably produces `base`'s exact values.
+    ///
+    /// `base` must be a complete, order-tracking list schedule of every
+    /// operator with `place[v] != NO_GPU` *except* the new ones (those
+    /// are `NaN` in `base.finish`), under the same placements.  `ops` is
+    /// the priority-order suffix starting at the first new operator and
+    /// `pos` the position of every operator in that priority order.
+    ///
+    /// The from-scratch fold would process `ops` in order; an operator's
+    /// `(start, finish)` there depends only on (a) its predecessors'
+    /// finish times and (b) its GPU's busy intervals at its turn.  So an
+    /// operator may keep `base`'s values when no predecessor's finish
+    /// changed (tracked by stamping successors of every operator whose
+    /// recomputed finish differs bitwise from `base`'s) and its GPU's
+    /// interval set still matches `base`'s (a GPU is *dirty* once any
+    /// operator on it was newly placed or re-placed; every later
+    /// operator on a dirty GPU is re-placed).  On first placement a
+    /// GPU's intervals are materialized from `base` filtered to
+    /// operators ordered earlier — exactly the fold's interval set at
+    /// that turn.  By induction every operator ends with the fold's
+    /// exact bits, whether copied or recomputed.
+    ///
+    /// `touch`/`gen` are the caller's stamp buffer (entries `== gen`
+    /// mean "a predecessor changed"); `lat0` is the makespan over the
+    /// operators ordered before `ops[0]` (unchanged by construction).
+    /// `prune` aborts exactly like [`ListState::schedule_dense`].
+    /// Returns `true` when the state is a complete schedule of all
+    /// placed operators (clean GPUs adopt `base`'s interval lists
+    /// verbatim).
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_incremental(
+        &mut self,
+        ctx: &DenseContext,
+        base: &ListState,
+        ops: &[u32],
+        pos: &[usize],
+        place: &[u32],
+        lat0: f64,
+        touch: &mut [u32],
+        gen: u32,
+        prune: impl Fn() -> f64,
+    ) -> bool {
+        let num_gpus = base.busy_iv.len();
+        debug_assert!(base.track_order, "base must track operator order");
+        self.track_order = true;
+        self.start.clone_from(&base.start);
+        self.finish.clone_from(&base.finish);
+        self.busy_iv.resize(num_gpus, Vec::new());
+        self.busy_op.resize(num_gpus, Vec::new());
+        for g in 0..num_gpus {
+            self.busy_iv[g].clear();
+            self.busy_op[g].clear();
+        }
+        self.latency = lat0;
+        debug_assert!(num_gpus <= 64);
+        let mut dirty = 0u64;
+
+        for &v in ops {
+            let vi = v as usize;
+            let gv = place[vi];
+            if gv == NO_GPU {
+                continue;
+            }
+            let gvu = gv as usize;
+            let gbit = 1u64 << gvu;
+            let is_new = base.finish[vi].is_nan();
+            if !is_new && touch[vi] != gen && dirty & gbit == 0 {
+                // No predecessor changed and the GPU's interval set is
+                // still `base`'s: the fold would reproduce `base`'s
+                // values, which `self` already holds.
+                self.latency = self.latency.max(self.finish[vi]);
+                continue;
+            }
+            if dirty & gbit == 0 {
+                // First divergence on this GPU: materialize the fold's
+                // interval set at this turn — `base`'s operators on the
+                // GPU that are ordered before `v` (time-sorted order is
+                // preserved by filtering).
+                let siv = &mut self.busy_iv[gvu];
+                let sop = &mut self.busy_op[gvu];
+                for (k, &op) in base.busy_op[gvu].iter().enumerate() {
+                    if pos[op as usize] < pos[vi] {
+                        siv.push(base.busy_iv[gvu][k]);
+                        sop.push(op);
+                    }
+                }
+                dirty |= gbit;
+            }
+            let mut ready = 0.0f64;
+            for &u in ctx.preds(v) {
+                let gu = place[u as usize];
+                if gu == NO_GPU {
+                    continue;
+                }
+                let fu = self.finish[u as usize];
+                debug_assert!(!fu.is_nan(), "order must be topological");
+                let arrival = if gu as usize == gvu {
+                    fu
+                } else {
+                    fu + ctx.transfer(u, gu as usize, gvu)
+                };
+                ready = ready.max(arrival);
+            }
+            let dur = ctx.exec(gvu, v);
+            self.place_op(v, gvu, ready, dur);
+            if self.finish[vi].to_bits() != base.finish[vi].to_bits() {
+                for &w in ctx.succs(v) {
+                    touch[w as usize] = gen;
+                }
+            }
+            let bar = prune();
+            if self.latency > bar {
+                return false;
+            }
+        }
+        // Clean GPUs never diverged: their interval lists are `base`'s.
+        for g in 0..num_gpus {
+            if dirty & (1u64 << g) == 0 {
+                self.busy_iv[g].clone_from(&base.busy_iv[g]);
+                self.busy_op[g].clone_from(&base.busy_op[g]);
+            }
+        }
+        true
+    }
+
+    /// Inserts `v` into the earliest gap on `gv` of length >= `dur`
+    /// starting no sooner than `ready` (shared by both schedule paths).
+    #[inline]
+    fn place_op(&mut self, v: u32, gv: usize, ready: f64, dur: f64) {
+        // Intervals with finish <= ready can never host the operator nor
+        // move `s` beyond `ready`, so skip them with a binary search
+        // instead of a linear scan; the backward walk guards the fuzzy
+        // 1e-12 acceptance at the boundary.  A zero-length operator
+        // (dur <= 1e-12) could still slot *between* such intervals, so it
+        // keeps the full scan.
+        let intervals = &mut self.busy_iv[gv];
+        // Append fast path: when every interval finishes by `ready` the
+        // search below degenerates to `pos = len`, `s = ready` (finishes
+        // are ascending, so checking the last suffices; a near-zero `dur`
+        // could still slot fuzzily between earlier intervals, so it takes
+        // the full scan).
+        if dur > 1e-12 && intervals.last().is_none_or(|&(_, lf)| lf <= ready) {
+            let f = ready + dur;
+            intervals.push((ready, f));
+            if self.track_order {
+                self.busy_op[gv].push(v);
+            }
+            self.start[v as usize] = ready;
+            self.finish[v as usize] = f;
+            self.latency = self.latency.max(f);
+            return;
+        }
+        let mut s = ready;
+        let mut from = 0usize;
+        if dur > 1e-12 {
+            from = intervals.partition_point(|&(_, bf)| bf <= ready);
+            while from > 0 && intervals[from - 1].1 > ready {
+                from -= 1;
+            }
+        }
+        let mut pos = intervals.len();
+        for (i, &(bs, bf)) in intervals.iter().enumerate().skip(from) {
+            if s + dur <= bs + 1e-12 {
+                pos = i;
+                break;
+            }
+            s = s.max(bf);
+        }
+        let f = s + dur;
+        intervals.insert(pos, (s, f));
+        if self.track_order {
+            self.busy_op[gv].insert(pos, v);
+        }
+        self.start[v as usize] = s;
+        self.finish[v as usize] = f;
+        self.latency = self.latency.max(f);
+    }
+
     /// Consumes the state into a [`ListScheduleResult`].
+    ///
+    /// Requires a state that tracks operator order (i.e. not one from
+    /// [`ListState::new_latency_only`]).
     pub fn into_result(self) -> ListScheduleResult {
+        debug_assert!(self.track_order, "latency-only states have no order");
         ListScheduleResult {
             latency: self.latency,
             start: self.start,
             finish: self.finish,
             gpu_order: self
-                .busy
+                .busy_op
                 .into_iter()
-                .map(|iv| iv.into_iter().map(|(_, _, v)| v).collect())
+                .map(|ops| ops.into_iter().map(OpId).collect())
                 .collect(),
         }
     }

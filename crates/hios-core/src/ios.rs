@@ -57,8 +57,8 @@ struct Dp<'a> {
     /// remaining-set -> (best latency, first stage of the best schedule)
     memo: HashMap<OpSet, (f64, Vec<OpId>)>,
     /// number of predecessors *inside* the current remaining set, managed
-    /// incrementally around recursion.
-    live_preds: Vec<usize>,
+    /// incrementally around recursion (dense `u32`, indexed by op id).
+    live_preds: Vec<u32>,
     capped: bool,
 }
 
@@ -68,7 +68,7 @@ impl Dp<'_> {
             .iter()
             .filter(|&v| self.live_preds[v.index()] == 0)
             .collect();
-        src.sort_by(|&a, &b| {
+        src.sort_unstable_by(|&a, &b| {
             self.prio[b.index()]
                 .total_cmp(&self.prio[a.index()])
                 .then(a.cmp(&b))
@@ -245,7 +245,7 @@ fn run_dp(g: &Graph, cost: &CostTable, cfg: IosConfig) -> (Schedule, bool) {
         cfg,
         prio: priorities(g, cost),
         memo: HashMap::new(),
-        live_preds: g.op_ids().map(|v| g.preds(v).len()).collect(),
+        live_preds: g.op_ids().map(|v| g.preds(v).len() as u32).collect(),
         capped: false,
     };
     let mut stages = Vec::new();

@@ -28,7 +28,12 @@
 //!
 //! With the `rayon` feature (on by default) the candidate trials of
 //! Alg. 1 and Alg. 3 fan out to a thread pool on large instances;
-//! results are bit-identical at any thread count.
+//! results are bit-identical at any thread count.  The evaluation core is
+//! data-oriented — dense `u32` indices over flat structure-of-arrays
+//! buffers ([`dense::DenseContext`], the CSR stage graph inside
+//! [`eval::EvalWorkspace`]) — and the default-off `simd` feature swaps
+//! its reduction kernels for explicit SSE2/AVX `std::arch` paths, again
+//! bit-identical.
 
 #![warn(missing_docs)]
 
@@ -36,6 +41,7 @@ pub mod api;
 pub mod bitset;
 pub mod bounds;
 pub mod cache;
+pub mod dense;
 pub mod eval;
 pub mod exact;
 pub mod ios;
@@ -47,14 +53,16 @@ pub mod reference;
 pub mod repair;
 pub mod schedule;
 pub mod seq;
+mod simd;
 pub mod stats;
 pub mod window;
 
 pub use api::{
     Algorithm, SchedBudget, ScheduleOutcome, SchedulerError, SchedulerOptions,
-    modeled_sched_cost_ms, run_scheduler,
+    modeled_sched_cost_ms, run_scheduler, run_scheduler_with,
 };
 pub use cache::{ScheduleCache, ScheduleCacheKey, graph_fingerprint};
+pub use dense::{DenseContext, NO_GPU};
 pub use eval::{
     EvalError, EvalResult, EvalWorkspace, ListState, evaluate, evaluate_with, list_schedule,
 };

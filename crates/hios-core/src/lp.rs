@@ -3,7 +3,8 @@
 //! subgraph `G'` and map it wholesale onto the GPU that minimizes the
 //! latency of everything scheduled so far.
 
-use crate::eval::{ListState, evaluate, list_schedule};
+use crate::dense::{DenseContext, NO_GPU};
+use crate::eval::{ListState, evaluate};
 use crate::par::{LP_PAR_MIN_OPS, map_candidates};
 use crate::priority::priorities;
 use crate::schedule::Schedule;
@@ -11,6 +12,7 @@ use crate::window::parallelize;
 use hios_cost::CostTable;
 use hios_graph::paths::priority_order;
 use hios_graph::{Graph, OpId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration of HIOS-LP.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,27 +64,79 @@ pub fn longest_valid_path(
     reverse_topo: &[OpId],
     scheduled: &[bool],
 ) -> Vec<OpId> {
-    let n = g.num_ops();
+    let ctx = DenseContext::build(g, cost, 1);
+    let mut scratch = PathScratch::new(g.num_ops());
+    let reverse_topo: Vec<u32> = reverse_topo.iter().map(|v| v.0).collect();
+    let mut path = Vec::new();
+    longest_valid_path_dense(&mut scratch, &ctx, &reverse_topo, scheduled, &mut path);
+    path.into_iter().map(OpId).collect()
+}
+
+/// Reusable buffers of the longest-valid-path DP, pooled across the
+/// extraction rounds of one [`schedule_hios_lp`] run.
+/// Pooled per-trial scratch: list state, placement map, touch stamps,
+/// and the touch generation counter, recycled across HIOS-LP steps.
+type TrialScratch = (ListState, Vec<u32>, Vec<u32>, u32);
+
+/// One fanned-out trial: the candidate GPU index plus its scratch.
+type GpuTrial = (u32, ListState, Vec<u32>, Vec<u32>, u32);
+
+#[derive(Clone, Debug, Default)]
+struct PathScratch {
+    head_ext: Vec<f64>,
+    tail_ext: Vec<f64>,
+    free: Vec<bool>, // unscheduled and no scheduled neighbour
+    f_val: Vec<f64>,
+    next: Vec<u32>,
+}
+
+impl PathScratch {
+    fn new(n: usize) -> Self {
+        PathScratch {
+            head_ext: vec![0.0; n],
+            tail_ext: vec![0.0; n],
+            free: vec![true; n],
+            f_val: vec![0.0; n],
+            next: vec![u32::MAX; n],
+        }
+    }
+}
+
+/// [`longest_valid_path`] over dense indices and reusable scratch — the
+/// per-round workhorse of [`schedule_hios_lp`].  Identical DP, identical
+/// tie-breaks; the dense arrays hold the exact [`CostTable`] values.
+fn longest_valid_path_dense(
+    scratch: &mut PathScratch,
+    ctx: &DenseContext,
+    reverse_topo: &[u32],
+    scheduled: &[bool],
+    path: &mut Vec<u32>,
+) {
+    let n = ctx.num_ops();
     debug_assert_eq!(scheduled.len(), n);
+    path.clear();
 
     // Boundary classification + extension weights.
-    let mut head_ext = vec![0.0f64; n];
-    let mut tail_ext = vec![0.0f64; n];
-    let mut free = vec![true; n]; // unscheduled and no scheduled neighbour
-    for v in g.op_ids() {
-        if scheduled[v.index()] {
+    let head_ext = &mut scratch.head_ext;
+    let tail_ext = &mut scratch.tail_ext;
+    let free = &mut scratch.free;
+    for v in 0..n {
+        head_ext[v] = 0.0;
+        tail_ext[v] = 0.0;
+        free[v] = true;
+        if scheduled[v] {
             continue;
         }
-        for &u in g.preds(v) {
-            if scheduled[u.index()] {
-                free[v.index()] = false;
-                head_ext[v.index()] = head_ext[v.index()].max(cost.transfer_worst(u));
+        for &u in ctx.preds(v as u32) {
+            if scheduled[u as usize] {
+                free[v] = false;
+                head_ext[v] = head_ext[v].max(ctx.transfer_worst(u));
             }
         }
-        for &w in g.succs(v) {
-            if scheduled[w.index()] {
-                free[v.index()] = false;
-                tail_ext[v.index()] = tail_ext[v.index()].max(cost.transfer_worst(v));
+        for &w in ctx.succs(v as u32) {
+            if scheduled[w as usize] {
+                free[v] = false;
+                tail_ext[v] = tail_ext[v].max(ctx.transfer_worst(v as u32));
             }
         }
     }
@@ -90,63 +144,68 @@ pub fn longest_valid_path(
     // F(v): best path value starting at v (continuing only through free
     // vertices, allowed to end at a boundary vertex).  C(w) is the value
     // contributed by stepping into w.
-    let mut f_val = vec![0.0f64; n];
-    let mut next = vec![None::<OpId>; n];
+    let f_val = &mut scratch.f_val;
+    let next = &mut scratch.next;
     for &v in reverse_topo {
-        if scheduled[v.index()] {
+        let vi = v as usize;
+        if scheduled[vi] {
             continue;
         }
-        let mut best = tail_ext[v.index()];
-        let mut choice = None;
-        for &w in g.succs(v) {
-            if scheduled[w.index()] {
+        let mut best = tail_ext[vi];
+        let mut choice = u32::MAX;
+        for &w in ctx.succs(v) {
+            let wi = w as usize;
+            if scheduled[wi] {
                 continue;
             }
             // Stepping into a free vertex continues the path; stepping
             // into a boundary vertex ends it there (with its tail edge).
-            let into_w = if free[w.index()] {
-                f_val[w.index()]
+            let into_w = if free[wi] {
+                f_val[wi]
             } else {
-                cost.exec_worst(w) + tail_ext[w.index()]
+                ctx.exec_worst(w) + tail_ext[wi]
             };
-            let c = cost.transfer_worst(v) + into_w;
+            let c = ctx.transfer_worst(v) + into_w;
             if c > best {
                 best = c;
-                choice = Some(w);
+                choice = w;
             }
         }
-        f_val[v.index()] = cost.exec_worst(v) + best;
-        next[v.index()] = choice;
+        f_val[vi] = ctx.exec_worst(v) + best;
+        next[vi] = choice;
     }
 
     // Best start vertex: any unscheduled vertex, head extension included.
-    let mut start = None;
+    let mut start = u32::MAX;
     let mut best_score = f64::NEG_INFINITY;
-    for v in g.op_ids() {
-        if scheduled[v.index()] {
+    for v in 0..n {
+        if scheduled[v] {
             continue;
         }
-        let score = head_ext[v.index()] + f_val[v.index()];
+        let score = head_ext[v] + f_val[v];
         if score > best_score {
             best_score = score;
-            start = Some(v);
+            start = v as u32;
         }
     }
-    let Some(start) = start else {
-        return Vec::new();
-    };
+    if start == u32::MAX {
+        return;
+    }
 
     // Reconstruct, stopping after the first boundary vertex reached.
-    let mut path = vec![start];
+    path.push(start);
     let mut v = start;
-    while let Some(w) = next[v.index()] {
+    loop {
+        let w = next[v as usize];
+        if w == u32::MAX {
+            break;
+        }
         path.push(w);
-        if !free[w.index()] {
+        if !free[w as usize] {
             break;
         }
         v = w;
     }
-    path
 }
 
 /// Outcome of an inter-GPU scheduling pass.
@@ -182,7 +241,9 @@ pub fn schedule_hios_lp(g: &Graph, cost: &CostTable, cfg: HiosLpConfig) -> LpOut
 
     let prio = priorities(g, cost);
     let order = priority_order(g, &prio);
-    let reverse_topo: Vec<OpId> = order.iter().rev().copied().collect();
+    let ctx = DenseContext::build(g, cost, cfg.num_gpus);
+    let order_u32: Vec<u32> = order.iter().map(|v| v.0).collect();
+    let reverse_topo: Vec<u32> = order_u32.iter().rev().copied().collect();
     // Position of each operator in the priority order.
     let mut pos = vec![0usize; n];
     for (i, &v) in order.iter().enumerate() {
@@ -190,86 +251,153 @@ pub fn schedule_hios_lp(g: &Graph, cost: &CostTable, cfg: HiosLpConfig) -> LpOut
     }
 
     let mut scheduled = vec![false; n];
-    let mut gpu_of: Vec<Option<u32>> = vec![None; n];
+    let mut committed: Vec<u32> = vec![NO_GPU; n];
     let mut remaining = n;
-    let mut paths = Vec::new();
+    let mut paths: Vec<Vec<OpId>> = Vec::new();
 
-    // Candidate-search state: the M trials of one path share the list
-    // schedule of every operator ordered before the path's first member,
-    // so that prefix is built once per path and cloned (buffer-reusing)
-    // into per-trial states.  `on_path` marks the current path's members
-    // by generation so each trial can overlay its GPU without mutating
-    // `gpu_of`, which keeps the trials independent and lets them run in
-    // parallel.
-    let mut prefix = ListState::new(n, cfg.num_gpus);
+    // Candidate-search state.  The committed operators' full list
+    // schedule is kept as a value (`base`, the previous round's winning
+    // trial); each of the M trials of one path re-derives "base plus the
+    // path on GPU i" *incrementally* via ListState::replay_incremental,
+    // re-placing only the operators that provably could differ from
+    // `base` (everything on the path's GPU from the first path operator
+    // on, plus the downstream closure of any operator whose finish time
+    // actually changed).  The result is bit-identical to list-scheduling
+    // each trial from scratch.  Trials stay independent (pooled
+    // state/placement/stamp buffers) and can run in parallel; a shared
+    // atomic latency bound lets a trial abort once it is *strictly*
+    // worse than a finished competitor — strict comparison keeps the
+    // lowest-GPU-index tie-break exact and an aborted trial reports
+    // +inf, which never wins under `<`.
+    let mut base = ListState::new(n, cfg.num_gpus);
     let mut trial_states: Vec<ListState> = (0..cfg.num_gpus)
         .map(|_| ListState::new(n, cfg.num_gpus))
         .collect();
-    let mut on_path = vec![u32::MAX; n];
-    let mut path_no = 0u32;
+    let mut trial_places: Vec<Vec<u32>> = (0..cfg.num_gpus).map(|_| vec![NO_GPU; n]).collect();
+    let mut trial_touch: Vec<Vec<u32>> = (0..cfg.num_gpus).map(|_| vec![0u32; n]).collect();
+    let mut trial_gens: Vec<u32> = vec![0; cfg.num_gpus];
+    let mut scratch = PathScratch::new(n);
+    let mut path: Vec<u32> = Vec::new();
+    let bound = AtomicU64::new(f64::INFINITY.to_bits());
     let fan_out = cfg.num_gpus >= 2 && n >= LP_PAR_MIN_OPS;
 
+    // Committed execution time per GPU, used only to order the trials so
+    // the likely winner runs first and tightens the shared bound; the
+    // winner is still the latency-minimal trial with ties to the lowest
+    // GPU index, whatever the order.
+    let mut gpu_load = vec![0.0f64; cfg.num_gpus];
+    let mut trial_order: Vec<u32> = (0..cfg.num_gpus as u32).collect();
+
     while remaining > 0 {
-        let path = longest_valid_path(g, cost, &reverse_topo, &scheduled);
+        longest_valid_path_dense(&mut scratch, &ctx, &reverse_topo, &scheduled, &mut path);
         debug_assert!(!path.is_empty());
         let mut cut = n;
         for &v in &path {
-            scheduled[v.index()] = true;
-            on_path[v.index()] = path_no;
-            cut = cut.min(pos[v.index()]);
+            scheduled[v as usize] = true;
+            cut = cut.min(pos[v as usize]);
         }
         remaining -= path.len();
 
         // Try the whole path on every GPU, keep the best (Alg. 1 lines
         // 8-16); ties go to the lowest GPU index, so the first path lands
-        // on GPU 1 "due to the homogeneity of GPUs".  Each trial is the
-        // shared prefix extended with the order suffix under "path ops on
-        // GPU i, everything else as committed" — bit-identical to the
-        // full list schedule it replaces.
-        prefix.reset(n, cfg.num_gpus);
-        prefix.schedule(g, cost, &order[..cut], |u| gpu_of[u.index()]);
-        let tail = &order[cut..];
-        let committed = &gpu_of;
-        let marks = &on_path;
-        let prefix_ref = &prefix;
-        let trials: Vec<(u32, ListState)> = trial_states
+        // on GPU 1 "due to the homogeneity of GPUs".  Operators ordered
+        // before the cut cannot be affected by any trial; their makespan
+        // contribution is folded in up front (f64::max ignores the NaN
+        // finishes of still-unscheduled operators).
+        let mut lat0 = 0.0f64;
+        for &v in &order_u32[..cut] {
+            lat0 = lat0.max(base.op_finish(v));
+        }
+        let tail = &order_u32[cut..];
+        let committed_ref = &committed;
+        let path_ref = &path;
+        let ctx_ref = &ctx;
+        let base_ref = &base;
+        let bound_ref = &bound;
+        let pos_ref: &[usize] = &pos;
+        bound.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        trial_order.sort_unstable_by(|&x, &y| {
+            gpu_load[x as usize]
+                .partial_cmp(&gpu_load[y as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.cmp(&y))
+        });
+        let mut pool: Vec<TrialScratch> = trial_states
             .drain(..)
-            .enumerate()
-            .map(|(i, st)| (i as u32, st))
+            .zip(trial_places.drain(..))
+            .zip(trial_touch.drain(..))
+            .zip(trial_gens.drain(..))
+            .map(|(((st, pl), tc), gen)| (st, pl, tc, gen))
             .collect();
-        let results = map_candidates(trials, fan_out, |(gi, mut st): (u32, ListState)| {
-            st.clone_from(prefix_ref);
-            st.schedule(g, cost, tail, |u| {
-                if marks[u.index()] == path_no {
-                    Some(gi)
-                } else {
-                    committed[u.index()]
-                }
-            });
-            (st.latency(), st)
+        let trials: Vec<GpuTrial> = trial_order
+            .iter()
+            .map(|&gi| {
+                let (st, pl, tc, gen) = pool.pop().expect("one pooled state per GPU");
+                (gi, st, pl, tc, gen)
+            })
+            .collect();
+        let results = map_candidates(trials, fan_out, move |(gi, mut st, mut pl, mut tc, gen)| {
+            let gen = gen.wrapping_add(1);
+            let gen = if gen == 0 {
+                tc.fill(0);
+                1
+            } else {
+                gen
+            };
+            pl.copy_from_slice(committed_ref);
+            for &v in path_ref {
+                pl[v as usize] = gi;
+            }
+            let done = st.replay_incremental(
+                ctx_ref,
+                base_ref,
+                tail,
+                pos_ref,
+                &pl,
+                lat0,
+                &mut tc,
+                gen,
+                || f64::from_bits(bound_ref.load(Ordering::Relaxed)),
+            );
+            let lat = if done {
+                bound_ref.fetch_min(st.latency().to_bits(), Ordering::Relaxed);
+                st.latency()
+            } else {
+                f64::INFINITY
+            };
+            (gi, lat, st, pl, tc, gen)
         });
         let mut best_latency = f64::INFINITY;
-        let mut best_gpu = 0u32;
-        for (i, (latency, st)) in results.into_iter().enumerate() {
-            if latency < best_latency {
+        let mut best_gpu = u32::MAX;
+        for &(gi, latency, ..) in &results {
+            if latency < best_latency || (latency == best_latency && gi < best_gpu) {
                 best_latency = latency;
-                best_gpu = i as u32;
+                best_gpu = gi;
+            }
+        }
+        // The winning trial *is* the new committed schedule: swap it in
+        // as the next round's base and recycle the old base's buffers.
+        for (gi, _lat, mut st, pl, tc, gen) in results {
+            if gi == best_gpu {
+                std::mem::swap(&mut base, &mut st);
             }
             trial_states.push(st);
+            trial_places.push(pl);
+            trial_touch.push(tc);
+            trial_gens.push(gen);
         }
         for &v in &path {
-            gpu_of[v.index()] = Some(best_gpu);
+            committed[v as usize] = best_gpu;
+            gpu_load[best_gpu as usize] += ctx.exec(best_gpu as usize, v);
         }
-        paths.push(path);
-        path_no += 1;
+        paths.push(path.iter().map(|&v| OpId(v)).collect());
     }
 
-    let final_run = list_schedule(g, cost, &order, &gpu_of, cfg.num_gpus);
-    let schedule = Schedule::from_gpu_orders(final_run.gpu_order);
+    let schedule = Schedule::from_gpu_orders(base.into_result().gpu_order);
     let latency = evaluate(g, cost, &schedule)
         .expect("inter-GPU schedule is feasible by construction")
         .latency;
-    let gpu_of: Vec<u32> = gpu_of.into_iter().map(|o| o.expect("all mapped")).collect();
+    let gpu_of = committed;
 
     if cfg.intra {
         let (schedule, latency) = parallelize(g, cost, schedule, cfg.window);
@@ -285,6 +413,86 @@ pub fn schedule_hios_lp(g: &Graph, cost: &CostTable, cfg: HiosLpConfig) -> LpOut
             latency,
             gpu_of,
             paths,
+        }
+    }
+}
+
+#[cfg(test)]
+mod profile {
+    use super::*;
+
+    // Run with:
+    //   cargo test --release -p hios-core --lib -- --ignored profile_lp_inner --nocapture
+    #[test]
+    #[ignore]
+    fn profile_lp_inner() {
+        use std::time::Instant;
+        let g = hios_graph::generate_layered_dag(&hios_graph::LayeredDagConfig {
+            ops: 1000,
+            layers: 160,
+            deps: 2000,
+            seed: 7,
+        })
+        .unwrap();
+        let cost = hios_cost::random_cost_table(&g, &hios_cost::RandomCostConfig::paper_default(7));
+        // Path extraction alone (its round sequence does not depend on
+        // the GPU assignments, so this times the real per-round DP).
+        {
+            let n = g.num_ops();
+            let ctx = DenseContext::build(&g, &cost, 1);
+            let order = priority_order(&g, &priorities(&g, &cost));
+            let reverse_topo: Vec<u32> = order.iter().rev().map(|v| v.0).collect();
+            let mut scheduled = vec![false; n];
+            let mut scratch = PathScratch::new(n);
+            let mut path = Vec::new();
+            let mut remaining = n;
+            let mut rounds = 0usize;
+            let s = Instant::now();
+            while remaining > 0 {
+                longest_valid_path_dense(&mut scratch, &ctx, &reverse_topo, &scheduled, &mut path);
+                for &v in &path {
+                    scheduled[v as usize] = true;
+                }
+                remaining -= path.len();
+                rounds += 1;
+            }
+            println!(
+                "path extraction: {rounds} rounds in {:.1}ms",
+                s.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        for m in [2usize, 4] {
+            let s0 = Instant::now();
+            let inter = schedule_hios_lp(&g, &cost, HiosLpConfig::inter_only(m));
+            let t_inter = s0.elapsed().as_secs_f64();
+            // Pure relax-kernel throughput: re-derive the final committed
+            // schedule from scratch, repeatedly.
+            {
+                let n = g.num_ops();
+                let ctx = DenseContext::build(&g, &cost, m);
+                let order: Vec<u32> = priority_order(&g, &priorities(&g, &cost))
+                    .iter()
+                    .map(|v| v.0)
+                    .collect();
+                let mut st = ListState::new(n, m);
+                let reps = 200;
+                let s = Instant::now();
+                for _ in 0..reps {
+                    st.reset(n, m);
+                    st.schedule_dense(&ctx, &order, &inter.gpu_of, &[], || f64::INFINITY);
+                }
+                let per_op = s.elapsed().as_secs_f64() / (reps * n) as f64;
+                println!("  schedule_dense kernel: {:.0}ns/op", per_op * 1e9);
+            }
+            let s1 = Instant::now();
+            let (_, lat) = parallelize(&g, &cost, inter.schedule.clone(), 4);
+            let t_intra = s1.elapsed().as_secs_f64();
+            println!(
+                "lp m={m}: inter={:.1}ms intra={:.1}ms paths={} latency={lat:.3}",
+                t_inter * 1e3,
+                t_intra * 1e3,
+                inter.paths.len()
+            );
         }
     }
 }

@@ -9,6 +9,7 @@
 //! 8-21), so the algorithm is a polynomial-time greedy-DP hybrid — cheap,
 //! but only locally optimal, which is why the paper's HIOS-LP beats it.
 
+use crate::dense::DenseContext;
 use crate::par::{map_candidates, mr_par_threshold};
 use crate::priority::priority_order;
 use crate::schedule::Schedule;
@@ -16,16 +17,17 @@ use crate::window::parallelize;
 use hios_cost::CostTable;
 use hios_graph::{Graph, OpId};
 
-/// Per-trial buffers for one `k` candidate of a record-table row: the
-/// replayed schedule (`fin`, `gpu`), the per-GPU busy times derived from
-/// it, and the finish-time row it proposes for `v_i` on every GPU `j`.
-/// Pooled across rows so the table fill stays allocation-free.
+/// The recorded schedule ending one row of the table: finish time and
+/// GPU of `v_0..v_{i-1}` (dense, indexed by priority position) plus the
+/// running per-GPU busy times.  Two generations of `M` buffers are kept
+/// and double-buffered across rows, so a row's recorded schedule is
+/// *extended* from the previous row's by one `memcpy` + one entry
+/// instead of being re-walked cell by cell through the record table.
 #[derive(Clone, Debug)]
 struct ReplayBuf {
     fin: Vec<f64>,
     gpu: Vec<u32>,
     busy: Vec<f64>,
-    row: Vec<f64>,
 }
 
 impl ReplayBuf {
@@ -34,7 +36,6 @@ impl ReplayBuf {
             fin: vec![0.0; n],
             gpu: vec![0; n],
             busy: vec![0.0; m],
-            row: vec![f64::INFINITY; m],
         }
     }
 }
@@ -99,99 +100,122 @@ pub fn schedule_hios_mr(g: &Graph, cost: &CostTable, cfg: HiosMrConfig) -> MrOut
     }
 
     let order = priority_order(g, cost);
-    // Position of each operator in the priority order.
-    let mut pos = vec![usize::MAX; n];
+    let order_u32: Vec<u32> = order.iter().map(|v| v.index() as u32).collect();
+    // Position of each operator in the priority order (dense u32).
+    let mut pos = vec![u32::MAX; n];
     for (i, &v) in order.iter().enumerate() {
-        pos[v.index()] = i;
+        pos[v.index()] = i as u32;
     }
+    // Dense SoA cost/topology mirror: exec, transfer, and predecessor
+    // lookups in the fill loop below are flat-array reads holding the
+    // exact `CostTable` values, so results stay bit-identical.
+    let ctx = DenseContext::build(g, cost, m);
 
-    // The n × M record table (Alg. 3 lines 2-4).
-    let mut t = vec![vec![f64::INFINITY; m]; n];
-    let mut gprev = vec![vec![0usize; m]; n];
-    t[0][0] = cost.exec_on(0, order[0]);
+    // The n × M record table (Alg. 3 lines 2-4), row-major flat.
+    let mut t = vec![f64::INFINITY; n * m];
+    let mut gprev = vec![0u32; n * m];
+    t[0] = ctx.exec(0, order_u32[0]);
 
-    // Replay buffers, one per `k` trial, pooled across rows (hot loop).
+    // Double-buffered recorded schedules, one per `k` trial.
     //
-    // The recorded schedule replay (Alg. 3 lines 10-12) depends on
-    // `(i, k)` only, so it is hoisted out of the `j` loop: one replay per
-    // `k` yields the whole `t_{i,·}` row proposal, turning the
-    // O(n·M·M·n) reference fill into O(n·(n + E + M)·M).  The `k` trials
-    // of a row are independent and fan out via `map_candidates` on large
-    // instances; merging their rows back sequentially in ascending `k`
-    // with a strict `<` keeps the recorded `gprev` bit-identical to the
-    // reference's k-inner loop.
-    let mut bufs: Vec<ReplayBuf> = (0..m).map(|_| ReplayBuf::new(n, m)).collect();
+    // The reference re-walks the recorded schedule of `v_1..v_{i-1}`
+    // through the record table for every `(i, k)` cell (Alg. 3 lines
+    // 10-12) and recomputes busy times from scratch.  But the schedule
+    // recorded at row `i`, trial `k` is exactly the schedule recorded at
+    // row `i-1`, trial `gprev[i-1][k]`, extended by `v_{i-1}` on GPU
+    // `k`.  Keeping last row's `M` replay buffers alive turns the O(i)
+    // random-access walk into one sequential copy plus an O(1) append,
+    // and the busy-time fold accumulates in the same ascending-`l` order
+    // as the reference's from-scratch recompute, so every float matches
+    // bitwise.  The `k` trials of a row only read the shared previous
+    // generation, so they stay independent and fan out via
+    // `map_candidates` on large instances; merging their row proposals
+    // back sequentially in ascending `k` with a strict `<` keeps the
+    // recorded `gprev` bit-identical to the reference's k-inner loop.
+    let mut cur_bufs: Vec<ReplayBuf> = (0..m).map(|_| ReplayBuf::new(n, m)).collect();
+    let mut nxt_bufs: Vec<ReplayBuf> = (0..m).map(|_| ReplayBuf::new(n, m)).collect();
+    // Row 1 reads the schedule "v_0 on GPU 0".
+    cur_bufs[0].fin[0] = t[0];
+    cur_bufs[0].gpu[0] = 0;
+    cur_bufs[0].busy[0] = t[0];
+    // Row-proposal scratch, pooled across rows (hot loop).
+    let mut rows: Vec<Vec<f64>> = (0..m).map(|_| vec![f64::INFINITY; m]).collect();
 
     for i in 1..n {
-        let vi = order[i];
+        let vi = order_u32[i];
         let jmax = m.min(i + 1);
         let kmax = m.min(i);
         let fan_out = kmax >= 2 && i * kmax >= mr_par_threshold();
-        let trials: Vec<(usize, ReplayBuf)> = (0..kmax)
-            .map(|k| (k, bufs.pop().expect("pool holds m >= kmax buffers")))
+        let trials: Vec<(usize, Vec<f64>)> = (0..kmax)
+            .map(|k| (k, rows.pop().expect("pool holds m >= kmax rows")))
             .collect();
-        let t_ref = &t;
-        let gprev_ref = &gprev;
-        let results = map_candidates(trials, fan_out, |(k, mut buf): (usize, ReplayBuf)| {
-            if !t_ref[i - 1][k].is_finite() {
-                return (false, buf);
+        let prev_row = &t[(i - 1) * m..i * m];
+        let bufs_ref = &cur_bufs;
+        let ctx_ref = &ctx;
+        let pos_ref = &pos;
+        let results = map_candidates(trials, fan_out, |(k, mut row): (usize, Vec<f64>)| {
+            if !prev_row[k].is_finite() {
+                return (false, row);
             }
-            // Reconstruct the recorded schedule of v_1..v_{i-1} whose
-            // last operator sits on GPU k (lines 10-12).
-            let mut cur = k;
-            for l in (0..i).rev() {
-                buf.fin[l] = t_ref[l][cur];
-                buf.gpu[l] = cur as u32;
-                cur = gprev_ref[l][cur];
-            }
-            // Per-GPU busy times under that schedule, shared by all j.
-            for b in &mut buf.busy[..jmax] {
-                *b = 0.0;
-            }
-            for l in 0..i {
-                let gl = buf.gpu[l] as usize;
-                if buf.fin[l] > buf.busy[gl] {
-                    buf.busy[gl] = buf.fin[l];
-                }
-            }
+            let buf = &bufs_ref[k];
             // Earliest start of v_i on every GPU j (lines 13-19): GPU-j
             // busy time, then data arrivals.
-            for j in 0..jmax {
+            for (j, slot) in row.iter_mut().enumerate().take(jmax) {
                 let mut ready = buf.busy[j];
-                for &u in g.preds(vi) {
-                    let l = pos[u.index()];
+                for &u in ctx_ref.preds(vi) {
+                    let l = pos_ref[u as usize] as usize;
                     debug_assert!(l < i, "priority order is topological");
-                    let arrival = if buf.gpu[l] as usize == j {
+                    let gl = buf.gpu[l] as usize;
+                    let arrival = if gl == j {
                         buf.fin[l]
                     } else {
-                        buf.fin[l] + cost.transfer(u, buf.gpu[l] as usize, j)
+                        buf.fin[l] + ctx_ref.transfer(u, gl, j)
                     };
                     if arrival > ready {
                         ready = arrival;
                     }
                 }
-                buf.row[j] = ready + cost.exec_on(j, vi);
+                *slot = ready + ctx_ref.exec(j, vi);
             }
-            (true, buf)
+            (true, row)
         });
-        for (k, (valid, buf)) in results.into_iter().enumerate() {
+        let (t_row, gp_row) = (&mut t[i * m..(i + 1) * m], &mut gprev[i * m..(i + 1) * m]);
+        for (k, (valid, row)) in results.into_iter().enumerate() {
             if valid {
                 for j in 0..jmax {
-                    if buf.row[j] < t[i][j] {
-                        t[i][j] = buf.row[j];
-                        gprev[i][j] = k;
+                    if row[j] < t_row[j] {
+                        t_row[j] = row[j];
+                        gp_row[j] = k as u32;
                     }
                 }
             }
-            bufs.push(buf);
+            rows.push(row);
+        }
+        // Extend this row's winners into next row's replay buffers:
+        // next trial j reads the schedule recorded at (i, j), i.e. the
+        // schedule at (i-1, gprev[i][j]) plus v_i on GPU j.  Row i+1's
+        // kmax equals this row's jmax, so exactly these cells are read.
+        if i + 1 < n {
+            for (j, nb) in nxt_bufs.iter_mut().enumerate().take(jmax) {
+                let cb = &cur_bufs[gp_row[j] as usize];
+                nb.fin[..i].copy_from_slice(&cb.fin[..i]);
+                nb.gpu[..i].copy_from_slice(&cb.gpu[..i]);
+                nb.busy.copy_from_slice(&cb.busy);
+                nb.fin[i] = t_row[j];
+                nb.gpu[i] = j as u32;
+                if t_row[j] > nb.busy[j] {
+                    nb.busy[j] = t_row[j];
+                }
+            }
+            std::mem::swap(&mut cur_bufs, &mut nxt_bufs);
         }
     }
 
     // Pick the best final cell and walk the records back (lines 22-26).
-    let last = n - 1;
+    let last = (n - 1) * m;
     let mut best_j = 0usize;
     for j in 1..m {
-        if t[last][j] < t[last][best_j] {
+        if t[last + j] < t[last + best_j] {
             best_j = j;
         }
     }
@@ -199,7 +223,7 @@ pub fn schedule_hios_mr(g: &Graph, cost: &CostTable, cfg: HiosMrConfig) -> MrOut
     let mut cur = best_j;
     for i in (0..n).rev() {
         gpu_of[order[i].index()] = cur as u32;
-        cur = gprev[i][cur];
+        cur = gprev[i * m + cur] as usize;
     }
 
     // Per-GPU sequences in priority order, singleton stages.

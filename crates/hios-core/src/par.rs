@@ -8,6 +8,15 @@
 //! they run sequentially.  Either way the caller receives results in
 //! item order, so the deterministic lowest-index tie-breaks are
 //! unaffected by the thread count.
+//!
+//! Arena contract: each trial item *owns* its pooled scratch (a
+//! [`crate::eval::ListState`], placement map, stamp vector, …) moved in
+//! by value and handed back through the result, while everything
+//! read-only — the [`crate::dense::DenseContext`], priority order,
+//! committed placements — is captured by shared reference.  Trials
+//! therefore never contend on memory, allocations survive across steps
+//! no matter which thread ran the trial, and the sequential and parallel
+//! paths execute byte-for-byte the same work.
 
 use std::sync::OnceLock;
 

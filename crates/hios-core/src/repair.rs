@@ -107,8 +107,25 @@ pub struct SubgraphMap {
     pub sub: Graph,
     /// Subgraph id → parent id.
     pub to_parent: Vec<OpId>,
-    /// Parent id → subgraph id (`None` for completed operators).
-    pub from_parent: Vec<Option<OpId>>,
+    /// Parent id → subgraph id, dense ([`SubgraphMap::NO_SUB`] marks a
+    /// completed operator).  A flat `u32` vector instead of
+    /// `Vec<Option<OpId>>`: half the memory, and the recovery loops that
+    /// translate whole schedules through it stay on a branch-light
+    /// sentinel compare.
+    pub from_parent: Vec<u32>,
+}
+
+impl SubgraphMap {
+    /// Sentinel in [`SubgraphMap::from_parent`] for operators with no
+    /// subgraph counterpart (already completed).
+    pub const NO_SUB: u32 = u32::MAX;
+
+    /// Subgraph id of a parent operator, `None` when it completed.
+    #[inline]
+    pub fn sub_id(&self, parent: OpId) -> Option<OpId> {
+        let s = self.from_parent[parent.index()];
+        (s != Self::NO_SUB).then(|| OpId::from_index(s as usize))
+    }
 }
 
 /// Extracts the subgraph induced by the unfinished operators.
@@ -121,7 +138,7 @@ pub struct SubgraphMap {
 /// the extraction is deterministic.
 pub fn extract_unfinished(g: &Graph, completed: &[bool]) -> SubgraphMap {
     assert_eq!(completed.len(), g.num_ops(), "completed mask length");
-    let mut from_parent = vec![None; g.num_ops()];
+    let mut from_parent = vec![SubgraphMap::NO_SUB; g.num_ops()];
     let mut to_parent = Vec::new();
     let mut bld = GraphBuilder::new();
     let mut inputs = Vec::new();
@@ -131,12 +148,13 @@ pub fn extract_unfinished(g: &Graph, completed: &[bool]) -> SubgraphMap {
         }
         inputs.clear();
         for &u in g.preds(v) {
-            if let Some(su) = from_parent[u.index()] {
-                inputs.push(su);
+            let su = from_parent[u.index()];
+            if su != SubgraphMap::NO_SUB {
+                inputs.push(OpId::from_index(su as usize));
             }
         }
         let sv = bld.add_synthetic(g.node(v).name.clone(), &inputs);
-        from_parent[v.index()] = Some(sv);
+        from_parent[v.index()] = sv.index() as u32;
         to_parent.push(v);
     }
     SubgraphMap {
@@ -365,13 +383,13 @@ mod tests {
         assert_eq!(map.sub.num_ops(), 35);
         // Every parent edge between unfinished ops survives.
         for (u, v) in g.edges() {
-            if let (Some(su), Some(sv)) = (map.from_parent[u.index()], map.from_parent[v.index()]) {
+            if let (Some(su), Some(sv)) = (map.sub_id(u), map.sub_id(v)) {
                 assert!(map.sub.has_edge(su, sv), "{u} -> {v} dropped");
             }
         }
         // Round trip of the id maps.
         for (si, &p) in map.to_parent.iter().enumerate() {
-            assert_eq!(map.from_parent[p.index()], Some(OpId::from_index(si)));
+            assert_eq!(map.sub_id(p), Some(OpId::from_index(si)));
         }
     }
 
@@ -406,11 +424,7 @@ mod tests {
                             .stages
                             .iter()
                             .map(|st| Stage {
-                                ops: st
-                                    .ops
-                                    .iter()
-                                    .map(|&p| map.from_parent[p.index()].unwrap())
-                                    .collect(),
+                                ops: st.ops.iter().map(|&p| map.sub_id(p).unwrap()).collect(),
                             })
                             .collect(),
                     })

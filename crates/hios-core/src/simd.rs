@@ -1,0 +1,140 @@
+//! Reduction kernels of the relaxation engine.
+//!
+//! The default build uses plain fixed-stride loops the compiler can
+//! autovectorize.  With the default-off `simd` feature on x86-64, the
+//! kernels switch to explicit `std::arch` SSE2 paths (AVX where the CPU
+//! reports it at runtime).  Both the maximum reduction and the
+//! zero-in-degree scan are order-insensitive over finite, non-negative
+//! inputs (no NaNs, no negative zeros reach them), so the explicit paths
+//! return bit-identical results to the scalar ones — asserted by the
+//! differential test suites run with the feature on and off.
+
+/// Maximum of `xs` and `0.0` (the identity the relaxation folds from).
+#[inline]
+pub fn max_f64(xs: &[f64]) -> f64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        return x86::max_f64(xs);
+    }
+    #[allow(unreachable_code)]
+    xs.iter().copied().fold(0.0f64, f64::max)
+}
+
+/// Appends the indices of every zero in `xs` to `out`, in ascending
+/// order (the initial ready frontier of a Kahn relaxation).
+#[inline]
+pub fn push_zero_indices(xs: &[u32], out: &mut Vec<usize>) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        return x86::push_zero_indices(xs, out);
+    }
+    #[allow(unreachable_code)]
+    for (i, &x) in xs.iter().enumerate() {
+        if x == 0 {
+            out.push(i);
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    pub fn max_f64(xs: &[f64]) -> f64 {
+        if is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support was just verified at runtime.
+            unsafe { max_f64_avx(xs) }
+        } else {
+            max_f64_sse2(xs)
+        }
+    }
+
+    /// SSE2 is part of the x86-64 baseline, so no runtime check needed.
+    fn max_f64_sse2(xs: &[f64]) -> f64 {
+        let chunks = xs.chunks_exact(2);
+        let rem = chunks.remainder();
+        // SAFETY: unaligned loads over in-bounds slices; SSE2 is baseline.
+        let mut out = unsafe {
+            let mut acc = _mm_setzero_pd();
+            for c in chunks {
+                acc = _mm_max_pd(acc, _mm_loadu_pd(c.as_ptr()));
+            }
+            _mm_cvtsd_f64(_mm_max_sd(acc, _mm_unpackhi_pd(acc, acc)))
+        };
+        for &x in rem {
+            out = out.max(x);
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn max_f64_avx(xs: &[f64]) -> f64 {
+        let chunks = xs.chunks_exact(4);
+        let rem = chunks.remainder();
+        let mut acc = _mm256_setzero_pd();
+        for c in chunks {
+            acc = _mm256_max_pd(acc, _mm256_loadu_pd(c.as_ptr()));
+        }
+        let lo = _mm256_castpd256_pd128(acc);
+        let hi = _mm256_extractf128_pd(acc, 1);
+        let m = _mm_max_pd(lo, hi);
+        let mut out = _mm_cvtsd_f64(_mm_max_sd(m, _mm_unpackhi_pd(m, m)));
+        for &x in rem {
+            out = out.max(x);
+        }
+        out
+    }
+
+    pub fn push_zero_indices(xs: &[u32], out: &mut Vec<usize>) {
+        let chunks = xs.chunks_exact(4);
+        let rem_base = chunks.len() * 4;
+        let rem = chunks.remainder();
+        for (ci, c) in chunks.enumerate() {
+            // SAFETY: unaligned load over an in-bounds 4-lane chunk.
+            let mask = unsafe {
+                let v = _mm_loadu_si128(c.as_ptr() as *const __m128i);
+                let z = _mm_cmpeq_epi32(v, _mm_setzero_si128());
+                _mm_movemask_ps(_mm_castsi128_ps(z)) as u32
+            };
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                out.push(ci * 4 + lane);
+                m &= m - 1;
+            }
+        }
+        for (i, &x) in rem.iter().enumerate() {
+            if x == 0 {
+                out.push(rem_base + i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_matches_scalar_fold() {
+        let xs: Vec<f64> = (0..257).map(|i| ((i * 37) % 101) as f64 * 0.5).collect();
+        let scalar = xs.iter().copied().fold(0.0f64, f64::max);
+        assert_eq!(max_f64(&xs).to_bits(), scalar.to_bits());
+        assert_eq!(max_f64(&[]).to_bits(), 0.0f64.to_bits());
+        assert_eq!(max_f64(&[f64::INFINITY, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_scan_matches_scalar() {
+        let xs: Vec<u32> = (0..131).map(|i| (i % 3) as u32).collect();
+        let mut got = Vec::new();
+        push_zero_indices(&xs, &mut got);
+        let want: Vec<usize> = xs
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+    }
+}

@@ -227,3 +227,113 @@ proptest! {
         prop_assert_eq!(fast.gpu_of, slow.gpu_of);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// A random sequence of committed merges: `merged_latency` must price
+    /// each candidate exactly as a reference evaluation of the
+    /// materialized merge, and after every `commit_merge` the
+    /// incrementally-maintained workspace must agree bit-for-bit with a
+    /// from-scratch `relax()` of the merged schedule.
+    #[test]
+    fn merge_sequence_matches_full_relax((ops, layers, gpus, steps, seed) in
+        (16usize..64, 3usize..7, 1usize..4, 4usize..16, 0u64..1_000_000))
+    {
+        let (g, cost) = instance(ops, layers, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let order = hios_core::priority::priority_order(&g, &cost);
+        let mut gpu_orders: Vec<Vec<OpId>> = vec![Vec::new(); gpus];
+        for &v in &order {
+            gpu_orders[rng.random_range(0..gpus)].push(v);
+        }
+        let mut current = Schedule::from_gpu_orders(gpu_orders);
+        let mut ws = EvalWorkspace::new();
+        ws.prepare(&g, &cost, &current, true).expect("base is valid");
+        ws.relax().expect("singleton base has no stage cycle");
+        for _ in 0..steps {
+            let gpu = rng.random_range(0..gpus);
+            let n_stages = current.gpus[gpu].stages.len();
+            if n_stages < 2 {
+                continue;
+            }
+            let first = rng.random_range(0..n_stages - 1);
+            let last = (first + 1 + rng.random_range(0..3usize)).min(n_stages - 1);
+            let merged = reference::merge_stages(&current, gpu, first, last);
+            match reference::evaluate(&g, &cost, &merged) {
+                Ok(r) => {
+                    let l = ws
+                        .merged_latency(&cost, &current, gpu, first, last)
+                        .expect("reference says feasible");
+                    prop_assert_eq!(bits(l), bits(r.latency));
+                    current = merged;
+                    let committed = ws.commit_merge(&cost, &current, gpu, first, last);
+                    prop_assert_eq!(bits(committed), bits(r.latency));
+                    let mut fresh = EvalWorkspace::new();
+                    fresh
+                        .prepare(&g, &cost, &current, true)
+                        .expect("merged schedule is valid");
+                    let full = fresh.relax().expect("reference says feasible");
+                    prop_assert_eq!(bits(full), bits(committed));
+                }
+                Err(EvalError::StageCycle) => {
+                    prop_assert_eq!(
+                        ws.merged_latency(&cost, &current, gpu, first, last),
+                        Err(EvalError::StageCycle)
+                    );
+                }
+                Err(EvalError::Structure(_)) => {
+                    // Dependent operators inside the merged stage: the
+                    // window pass's structural pre-check rejects these
+                    // before pricing, so the candidate is never committed.
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Benchmark-scale legs: few cases, full 1000-op DAGs.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Workspace evaluation stays bit-identical to the reference at
+    /// benchmark scale, grouped stages and error cases included.
+    #[test]
+    fn large_dag_evaluate_matches_reference((ops, gpus, seed) in
+        (600usize..=1000, 2usize..5, 0u64..1_000_000))
+    {
+        let (g, cost) = instance(ops, ops / 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1a12e);
+        let sched = random_grouped_schedule(&g, &cost, gpus, &mut rng);
+        let fast = evaluate(&g, &cost, &sched);
+        let slow = reference::evaluate(&g, &cost, &sched);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => {
+                prop_assert_eq!(bits(f.latency), bits(s.latency));
+                prop_assert_eq!(f.stage_times, s.stage_times);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "diverged: fast {:?} vs reference {:?}",
+                a.map(|r| r.latency), b.map(|r| r.latency)),
+        }
+    }
+
+    /// Both full scheduler pipelines stay bit-identical to the reference
+    /// on 1000-op, 160-layer DAGs (the largest benchmark point).
+    #[test]
+    fn large_dag_schedulers_match_reference(seed in 0u64..1_000_000) {
+        let (g, cost) = instance(1000, 160, seed);
+        for m in [2usize, 4] {
+            let lp_cfg = HiosLpConfig { num_gpus: m, window: 4, intra: true };
+            let fast = schedule_hios_lp(&g, &cost, lp_cfg);
+            let slow = reference::schedule_hios_lp(&g, &cost, lp_cfg);
+            prop_assert_eq!(bits(fast.latency), bits(slow.latency));
+            prop_assert_eq!(fast.schedule, slow.schedule);
+            let mr_cfg = HiosMrConfig { num_gpus: m, window: 4, intra: true };
+            let fast = schedule_hios_mr(&g, &cost, mr_cfg);
+            let slow = reference::schedule_hios_mr(&g, &cost, mr_cfg);
+            prop_assert_eq!(bits(fast.latency), bits(slow.latency));
+            prop_assert_eq!(fast.schedule, slow.schedule);
+        }
+    }
+}

@@ -1268,7 +1268,7 @@ fn to_sub_ids(sched: &Schedule, map: &SubgraphMap) -> Schedule {
                             .ops
                             .iter()
                             .map(|&p| {
-                                map.from_parent[p.index()]
+                                map.sub_id(p)
                                     .expect("repair schedule covers only unfinished operators")
                             })
                             .collect(),

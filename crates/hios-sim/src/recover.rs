@@ -189,7 +189,7 @@ fn to_sub_schedule(sched: &Schedule, map: &SubgraphMap) -> Schedule {
                             .ops
                             .iter()
                             .map(|&p| {
-                                map.from_parent[p.index()]
+                                map.sub_id(p)
                                     .expect("current schedule covers only unfinished operators")
                             })
                             .collect(),
@@ -284,7 +284,8 @@ pub fn run_with_repair(
                 }
                 FaultKind::OpHang { op } => {
                     completed[op.index()]
-                        || map.from_parent[op.index()]
+                        || map
+                            .sub_id(op)
                             .is_some_and(|sv| r.op_finish[sv.index()] <= t_rel)
                 }
                 // Healing restores capacity without disturbing in-flight
