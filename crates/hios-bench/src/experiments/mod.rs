@@ -3,6 +3,7 @@
 pub mod drift;
 pub mod ext;
 pub mod faults;
+pub mod fleet;
 pub mod hetero;
 pub mod micro;
 pub mod overload;
@@ -47,5 +48,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("drift", drift::drift),
         ("overload", overload::overload),
         ("restart", restart::restart),
+        ("fleet", fleet::fleet),
     ]
 }

@@ -236,16 +236,13 @@ fn faults_for(models: &[ServedModel], shape: &'static str, span_ms: f64) -> Faul
                 at_ms: 0.4 * span_ms,
                 domain: 0,
             }],
-            flaps: vec![],
-            raw: vec![],
+            ..FaultScript::default()
         },
         // The lone-host GPU cycles fail/heal: each up interval outlasts
         // the breaker reset, so every cycle closes the breaker and the
         // re-trip lands inside the flap window — the worst shape for a
         // breaker without flap detection.
         "flapping" => FaultScript {
-            domains: vec![],
-            kills: vec![],
             flaps: vec![FlapSpec {
                 gpu: GPUS - 1,
                 first_fail_ms: 0.2 * span_ms,
@@ -253,7 +250,7 @@ fn faults_for(models: &[ServedModel], shape: &'static str, span_ms: f64) -> Faul
                 up_ms: 30.0,
                 cycles: 4,
             }],
-            raw: vec![],
+            ..FaultScript::default()
         },
         other => panic!("unknown fault shape {other}"),
     };

@@ -1,0 +1,1459 @@
+//! Fleet serving: N independent cluster serve loops behind a
+//! failure-aware router, on one virtual clock.
+//!
+//! Each cluster is a full [`crate::server`] instance — its own
+//! `hios-sim` platform, breakers, brownout controller, and retry budget
+//! — stepped as a coroutine by the fleet pump.  The pump interleaves
+//! cluster events and fleet events (arrivals, cluster faults, partition
+//! heals, health heartbeats) in strict virtual-time order, with ties
+//! broken deterministically (cluster before fleet, lower cluster index
+//! first), so a fleet run is as replayable as a single-cluster run:
+//! same inputs, same seed, bit-identical outcome digest, regardless of
+//! thread count.
+//!
+//! The robustness machinery on top:
+//!
+//! * **Failure-aware routing** ([`crate::router`]): per-tenant
+//!   rendezvous hashing filtered by the [`crate::health`] view, with
+//!   power-of-two-choices on live queue depth.  The
+//!   [`crate::router::RouterPolicy::StaticHash`] ablation keeps hashing
+//!   onto dead clusters.
+//! * **Cluster failover**: a [`hios_sim::ClusterFaultKind::ClusterKill`]
+//!   drains the dying cluster's queued, in-flight, and retry-pending
+//!   requests and re-routes each one that is still feasible — the
+//!   deadline is re-checked against the target cluster's admission
+//!   bound — producing typed [`FleetDisposition::Rerouted`] chains and
+//!   [`FleetDisposition::FailoverShed`] leaves.  No request is silently
+//!   lost: every trace entry ends in exactly one terminal disposition.
+//! * **Hedged dispatch**: a Gold request whose deadline slack is tighter
+//!   than `slack_factor ×` the primary cluster's admission bound is
+//!   duplicated onto the second-choice cluster.  First completion wins;
+//!   the loser is cancelled (freeing its slot) and counted, never
+//!   recorded twice.
+//! * **Backpressure**: when every routable candidate's smoothed queue
+//!   fill exceeds the health threshold, non-Gold arrivals are shed at
+//!   the router instead of being rammed into survivors — a dead
+//!   cluster's load cannot stampede the rest of the fleet past their
+//!   brownout thresholds.
+
+use crate::health::{HealthConfig, HealthSample, HealthView};
+use crate::report::{ClassStats, percentile};
+use crate::request::{Disposition, PriorityClass, Request, RequestRecord, ServeError, ShedReason};
+use crate::router::{Router, RouterConfig, RouterPolicy};
+use crate::server::{self, ServeConfig, ServeOutcome, ServedModel, Server};
+use hios_core::SchedulerError;
+use hios_sim::{
+    ClusterFaultEvent, ClusterFaultKind, DriftPlan, EventQueue, FaultEvent, FaultKind, FaultPlan,
+    validate_cluster_events,
+};
+
+/// Knobs of hedged dispatch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// A Gold request is hedged when its remaining slack at routing time
+    /// is below `slack_factor ×` the primary cluster's admission bound
+    /// for its model.
+    pub slack_factor: f64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig { slack_factor: 4.0 }
+    }
+}
+
+/// Configuration of a fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// One serve configuration per cluster (the fleet size is
+    /// `clusters.len()`, capped at 16).
+    pub clusters: Vec<ServeConfig>,
+    /// Router policy and seed.
+    pub router: RouterConfig,
+    /// Health-view knobs (heartbeat period, EWMA weight, backpressure
+    /// threshold).
+    pub health: HealthConfig,
+    /// Hedged dispatch for deadline-critical Gold requests; `None`
+    /// disables hedging.
+    pub hedge: Option<HedgeConfig>,
+}
+
+impl FleetConfig {
+    /// A fleet of `clusters` identical clusters with `gpus` GPUs each,
+    /// default router, health, and hedging.
+    pub fn new(clusters: usize, gpus: usize) -> Self {
+        FleetConfig {
+            clusters: (0..clusters).map(|_| ServeConfig::new(gpus)).collect(),
+            router: RouterConfig::default(),
+            health: HealthConfig::default(),
+            hedge: Some(HedgeConfig::default()),
+        }
+    }
+}
+
+/// Fault inputs of a fleet run: per-cluster GPU-level plans plus
+/// cluster-level events.
+#[derive(Clone, Debug, Default)]
+pub struct FleetFaults {
+    /// GPU-level fault plans, one per cluster (or empty for none
+    /// anywhere).
+    pub per_cluster: Vec<FaultPlan>,
+    /// Cluster-scoped events: kills, degrades, router partitions.
+    /// Degrades are lowered to per-GPU slowdowns in the target cluster's
+    /// own plan (and are therefore subject to its normal repair loop);
+    /// kills and partitions are handled at the fleet layer.
+    pub cluster_events: Vec<ClusterFaultEvent>,
+}
+
+impl FleetFaults {
+    /// A fault-free fleet.
+    pub fn none() -> Self {
+        FleetFaults::default()
+    }
+}
+
+/// Why failover gave up on re-routing a drained request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailoverReason {
+    /// Every routable target's admission bound lands past the deadline.
+    DeadlineInfeasible {
+        /// Earliest bounded finish on the best target, ms.
+        bound_finish_ms: f64,
+        /// The request's deadline, ms.
+        deadline_ms: f64,
+    },
+    /// No cluster is routable (all dead or partitioned).
+    NoRoutableCluster,
+    /// Every routable target is over the backpressure threshold and the
+    /// request is not Gold.
+    Backpressure,
+}
+
+/// Why the fleet shed a request outside a cluster's own admission path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetShedReason {
+    /// The owning cluster shed it through its normal admission /
+    /// brownout / retry machinery.
+    Cluster(ShedReason),
+    /// Static-hash routing sent it to a dead cluster.
+    DeadCluster {
+        /// The dead target.
+        cluster: usize,
+    },
+    /// Static-hash routing sent it to a cluster the router cannot reach.
+    Partitioned {
+        /// The unreachable target.
+        cluster: usize,
+    },
+    /// Router backpressure: every candidate over the fill threshold.
+    Backpressure,
+    /// No cluster was routable at arrival.
+    NoRoutableCluster,
+}
+
+/// The typed terminal fate of one fleet request.  `Rerouted` wraps the
+/// downstream outcome, so a request that survives a cluster kill reads
+/// as `Rerouted { .., outcome: Completed { .. } }`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetDisposition {
+    /// Ran to completion on `cluster`.
+    Completed {
+        /// Cluster that produced the completion.
+        cluster: usize,
+        /// Completion instant, ms.
+        finish_ms: f64,
+        /// End-to-end latency, ms.
+        latency_ms: f64,
+        /// Execution attempts on the completing cluster.
+        attempts: u32,
+        /// Whether it finished by its deadline.
+        met_deadline: bool,
+        /// Mid-run plan repairs it observed.
+        repairs: u32,
+        /// Whether a hedged twin was issued for this request.
+        hedged: bool,
+    },
+    /// Shed — by a cluster's own machinery or by the router.
+    Shed {
+        /// The cluster involved, when one was (router-level sheds with
+        /// no target carry `None`).
+        cluster: Option<usize>,
+        /// Shed instant, ms.
+        at_ms: f64,
+        /// Typed reason.
+        reason: FleetShedReason,
+    },
+    /// Failover moved the request off a killed cluster; `outcome` is
+    /// what happened next.
+    Rerouted {
+        /// The killed source cluster.
+        from: usize,
+        /// The failover target.
+        to: usize,
+        /// Re-route instant (the kill instant), ms.
+        at_ms: f64,
+        /// The request's fate on the target.
+        outcome: Box<FleetDisposition>,
+    },
+    /// Failover drained the request off a killed cluster but could not
+    /// re-route it.
+    FailoverShed {
+        /// The killed source cluster.
+        from: usize,
+        /// Shed instant (the kill instant), ms.
+        at_ms: f64,
+        /// Why re-routing was impossible.
+        reason: FailoverReason,
+    },
+}
+
+impl FleetDisposition {
+    /// The innermost (terminal) node, unwrapping `Rerouted` chains.
+    pub fn terminal(&self) -> &FleetDisposition {
+        match self {
+            FleetDisposition::Rerouted { outcome, .. } => outcome.terminal(),
+            other => other,
+        }
+    }
+
+    /// Whether the request ultimately completed.
+    pub fn completed(&self) -> bool {
+        matches!(self.terminal(), FleetDisposition::Completed { .. })
+    }
+
+    /// Whether the request completed on time.
+    pub fn on_time(&self) -> bool {
+        matches!(
+            self.terminal(),
+            FleetDisposition::Completed {
+                met_deadline: true,
+                ..
+            }
+        )
+    }
+
+    /// Number of `Rerouted` hops in the chain.
+    pub fn reroutes(&self) -> usize {
+        match self {
+            FleetDisposition::Rerouted { outcome, .. } => 1 + outcome.reroutes(),
+            _ => 0,
+        }
+    }
+}
+
+/// One fleet request's final record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetRecord {
+    /// The request as served.
+    pub request: Request,
+    /// Its typed fate.
+    pub disposition: FleetDisposition,
+}
+
+/// Aggregate statistics of one fleet run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetReport {
+    /// Requests in the trace.
+    pub total: usize,
+    /// Requests that ran to completion somewhere.
+    pub completed: usize,
+    /// Completions that met their deadline.
+    pub on_time: usize,
+    /// Requests that ended shed (any typed reason).
+    pub shed: usize,
+    /// Deadline misses (late completions + every shed) over the trace.
+    pub miss_rate: f64,
+    /// On-time completions per second of virtual horizon.
+    pub goodput_rps: f64,
+    /// Virtual horizon, ms.
+    pub horizon_ms: f64,
+    /// Requests that survived at least one failover re-route.
+    pub rerouted: usize,
+    /// Drained requests failover could not place.
+    pub failover_sheds: usize,
+    /// Static-hash requests lost to a dead cluster.
+    pub dead_cluster_sheds: usize,
+    /// Static-hash requests lost to a router partition.
+    pub partitioned_sheds: usize,
+    /// Router backpressure sheds (arrival- and failover-time).
+    pub backpressure_sheds: usize,
+    /// Sheds because no cluster was routable.
+    pub no_routable_sheds: usize,
+    /// Hedged twins issued.
+    pub hedges_issued: u64,
+    /// Hedged requests whose secondary copy won.
+    pub hedge_wins_secondary: u64,
+    /// Losing twins cancelled after the winner completed.
+    pub hedge_cancelled: u64,
+    /// Twin outcomes that arrived after the winner (wasted work).
+    pub hedge_wasted: u64,
+    /// Cluster-kill events that fired.
+    pub cluster_kills: usize,
+    /// Router-partition events that fired.
+    pub partitions: usize,
+    /// Per-priority-class statistics, indexed by `PriorityClass::index`.
+    pub class_stats: [ClassStats; 3],
+    /// FNV-1a digest of the full outcome stream (replay check).
+    pub history_digest: u64,
+}
+
+/// Everything a fleet run produces.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Per-request fates, sorted by request id.
+    pub records: Vec<FleetRecord>,
+    /// Aggregate statistics.
+    pub report: FleetReport,
+    /// Each cluster's own serve outcome (its records cover only the
+    /// copies that terminated there).
+    pub clusters: Vec<ServeOutcome>,
+}
+
+/// FNV-1a digest of a fleet outcome stream.  Same constants as
+/// [`crate::report::history_digest`]; `Rerouted` chains are folded
+/// recursively, so two runs agree iff every request took the same path
+/// to the same fate.
+pub fn fleet_history_digest(records: &[FleetRecord]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    fn eat(h: &mut u64, x: u64) {
+        for b in x.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    fn shed_code(reason: &ShedReason) -> u64 {
+        match reason {
+            ShedReason::QueueFull { .. } => 10,
+            ShedReason::DeadlineUnmeetable { .. } => 11,
+            ShedReason::RetriesExhausted { .. } => 12,
+            ShedReason::Brownout { .. } => 13,
+            ShedReason::RetryBudgetExhausted { .. } => 14,
+        }
+    }
+    fn fold(h: &mut u64, d: &FleetDisposition) {
+        match d {
+            FleetDisposition::Completed {
+                cluster,
+                finish_ms,
+                latency_ms,
+                attempts,
+                met_deadline,
+                repairs,
+                hedged,
+            } => {
+                eat(h, 1);
+                eat(h, *cluster as u64);
+                eat(h, finish_ms.to_bits());
+                eat(h, latency_ms.to_bits());
+                eat(h, u64::from(*attempts));
+                eat(h, u64::from(*met_deadline));
+                eat(h, u64::from(*repairs));
+                eat(h, u64::from(*hedged));
+            }
+            FleetDisposition::Shed {
+                cluster,
+                at_ms,
+                reason,
+            } => {
+                eat(h, 2);
+                eat(h, cluster.map_or(0, |c| c as u64 + 1));
+                eat(h, at_ms.to_bits());
+                match reason {
+                    FleetShedReason::Cluster(r) => eat(h, shed_code(r)),
+                    FleetShedReason::DeadCluster { cluster } => {
+                        eat(h, 20);
+                        eat(h, *cluster as u64);
+                    }
+                    FleetShedReason::Partitioned { cluster } => {
+                        eat(h, 21);
+                        eat(h, *cluster as u64);
+                    }
+                    FleetShedReason::Backpressure => eat(h, 22),
+                    FleetShedReason::NoRoutableCluster => eat(h, 23),
+                }
+            }
+            FleetDisposition::Rerouted {
+                from,
+                to,
+                at_ms,
+                outcome,
+            } => {
+                eat(h, 3);
+                eat(h, *from as u64);
+                eat(h, *to as u64);
+                eat(h, at_ms.to_bits());
+                fold(h, outcome);
+            }
+            FleetDisposition::FailoverShed {
+                from,
+                at_ms,
+                reason,
+            } => {
+                eat(h, 4);
+                eat(h, *from as u64);
+                eat(h, at_ms.to_bits());
+                match reason {
+                    FailoverReason::DeadlineInfeasible {
+                        bound_finish_ms,
+                        deadline_ms,
+                    } => {
+                        eat(h, 30);
+                        eat(h, bound_finish_ms.to_bits());
+                        eat(h, deadline_ms.to_bits());
+                    }
+                    FailoverReason::NoRoutableCluster => eat(h, 31),
+                    FailoverReason::Backpressure => eat(h, 32),
+                }
+            }
+        }
+    }
+    let mut h = OFFSET;
+    for r in records {
+        eat(&mut h, r.request.id);
+        fold(&mut h, &r.disposition);
+    }
+    h
+}
+
+/// A completed failover hop, recorded so the terminal disposition can be
+/// wrapped in its `Rerouted` chain.
+#[derive(Clone, Copy, Debug)]
+struct Hop {
+    from: usize,
+    to: usize,
+    at_ms: f64,
+}
+
+/// One physical copy of a request (the original, or its hedged twin).
+struct Branch {
+    cluster: usize,
+    /// State index inside the owning cluster's server.
+    idx: usize,
+    /// Still pending inside a cluster.
+    live: bool,
+    /// This copy's shed, parked until the last live branch dies.
+    shed: Option<FleetDisposition>,
+    /// Failover hops this copy took.
+    hops: Vec<Hop>,
+}
+
+/// One logical fleet request across all its copies.
+struct FleetReq {
+    request: Request,
+    branches: Vec<Branch>,
+    hedged: bool,
+    terminal: Option<FleetDisposition>,
+}
+
+enum FleetEvent {
+    /// Trace index arrives at the router.
+    Arrival(usize),
+    /// Cluster fault event index (kill or partition) fires.
+    Fault(usize),
+    /// A router partition to this cluster heals.
+    PartitionHeal(usize),
+    /// Periodic health heartbeat across all live clusters.
+    Heartbeat,
+}
+
+struct Cluster<'a> {
+    srv: Server<'a>,
+    alive: bool,
+    /// Consumed-records watermark into `srv.outcomes()`.
+    seen: usize,
+    /// State index → (fleet request index, branch index).
+    copy_map: Vec<(usize, usize)>,
+    /// Terminal outcomes since the last heartbeat.
+    window_outcomes: u64,
+    /// Misses (shed or late) among them.
+    window_misses: u64,
+}
+
+struct Fleet<'a> {
+    cfg: &'a FleetConfig,
+    clusters: Vec<Cluster<'a>>,
+    router: Router,
+    health: HealthView,
+    events: EventQueue<FleetEvent>,
+    cluster_faults: Vec<ClusterFaultEvent>,
+    reqs: Vec<FleetReq>,
+    /// Fleet requests without a terminal disposition yet.
+    open: usize,
+    now: f64,
+    hedges_issued: u64,
+    hedge_wins_secondary: u64,
+    hedge_cancelled: u64,
+    hedge_wasted: u64,
+    cluster_kills: usize,
+    partitions: usize,
+}
+
+fn wrap_hops(hops: &[Hop], inner: FleetDisposition) -> FleetDisposition {
+    let mut d = inner;
+    for h in hops.iter().rev() {
+        d = FleetDisposition::Rerouted {
+            from: h.from,
+            to: h.to,
+            at_ms: h.at_ms,
+            outcome: Box::new(d),
+        };
+    }
+    d
+}
+
+impl<'a> Fleet<'a> {
+    fn routable_mask(&self) -> Vec<bool> {
+        (0..self.clusters.len())
+            .map(|c| self.clusters[c].alive && self.health.routable(c))
+            .collect()
+    }
+
+    /// Settles `fi` with its terminal disposition.
+    fn finish(&mut self, fi: usize, d: FleetDisposition) {
+        debug_assert!(self.reqs[fi].terminal.is_none());
+        self.reqs[fi].terminal = Some(d);
+        self.open -= 1;
+    }
+
+    /// Injects a fresh copy of `fi` into cluster `ci` and drains any
+    /// records the injection produced synchronously (immediate sheds,
+    /// cascaded dispatch sheds).
+    fn inject_branch(&mut self, fi: usize, ci: usize) {
+        let request = self.reqs[fi].request;
+        let bi = self.reqs[fi].branches.len();
+        self.reqs[fi].branches.push(Branch {
+            cluster: ci,
+            idx: 0,
+            live: true,
+            shed: None,
+            hops: Vec::new(),
+        });
+        let idx = self.clusters[ci].srv.inject(request, self.now);
+        debug_assert_eq!(self.clusters[ci].copy_map.len(), idx);
+        self.clusters[ci].copy_map.push((fi, bi));
+        self.reqs[fi].branches[bi].idx = idx;
+        self.consume(ci);
+    }
+
+    /// Routes a fresh arrival.
+    fn route_fresh(&mut self, fi: usize) {
+        let request = self.reqs[fi].request;
+        let tenant = request.model as u64;
+        match self.cfg.router.policy {
+            RouterPolicy::StaticHash => {
+                let target = self.router.static_target(tenant);
+                if !self.clusters[target].alive || self.health.cluster(target).dead {
+                    let d = FleetDisposition::Shed {
+                        cluster: Some(target),
+                        at_ms: self.now,
+                        reason: FleetShedReason::DeadCluster { cluster: target },
+                    };
+                    self.finish(fi, d);
+                } else if !self.health.cluster(target).reachable {
+                    let d = FleetDisposition::Shed {
+                        cluster: Some(target),
+                        at_ms: self.now,
+                        reason: FleetShedReason::Partitioned { cluster: target },
+                    };
+                    self.finish(fi, d);
+                } else {
+                    self.inject_branch(fi, target);
+                }
+            }
+            RouterPolicy::Failover => {
+                let routable = self.routable_mask();
+                let clusters = &self.clusters;
+                let choice = self
+                    .router
+                    .choose(tenant, &routable, |c| clusters[c].srv.queue_depth());
+                let Some(choice) = choice else {
+                    let d = FleetDisposition::Shed {
+                        cluster: None,
+                        at_ms: self.now,
+                        reason: FleetShedReason::NoRoutableCluster,
+                    };
+                    self.finish(fi, d);
+                    return;
+                };
+                let over_primary = self.health.overloaded(choice.primary);
+                let over_all = choice
+                    .hedge
+                    .map_or(over_primary, |h| over_primary && self.health.overloaded(h));
+                if over_all && request.class != PriorityClass::Gold {
+                    let d = FleetDisposition::Shed {
+                        cluster: Some(choice.primary),
+                        at_ms: self.now,
+                        reason: FleetShedReason::Backpressure,
+                    };
+                    self.finish(fi, d);
+                    return;
+                }
+                let hedge_target = match (&self.cfg.hedge, choice.hedge) {
+                    (Some(h), Some(target)) if request.class == PriorityClass::Gold => {
+                        let bound = self.clusters[choice.primary].srv.bound_ms(request.model);
+                        let slack = request.deadline_ms - self.now;
+                        (slack < h.slack_factor * bound).then_some(target)
+                    }
+                    _ => None,
+                };
+                self.inject_branch(fi, choice.primary);
+                if let Some(target) = hedge_target {
+                    if self.reqs[fi].terminal.is_none() {
+                        self.reqs[fi].hedged = true;
+                        self.hedges_issued += 1;
+                        self.inject_branch(fi, target);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains new records from cluster `ci` past its watermark.
+    fn consume(&mut self, ci: usize) {
+        loop {
+            let (idx, record) = {
+                let c = &self.clusters[ci];
+                let (terminal_idx, records) = c.srv.outcomes();
+                if c.seen >= records.len() {
+                    return;
+                }
+                (terminal_idx[c.seen], records[c.seen].clone())
+            };
+            self.clusters[ci].seen += 1;
+            let (fi, bi) = self.clusters[ci].copy_map[idx];
+            self.on_branch_record(ci, fi, bi, record);
+        }
+    }
+
+    /// Folds one cluster-level record into the fleet request it belongs
+    /// to.
+    fn on_branch_record(&mut self, ci: usize, fi: usize, bi: usize, record: RequestRecord) {
+        let miss = match &record.disposition {
+            Disposition::Completed { met_deadline, .. } => !met_deadline,
+            Disposition::Shed { .. } => true,
+        };
+        self.clusters[ci].window_outcomes += 1;
+        if miss {
+            self.clusters[ci].window_misses += 1;
+        }
+        self.reqs[fi].branches[bi].live = false;
+        if self.reqs[fi].terminal.is_some() {
+            // The twin already settled this request; late work is waste.
+            self.hedge_wasted += 1;
+            return;
+        }
+        match record.disposition {
+            Disposition::Completed {
+                finish_ms,
+                latency_ms,
+                attempts,
+                met_deadline,
+                repairs,
+            } => {
+                let hedged = self.reqs[fi].hedged;
+                if hedged && bi == 1 {
+                    self.hedge_wins_secondary += 1;
+                }
+                let inner = FleetDisposition::Completed {
+                    cluster: ci,
+                    finish_ms,
+                    latency_ms,
+                    attempts,
+                    met_deadline,
+                    repairs,
+                    hedged,
+                };
+                let wrapped = wrap_hops(&self.reqs[fi].branches[bi].hops, inner);
+                // First completion wins: cancel the live twin so it
+                // neither runs nor records.
+                for obi in 0..self.reqs[fi].branches.len() {
+                    if obi == bi || !self.reqs[fi].branches[obi].live {
+                        continue;
+                    }
+                    let oc = self.reqs[fi].branches[obi].cluster;
+                    let oidx = self.reqs[fi].branches[obi].idx;
+                    self.reqs[fi].branches[obi].live = false;
+                    if self.clusters[oc].alive {
+                        self.clusters[oc].srv.touch(self.now);
+                        self.clusters[oc].srv.cancel(oidx);
+                        self.hedge_cancelled += 1;
+                        // Cancelling may free a slot and shed other
+                        // queued requests at dispatch — drain them.
+                        self.consume(oc);
+                    }
+                }
+                self.finish(fi, wrapped);
+            }
+            Disposition::Shed { at_ms, reason } => {
+                let inner = FleetDisposition::Shed {
+                    cluster: Some(ci),
+                    at_ms,
+                    reason: FleetShedReason::Cluster(reason),
+                };
+                let wrapped = wrap_hops(&self.reqs[fi].branches[bi].hops, inner);
+                self.reqs[fi].branches[bi].shed = Some(wrapped);
+                self.settle_if_all_dead(fi);
+            }
+        }
+    }
+
+    /// When no branch of `fi` is live and no terminal is set, the
+    /// first-issued copy's parked shed becomes the request's fate.
+    fn settle_if_all_dead(&mut self, fi: usize) {
+        if self.reqs[fi].terminal.is_some() || self.reqs[fi].branches.iter().any(|b| b.live) {
+            return;
+        }
+        let d = self.reqs[fi]
+            .branches
+            .iter()
+            .find_map(|b| b.shed.clone())
+            .expect("a settled branch parks its shed");
+        self.finish(fi, d);
+    }
+
+    /// Kills cluster `ci`: drains its pending work and, under the
+    /// failover policy, re-routes each still-feasible request.
+    fn on_cluster_kill(&mut self, ci: usize) {
+        if !self.clusters[ci].alive {
+            return;
+        }
+        self.cluster_kills += 1;
+        self.consume(ci);
+        self.clusters[ci].srv.touch(self.now);
+        self.clusters[ci].alive = false;
+        self.health.mark_dead(ci);
+        let drained = self.clusters[ci].srv.drain();
+        for (idx, _) in drained {
+            let (fi, bi) = self.clusters[ci].copy_map[idx];
+            self.reqs[fi].branches[bi].live = false;
+            if self.reqs[fi].terminal.is_some() {
+                continue;
+            }
+            let twin_alive = self.reqs[fi]
+                .branches
+                .iter()
+                .enumerate()
+                .any(|(obi, b)| obi != bi && b.live);
+            if twin_alive {
+                // The hedged twin carries the request forward.
+                continue;
+            }
+            match self.cfg.router.policy {
+                RouterPolicy::Failover => self.reroute(fi, bi, ci),
+                RouterPolicy::StaticHash => {
+                    let inner = FleetDisposition::Shed {
+                        cluster: Some(ci),
+                        at_ms: self.now,
+                        reason: FleetShedReason::DeadCluster { cluster: ci },
+                    };
+                    let wrapped = wrap_hops(&self.reqs[fi].branches[bi].hops, inner);
+                    self.reqs[fi].branches[bi].shed = Some(wrapped);
+                    self.settle_if_all_dead(fi);
+                }
+            }
+        }
+    }
+
+    /// Re-routes branch `bi` of `fi` off killed cluster `from`, shedding
+    /// with a typed reason when no feasible target exists.
+    fn reroute(&mut self, fi: usize, bi: usize, from: usize) {
+        let request = self.reqs[fi].request;
+        let failover_shed = |fleet: &mut Fleet<'a>, reason: FailoverReason| {
+            let inner = FleetDisposition::FailoverShed {
+                from,
+                at_ms: fleet.now,
+                reason,
+            };
+            let wrapped = wrap_hops(&fleet.reqs[fi].branches[bi].hops, inner);
+            fleet.reqs[fi].branches[bi].shed = Some(wrapped);
+            fleet.settle_if_all_dead(fi);
+        };
+        let routable = self.routable_mask();
+        let clusters = &self.clusters;
+        let choice = self.router.choose(request.model as u64, &routable, |c| {
+            clusters[c].srv.queue_depth()
+        });
+        let Some(choice) = choice else {
+            failover_shed(self, FailoverReason::NoRoutableCluster);
+            return;
+        };
+        let target = choice.primary;
+        let bound_finish_ms = self.now + self.clusters[target].srv.bound_ms(request.model);
+        if bound_finish_ms > request.deadline_ms {
+            failover_shed(
+                self,
+                FailoverReason::DeadlineInfeasible {
+                    bound_finish_ms,
+                    deadline_ms: request.deadline_ms,
+                },
+            );
+            return;
+        }
+        let over_all = self.health.overloaded(target)
+            && choice.hedge.is_none_or(|h| self.health.overloaded(h));
+        if over_all && request.class != PriorityClass::Gold {
+            failover_shed(self, FailoverReason::Backpressure);
+            return;
+        }
+        let b = &mut self.reqs[fi].branches[bi];
+        b.hops.push(Hop {
+            from,
+            to: target,
+            at_ms: self.now,
+        });
+        b.cluster = target;
+        b.live = true;
+        let idx = self.clusters[target].srv.inject(request, self.now);
+        debug_assert_eq!(self.clusters[target].copy_map.len(), idx);
+        self.clusters[target].copy_map.push((fi, bi));
+        self.reqs[fi].branches[bi].idx = idx;
+        self.consume(target);
+    }
+
+    /// Samples every live cluster into the health view and re-arms the
+    /// heartbeat while the run still has events to process.
+    fn on_heartbeat(&mut self) {
+        for ci in 0..self.clusters.len() {
+            let c = &mut self.clusters[ci];
+            if !c.alive {
+                continue;
+            }
+            let miss_rate =
+                (c.window_outcomes > 0).then(|| c.window_misses as f64 / c.window_outcomes as f64);
+            let sample = HealthSample {
+                queue_fill: c.srv.queue_fill_now(),
+                miss_rate,
+                alive_frac: c.srv.alive_fraction(),
+            };
+            c.window_outcomes = 0;
+            c.window_misses = 0;
+            self.health.heartbeat(ci, sample);
+        }
+        let work_left = self.events.peek_time().is_some()
+            || self
+                .clusters
+                .iter()
+                .any(|c| c.alive && c.srv.next_event_ms().is_some());
+        if work_left {
+            let period = self.health.config().heartbeat_ms;
+            self.events.push(self.now + period, FleetEvent::Heartbeat);
+        }
+    }
+
+    fn handle(&mut self, ev: FleetEvent) {
+        match ev {
+            FleetEvent::Arrival(ti) => {
+                let fi = ti; // requests are pre-created in trace order
+                self.route_fresh(fi);
+            }
+            FleetEvent::Fault(k) => {
+                let e = self.cluster_faults[k];
+                match e.kind {
+                    ClusterFaultKind::ClusterKill => self.on_cluster_kill(e.cluster),
+                    ClusterFaultKind::PartitionRouter { heal_ms } => {
+                        if self.clusters[e.cluster].alive {
+                            self.partitions += 1;
+                            self.health.set_reachable(e.cluster, false);
+                            self.events
+                                .push(self.now + heal_ms, FleetEvent::PartitionHeal(e.cluster));
+                        }
+                    }
+                    // Degrades were lowered into the cluster's own plan.
+                    ClusterFaultKind::ClusterDegrade { .. } => {}
+                }
+            }
+            FleetEvent::PartitionHeal(ci) => {
+                if self.clusters[ci].alive {
+                    self.health.set_reachable(ci, true);
+                }
+            }
+            FleetEvent::Heartbeat => self.on_heartbeat(),
+        }
+    }
+}
+
+/// Serves `trace` across a fleet of clusters under `faults`.
+///
+/// Deterministic: the pump orders cluster and fleet events by virtual
+/// time with fixed tie-breaks (cluster before fleet, lower cluster index
+/// first), so the outcome digest is bit-identical across runs and rayon
+/// thread counts.
+pub fn serve_fleet(
+    models: &[ServedModel],
+    trace: &[Request],
+    faults: &FleetFaults,
+    cfg: &FleetConfig,
+) -> Result<FleetOutcome, ServeError> {
+    let n = cfg.clusters.len();
+    let router = Router::new(cfg.router, n)?;
+    let health = HealthView::new(cfg.health, n)?;
+    if let Some(h) = &cfg.hedge {
+        if !(h.slack_factor.is_finite() && h.slack_factor > 0.0) {
+            return Err(ServeError::Scheduler(SchedulerError::BadOptions(format!(
+                "hedge: slack_factor must be positive and finite, got {}",
+                h.slack_factor
+            ))));
+        }
+    }
+    if !faults.per_cluster.is_empty() && faults.per_cluster.len() != n {
+        return Err(ServeError::Scheduler(SchedulerError::BadOptions(format!(
+            "fleet faults: {} per-cluster plans for {} clusters",
+            faults.per_cluster.len(),
+            n
+        ))));
+    }
+    validate_cluster_events(&faults.cluster_events, n).map_err(|e| {
+        ServeError::Scheduler(SchedulerError::BadOptions(format!("fleet faults: {e}")))
+    })?;
+    for ccfg in &cfg.clusters {
+        server::validate(models, trace, ccfg)?;
+    }
+
+    // Stable-sort the cluster events by time (validation already ran).
+    let mut cluster_faults = faults.cluster_events.clone();
+    cluster_faults.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+
+    // Lower degrades into the target cluster's own GPU-level plan, where
+    // the normal detection/repair loop sees them.
+    let mut plans: Vec<FaultPlan> = if faults.per_cluster.is_empty() {
+        (0..n).map(|_| FaultPlan::none()).collect()
+    } else {
+        faults.per_cluster.clone()
+    };
+    for e in &cluster_faults {
+        if let ClusterFaultKind::ClusterDegrade { factor } = e.kind {
+            let mut events = plans[e.cluster].events.clone();
+            for gpu in 0..cfg.clusters[e.cluster].num_gpus {
+                events.push(FaultEvent {
+                    at_ms: e.at_ms,
+                    kind: FaultKind::GpuSlowdown { gpu, factor },
+                });
+            }
+            plans[e.cluster] = FaultPlan::new(events);
+        }
+    }
+
+    let drift = DriftPlan::none();
+    let mut clusters = Vec::with_capacity(n);
+    for (ci, ccfg) in cfg.clusters.iter().enumerate() {
+        let mut srv = Server::build(models, &plans[ci], &drift, ccfg)?;
+        srv.arm_signals();
+        clusters.push(Cluster {
+            srv,
+            alive: true,
+            seen: 0,
+            copy_map: Vec::new(),
+            window_outcomes: 0,
+            window_misses: 0,
+        });
+    }
+
+    let mut fleet = Fleet {
+        cfg,
+        clusters,
+        router,
+        health,
+        events: EventQueue::new(),
+        cluster_faults,
+        reqs: trace
+            .iter()
+            .map(|&request| FleetReq {
+                request,
+                branches: Vec::new(),
+                hedged: false,
+                terminal: None,
+            })
+            .collect(),
+        open: trace.len(),
+        now: 0.0,
+        hedges_issued: 0,
+        hedge_wins_secondary: 0,
+        hedge_cancelled: 0,
+        hedge_wasted: 0,
+        cluster_kills: 0,
+        partitions: 0,
+    };
+
+    for (ti, r) in trace.iter().enumerate() {
+        fleet.events.push(r.arrival_ms, FleetEvent::Arrival(ti));
+    }
+    for (k, e) in fleet.cluster_faults.clone().iter().enumerate() {
+        if !matches!(e.kind, ClusterFaultKind::ClusterDegrade { .. }) {
+            fleet.events.push(e.at_ms, FleetEvent::Fault(k));
+        }
+    }
+    fleet
+        .events
+        .push(cfg.health.heartbeat_ms, FleetEvent::Heartbeat);
+
+    loop {
+        let next_cluster = fleet
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive)
+            .filter_map(|(ci, c)| c.srv.next_event_ms().map(|t| (t, ci)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let next_fleet = fleet.events.peek_time();
+        match (next_cluster, next_fleet) {
+            (None, None) => break,
+            // Ties step the cluster first, so completions landing at the
+            // very kill instant still count before the drain.
+            (Some((tc, ci)), tf) if tf.is_none() || tc <= tf.unwrap() => {
+                fleet.clusters[ci].srv.step();
+                fleet.now = fleet.now.max(tc);
+                fleet.consume(ci);
+            }
+            _ => {
+                let (t, ev) = fleet.events.pop().expect("peeked non-empty");
+                fleet.now = fleet.now.max(t);
+                fleet.handle(ev);
+            }
+        }
+    }
+
+    debug_assert_eq!(fleet.open, 0, "fleet pump drained with open requests");
+    let horizon_ms = fleet.now;
+    let mut records: Vec<FleetRecord> = fleet
+        .reqs
+        .into_iter()
+        .map(|r| FleetRecord {
+            disposition: r
+                .terminal
+                .expect("every fleet request ends in exactly one typed disposition"),
+            request: r.request,
+        })
+        .collect();
+    records.sort_by_key(|r| r.request.id);
+
+    let report = summarize_fleet(
+        &records,
+        horizon_ms,
+        FleetCounters {
+            hedges_issued: fleet.hedges_issued,
+            hedge_wins_secondary: fleet.hedge_wins_secondary,
+            hedge_cancelled: fleet.hedge_cancelled,
+            hedge_wasted: fleet.hedge_wasted,
+            cluster_kills: fleet.cluster_kills,
+            partitions: fleet.partitions,
+        },
+    );
+    let clusters = fleet
+        .clusters
+        .into_iter()
+        .map(|c| c.srv.into_outcome())
+        .collect();
+    Ok(FleetOutcome {
+        records,
+        report,
+        clusters,
+    })
+}
+
+struct FleetCounters {
+    hedges_issued: u64,
+    hedge_wins_secondary: u64,
+    hedge_cancelled: u64,
+    hedge_wasted: u64,
+    cluster_kills: usize,
+    partitions: usize,
+}
+
+fn summarize_fleet(records: &[FleetRecord], horizon_ms: f64, ctr: FleetCounters) -> FleetReport {
+    let total = records.len();
+    let mut completed = 0;
+    let mut on_time = 0;
+    let mut rerouted = 0;
+    let mut failover_sheds = 0;
+    let mut dead_cluster_sheds = 0;
+    let mut partitioned_sheds = 0;
+    let mut backpressure_sheds = 0;
+    let mut no_routable_sheds = 0;
+    let mut class_stats = [ClassStats::default(); 3];
+    let mut class_latencies: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for r in records {
+        let c = r.request.class.index();
+        class_stats[c].total += 1;
+        if r.disposition.reroutes() > 0 {
+            rerouted += 1;
+        }
+        match r.disposition.terminal() {
+            FleetDisposition::Completed {
+                latency_ms,
+                met_deadline,
+                ..
+            } => {
+                completed += 1;
+                class_stats[c].completed += 1;
+                class_latencies[c].push(*latency_ms);
+                if *met_deadline {
+                    on_time += 1;
+                    class_stats[c].on_time += 1;
+                }
+            }
+            FleetDisposition::Shed { reason, .. } => {
+                class_stats[c].shed += 1;
+                match reason {
+                    FleetShedReason::Cluster(_) => {}
+                    FleetShedReason::DeadCluster { .. } => dead_cluster_sheds += 1,
+                    FleetShedReason::Partitioned { .. } => partitioned_sheds += 1,
+                    FleetShedReason::Backpressure => backpressure_sheds += 1,
+                    FleetShedReason::NoRoutableCluster => no_routable_sheds += 1,
+                }
+            }
+            FleetDisposition::FailoverShed { reason, .. } => {
+                class_stats[c].shed += 1;
+                failover_sheds += 1;
+                match reason {
+                    FailoverReason::DeadlineInfeasible { .. } => {}
+                    FailoverReason::NoRoutableCluster => no_routable_sheds += 1,
+                    FailoverReason::Backpressure => backpressure_sheds += 1,
+                }
+            }
+            FleetDisposition::Rerouted { .. } => unreachable!("terminal() unwraps reroutes"),
+        }
+    }
+    let horizon_s = horizon_ms / 1e3;
+    for (c, stats) in class_stats.iter_mut().enumerate() {
+        let lats = &mut class_latencies[c];
+        lats.sort_by(|a, b| a.total_cmp(b));
+        stats.p99_ms = if lats.is_empty() {
+            0.0
+        } else {
+            percentile(lats, 0.99)
+        };
+        stats.miss_rate = if stats.total > 0 {
+            (stats.total - stats.on_time) as f64 / stats.total as f64
+        } else {
+            0.0
+        };
+        stats.goodput_rps = if horizon_s > 0.0 {
+            stats.on_time as f64 / horizon_s
+        } else {
+            0.0
+        };
+    }
+    FleetReport {
+        total,
+        completed,
+        on_time,
+        shed: total - completed,
+        miss_rate: if total > 0 {
+            (total - on_time) as f64 / total as f64
+        } else {
+            0.0
+        },
+        goodput_rps: if horizon_s > 0.0 {
+            on_time as f64 / horizon_s
+        } else {
+            0.0
+        },
+        horizon_ms,
+        rerouted,
+        failover_sheds,
+        dead_cluster_sheds,
+        partitioned_sheds,
+        backpressure_sheds,
+        no_routable_sheds,
+        hedges_issued: ctr.hedges_issued,
+        hedge_wins_secondary: ctr.hedge_wins_secondary,
+        hedge_cancelled: ctr.hedge_cancelled,
+        hedge_wasted: ctr.hedge_wasted,
+        cluster_kills: ctr.cluster_kills,
+        partitions: ctr.partitions,
+        class_stats,
+        history_digest: fleet_history_digest(records),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ClassMix, WorkloadConfig, generate_trace_with_classes};
+    use hios_core::bounds;
+    use hios_cost::AnalyticCostModel;
+    use hios_graph::{LayeredDagConfig, generate_layered_dag};
+
+    fn models() -> Vec<ServedModel> {
+        [(1u64, 20), (2, 24), (3, 18)]
+            .into_iter()
+            .map(|(seed, ops)| {
+                let graph = generate_layered_dag(&LayeredDagConfig {
+                    ops,
+                    layers: 6,
+                    deps: ops * 2,
+                    seed,
+                })
+                .unwrap();
+                let cost = AnalyticCostModel::a40_nvlink().build_table(&graph);
+                ServedModel {
+                    name: format!("dag{seed}"),
+                    graph,
+                    cost,
+                }
+            })
+            .collect()
+    }
+
+    fn trace(n: usize, rate: f64, seed: u64) -> Vec<Request> {
+        let models = models();
+        let nominal: Vec<f64> = models
+            .iter()
+            .map(|m| bounds::combined_bound(&m.graph, &m.cost, 2))
+            .collect();
+        let cfg = WorkloadConfig {
+            requests: n,
+            arrival_rate_rps: rate,
+            deadline_factor: 6.0,
+            seed,
+        };
+        generate_trace_with_classes(&cfg, &nominal, &ClassMix::default())
+    }
+
+    fn kill(cluster: usize, at_ms: f64) -> FleetFaults {
+        FleetFaults {
+            per_cluster: Vec::new(),
+            cluster_events: vec![ClusterFaultEvent {
+                at_ms,
+                cluster,
+                kind: ClusterFaultKind::ClusterKill,
+            }],
+        }
+    }
+
+    #[test]
+    fn fault_free_fleet_completes_everything_it_admits() {
+        let models = models();
+        let trace = trace(400, 60.0, 7);
+        let cfg = FleetConfig::new(3, 2);
+        let out = serve_fleet(&models, &trace, &FleetFaults::none(), &cfg).unwrap();
+        assert_eq!(out.report.total, trace.len());
+        assert_eq!(out.records.len(), trace.len());
+        assert_eq!(out.report.completed + out.report.shed, trace.len());
+        assert_eq!(out.report.cluster_kills, 0);
+        assert_eq!(out.report.dead_cluster_sheds, 0);
+        assert!(out.report.completed > 0);
+    }
+
+    #[test]
+    fn fleet_replay_is_bit_identical() {
+        let models = models();
+        let trace = trace(300, 80.0, 11);
+        let cfg = FleetConfig::new(4, 2);
+        let faults = kill(0, 2_000.0);
+        let a = serve_fleet(&models, &trace, &faults, &cfg).unwrap();
+        let b = serve_fleet(&models, &trace, &faults, &cfg).unwrap();
+        assert_eq!(a.report.history_digest, b.report.history_digest);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn cluster_kill_loses_nothing_under_failover() {
+        let models = models();
+        let trace = trace(500, 100.0, 3);
+        let cfg = FleetConfig::new(4, 2);
+        let span = trace.last().unwrap().arrival_ms;
+        let out = serve_fleet(&models, &trace, &kill(1, span * 0.5), &cfg).unwrap();
+        assert_eq!(out.report.total, trace.len());
+        assert_eq!(out.report.cluster_kills, 1);
+        // Failover never loses a request to the dead cluster untyped:
+        // everything is completed, cluster-shed, rerouted, or
+        // failover-shed.
+        assert_eq!(out.report.dead_cluster_sheds, 0);
+        // Cluster 1's own records never extend past the kill: its
+        // pending work was drained, not abandoned.
+        for r in &out.records {
+            if let FleetDisposition::Rerouted { from, .. } = &r.disposition {
+                assert_eq!(*from, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn static_hash_loses_the_dead_clusters_requests() {
+        let models = models();
+        let trace = trace(500, 100.0, 3);
+        let mut cfg = FleetConfig::new(4, 2);
+        cfg.router.policy = RouterPolicy::StaticHash;
+        cfg.hedge = None;
+        let span = trace.last().unwrap().arrival_ms;
+        let out = serve_fleet(&models, &trace, &kill(1, span * 0.5), &cfg).unwrap();
+        assert!(out.report.dead_cluster_sheds > 0);
+        assert_eq!(out.report.rerouted, 0);
+        assert_eq!(out.report.hedges_issued, 0);
+        // Every post-kill arrival hashed to cluster 1 died with it.
+        let r = Router::new(cfg.router, 4).unwrap();
+        for rec in &out.records {
+            let target = r.static_target(rec.request.model as u64);
+            if target == 1 && rec.request.arrival_ms >= span * 0.5 {
+                assert!(matches!(
+                    rec.disposition.terminal(),
+                    FleetDisposition::Shed {
+                        reason: FleetShedReason::DeadCluster { cluster: 1 },
+                        ..
+                    }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn failover_beats_static_hash_under_a_kill() {
+        let models = models();
+        let trace = trace(600, 90.0, 5);
+        let span = trace.last().unwrap().arrival_ms;
+        let faults = kill(0, span * 0.5);
+        let failover = serve_fleet(&models, &trace, &faults, &FleetConfig::new(4, 2)).unwrap();
+        let mut scfg = FleetConfig::new(4, 2);
+        scfg.router.policy = RouterPolicy::StaticHash;
+        scfg.hedge = None;
+        let stat = serve_fleet(&models, &trace, &faults, &scfg).unwrap();
+        assert!(
+            failover.report.on_time > stat.report.on_time,
+            "failover {} must beat static {}",
+            failover.report.on_time,
+            stat.report.on_time
+        );
+    }
+
+    #[test]
+    fn tight_deadlines_trigger_hedges_and_exactly_one_completion() {
+        let models = models();
+        // Tight deadlines: slack of 2× the admission bound is feasible
+        // but under the 4×-bound hedge threshold, so every Gold hedges.
+        let bounds: Vec<f64> = models
+            .iter()
+            .map(|m| bounds::combined_bound(&m.graph, &m.cost, 2))
+            .collect();
+        let mut trace = trace(300, 70.0, 13);
+        for r in &mut trace {
+            r.deadline_ms = r.arrival_ms + 2.0 * bounds[r.model];
+        }
+        let cfg = FleetConfig::new(3, 2);
+        let out = serve_fleet(&models, &trace, &FleetFaults::none(), &cfg).unwrap();
+        assert!(out.report.hedges_issued > 0, "tight Golds must hedge");
+        assert!(out.report.hedge_wins_secondary <= out.report.hedges_issued);
+        assert!(out.report.hedge_cancelled <= out.report.hedges_issued);
+        // Cluster-level records never double-complete a request id
+        // except via a cancelled (unrecorded) twin: ids seen across all
+        // cluster completion records are unique.
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &out.clusters {
+            for rec in &c.records {
+                if matches!(rec.disposition, Disposition::Completed { .. }) {
+                    assert!(seen.insert(rec.request.id), "id {} twice", rec.request.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_sheds_static_and_reroutes_failover_then_heals() {
+        let models = models();
+        let trace = trace(400, 80.0, 9);
+        let span = trace.last().unwrap().arrival_ms;
+        let faults = FleetFaults {
+            per_cluster: Vec::new(),
+            cluster_events: vec![ClusterFaultEvent {
+                at_ms: span * 0.25,
+                cluster: 0,
+                kind: ClusterFaultKind::PartitionRouter {
+                    heal_ms: span * 0.25,
+                },
+            }],
+        };
+        let out = serve_fleet(&models, &trace, &faults, &FleetConfig::new(3, 2)).unwrap();
+        assert_eq!(out.report.partitions, 1);
+        // Failover routes around the partition: nothing is lost to it.
+        assert_eq!(out.report.partitioned_sheds, 0);
+        let mut scfg = FleetConfig::new(3, 2);
+        scfg.router.policy = RouterPolicy::StaticHash;
+        scfg.hedge = None;
+        let stat = serve_fleet(&models, &trace, &faults, &scfg).unwrap();
+        assert!(stat.report.partitioned_sheds > 0);
+    }
+
+    #[test]
+    fn degrade_lowers_into_the_clusters_own_plan() {
+        let models = models();
+        let trace = trace(300, 60.0, 17);
+        let span = trace.last().unwrap().arrival_ms;
+        let faults = FleetFaults {
+            per_cluster: Vec::new(),
+            cluster_events: vec![ClusterFaultEvent {
+                at_ms: span * 0.3,
+                cluster: 0,
+                kind: ClusterFaultKind::ClusterDegrade { factor: 8.0 },
+            }],
+        };
+        let degraded = serve_fleet(&models, &trace, &faults, &FleetConfig::new(2, 2)).unwrap();
+        let clean = serve_fleet(
+            &models,
+            &trace,
+            &FleetFaults::none(),
+            &FleetConfig::new(2, 2),
+        )
+        .unwrap();
+        assert_ne!(
+            degraded.report.history_digest, clean.report.history_digest,
+            "an 8× degrade must perturb the outcome stream"
+        );
+        assert_eq!(degraded.report.cluster_kills, 0);
+    }
+
+    #[test]
+    fn bad_fleet_inputs_are_typed_errors() {
+        let models = models();
+        let trace = trace(10, 50.0, 1);
+        // Zero clusters.
+        let cfg = FleetConfig {
+            clusters: Vec::new(),
+            ..FleetConfig::new(1, 2)
+        };
+        assert!(serve_fleet(&models, &trace, &FleetFaults::none(), &cfg).is_err());
+        // Bad hedge factor.
+        let mut cfg = FleetConfig::new(2, 2);
+        cfg.hedge = Some(HedgeConfig { slack_factor: 0.0 });
+        assert!(serve_fleet(&models, &trace, &FleetFaults::none(), &cfg).is_err());
+        // Mismatched per-cluster plans.
+        let faults = FleetFaults {
+            per_cluster: vec![FaultPlan::none()],
+            cluster_events: Vec::new(),
+        };
+        let cfg = FleetConfig::new(2, 2);
+        assert!(serve_fleet(&models, &trace, &faults, &cfg).is_err());
+        // Cluster event out of range.
+        let faults = kill(9, 10.0);
+        assert!(serve_fleet(&models, &trace, &faults, &cfg).is_err());
+    }
+
+    #[test]
+    fn every_request_has_exactly_one_disposition_under_faults() {
+        let models = models();
+        let trace = trace(400, 120.0, 23);
+        let span = trace.last().unwrap().arrival_ms;
+        let faults = FleetFaults {
+            per_cluster: Vec::new(),
+            cluster_events: vec![
+                ClusterFaultEvent {
+                    at_ms: span * 0.3,
+                    cluster: 2,
+                    kind: ClusterFaultKind::ClusterKill,
+                },
+                ClusterFaultEvent {
+                    at_ms: span * 0.5,
+                    cluster: 1,
+                    kind: ClusterFaultKind::PartitionRouter { heal_ms: 50.0 },
+                },
+            ],
+        };
+        let out = serve_fleet(&models, &trace, &faults, &FleetConfig::new(4, 2)).unwrap();
+        assert_eq!(out.records.len(), trace.len());
+        let mut ids: Vec<u64> = out.records.iter().map(|r| r.request.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len(), "one disposition per request");
+    }
+}

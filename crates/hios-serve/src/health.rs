@@ -1,0 +1,273 @@
+//! The fleet's health view: per-cluster heartbeat EWMAs on the virtual
+//! clock.
+//!
+//! The router never inspects a cluster's internals directly — a real
+//! routing tier cannot.  It sees only what periodic heartbeats report:
+//! queue fill, miss rate over the last window, and the fraction of GPUs
+//! whose breakers admit work, each smoothed by an EWMA so one noisy
+//! window cannot flip a routing decision.  On top of the smoothed
+//! signals sit two hard bits the fault layer owns: `dead` (a
+//! [`hios_sim::ClusterFaultKind::ClusterKill`] fired — permanent) and
+//! `reachable` (cleared for the duration of a
+//! [`hios_sim::ClusterFaultKind::PartitionRouter`] event).
+//!
+//! Everything here is plain arithmetic on explicitly-ordered samples,
+//! so the health view is as deterministic as the clock feeding it.
+
+use crate::request::ServeError;
+use hios_core::SchedulerError;
+
+/// Knobs of the fleet health view.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthConfig {
+    /// Heartbeat period, ms.
+    pub heartbeat_ms: f64,
+    /// EWMA weight of the newest sample, in `(0, 1]`.
+    pub alpha: f64,
+    /// Smoothed queue fill above which the router sheds non-Gold
+    /// arrivals instead of routing them (backpressure), in `(0, 1]`.
+    pub backpressure_fill: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            heartbeat_ms: 5.0,
+            alpha: 0.3,
+            backpressure_fill: 0.9,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Validates the knobs, returning a message for the offender.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.heartbeat_ms.is_finite() && self.heartbeat_ms > 0.0) {
+            return Err(format!(
+                "heartbeat_ms must be positive and finite, got {}",
+                self.heartbeat_ms
+            ));
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!("alpha must be in (0, 1], got {}", self.alpha));
+        }
+        if !(self.backpressure_fill > 0.0 && self.backpressure_fill <= 1.0) {
+            return Err(format!(
+                "backpressure_fill must be in (0, 1], got {}",
+                self.backpressure_fill
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One heartbeat's worth of raw cluster telemetry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthSample {
+    /// Queue occupancy in `[0, 1]`.
+    pub queue_fill: f64,
+    /// Fraction of this window's terminal outcomes that missed (shed or
+    /// late), or `None` when the window had no outcomes to judge.
+    pub miss_rate: Option<f64>,
+    /// Fraction of GPUs whose breakers admit work, in `[0, 1]`.
+    pub alive_frac: f64,
+}
+
+/// The smoothed health state of one cluster as the router sees it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterHealth {
+    /// EWMA of queue fill.
+    pub queue_fill: f64,
+    /// EWMA of windowed miss rate.
+    pub miss_rate: f64,
+    /// EWMA of the alive-GPU fraction.
+    pub alive_frac: f64,
+    /// The cluster was killed; it never comes back.
+    pub dead: bool,
+    /// The router can currently reach the cluster (false while a
+    /// partition event is open).
+    pub reachable: bool,
+    /// Heartbeats folded in so far.
+    pub beats: u64,
+}
+
+impl ClusterHealth {
+    fn fresh() -> Self {
+        ClusterHealth {
+            queue_fill: 0.0,
+            miss_rate: 0.0,
+            alive_frac: 1.0,
+            dead: false,
+            reachable: true,
+            beats: 0,
+        }
+    }
+}
+
+/// Per-cluster health as seen from the router.
+#[derive(Clone, Debug)]
+pub struct HealthView {
+    cfg: HealthConfig,
+    clusters: Vec<ClusterHealth>,
+}
+
+impl HealthView {
+    /// A view over `n` clusters, all healthy.
+    pub fn new(cfg: HealthConfig, n: usize) -> Result<Self, ServeError> {
+        cfg.validate().map_err(|msg| {
+            ServeError::Scheduler(SchedulerError::BadOptions(format!("health: {msg}")))
+        })?;
+        Ok(HealthView {
+            cfg,
+            clusters: vec![ClusterHealth::fresh(); n],
+        })
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Number of clusters tracked.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the view tracks no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Folds one heartbeat sample into cluster `c`'s EWMAs.  The first
+    /// heartbeat seeds the averages directly; a window with no judged
+    /// outcomes leaves the miss-rate EWMA untouched.
+    pub fn heartbeat(&mut self, c: usize, sample: HealthSample) {
+        let a = self.cfg.alpha;
+        let h = &mut self.clusters[c];
+        if h.beats == 0 {
+            h.queue_fill = sample.queue_fill;
+            h.miss_rate = sample.miss_rate.unwrap_or(0.0);
+            h.alive_frac = sample.alive_frac;
+        } else {
+            h.queue_fill = a * sample.queue_fill + (1.0 - a) * h.queue_fill;
+            if let Some(miss) = sample.miss_rate {
+                h.miss_rate = a * miss + (1.0 - a) * h.miss_rate;
+            }
+            h.alive_frac = a * sample.alive_frac + (1.0 - a) * h.alive_frac;
+        }
+        h.beats += 1;
+    }
+
+    /// Marks cluster `c` permanently dead.
+    pub fn mark_dead(&mut self, c: usize) {
+        self.clusters[c].dead = true;
+    }
+
+    /// Sets whether the router can reach cluster `c`.
+    pub fn set_reachable(&mut self, c: usize, reachable: bool) {
+        self.clusters[c].reachable = reachable;
+    }
+
+    /// Whether the router may place new work on cluster `c`.
+    pub fn routable(&self, c: usize) -> bool {
+        let h = &self.clusters[c];
+        !h.dead && h.reachable
+    }
+
+    /// Whether cluster `c`'s smoothed queue fill exceeds the
+    /// backpressure threshold.
+    pub fn overloaded(&self, c: usize) -> bool {
+        self.clusters[c].queue_fill > self.cfg.backpressure_fill
+    }
+
+    /// The smoothed state of cluster `c`.
+    pub fn cluster(&self, c: usize) -> &ClusterHealth {
+        &self.clusters[c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(fill: f64, miss: Option<f64>, alive: f64) -> HealthSample {
+        HealthSample {
+            queue_fill: fill,
+            miss_rate: miss,
+            alive_frac: alive,
+        }
+    }
+
+    #[test]
+    fn first_heartbeat_seeds_then_ewma_smooths() {
+        let mut v = HealthView::new(HealthConfig::default(), 2).unwrap();
+        v.heartbeat(0, sample(0.5, Some(0.2), 1.0));
+        assert_eq!(v.cluster(0).queue_fill, 0.5);
+        assert_eq!(v.cluster(0).miss_rate, 0.2);
+        v.heartbeat(0, sample(1.0, Some(0.2), 1.0));
+        let h = v.cluster(0);
+        assert!((h.queue_fill - (0.3 * 1.0 + 0.7 * 0.5)).abs() < 1e-12);
+        // Cluster 1 never beat: untouched defaults.
+        assert_eq!(v.cluster(1).beats, 0);
+        assert_eq!(v.cluster(1).alive_frac, 1.0);
+    }
+
+    #[test]
+    fn empty_windows_leave_miss_rate_alone() {
+        let mut v = HealthView::new(HealthConfig::default(), 1).unwrap();
+        v.heartbeat(0, sample(0.0, Some(0.5), 1.0));
+        v.heartbeat(0, sample(0.0, None, 1.0));
+        assert_eq!(v.cluster(0).miss_rate, 0.5);
+    }
+
+    #[test]
+    fn dead_and_partitioned_clusters_are_unroutable() {
+        let mut v = HealthView::new(HealthConfig::default(), 3).unwrap();
+        assert!(v.routable(0) && v.routable(1) && v.routable(2));
+        v.mark_dead(0);
+        v.set_reachable(1, false);
+        assert!(!v.routable(0));
+        assert!(!v.routable(1));
+        assert!(v.routable(2));
+        v.set_reachable(1, true);
+        assert!(v.routable(1));
+        // Death is permanent.
+        v.set_reachable(0, true);
+        assert!(!v.routable(0));
+    }
+
+    #[test]
+    fn overload_tracks_the_smoothed_fill() {
+        let cfg = HealthConfig {
+            backpressure_fill: 0.6,
+            ..HealthConfig::default()
+        };
+        let mut v = HealthView::new(cfg, 1).unwrap();
+        v.heartbeat(0, sample(1.0, None, 1.0));
+        assert!(v.overloaded(0));
+        for _ in 0..30 {
+            v.heartbeat(0, sample(0.0, None, 1.0));
+        }
+        assert!(!v.overloaded(0));
+    }
+
+    #[test]
+    fn bad_knobs_are_typed_errors() {
+        for cfg in [
+            HealthConfig {
+                heartbeat_ms: 0.0,
+                ..HealthConfig::default()
+            },
+            HealthConfig {
+                alpha: 1.5,
+                ..HealthConfig::default()
+            },
+            HealthConfig {
+                backpressure_fill: 0.0,
+                ..HealthConfig::default()
+            },
+        ] {
+            assert!(HealthView::new(cfg, 2).is_err());
+        }
+    }
+}

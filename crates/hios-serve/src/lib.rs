@@ -24,7 +24,13 @@
 //!   server-global retry budget against retry storms;
 //! * [`report`] — latency percentiles, miss/shed rates, per-class
 //!   goodput, brownout timeline, and a history digest for bit-identity
-//!   checks.
+//!   checks;
+//! * [`fleet`] — N independent cluster serve loops behind a
+//!   failure-aware router: per-tenant rendezvous hashing with
+//!   power-of-two-choices ([`router`]), heartbeat-EWMA health tracking
+//!   ([`health`]), cluster-kill failover with typed re-route / shed
+//!   dispositions, hedged dispatch for deadline-critical Gold requests,
+//!   and router-level backpressure.
 //!
 //! Everything runs on [`hios_sim::VirtualClock`]; scheduling time is
 //! modeled, never measured.  A serving run is a pure function of its
@@ -35,10 +41,13 @@
 
 pub mod breaker;
 pub mod brownout;
+pub mod fleet;
+pub mod health;
 pub mod ladder;
 pub mod report;
 pub mod request;
 pub mod retry;
+pub mod router;
 pub mod server;
 pub mod workload;
 
@@ -46,6 +55,11 @@ pub use breaker::{BreakerBank, BreakerState, CircuitBreaker, FlapConfig};
 pub use brownout::{
     BrownoutConfig, BrownoutController, BrownoutLevel, BrownoutTelemetry, OverloadConfig,
 };
+pub use fleet::{
+    FailoverReason, FleetConfig, FleetDisposition, FleetFaults, FleetOutcome, FleetRecord,
+    FleetReport, FleetShedReason, HedgeConfig, fleet_history_digest, serve_fleet,
+};
+pub use health::{ClusterHealth, HealthConfig, HealthSample, HealthView};
 pub use ladder::{
     AnytimeLadder, CACHE_HIT_COST_MS, CachedPlan, LadderConfig, LadderDecision, Policy, Rung,
     RungCap, STORE_HIT_COST_MS,
@@ -53,6 +67,7 @@ pub use ladder::{
 pub use report::{ClassStats, ServeReport, history_digest, summarize};
 pub use request::{Disposition, PriorityClass, Request, RequestRecord, ServeError, ShedReason};
 pub use retry::{RetryBudget, RetryBudgetConfig, RetryConfig};
+pub use router::{Choice, Router, RouterConfig, RouterPolicy};
 pub use server::{ServeConfig, ServeOutcome, ServedModel, StoreConfig, serve, serve_drift};
 pub use workload::{
     ClassMix, WorkloadConfig, generate_trace, generate_trace_with_classes, trace_span_ms,

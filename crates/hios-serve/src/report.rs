@@ -120,7 +120,7 @@ pub struct ServeReport {
 
 /// Deterministic percentile of `sorted` (ascending): the smallest value
 /// with at least `p`·n values at or below it (nearest-rank).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }

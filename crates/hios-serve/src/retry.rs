@@ -46,9 +46,12 @@ impl RetryConfig {
     /// Backoff before attempt `attempts + 1`, ms.
     ///
     /// `attempts` is the number of attempts already made (≥ 1).
+    ///
+    /// `attempts == 0` is out of contract but saturates to the base
+    /// backoff rather than underflowing the exponent.
     pub fn backoff_ms(&self, request_id: u64, attempts: u32) -> f64 {
-        debug_assert!(attempts >= 1, "backoff before the first attempt");
-        let exp = (attempts - 1).min(16); // cap the doubling, not the retries
+        // cap the doubling, not the retries
+        let exp = attempts.saturating_sub(1).min(16);
         let backoff = self.base_backoff_ms * f64::from(1u32 << exp);
         backoff + self.jitter_ms * unit_hash(request_id, attempts)
     }
@@ -158,9 +161,17 @@ impl RetryBudget {
 }
 
 /// Deterministic hash of `(id, attempt)` mapped into `[0, 1)`.
+///
+/// The attempt index gets its own multiplicative stage before the
+/// finalizer.  A bare `^ attempt` only perturbs the low bits of the
+/// pre-mix state, leaving consecutive attempts of one request with
+/// nearly identical inputs — exactly the correlation jitter exists to
+/// destroy.
 fn unit_hash(id: u64, attempt: u32) -> f64 {
-    // splitmix64 finalizer over the packed pair.
-    let mut x = id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt);
+    // splitmix64 finalizer over the independently-mixed pair.
+    let mut x = id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xd1b5_4a32_d192_ed03));
     x ^= x >> 30;
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x ^= x >> 27;
@@ -256,6 +267,35 @@ mod tests {
             .is_err()
         );
         assert!(RetryBudgetConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn jitter_mixes_the_attempt_index() {
+        // Regression: consecutive attempts of the same request must draw
+        // decorrelated jitter, not near-identical values from a low-bit
+        // XOR.  All (id, attempt) pairs hash distinctly, and one
+        // request's attempts spread across the unit interval.
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..64u64 {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for attempt in 1..=6u32 {
+                let u = unit_hash(id, attempt);
+                assert!(seen.insert(u.to_bits()), "collision at ({id}, {attempt})");
+                lo = lo.min(u);
+                hi = hi.max(u);
+            }
+            assert!(hi - lo > 0.2, "id {id}: attempts cluster in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn backoff_before_attempt_zero_does_not_underflow() {
+        // `attempts` is contractually ≥ 1; a buggy caller passing 0 must
+        // get the base backoff, not a 2^(u32::MAX) panic or garbage.
+        let cfg = RetryConfig::default();
+        let b = cfg.backoff_ms(1, 0);
+        assert!(b >= cfg.base_backoff_ms && b.is_finite());
     }
 
     #[test]

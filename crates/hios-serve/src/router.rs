@@ -1,0 +1,250 @@
+//! Deterministic fleet routing: per-tenant rendezvous hashing with
+//! power-of-two-choices on queue depth.
+//!
+//! Each tenant (model) ranks every cluster by a rendezvous
+//! (highest-random-weight) hash of `(seed, tenant, cluster)`.  The
+//! ranking is a pure function of those three values: it never changes
+//! as clusters die or heal, so a tenant's traffic is sticky — warm
+//! schedule caches and plan stores keep paying off — and adding the
+//! health view back in is just *filtering* the fixed ranking, never
+//! re-shuffling it.
+//!
+//! Two policies share the ranking:
+//!
+//! * [`RouterPolicy::StaticHash`] — the ablation baseline: top-1 of the
+//!   full ranking, health-blind.  Requests keep hashing onto a dead
+//!   cluster and die with it.
+//! * [`RouterPolicy::Failover`] — the fleet policy: the two
+//!   highest-ranked *routable* clusters are the candidates, and
+//!   power-of-two-choices picks whichever has the shorter live queue
+//!   (ties keep rendezvous order).  The runner-up doubles as the hedge
+//!   target for deadline-critical requests.
+
+use crate::request::ServeError;
+use hios_core::SchedulerError;
+
+/// How the fleet router places fresh arrivals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Pure consistent hashing, blind to health: the ablation baseline
+    /// that loses every request routed to a dead cluster.
+    StaticHash,
+    /// Health-filtered rendezvous ranking with power-of-two-choices and
+    /// failover re-routing.
+    Failover,
+}
+
+/// Knobs of the fleet router.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouterConfig {
+    /// Placement policy.
+    pub policy: RouterPolicy,
+    /// Seed of the rendezvous hash (fleet-wide; changing it re-shards
+    /// every tenant).
+    pub seed: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            policy: RouterPolicy::Failover,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// The router's verdict for one request: where it goes, and where its
+/// hedged twin would go.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Choice {
+    /// The cluster the request is dispatched to.
+    pub primary: usize,
+    /// The second-choice cluster (hedge target), when one is routable.
+    pub hedge: Option<usize>,
+}
+
+/// Deterministic per-tenant placement over `n` clusters.
+#[derive(Clone, Debug)]
+pub struct Router {
+    cfg: RouterConfig,
+    n: usize,
+}
+
+/// splitmix64 finalizer: the same mixer the retry jitter and the
+/// workload generator build on.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Router {
+    /// A router over `n` clusters.
+    pub fn new(cfg: RouterConfig, n: usize) -> Result<Self, ServeError> {
+        if n == 0 || n > 16 {
+            return Err(ServeError::Scheduler(SchedulerError::BadOptions(format!(
+                "router: fleet size must be in 1..=16, got {n}"
+            ))));
+        }
+        Ok(Router { cfg, n })
+    }
+
+    /// The rendezvous weight of `(tenant, cluster)`.
+    fn weight(&self, tenant: u64, cluster: usize) -> u64 {
+        mix64(mix64(self.cfg.seed ^ tenant).wrapping_add(cluster as u64))
+    }
+
+    /// Every cluster, ranked by descending rendezvous weight for
+    /// `tenant`.  Weights are 64-bit hashes; a collision would need two
+    /// of ≤16 clusters to hash identically, so ties break by index
+    /// purely for paranoia's sake.
+    pub fn ranked(&self, tenant: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(self.weight(tenant, c)), c));
+        order
+    }
+
+    /// The health-blind static-hash target: top-1 of the full ranking.
+    pub fn static_target(&self, tenant: u64) -> usize {
+        self.ranked(tenant)[0]
+    }
+
+    /// The failover choice: among the two highest-ranked clusters with
+    /// `routable[c]` set, power-of-two-choices takes the one with the
+    /// smaller `depth(c)` (ties keep rendezvous order); the other is the
+    /// hedge target.  `None` when no cluster is routable.
+    pub fn choose(
+        &self,
+        tenant: u64,
+        routable: &[bool],
+        depth: impl Fn(usize) -> usize,
+    ) -> Option<Choice> {
+        let mut top2 = [None::<usize>; 2];
+        for c in self.ranked(tenant) {
+            if !routable[c] {
+                continue;
+            }
+            if top2[0].is_none() {
+                top2[0] = Some(c);
+            } else {
+                top2[1] = Some(c);
+                break;
+            }
+        }
+        let a = top2[0]?;
+        let Some(b) = top2[1] else {
+            return Some(Choice {
+                primary: a,
+                hedge: None,
+            });
+        };
+        if depth(b) < depth(a) {
+            Some(Choice {
+                primary: b,
+                hedge: Some(a),
+            })
+        } else {
+            Some(Choice {
+                primary: a,
+                hedge: Some(b),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(n: usize) -> Router {
+        Router::new(RouterConfig::default(), n).unwrap()
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_a_permutation() {
+        let r = router(4);
+        for tenant in 0..32u64 {
+            let a = r.ranked(tenant);
+            let b = r.ranked(tenant);
+            assert_eq!(a, b);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn tenants_spread_across_clusters() {
+        let r = router(4);
+        let mut hit = [false; 4];
+        for tenant in 0..64u64 {
+            hit[r.static_target(tenant)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 tenants must touch all 4");
+    }
+
+    #[test]
+    fn removing_a_cluster_only_reroutes_its_own_tenants() {
+        // The consistent-hashing property: tenants whose top choice
+        // survives keep it when another cluster becomes unroutable.
+        let r = router(4);
+        for tenant in 0..64u64 {
+            let full: Vec<bool> = vec![true; 4];
+            let all = r.choose(tenant, &full, |_| 0).unwrap();
+            let dead = (all.primary + 1) % 4; // kill a non-primary
+            let mut routable = full.clone();
+            routable[dead] = false;
+            let after = r.choose(tenant, &routable, |_| 0).unwrap();
+            assert_eq!(after.primary, all.primary, "tenant {tenant}");
+        }
+    }
+
+    #[test]
+    fn p2c_prefers_the_shorter_queue_and_ties_keep_rank() {
+        let r = router(4);
+        let routable = vec![true; 4];
+        let even = r.choose(7, &routable, |_| 3).unwrap();
+        // Equal depths: rendezvous order wins, hedge is the runner-up.
+        assert_eq!(even.primary, r.ranked(7)[0]);
+        assert_eq!(even.hedge, Some(r.ranked(7)[1]));
+        // Pile depth onto the rendezvous winner: P2C flips to second.
+        let first = r.ranked(7)[0];
+        let flipped = r
+            .choose(7, &routable, |c| if c == first { 10 } else { 0 })
+            .unwrap();
+        assert_eq!(flipped.primary, r.ranked(7)[1]);
+        assert_eq!(flipped.hedge, Some(first));
+    }
+
+    #[test]
+    fn static_target_ignores_health_and_failover_respects_it() {
+        let r = router(3);
+        for tenant in 0..16u64 {
+            let primary = r.static_target(tenant);
+            let mut routable = vec![true; 3];
+            routable[primary] = false;
+            // Static hash still points at the dead cluster...
+            assert_eq!(r.static_target(tenant), primary);
+            // ...failover never does.
+            let c = r.choose(tenant, &routable, |_| 0).unwrap();
+            assert_ne!(c.primary, primary);
+            // No cluster routable → no choice.
+            assert_eq!(r.choose(tenant, &[false, false, false], |_| 0), None);
+        }
+    }
+
+    #[test]
+    fn lone_survivor_has_no_hedge_target() {
+        let r = router(2);
+        let c = r.choose(3, &[true, false], |_| 0).unwrap();
+        assert_eq!(c.primary, 0);
+        assert_eq!(c.hedge, None);
+    }
+
+    #[test]
+    fn bad_fleet_sizes_are_typed_errors() {
+        assert!(Router::new(RouterConfig::default(), 0).is_err());
+        assert!(Router::new(RouterConfig::default(), 17).is_err());
+    }
+}

@@ -203,6 +203,25 @@ struct ReqState {
     request: Request,
     attempts: u32,
     repairs: u32,
+    /// Set by the fleet layer when a hedged twin won or a failover
+    /// drained this copy: pending events for it become no-ops and it
+    /// produces no terminal record.  Never set in single-cluster runs.
+    cancelled: bool,
+    /// A backoff timer holds this request (it sits in the event queue,
+    /// not the FIFO); a fleet drain must collect it from here.
+    retry_pending: bool,
+}
+
+impl ReqState {
+    fn fresh(request: Request) -> Self {
+        ReqState {
+            request,
+            attempts: 0,
+            repairs: 0,
+            cancelled: false,
+            retry_pending: false,
+        }
+    }
 }
 
 /// Live overload-hardening state: the brownout state machine plus the
@@ -212,7 +231,7 @@ struct OverloadState {
     budget: RetryBudget,
 }
 
-struct Server<'a> {
+pub(crate) struct Server<'a> {
     models: &'a [ServedModel],
     cfg: &'a ServeConfig,
     /// Time-varying drift of the "hardware" (the simulator) away from
@@ -250,6 +269,10 @@ struct Server<'a> {
     /// EWMA of inter-arrival gaps (infinite until two arrivals), ms.
     ewma_gap_ms: f64,
     records: Vec<RequestRecord>,
+    /// State index of each record, in push order — the fleet layer maps
+    /// terminal records back to its own request copies through this
+    /// (request ids alone are ambiguous: a hedged twin shares its id).
+    terminal_idx: Vec<usize>,
     attempts_total: u64,
     repairs_total: u64,
     alarms_total: u64,
@@ -291,120 +314,21 @@ pub fn serve_drift(
     cfg: &ServeConfig,
 ) -> Result<ServeOutcome, ServeError> {
     validate(models, trace, cfg)?;
-    if let Err(e) = drift.validate(cfg.num_gpus) {
-        return Err(ServeError::Scheduler(SchedulerError::BadOptions(format!(
-            "drift plan: {e}"
-        ))));
-    }
-    let m = cfg.num_gpus;
-    let calib: Vec<CalibState> = match &cfg.calibration {
-        Some(ccfg) => models
-            .iter()
-            .map(|model| CalibState {
-                cal: Calibrator::new(m, model.graph.num_ops(), *ccfg),
-                table: CalibratedTable::new(model.cost.clone(), m),
-            })
-            .collect(),
-        None => Vec::new(),
-    };
-    let mut ladder = AnytimeLadder::new(cfg.ladder);
-    if let Some(sc) = &cfg.store {
-        // Open is the only store call that can fail a run: a log in any
-        // state of corruption still opens (recovery quarantines what it
-        // must), so `Err` here means the file itself is unusable
-        // (permissions, unsupported newer format) — a deployment error
-        // worth surfacing, not absorbing.
-        let store = PlanStore::open(&sc.path, sc.options).map_err(ServeError::Store)?;
-        ladder.attach_store(store);
-    }
-    let mut srv = Server {
-        models,
-        cfg,
-        drift,
-        calib,
-        clock: VirtualClock::new(),
-        events: EventQueue::new(),
-        queue: VecDeque::new(),
-        states: trace
-            .iter()
-            .map(|&request| ReqState {
-                request,
-                attempts: 0,
-                repairs: 0,
-            })
-            .collect(),
-        signals: faults.signals(cfg.detection_ms),
-        next_token: 0,
-        in_flight: None,
-        breakers: BreakerBank::new(m, cfg.breaker_reset_ms),
-        overload: cfg.overload.map(|oc| OverloadState {
-            ctl: BrownoutController::new(oc.brownout),
-            budget: RetryBudget::new(oc.retry_budget),
-        }),
-        scaling: Scaling::identity(m),
-        healthy_at: vec![0.0; m],
-        ladder,
-        epochs: vec![0; models.len()],
-        repair_ws: EvalWorkspace::new(),
-        bound_full: models
-            .iter()
-            .map(|model| bounds::combined_bound(&model.graph, &model.cost, m))
-            .collect(),
-        last_arrival_ms: f64::NAN,
-        ewma_gap_ms: f64::INFINITY,
-        records: Vec::with_capacity(trace.len()),
-        attempts_total: 0,
-        repairs_total: 0,
-        alarms_total: 0,
-        recalibrations_total: 0,
-        cache_drops_total: 0,
-    };
+    let mut srv = Server::build(models, faults, drift, cfg)?;
+    srv.states = trace
+        .iter()
+        .map(|&request| ReqState::fresh(request))
+        .collect();
+    srv.records.reserve(trace.len());
     for (i, r) in trace.iter().enumerate() {
         srv.events.push(r.arrival_ms, Event::Arrival(i));
     }
-    for (s, sig) in srv.signals.iter().enumerate() {
-        srv.events.push(sig.detected_ms, Event::FaultDetected(s));
-    }
-    while let Some((t, ev)) = srv.events.pop() {
-        srv.clock.advance_to(t);
-        srv.handle(ev);
-    }
-    debug_assert!(srv.queue.is_empty(), "drained loop left queued requests");
-    debug_assert!(srv.in_flight.is_none(), "drained loop left in-flight work");
-    let mut records = srv.records;
-    records.sort_by_key(|r| r.request.id);
-    let horizon_ms = srv.clock.now_ms();
-    let retry_budget_denied = srv.overload.as_ref().map_or(0, |ov| ov.budget.denied());
-    let brownout = match srv.overload.take() {
-        Some(ov) => ov.ctl.finish(horizon_ms),
-        None => BrownoutTelemetry::default(),
-    };
-    let report = summarize(
-        &records,
-        &ReportInputs {
-            horizon_ms,
-            attempts: srv.attempts_total,
-            repairs: srv.repairs_total,
-            breaker_opens: srv.breakers.total_opens(),
-            cache: srv.ladder.cache_stats(),
-            rungs: srv.ladder.rung_counts(),
-            upgrades: srv.ladder.upgrades(),
-            drift_alarms: srv.alarms_total,
-            recalibrations: srv.recalibrations_total,
-            cache_invalidations: srv.cache_drops_total,
-            cache_evictions: srv.ladder.cache_evictions(),
-            store: srv.ladder.store_stats().unwrap_or_default(),
-            store_recovery: srv.ladder.store_recovery().copied().unwrap_or_default(),
-            store_io_errors: srv.ladder.store_io_errors(),
-            retry_budget_denied,
-            flap_escalations: srv.breakers.total_flap_escalations(),
-            brownout,
-        },
-    );
-    Ok(ServeOutcome { records, report })
+    srv.arm_signals();
+    while srv.step() {}
+    Ok(srv.into_outcome())
 }
 
-fn validate(
+pub(crate) fn validate(
     models: &[ServedModel],
     trace: &[Request],
     cfg: &ServeConfig,
@@ -483,7 +407,252 @@ fn validate(
     Ok(())
 }
 
-impl Server<'_> {
+impl<'a> Server<'a> {
+    /// Constructs an empty serving loop: platform, breakers, ladder,
+    /// store, overload controller — but no requests and no scheduled
+    /// events.  `serve_drift` seeds it from a whole trace and pumps it
+    /// dry; the fleet layer instead injects requests one at a time and
+    /// interleaves [`Server::step`] with its own router events.
+    ///
+    /// Assumes `validate(models, trace, cfg)` already passed for every
+    /// request this server will ever see.
+    pub(crate) fn build(
+        models: &'a [ServedModel],
+        faults: &FaultPlan,
+        drift: &'a DriftPlan,
+        cfg: &'a ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if let Err(e) = drift.validate(cfg.num_gpus) {
+            return Err(ServeError::Scheduler(SchedulerError::BadOptions(format!(
+                "drift plan: {e}"
+            ))));
+        }
+        let m = cfg.num_gpus;
+        let calib: Vec<CalibState> = match &cfg.calibration {
+            Some(ccfg) => models
+                .iter()
+                .map(|model| CalibState {
+                    cal: Calibrator::new(m, model.graph.num_ops(), *ccfg),
+                    table: CalibratedTable::new(model.cost.clone(), m),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut ladder = AnytimeLadder::new(cfg.ladder);
+        if let Some(sc) = &cfg.store {
+            // Open is the only store call that can fail a run: a log in any
+            // state of corruption still opens (recovery quarantines what it
+            // must), so `Err` here means the file itself is unusable
+            // (permissions, unsupported newer format) — a deployment error
+            // worth surfacing, not absorbing.
+            let store = PlanStore::open(&sc.path, sc.options).map_err(ServeError::Store)?;
+            ladder.attach_store(store);
+        }
+        Ok(Server {
+            models,
+            cfg,
+            drift,
+            calib,
+            clock: VirtualClock::new(),
+            events: EventQueue::new(),
+            queue: VecDeque::new(),
+            states: Vec::new(),
+            signals: faults.signals(cfg.detection_ms),
+            next_token: 0,
+            in_flight: None,
+            breakers: BreakerBank::new(m, cfg.breaker_reset_ms),
+            overload: cfg.overload.map(|oc| OverloadState {
+                ctl: BrownoutController::new(oc.brownout),
+                budget: RetryBudget::new(oc.retry_budget),
+            }),
+            scaling: Scaling::identity(m),
+            healthy_at: vec![0.0; m],
+            ladder,
+            epochs: vec![0; models.len()],
+            repair_ws: EvalWorkspace::new(),
+            bound_full: models
+                .iter()
+                .map(|model| bounds::combined_bound(&model.graph, &model.cost, m))
+                .collect(),
+            last_arrival_ms: f64::NAN,
+            ewma_gap_ms: f64::INFINITY,
+            records: Vec::new(),
+            terminal_idx: Vec::new(),
+            attempts_total: 0,
+            repairs_total: 0,
+            alarms_total: 0,
+            recalibrations_total: 0,
+            cache_drops_total: 0,
+        })
+    }
+
+    /// Schedules the fault plan's detection events.  Called after the
+    /// trace arrivals are pushed so same-instant ties keep the
+    /// arrival-before-detection order serving has always had.
+    pub(crate) fn arm_signals(&mut self) {
+        for s in 0..self.signals.len() {
+            self.events
+                .push(self.signals[s].detected_ms, Event::FaultDetected(s));
+        }
+    }
+
+    /// Processes the next scheduled event; `false` when none remain.
+    pub(crate) fn step(&mut self) -> bool {
+        match self.events.pop() {
+            Some((t, ev)) => {
+                self.clock.advance_to(t);
+                self.handle(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Instant of the next scheduled event, if any.
+    pub(crate) fn next_event_ms(&self) -> Option<f64> {
+        self.events.peek_time()
+    }
+
+    /// Tears the drained loop down into its outcome.
+    pub(crate) fn into_outcome(mut self) -> ServeOutcome {
+        debug_assert!(self.queue.is_empty(), "drained loop left queued requests");
+        debug_assert!(self.in_flight.is_none(), "drained loop left in-flight work");
+        let mut records = self.records;
+        records.sort_by_key(|r| r.request.id);
+        let horizon_ms = self.clock.now_ms();
+        let retry_budget_denied = self.overload.as_ref().map_or(0, |ov| ov.budget.denied());
+        let brownout = match self.overload.take() {
+            Some(ov) => ov.ctl.finish(horizon_ms),
+            None => BrownoutTelemetry::default(),
+        };
+        let report = summarize(
+            &records,
+            &ReportInputs {
+                horizon_ms,
+                attempts: self.attempts_total,
+                repairs: self.repairs_total,
+                breaker_opens: self.breakers.total_opens(),
+                cache: self.ladder.cache_stats(),
+                rungs: self.ladder.rung_counts(),
+                upgrades: self.ladder.upgrades(),
+                drift_alarms: self.alarms_total,
+                recalibrations: self.recalibrations_total,
+                cache_invalidations: self.cache_drops_total,
+                cache_evictions: self.ladder.cache_evictions(),
+                store: self.ladder.store_stats().unwrap_or_default(),
+                store_recovery: self.ladder.store_recovery().copied().unwrap_or_default(),
+                store_io_errors: self.ladder.store_io_errors(),
+                retry_budget_denied,
+                flap_escalations: self.breakers.total_flap_escalations(),
+                brownout,
+            },
+        );
+        ServeOutcome { records, report }
+    }
+
+    // ---- fleet interface -----------------------------------------------
+    //
+    // The fleet layer (`crate::fleet`) drives N of these loops under one
+    // router.  It advances each loop lazily through `step`, injects
+    // routed requests at the fleet's current instant, and reads terminal
+    // records back through the `(terminal_idx, records)` watermark.
+
+    /// Admits `request` as if it arrived at `now_ms` (the cluster clock
+    /// advances there first) and returns its state index.  The index —
+    /// not the request id — names this copy in later records: a hedged
+    /// twin shares the id but never the index.
+    pub(crate) fn inject(&mut self, request: Request, now_ms: f64) -> usize {
+        self.clock.advance_to(now_ms);
+        let i = self.states.len();
+        self.states.push(ReqState::fresh(request));
+        self.on_arrival(i);
+        i
+    }
+
+    /// Advances the cluster clock without processing anything — so a
+    /// fleet-level action (a drain at a kill instant, a hedge-twin
+    /// cancel) is charged to the instant it logically happens at.
+    pub(crate) fn touch(&mut self, now_ms: f64) {
+        self.clock.advance_to(now_ms);
+    }
+
+    /// Withdraws request `i` without a terminal record (its fate is
+    /// owned elsewhere — a hedged twin completed, or a failover already
+    /// re-routed it).  Pending events for it become no-ops; freed
+    /// backend capacity is re-dispatched immediately.
+    pub(crate) fn cancel(&mut self, i: usize) {
+        if self.states[i].cancelled {
+            return;
+        }
+        self.states[i].cancelled = true;
+        if let Some(pos) = self.queue.iter().position(|&q| q == i) {
+            self.queue.remove(pos);
+            return;
+        }
+        if self.in_flight.as_ref().is_some_and(|fl| fl.req == i) {
+            // The scheduled Completion/Watchdog event goes stale with the
+            // in-flight slot cleared.
+            self.in_flight = None;
+            self.try_dispatch();
+        }
+        // A retry-pending request needs nothing more: `on_retry` checks
+        // the cancelled flag when its backoff timer fires.
+    }
+
+    /// Withdraws every live request — queued (FIFO order), in-flight,
+    /// then retry-pending (state order) — marking each cancelled, and
+    /// returns them for re-routing.  Used when the cluster dies; the
+    /// loop's remaining events are then abandoned unstepped.
+    pub(crate) fn drain(&mut self) -> Vec<(usize, Request)> {
+        let mut out: Vec<(usize, Request)> = self
+            .queue
+            .iter()
+            .map(|&i| (i, self.states[i].request))
+            .collect();
+        self.queue.clear();
+        if let Some(fl) = self.in_flight.take() {
+            out.push((fl.req, self.states[fl.req].request));
+        }
+        for (i, st) in self.states.iter().enumerate() {
+            if st.retry_pending && !st.cancelled {
+                out.push((i, st.request));
+            }
+        }
+        for &(i, _) in &out {
+            self.states[i].cancelled = true;
+            self.states[i].retry_pending = false;
+        }
+        out
+    }
+
+    /// Requests currently holding FIFO slots.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue occupancy in `[0, 1]`, for health heartbeats.
+    pub(crate) fn queue_fill_now(&self) -> f64 {
+        self.queue_fill()
+    }
+
+    /// Fraction of GPUs whose breakers currently admit work.
+    pub(crate) fn alive_fraction(&self) -> f64 {
+        let alive = self.breakers.admitted();
+        alive.iter().filter(|&&a| a).count() as f64 / alive.len().max(1) as f64
+    }
+
+    /// Provable full-platform lower bound of model `mi` on this
+    /// cluster, ms — the feasibility floor for failover re-routing.
+    pub(crate) fn bound_ms(&self, mi: usize) -> f64 {
+        self.bound_full[mi]
+    }
+
+    /// Terminal records produced so far, in push order, with the state
+    /// index of each.
+    pub(crate) fn outcomes(&self) -> (&[usize], &[RequestRecord]) {
+        (&self.terminal_idx, &self.records)
+    }
+
     fn now(&self) -> f64 {
         self.clock.now_ms()
     }
@@ -573,6 +742,7 @@ impl Server<'_> {
         // level in place after the load drops.  Every other shed is a
         // genuine miss signal.
         let brownout_shed = matches!(reason, ShedReason::Brownout { .. });
+        self.terminal_idx.push(i);
         self.records.push(RequestRecord {
             request: self.states[i].request,
             disposition: Disposition::Shed {
@@ -849,6 +1019,7 @@ impl Server<'_> {
         let st = &self.states[i];
         let now = self.now();
         let met_deadline = now <= st.request.deadline_ms;
+        self.terminal_idx.push(i);
         self.records.push(RequestRecord {
             request: st.request,
             disposition: Disposition::Completed {
@@ -1198,6 +1369,7 @@ impl Server<'_> {
                 .cfg
                 .retry
                 .backoff_ms(self.states[i].request.id, attempts);
+            self.states[i].retry_pending = true;
             self.events.push(now + backoff, Event::Retry { req: i });
         } else {
             self.shed(
@@ -1211,6 +1383,10 @@ impl Server<'_> {
     }
 
     fn on_retry(&mut self, i: usize) {
+        self.states[i].retry_pending = false;
+        if self.states[i].cancelled {
+            return; // withdrawn by the fleet layer while backing off
+        }
         let req = self.states[i].request;
         if let Some(reason) = self.deadline_hopeless(&req) {
             self.shed(i, reason);

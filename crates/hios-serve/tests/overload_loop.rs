@@ -136,7 +136,7 @@ fn domain_kill_after_flapping_terminates_everything() {
             up_ms: 30.0,
             cycles: 4,
         }],
-        raw: vec![],
+        ..FaultScript::default()
     };
     let faults = script
         .compile(&models[0].graph, GPUS)

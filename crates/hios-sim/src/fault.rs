@@ -167,6 +167,15 @@ pub enum FaultPlanError {
     BadDuration(f64),
     /// A flap spec with zero cycles.
     NoCycles,
+    /// A cluster event referencing a cluster index the fleet does not
+    /// have.
+    UnknownCluster(usize),
+    /// Every cluster of the fleet is killed: no router could ever place
+    /// another request.
+    AllClustersKilled,
+    /// Cluster-scope events reached a single-platform compile; they only
+    /// lower at the fleet layer ([`FaultScript::cluster_plan`]).
+    ClusterScope,
 }
 
 impl fmt::Display for FaultPlanError {
@@ -193,6 +202,19 @@ impl fmt::Display for FaultPlanError {
                 write!(f, "flap duration {x} must be finite and > 0")
             }
             FaultPlanError::NoCycles => write!(f, "flap spec must run at least one cycle"),
+            FaultPlanError::UnknownCluster(c) => {
+                write!(f, "fault targets unknown cluster {c}")
+            }
+            FaultPlanError::AllClustersKilled => {
+                write!(f, "plan kills every cluster of the fleet")
+            }
+            FaultPlanError::ClusterScope => {
+                write!(
+                    f,
+                    "cluster-scope events cannot lower onto a single platform; \
+                     compile them with FaultScript::cluster_plan at the fleet layer"
+                )
+            }
         }
     }
 }
@@ -449,6 +471,95 @@ impl FlapSpec {
     }
 }
 
+/// A fleet-scope fault: what breaks at cluster granularity.
+///
+/// Cluster events never lower into a single platform's [`FaultPlan`] —
+/// a cluster is a whole platform, so these are consumed by the fleet
+/// router/failover layer above the per-cluster serve loops (ISSUE 10).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ClusterFaultKind {
+    /// Every GPU of the cluster fail-stops at once and the cluster never
+    /// returns: queued and in-flight work must be drained and re-routed
+    /// (or shed with a typed disposition) by the fleet layer.
+    ClusterKill,
+    /// Every GPU of the cluster runs `factor`× slower from the fault
+    /// instant on — a whole-rack thermal event or a shared power cap.
+    /// Lowers to per-GPU [`FaultKind::GpuSlowdown`] events in the
+    /// cluster's own plan, so the cluster's breakers and repair loop see
+    /// it through their normal signal path.
+    ClusterDegrade {
+        /// Duration multiplier, `> 1`.
+        factor: f64,
+    },
+    /// The router loses contact with the cluster for `heal_ms`: work
+    /// already inside keeps running to completion, but no new requests
+    /// can be routed there until the partition heals.
+    PartitionRouter {
+        /// Partition duration, ms (`> 0`).
+        heal_ms: f64,
+    },
+}
+
+impl ClusterFaultKind {
+    /// Short label used in bench tables and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClusterFaultKind::ClusterKill => "cluster-kill",
+            ClusterFaultKind::ClusterDegrade { .. } => "cluster-degrade",
+            ClusterFaultKind::PartitionRouter { .. } => "partition-router",
+        }
+    }
+}
+
+/// One cluster-scope fault at one instant of simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterFaultEvent {
+    /// Injection time, ms from serving start.
+    pub at_ms: f64,
+    /// Index of the affected cluster within the fleet.
+    pub cluster: usize,
+    /// What breaks.
+    pub kind: ClusterFaultKind,
+}
+
+/// Checks cluster-scope events against a fleet of `clusters` clusters:
+/// indices in range, times finite and non-negative, factors/durations
+/// sane, and at least one cluster never killed (kills are permanent, so
+/// killing all of them would strand every future request).
+pub fn validate_cluster_events(
+    events: &[ClusterFaultEvent],
+    clusters: usize,
+) -> Result<(), FaultPlanError> {
+    let mut killed = vec![false; clusters];
+    for e in events {
+        if !e.at_ms.is_finite() || e.at_ms < 0.0 {
+            return Err(FaultPlanError::BadTime(e.at_ms));
+        }
+        if e.cluster >= clusters {
+            return Err(FaultPlanError::UnknownCluster(e.cluster));
+        }
+        match e.kind {
+            ClusterFaultKind::ClusterKill => {
+                killed[e.cluster] = true;
+                if killed.iter().all(|&k| k) {
+                    return Err(FaultPlanError::AllClustersKilled);
+                }
+            }
+            ClusterFaultKind::ClusterDegrade { factor } => {
+                if !factor.is_finite() || factor <= 1.0 {
+                    return Err(FaultPlanError::BadFactor(factor));
+                }
+            }
+            ClusterFaultKind::PartitionRouter { heal_ms } => {
+                if !heal_ms.is_finite() || heal_ms <= 0.0 {
+                    return Err(FaultPlanError::BadDuration(heal_ms));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A validated high-level fault scenario: failure domains with
 /// correlated kills, flapping GPUs, and raw primitive events.  Compiles
 /// into a plain [`FaultPlan`] after typed validation, so every consumer
@@ -465,15 +576,37 @@ pub struct FaultScript {
     pub flaps: Vec<FlapSpec>,
     /// Extra primitive events injected verbatim.
     pub raw: Vec<FaultEvent>,
+    /// Fleet-scope cluster faults (ISSUE 10).  Ignored — in fact
+    /// rejected — by the single-platform [`FaultScript::compile`]; the
+    /// fleet layer extracts them with [`FaultScript::cluster_plan`].
+    #[serde(default)]
+    pub cluster_events: Vec<ClusterFaultEvent>,
 }
 
 impl FaultScript {
+    /// Validates and extracts the fleet-scope cluster events, sorted by
+    /// injection time (stable, so same-instant events keep construction
+    /// order).  `clusters` is the fleet size.
+    pub fn cluster_plan(&self, clusters: usize) -> Result<Vec<ClusterFaultEvent>, FaultPlanError> {
+        validate_cluster_events(&self.cluster_events, clusters)?;
+        let mut events = self.cluster_events.clone();
+        events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        Ok(events)
+    }
+
     /// Validates the script and lowers it to a primitive [`FaultPlan`]
     /// (sorted by time), then re-validates the lowered plan against the
     /// platform — so the temporal "never kill every GPU at once"
     /// invariant covers interactions between domains, flaps, and raw
     /// events.
+    ///
+    /// Cluster-scope events have no meaning on a single platform, so a
+    /// script carrying any is rejected with
+    /// [`FaultPlanError::ClusterScope`] rather than silently dropped.
     pub fn compile(&self, g: &Graph, m: usize) -> Result<FaultPlan, FaultPlanError> {
+        if !self.cluster_events.is_empty() {
+            return Err(FaultPlanError::ClusterScope);
+        }
         for (d, dom) in self.domains.iter().enumerate() {
             if dom.gpus.is_empty() {
                 return Err(FaultPlanError::EmptyDomain(d));
@@ -733,8 +866,7 @@ mod tests {
                 at_ms: 10.0,
                 domain: 0,
             }],
-            flaps: vec![],
-            raw: vec![],
+            ..FaultScript::default()
         };
         let plan = script.compile(&g, 4).unwrap();
         assert_eq!(plan.events.len(), 2);
@@ -751,8 +883,6 @@ mod tests {
     fn flap_compiles_to_alternating_fail_heal() {
         let g = small_graph();
         let script = FaultScript {
-            domains: vec![],
-            kills: vec![],
             flaps: vec![FlapSpec {
                 gpu: 1,
                 first_fail_ms: 5.0,
@@ -760,7 +890,7 @@ mod tests {
                 up_ms: 3.0,
                 cycles: 3,
             }],
-            raw: vec![],
+            ..FaultScript::default()
         };
         let plan = script.compile(&g, 3).unwrap();
         assert_eq!(plan.events.len(), 6);
@@ -881,7 +1011,7 @@ mod tests {
                 up_ms: 1.0,
                 cycles: 1,
             }],
-            raw: vec![],
+            ..FaultScript::default()
         };
         assert_eq!(script.compile(&g, 2), Err(FaultPlanError::AllGpusFail));
         // Same flap before the kill, healed by t=1 → fine.
@@ -898,8 +1028,132 @@ mod tests {
                 up_ms: 1.0,
                 cycles: 1,
             }],
-            raw: vec![],
+            ..FaultScript::default()
         };
         ok.compile(&g, 2).unwrap();
+    }
+
+    #[test]
+    fn cluster_plan_validates_and_sorts() {
+        let script = FaultScript {
+            cluster_events: vec![
+                ClusterFaultEvent {
+                    at_ms: 9.0,
+                    cluster: 2,
+                    kind: ClusterFaultKind::PartitionRouter { heal_ms: 4.0 },
+                },
+                ClusterFaultEvent {
+                    at_ms: 3.0,
+                    cluster: 0,
+                    kind: ClusterFaultKind::ClusterKill,
+                },
+                ClusterFaultEvent {
+                    at_ms: 3.0,
+                    cluster: 1,
+                    kind: ClusterFaultKind::ClusterDegrade { factor: 2.5 },
+                },
+            ],
+            ..FaultScript::default()
+        };
+        let plan = script.cluster_plan(4).unwrap();
+        let times: Vec<f64> = plan.iter().map(|e| e.at_ms).collect();
+        assert_eq!(times, vec![3.0, 3.0, 9.0]);
+        // Stable sort: same-instant events keep construction order.
+        assert_eq!(plan[0].cluster, 0);
+        assert_eq!(plan[1].cluster, 1);
+    }
+
+    #[test]
+    fn cluster_plan_rejects_bad_shapes() {
+        let ev = |at_ms, cluster, kind| ClusterFaultEvent {
+            at_ms,
+            cluster,
+            kind,
+        };
+        let kill = ClusterFaultKind::ClusterKill;
+        let bad_idx = FaultScript {
+            cluster_events: vec![ev(1.0, 7, kill)],
+            ..FaultScript::default()
+        };
+        assert_eq!(
+            bad_idx.cluster_plan(4),
+            Err(FaultPlanError::UnknownCluster(7))
+        );
+        let bad_time = FaultScript {
+            cluster_events: vec![ev(-1.0, 0, kill)],
+            ..FaultScript::default()
+        };
+        assert_eq!(bad_time.cluster_plan(4), Err(FaultPlanError::BadTime(-1.0)));
+        let bad_factor = FaultScript {
+            cluster_events: vec![ev(1.0, 0, ClusterFaultKind::ClusterDegrade { factor: 1.0 })],
+            ..FaultScript::default()
+        };
+        assert_eq!(
+            bad_factor.cluster_plan(4),
+            Err(FaultPlanError::BadFactor(1.0))
+        );
+        let bad_heal = FaultScript {
+            cluster_events: vec![ev(
+                1.0,
+                0,
+                ClusterFaultKind::PartitionRouter { heal_ms: 0.0 },
+            )],
+            ..FaultScript::default()
+        };
+        assert_eq!(
+            bad_heal.cluster_plan(4),
+            Err(FaultPlanError::BadDuration(0.0))
+        );
+        let wipeout = FaultScript {
+            cluster_events: vec![ev(1.0, 0, kill), ev(2.0, 1, kill)],
+            ..FaultScript::default()
+        };
+        assert_eq!(
+            wipeout.cluster_plan(2),
+            Err(FaultPlanError::AllClustersKilled)
+        );
+        // Killing 2 of 3 clusters is survivable.
+        let partial = FaultScript {
+            cluster_events: vec![ev(1.0, 0, kill), ev(2.0, 1, kill)],
+            ..FaultScript::default()
+        };
+        assert_eq!(partial.cluster_plan(3).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn compile_rejects_cluster_scope_events() {
+        let g = small_graph();
+        let script = FaultScript {
+            cluster_events: vec![ClusterFaultEvent {
+                at_ms: 1.0,
+                cluster: 0,
+                kind: ClusterFaultKind::ClusterKill,
+            }],
+            ..FaultScript::default()
+        };
+        assert_eq!(script.compile(&g, 2), Err(FaultPlanError::ClusterScope));
+    }
+
+    #[test]
+    fn cluster_events_round_trip_and_default_on_old_scripts() {
+        let script = FaultScript {
+            cluster_events: vec![ClusterFaultEvent {
+                at_ms: 2.0,
+                cluster: 1,
+                kind: ClusterFaultKind::ClusterDegrade { factor: 3.0 },
+            }],
+            ..FaultScript::default()
+        };
+        let s = serde_json::to_string(&script).unwrap();
+        let back: FaultScript = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, script);
+        // Scripts serialized before the fleet layer lack the field.
+        let old: FaultScript =
+            serde_json::from_str(r#"{"domains":[],"kills":[],"flaps":[],"raw":[]}"#).unwrap();
+        assert!(old.cluster_events.is_empty());
+        assert_eq!(
+            ClusterFaultKind::PartitionRouter { heal_ms: 1.0 }.label(),
+            "partition-router"
+        );
     }
 }

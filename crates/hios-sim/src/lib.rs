@@ -38,8 +38,9 @@ pub use engine::{
     Scaling, Semantics, SimConfig, SimError, SimResult, TransferRecord, simulate, simulate_scaled,
 };
 pub use fault::{
-    DomainKill, FailureDomain, FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultScript,
-    FaultSignal, FlapSpec, host_domains,
+    ClusterFaultEvent, ClusterFaultKind, DomainKill, FailureDomain, FaultEvent, FaultKind,
+    FaultPlan, FaultPlanError, FaultScript, FaultSignal, FlapSpec, host_domains,
+    validate_cluster_events,
 };
 pub use measure::{MeasureConfig, Measurement, RecoveryMeasurement, measure, measure_recovery};
 pub use recover::{

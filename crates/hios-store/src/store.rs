@@ -167,6 +167,29 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     Ok(())
 }
 
+/// Saves quarantined bytes to the first free `<log>.quarantine.N`
+/// sidecar (N = 0, 1, …).  The counter is monotonic per log path —
+/// `create_new` refuses existing slots — so a second corruption in the
+/// store's lifetime parks its evidence beside the first instead of
+/// overwriting it.
+fn write_quarantine(path: &Path, bytes: &[u8]) -> Result<PathBuf, StoreError> {
+    for n in 0u64.. {
+        let side = sibling(path, &format!(".quarantine.{n}"));
+        match OpenOptions::new().write(true).create_new(true).open(&side) {
+            Ok(mut f) => {
+                f.write_all(bytes)
+                    .map_err(|e| StoreError::io("write quarantine", &e))?;
+                f.sync_all()
+                    .map_err(|e| StoreError::io("sync quarantine", &e))?;
+                return Ok(side);
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(StoreError::io("create quarantine", &e)),
+        }
+    }
+    unreachable!("u64 quarantine slots exhausted")
+}
+
 fn open_append(path: &Path) -> Result<File, StoreError> {
     OpenOptions::new()
         .append(true)
@@ -207,16 +230,14 @@ impl PlanStore {
                     recovery.reset = true;
                     recovery.torn_tail = true;
                     recovery.tail_bytes_quarantined = bytes.len();
-                    fs::write(sibling(&path, ".quarantine"), &bytes)
-                        .map_err(|e| StoreError::io("write quarantine", &e))?;
+                    write_quarantine(&path, &bytes)?;
                     write_atomic(&path, &log::encode_header(STORE_FORMAT_VERSION))?;
                 }
                 LogScan::Ok(scan) => {
                     if scan.torn {
                         recovery.torn_tail = true;
                         recovery.tail_bytes_quarantined = bytes.len() - scan.valid_len;
-                        fs::write(sibling(&path, ".quarantine"), &bytes[scan.valid_len..])
-                            .map_err(|e| StoreError::io("write quarantine", &e))?;
+                        write_quarantine(&path, &bytes[scan.valid_len..])?;
                         write_atomic(&path, &bytes[..scan.valid_len])?;
                     }
                     payloads = scan.payloads;
@@ -657,12 +678,47 @@ mod tests {
             None,
             "typed miss, never a wrong plan"
         );
-        let sidecar = sibling(&path, ".quarantine");
+        let sidecar = sibling(&path, ".quarantine.0");
         assert_eq!(
             fs::read(sidecar).unwrap(),
             bytes,
             "corrupt image kept for post-mortems"
         );
+    }
+
+    #[test]
+    fn repeated_corruption_never_overwrites_earlier_sidecars() {
+        let path = scratch("requarantine");
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        store.put(key(1, 0), &plan(3), 9.0).unwrap();
+        drop(store);
+        let first = {
+            let mut bytes = fs::read(&path).unwrap();
+            bytes[2] ^= 0x40;
+            fs::write(&path, &bytes).unwrap();
+            bytes
+        };
+        drop(PlanStore::open(&path, StoreOptions::default()).unwrap());
+
+        // Second corruption of the store's lifetime: the fresh evidence
+        // lands in `.quarantine.1`; `.quarantine.0` is untouched.
+        let mut store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        store.put(key(2, 0), &plan(4), 9.0).unwrap();
+        drop(store);
+        let second = {
+            let mut bytes = fs::read(&path).unwrap();
+            bytes[2] ^= 0x40;
+            fs::write(&path, &bytes).unwrap();
+            bytes
+        };
+        let store = PlanStore::open(&path, StoreOptions::default()).unwrap();
+        assert!(store.recovery().reset);
+        assert_eq!(
+            fs::read(sibling(&path, ".quarantine.0")).unwrap(),
+            first,
+            "first corruption's evidence survives the second"
+        );
+        assert_eq!(fs::read(sibling(&path, ".quarantine.1")).unwrap(), second);
     }
 
     #[test]

@@ -224,4 +224,62 @@ proptest! {
 
         check_recovery(&path, &legit);
     }
+
+    #[test]
+    fn repeated_corruption_accumulates_distinct_sidecars((seed, n, rounds) in (0u64..u64::MAX, 2usize..8, 2usize..5)) {
+        // Quarantine sidecars are numbered `.quarantine.0, .1, …` per
+        // log path: across repeated corruption/recovery cycles every
+        // round's evidence must land in a fresh slot, numbered
+        // contiguously, with earlier sidecars byte-identical forever.
+        let mut mix = Mix(seed);
+        let (path, _, _) = build_log(&mut mix, n);
+        let dir = path.parent().unwrap().to_path_buf();
+        let log_name = path.file_name().unwrap().to_str().unwrap().to_string();
+        let sidecars = |dir: &PathBuf| -> Vec<(u64, Vec<u8>)> {
+            let mut out = Vec::new();
+            for entry in fs::read_dir(dir).unwrap() {
+                let p = entry.unwrap().path();
+                let name = p.file_name().unwrap().to_str().unwrap();
+                if let Some(idx) = name.strip_prefix(&format!("{log_name}.quarantine.")) {
+                    out.push((idx.parse::<u64>().expect("numeric sidecar suffix"), fs::read(&p).unwrap()));
+                }
+            }
+            out.sort_by_key(|(i, _)| *i);
+            out
+        };
+
+        let mut before = sidecars(&dir);
+        prop_assert!(before.is_empty());
+        for round in 0..rounds {
+            // Alternate damage: mangle the header (whole-file
+            // quarantine) or tear the tail mid-byte.
+            let bytes = fs::read(&path).unwrap();
+            if mix.below(2) == 0 {
+                let mut bytes = bytes;
+                bytes[2 + mix.below(6)] ^= 0x40;
+                fs::write(&path, &bytes).unwrap();
+            } else {
+                let cut = mix.below(bytes.len()) + 1;
+                fs::write(&path, &bytes[..cut]).unwrap();
+            }
+            let mut store = PlanStore::open(&path, StoreOptions::default())
+                .expect("corruption must never fail open");
+            let quarantined = store.recovery().reset || store.recovery().torn_tail;
+            // Keep the log non-trivial for the next round.
+            let s = plan(&mut mix, 5);
+            store.put(key(50 + round as u64, 0), &s, 1.0).unwrap();
+            drop(store);
+
+            let after = sidecars(&dir);
+            for (i, (idx, data)) in before.iter().enumerate() {
+                // Numbering is contiguous and old evidence immutable.
+                prop_assert_eq!(*idx, i as u64);
+                prop_assert_eq!(&after[i].1, data);
+            }
+            // A quarantining recovery adds exactly one sidecar.
+            let want = before.len() + usize::from(quarantined);
+            prop_assert_eq!(after.len(), want);
+            before = after;
+        }
+    }
 }

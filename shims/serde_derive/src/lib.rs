@@ -6,7 +6,9 @@
 //! shapes the HIOS crates actually use:
 //!
 //! * structs with named fields (`#[serde(skip)]` supported, filled from
-//!   `Default` on deserialization);
+//!   `Default` on deserialization; `#[serde(default)]` supported, filled
+//!   from `Default` when the key is absent — for fields added after data
+//!   was serialized);
 //! * one-field tuple structs marked `#[serde(transparent)]`;
 //! * plain tuple structs (serialized as arrays);
 //! * enums with unit, newtype, tuple and struct variants (externally
@@ -21,6 +23,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -55,6 +58,7 @@ struct Input {
 struct SerdeFlags {
     transparent: bool,
     skip: bool,
+    default: bool,
 }
 
 fn parse_serde_flags(tokens: &mut Vec<TokenTree>, flags: &mut SerdeFlags) {
@@ -72,6 +76,7 @@ fn parse_serde_flags(tokens: &mut Vec<TokenTree>, flags: &mut SerdeFlags) {
                 match i.to_string().as_str() {
                     "transparent" => flags.transparent = true,
                     "skip" => flags.skip = true,
+                    "default" => flags.default = true,
                     other => panic!("serde shim: unsupported serde attribute `{other}`"),
                 }
             }
@@ -163,6 +168,7 @@ fn parse_named_fields(group: &TokenTree) -> Vec<Field> {
         fields.push(Field {
             name: name.to_string(),
             skip: flags.skip,
+            default: flags.default,
         });
         pos += 1; // name
         pos += 1; // ':'
@@ -355,6 +361,14 @@ fn gen_deserialize(input: &Input) -> String {
                 if f.skip {
                     inits.push_str(&format!(
                         "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: match ::serde::field(__v, \"{0}\") {{\n\
+                         ::std::result::Result::Ok(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                         ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+                         }},\n",
                         f.name
                     ));
                 } else {
